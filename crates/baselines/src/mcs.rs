@@ -1,0 +1,235 @@
+//! MCS-based approximate matching (the paper's second approximate baseline).
+//!
+//! The experimental protocol of Section 5: a candidate subgraph `Gs` of `G` with the same
+//! number of nodes as the pattern `Q` is accepted as a match when
+//! `|mcs(Q, Gs)| / max(|Vq|, |Vs|) ≥ 0.7`, where `mcs` is a maximum common subgraph computed
+//! with an approximation algorithm (the paper cites Kann's STACS'92 approximation).
+//!
+//! Exhaustively enumerating all `|Vq|`-node subgraphs of `G` is infeasible (the paper makes
+//! the same observation), so — like the paper — candidate subgraphs are generated around
+//! seed nodes: for every data node carrying a pattern label, the candidate is the
+//! `|Vq|`-node breadth-first neighbourhood preferring pattern labels. The MCS itself is
+//! approximated greedily, pairing label-compatible nodes in decreasing order of realised
+//! adjacency with already-paired nodes.
+
+use crate::MatchedSubgraph;
+use ssim_graph::{BitSet, Graph, NodeId, Pattern};
+
+/// Tuning knobs of the MCS baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct McsConfig {
+    /// Acceptance threshold on `|mcs| / max(|Vq|, |Vs|)` (0.7 in the paper).
+    pub threshold: f64,
+    /// Upper bound on the number of candidate subgraphs examined (one per seed by default).
+    pub max_candidates: usize,
+}
+
+impl Default for McsConfig {
+    fn default() -> Self {
+        McsConfig { threshold: 0.7, max_candidates: 100_000 }
+    }
+}
+
+/// Runs the MCS baseline and returns the accepted candidate subgraphs.
+pub fn find_matches(pattern: &Pattern, data: &Graph, config: &McsConfig) -> Vec<MatchedSubgraph> {
+    let nq = pattern.node_count();
+    if nq == 0 || data.node_count() == 0 {
+        return Vec::new();
+    }
+    let pattern_labels: std::collections::HashSet<_> =
+        pattern.nodes().map(|u| pattern.label(u)).collect();
+
+    let mut results = Vec::new();
+    let mut examined = 0usize;
+    for seed in data.nodes() {
+        if !pattern_labels.contains(&data.label(seed)) {
+            continue;
+        }
+        if examined >= config.max_candidates {
+            break;
+        }
+        examined += 1;
+        let candidate = candidate_subgraph(data, seed, nq, &pattern_labels);
+        if candidate.len() < 2 && nq > 1 {
+            continue;
+        }
+        let mcs_size = greedy_mcs(pattern, data, &candidate);
+        let denom = nq.max(candidate.len()) as f64;
+        if mcs_size as f64 / denom >= config.threshold {
+            results.push(MatchedSubgraph::new(candidate));
+        }
+    }
+    results.sort();
+    results.dedup();
+    results
+}
+
+/// Grows a candidate subgraph of up to `size` nodes around `seed`, preferring neighbours
+/// whose label occurs in the pattern.
+fn candidate_subgraph(
+    data: &Graph,
+    seed: NodeId,
+    size: usize,
+    pattern_labels: &std::collections::HashSet<ssim_graph::Label>,
+) -> Vec<NodeId> {
+    let mut selected = vec![seed];
+    let mut in_selected = BitSet::new(data.node_count());
+    in_selected.insert(seed.index());
+    let mut frontier = 0usize;
+    while selected.len() < size && frontier < selected.len() {
+        let current = selected[frontier];
+        frontier += 1;
+        // Neighbours with pattern labels first, then any neighbour, deterministic order.
+        let mut neighbors: Vec<NodeId> =
+            data.out_neighbors(current).chain(data.in_neighbors(current)).collect();
+        neighbors.sort_by_key(|&v| (!pattern_labels.contains(&data.label(v)), v));
+        for v in neighbors {
+            if selected.len() >= size {
+                break;
+            }
+            if in_selected.insert(v.index()) {
+                selected.push(v);
+            }
+        }
+    }
+    selected
+}
+
+/// Greedy approximation of the maximum common subgraph size between the pattern and the
+/// candidate node set: repeatedly pair the (pattern node, candidate node) with equal labels
+/// that realises the most edges towards already-paired nodes.
+fn greedy_mcs(pattern: &Pattern, data: &Graph, candidate: &[NodeId]) -> usize {
+    let q = pattern.graph();
+    let mut pattern_used = vec![false; q.node_count()];
+    let mut data_used = BitSet::new(data.node_count());
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+
+    loop {
+        let mut best: Option<(usize, NodeId, NodeId)> = None;
+        for u in q.nodes().filter(|u| !pattern_used[u.index()]) {
+            for &v in candidate.iter().filter(|v| !data_used.contains(v.index())) {
+                if q.label(u) != data.label(v) {
+                    continue;
+                }
+                // Edges preserved towards already-paired nodes (both directions).
+                let mut score = 0usize;
+                for &(pu, pv) in &pairs {
+                    if q.has_edge(u, pu) && data.has_edge(v, pv) {
+                        score += 1;
+                    }
+                    if q.has_edge(pu, u) && data.has_edge(pv, v) {
+                        score += 1;
+                    }
+                }
+                // Prefer higher scores; ties broken by smaller ids for determinism.
+                let better = match best {
+                    None => true,
+                    Some((s, bu, bv)) => {
+                        score > s || (score == s && (u, v) < (bu, bv))
+                    }
+                };
+                if better {
+                    best = Some((score, u, v));
+                }
+            }
+        }
+        match best {
+            // Once pairs exist, only accept extensions that preserve at least one edge —
+            // otherwise the "common subgraph" would degenerate into a label multiset match.
+            Some((score, u, v)) if pairs.is_empty() || score > 0 => {
+                pattern_used[u.index()] = true;
+                data_used.insert(v.index());
+                pairs.push((u, v));
+            }
+            _ => break,
+        }
+    }
+    pairs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_graph::Label;
+
+    fn pattern_path() -> Pattern {
+        // A -> B -> C
+        Pattern::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn exact_copy_is_accepted() {
+        let pattern = pattern_path();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(2)],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let matches = find_matches(&pattern, &data, &McsConfig::default());
+        assert!(!matches.is_empty());
+        assert!(matches.iter().any(|m| m.node_count() == 3));
+    }
+
+    #[test]
+    fn partially_matching_neighbourhood_passes_the_threshold() {
+        // Data: A -> B -> D (wrong last label). MCS pairs A and B (2 of 3 nodes = 0.66 < 0.7
+        // → rejected) unless the threshold is lowered.
+        let pattern = pattern_path();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(9)],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let strict = find_matches(&pattern, &data, &McsConfig::default());
+        assert!(strict.is_empty());
+        let lenient = find_matches(&pattern, &data, &McsConfig { threshold: 0.6, ..Default::default() });
+        assert!(!lenient.is_empty());
+    }
+
+    #[test]
+    fn unrelated_labels_never_match() {
+        let pattern = pattern_path();
+        let data = Graph::from_edges(vec![Label(7), Label(8)], &[(0, 1)]).unwrap();
+        assert!(find_matches(&pattern, &data, &McsConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn candidate_cap_is_respected() {
+        let pattern = Pattern::from_edges(vec![Label(0)], &[]).unwrap();
+        let labels = vec![Label(0); 50];
+        let data = Graph::from_edges(labels, &[]).unwrap();
+        let config = McsConfig { max_candidates: 5, ..Default::default() };
+        let matches = find_matches(&pattern, &data, &config);
+        assert!(matches.len() <= 5);
+    }
+
+    #[test]
+    fn greedy_mcs_scores_shared_structure() {
+        let pattern = pattern_path();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(2)],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let full = greedy_mcs(&pattern, &data, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(full, 3);
+        let partial = greedy_mcs(&pattern, &data, &[NodeId(0), NodeId(2)]);
+        // A and C are label-compatible but share no edge, so only one of them can be paired
+        // after the first pick.
+        assert_eq!(partial, 1);
+    }
+
+    #[test]
+    fn mcs_returns_more_or_equal_matches_than_threshold_one() {
+        // Lowering the threshold can only add matches.
+        let pattern = pattern_path();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(2), Label(0), Label(1), Label(9)],
+            &[(0, 1), (1, 2), (3, 4), (4, 5)],
+        )
+        .unwrap();
+        let strict = find_matches(&pattern, &data, &McsConfig { threshold: 0.9, ..Default::default() });
+        let loose = find_matches(&pattern, &data, &McsConfig { threshold: 0.5, ..Default::default() });
+        assert!(loose.len() >= strict.len());
+    }
+}

@@ -1,0 +1,371 @@
+//! VF2-style subgraph isomorphism.
+//!
+//! The paper's exact baseline: given a pattern `Q` and a data graph `G`, enumerate the
+//! injective mappings `f : Vq → V` such that node labels agree and every pattern edge
+//! `(u, u')` is realised by the data edge `(f(u), f(u'))` — i.e. subgraph matching in the
+//! sense of the paper's Section 1 definition (the matched subgraph carries exactly the
+//! matched edges). The implementation follows the VF2 recipe: a fixed, connectivity-aware
+//! matching order, candidate generation from already-mapped neighbours, and look-ahead
+//! pruning on degrees; enumeration is exhaustive but can be capped by both an embedding
+//! limit and a search-step budget so the harness can run it on graphs where exhaustive
+//! enumeration would explode (VF2 is the algorithm that "does not scale" in Figures 8).
+
+use crate::MatchedSubgraph;
+use ssim_graph::{BitSet, Graph, NodeId, Pattern};
+
+/// Limits applied to the enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct Vf2Limits {
+    /// Stop after this many embeddings have been found.
+    pub max_embeddings: usize,
+    /// Stop after this many candidate-extension steps (guards against exponential blow-up).
+    pub max_steps: usize,
+}
+
+impl Default for Vf2Limits {
+    fn default() -> Self {
+        Vf2Limits { max_embeddings: 100_000, max_steps: 50_000_000 }
+    }
+}
+
+/// Outcome of a VF2 enumeration.
+#[derive(Debug, Clone)]
+pub struct Vf2Result {
+    /// One entry per embedding: `mapping[u] = v` maps pattern node `u` to data node `v`.
+    pub embeddings: Vec<Vec<NodeId>>,
+    /// `true` when a limit stopped the search before exhausting the space.
+    pub truncated: bool,
+    /// Number of candidate-extension steps performed.
+    pub steps: usize,
+}
+
+impl Vf2Result {
+    /// The matched subgraphs (node sets) of the embeddings, deduplicated.
+    pub fn matched_subgraphs(&self) -> Vec<MatchedSubgraph> {
+        let mut subs: Vec<MatchedSubgraph> =
+            self.embeddings.iter().map(|e| MatchedSubgraph::new(e.iter().copied())).collect();
+        subs.sort();
+        subs.dedup();
+        subs
+    }
+
+    /// Returns `true` when at least one embedding was found.
+    pub fn is_match(&self) -> bool {
+        !self.embeddings.is_empty()
+    }
+}
+
+/// Enumerates subgraph-isomorphism embeddings of `pattern` into `data`.
+pub fn find_embeddings(pattern: &Pattern, data: &Graph, limits: Vf2Limits) -> Vf2Result {
+    let order = matching_order(pattern);
+    let q = pattern.graph();
+    let nq = q.node_count();
+    let mut mapping: Vec<Option<NodeId>> = vec![None; nq];
+    let mut used = BitSet::new(data.node_count());
+    let mut result = Vf2Result { embeddings: Vec::new(), truncated: false, steps: 0 };
+
+    // Pre-compute pattern degrees for the look-ahead check.
+    let q_out: Vec<usize> = q.nodes().map(|u| q.out_degree(u)).collect();
+    let q_in: Vec<usize> = q.nodes().map(|u| q.in_degree(u)).collect();
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        depth: usize,
+        order: &[NodeId],
+        pattern: &Graph,
+        data: &Graph,
+        q_out: &[usize],
+        q_in: &[usize],
+        mapping: &mut Vec<Option<NodeId>>,
+        used: &mut BitSet,
+        limits: &Vf2Limits,
+        result: &mut Vf2Result,
+    ) {
+        if result.embeddings.len() >= limits.max_embeddings || result.steps >= limits.max_steps {
+            result.truncated = true;
+            return;
+        }
+        if depth == order.len() {
+            result
+                .embeddings
+                .push(mapping.iter().map(|m| m.expect("complete mapping")).collect());
+            return;
+        }
+        let u = order[depth];
+        // Candidate generation: if some neighbour of u is already mapped, only data nodes
+        // adjacent to its image (in the right direction) qualify; otherwise fall back to the
+        // label index.
+        let candidates: Vec<NodeId> = candidate_nodes(u, pattern, data, mapping);
+        for v in candidates {
+            result.steps += 1;
+            if result.steps >= limits.max_steps {
+                result.truncated = true;
+                return;
+            }
+            if used.contains(v.index()) || data.label(v) != pattern.label(u) {
+                continue;
+            }
+            // Degree look-ahead: v must offer at least as many out/in edges as u requires.
+            if data.out_degree(v) < q_out[u.index()] || data.in_degree(v) < q_in[u.index()] {
+                continue;
+            }
+            // Consistency with all already-mapped pattern neighbours.
+            if !consistent(u, v, pattern, data, mapping) {
+                continue;
+            }
+            mapping[u.index()] = Some(v);
+            used.insert(v.index());
+            recurse(depth + 1, order, pattern, data, q_out, q_in, mapping, used, limits, result);
+            used.remove(v.index());
+            mapping[u.index()] = None;
+            if result.truncated {
+                return;
+            }
+        }
+    }
+
+    recurse(
+        0,
+        &order,
+        q,
+        data,
+        &q_out,
+        &q_in,
+        &mut mapping,
+        &mut used,
+        &limits,
+        &mut result,
+    );
+    result
+}
+
+/// Returns `true` when at least one embedding of `pattern` exists in `data`.
+pub fn is_subgraph_isomorphic(pattern: &Pattern, data: &Graph) -> bool {
+    find_embeddings(pattern, data, Vf2Limits { max_embeddings: 1, ..Vf2Limits::default() })
+        .is_match()
+}
+
+/// Matching order: start from the node with the rarest label/highest degree, then repeatedly
+/// append the unmatched node with the most already-ordered neighbours (ties broken by
+/// degree). Keeps the partial pattern connected, which is what makes VF2 effective.
+fn matching_order(pattern: &Pattern) -> Vec<NodeId> {
+    let q = pattern.graph();
+    let n = q.node_count();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    // Seed: maximum total degree.
+    let seed = q
+        .nodes()
+        .max_by_key(|&u| q.degree(u))
+        .expect("patterns are non-empty");
+    order.push(seed);
+    placed[seed.index()] = true;
+    while order.len() < n {
+        let next = q
+            .nodes()
+            .filter(|u| !placed[u.index()])
+            .max_by_key(|&u| {
+                let ordered_neighbors = q
+                    .out_neighbors(u)
+                    .chain(q.in_neighbors(u))
+                    .filter(|w| placed[w.index()])
+                    .count();
+                (ordered_neighbors, q.degree(u))
+            })
+            .expect("some node remains");
+        placed[next.index()] = true;
+        order.push(next);
+    }
+    order
+}
+
+/// Candidates for pattern node `u` given the current partial mapping.
+fn candidate_nodes(
+    u: NodeId,
+    pattern: &Graph,
+    data: &Graph,
+    mapping: &[Option<NodeId>],
+) -> Vec<NodeId> {
+    // Prefer to derive candidates from a mapped pattern parent (images' out-neighbours) or
+    // mapped pattern child (images' in-neighbours) — much smaller than the label index.
+    for p in pattern.in_neighbors(u) {
+        if let Some(img) = mapping[p.index()] {
+            return data.out_neighbors(img).collect();
+        }
+    }
+    for c in pattern.out_neighbors(u) {
+        if let Some(img) = mapping[c.index()] {
+            return data.in_neighbors(img).collect();
+        }
+    }
+    data.nodes_with_label(pattern.label(u)).to_vec()
+}
+
+/// Checks that mapping `u -> v` respects every edge between `u` and already-mapped pattern
+/// nodes.
+fn consistent(
+    u: NodeId,
+    v: NodeId,
+    pattern: &Graph,
+    data: &Graph,
+    mapping: &[Option<NodeId>],
+) -> bool {
+    for w in pattern.out_neighbors(u) {
+        if let Some(img) = mapping[w.index()] {
+            if !data.has_edge(v, img) {
+                return false;
+            }
+        }
+    }
+    for w in pattern.in_neighbors(u) {
+        if let Some(img) = mapping[w.index()] {
+            if !data.has_edge(img, v) {
+                return false;
+            }
+        }
+    }
+    // Self-loop requirement.
+    if pattern.has_edge(u, u) && !data.has_edge(v, v) {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_graph::Label;
+
+    fn pattern_triangle() -> Pattern {
+        Pattern::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn finds_a_triangle() {
+        let pattern = pattern_triangle();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(2), Label(0)],
+            &[(0, 1), (1, 2), (2, 0), (3, 1)],
+        )
+        .unwrap();
+        let result = find_embeddings(&pattern, &data, Vf2Limits::default());
+        assert_eq!(result.embeddings.len(), 1);
+        assert!(!result.truncated);
+        assert_eq!(result.embeddings[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(is_subgraph_isomorphic(&pattern, &data));
+        assert_eq!(result.matched_subgraphs().len(), 1);
+    }
+
+    #[test]
+    fn no_triangle_in_a_dag() {
+        let pattern = pattern_triangle();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(2)],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap();
+        assert!(!is_subgraph_isomorphic(&pattern, &data));
+    }
+
+    #[test]
+    fn counts_all_embeddings_of_a_fork() {
+        // Pattern: A -> B. Data: one A pointing at three B's => 3 embeddings.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(1), Label(1)],
+            &[(0, 1), (0, 2), (0, 3)],
+        )
+        .unwrap();
+        let result = find_embeddings(&pattern, &data, Vf2Limits::default());
+        assert_eq!(result.embeddings.len(), 3);
+        // Each embedding is a distinct node set here.
+        assert_eq!(result.matched_subgraphs().len(), 3);
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Pattern: two distinct A nodes pointing at the same B. Data: a single A cannot play
+        // both roles.
+        let pattern =
+            Pattern::from_edges(vec![Label(0), Label(0), Label(1)], &[(0, 2), (1, 2)]).unwrap();
+        let single = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        assert!(!is_subgraph_isomorphic(&pattern, &single));
+        let double =
+            Graph::from_edges(vec![Label(0), Label(0), Label(1)], &[(0, 2), (1, 2)]).unwrap();
+        let result = find_embeddings(&pattern, &double, Vf2Limits::default());
+        // Two embeddings (the two A's can swap), one distinct node set.
+        assert_eq!(result.embeddings.len(), 2);
+        assert_eq!(result.matched_subgraphs().len(), 1);
+    }
+
+    #[test]
+    fn subgraph_matching_is_not_induced() {
+        // Data has an extra edge between the images; monomorphism still succeeds.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1), (1, 0)]).unwrap();
+        assert!(is_subgraph_isomorphic(&pattern, &data));
+    }
+
+    #[test]
+    fn embedding_limit_truncates() {
+        // Star pattern A->B embedded in a graph with many B's, limit 2.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let mut labels = vec![Label(0)];
+        let mut edges = Vec::new();
+        for i in 1..=10u32 {
+            labels.push(Label(1));
+            edges.push((0, i));
+        }
+        let data = Graph::from_edges(labels, &edges).unwrap();
+        let result = find_embeddings(
+            &pattern,
+            &data,
+            Vf2Limits { max_embeddings: 2, max_steps: 1_000_000 },
+        );
+        assert_eq!(result.embeddings.len(), 2);
+        assert!(result.truncated);
+    }
+
+    #[test]
+    fn step_budget_truncates() {
+        let pattern = pattern_triangle();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(2)],
+            &[(0, 1), (1, 2), (2, 0)],
+        )
+        .unwrap();
+        let result =
+            find_embeddings(&pattern, &data, Vf2Limits { max_embeddings: 10, max_steps: 1 });
+        assert!(result.truncated);
+    }
+
+    #[test]
+    fn self_loop_pattern_requires_self_loop_in_data() {
+        let pattern = Pattern::from_edges(vec![Label(0)], &[(0, 0)]).unwrap();
+        let without = Graph::from_edges(vec![Label(0), Label(0)], &[(0, 1), (1, 0)]).unwrap();
+        assert!(!is_subgraph_isomorphic(&pattern, &without));
+        let with = Graph::from_edges(vec![Label(0)], &[(0, 0)]).unwrap();
+        assert!(is_subgraph_isomorphic(&pattern, &with));
+    }
+
+    #[test]
+    fn directed_two_cycle_does_not_match_four_cycle() {
+        // Example 1/2 of the paper: the DM<->AI 2-cycle has no isomorphic image in a longer
+        // alternating cycle.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1), (1, 0)]).unwrap();
+        let four = Graph::from_edges(
+            vec![Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        .unwrap();
+        assert!(!is_subgraph_isomorphic(&pattern, &four));
+    }
+
+    #[test]
+    fn matching_order_is_a_permutation() {
+        let pattern = pattern_triangle();
+        let mut order = matching_order(&pattern);
+        order.sort_unstable();
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+}

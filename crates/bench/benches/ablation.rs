@@ -1,0 +1,43 @@
+//! Optimisation ablation (Section 4.2 / Exp-2 point (3)).
+//!
+//! Reproduced claim: the optimisations — query minimization, dual-simulation filtering and
+//! connectivity pruning — cut about one third of `Match`'s running time; the bench times the
+//! plain matcher, each optimisation in isolation and the combined `Match+`, plus the two
+//! building blocks the optimisations rely on (global dual simulation and `minQ`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssim_bench::{workload, BenchWorkload};
+use ssim_core::dual::dual_simulation;
+use ssim_core::minimize::minimize_pattern;
+use ssim_core::strong::strong_simulation;
+use ssim_experiments::ablation::variants;
+use ssim_experiments::workloads::DatasetKind;
+use std::time::Duration;
+
+fn bench_match_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_match_variants");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    for dataset in [DatasetKind::AmazonLike, DatasetKind::Synthetic] {
+        let BenchWorkload { data, pattern, .. } = workload(dataset);
+        for variant in variants() {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name, dataset.name()),
+                &(&pattern, &data),
+                |b, (pattern, data)| b.iter(|| strong_simulation(pattern, data, &variant.config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_building_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_building_blocks");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let BenchWorkload { data, pattern, .. } = workload(DatasetKind::AmazonLike);
+    group.bench_function("global_dual_simulation", |b| b.iter(|| dual_simulation(&pattern, &data)));
+    group.bench_function("minQ", |b| b.iter(|| minimize_pattern(&pattern)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_match_variants, bench_building_blocks);
+criterion_main!(benches);

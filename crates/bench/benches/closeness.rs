@@ -1,0 +1,30 @@
+//! Figures 7(c)–7(h): the match-quality (closeness) experiments.
+//!
+//! The measured quantity in the paper is the closeness ratio, which is computed by the
+//! experiment harness (`ssim-experiments::closeness`); what this bench times is the cost of
+//! producing the matches each closeness value is derived from, per algorithm and dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssim_bench::{workload, BenchWorkload};
+use ssim_experiments::algorithms::{run_algorithm, AlgorithmKind};
+use ssim_experiments::workloads::DatasetKind;
+use std::time::Duration;
+
+fn bench_closeness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7c-7h_closeness");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    for dataset in DatasetKind::all() {
+        let BenchWorkload { data, pattern, .. } = workload(dataset);
+        for kind in AlgorithmKind::quality_set() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), dataset.name()),
+                &(&pattern, &data),
+                |b, (pattern, data)| b.iter(|| run_algorithm(kind, pattern, data)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closeness);
+criterion_main!(benches);

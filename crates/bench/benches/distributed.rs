@@ -1,0 +1,39 @@
+//! Distributed strong simulation (Section 4.3).
+//!
+//! Reproduced claim: strong simulation has data locality, so it can be evaluated over a
+//! partitioned graph with bounded shipment. The bench times the simulated distributed run
+//! for different site counts and partition strategies and compares it against the
+//! centralized matcher on the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssim_bench::{workload, BenchWorkload};
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_distributed::{distributed_strong_simulation, DistributedConfig, PartitionStrategy};
+use ssim_experiments::workloads::DatasetKind;
+use std::time::Duration;
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_strong_simulation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let BenchWorkload { data, pattern, .. } = workload(DatasetKind::AmazonLike);
+
+    group.bench_function("centralized", |b| {
+        b.iter(|| strong_simulation(&pattern, &data, &MatchConfig::basic()))
+    });
+    for sites in [2usize, 4] {
+        for (name, strategy) in
+            [("range", PartitionStrategy::Range), ("hash", PartitionStrategy::Hash)]
+        {
+            let config = DistributedConfig { sites, strategy, minimize_query: false };
+            group.bench_with_input(
+                BenchmarkId::new(format!("distributed_{name}"), format!("sites={sites}")),
+                &config,
+                |b, config| b.iter(|| distributed_strong_simulation(&pattern, &data, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figures 7(i)–7(n): matched-subgraph counts while varying the pattern size.
+//!
+//! Times the matchers whose subgraph counts the figures report (TALE, MCS, VF2, Match) for
+//! two pattern sizes per dataset, mirroring the |Vq| sweep of the paper at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssim_bench::workload_sized;
+use ssim_experiments::algorithms::{run_algorithm, AlgorithmKind};
+use ssim_experiments::workloads::DatasetKind;
+use std::time::Duration;
+
+fn bench_match_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7i-7n_match_counts");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let algorithms =
+        [AlgorithmKind::Tale, AlgorithmKind::Mcs, AlgorithmKind::Vf2, AlgorithmKind::Match];
+    for dataset in [DatasetKind::AmazonLike, DatasetKind::Synthetic] {
+        for pattern_nodes in [4usize, 8] {
+            let w = workload_sized(dataset, 400, pattern_nodes);
+            for kind in algorithms {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}_{}", kind.name(), dataset.name()),
+                        format!("Vq={pattern_nodes}"),
+                    ),
+                    &w,
+                    |b, w| b.iter(|| run_algorithm(kind, &w.pattern, &w.data).subgraph_count),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_match_counts);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 3: size distribution of the matched subgraphs returned by `Match`.
+//!
+//! Times the production of the size histogram per dataset family (the strong-simulation run
+//! plus the bucketing), which is what regenerating Table 3 costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssim_experiments::match_sizes::size_distribution;
+use ssim_experiments::scale::ExperimentScale;
+use ssim_experiments::workloads::DatasetKind;
+use std::time::Duration;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_match_sizes");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let mut scale = ExperimentScale::tiny();
+    scale.data_nodes = 300;
+    scale.fixed_pattern_size = 5;
+    for dataset in DatasetKind::all() {
+        group.bench_with_input(BenchmarkId::new("Match", dataset.name()), &dataset, |b, &d| {
+            b.iter(|| size_distribution(d, &scale))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figures 8(a)–8(d): running time while varying the pattern (size and density).
+//!
+//! Reproduced shape: VF2 is far slower than the simulation family and degrades sharply with
+//! |Vq|; Sim is the fastest; Match+ sits between Sim and Match at roughly two thirds of
+//! Match's time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssim_bench::workload_sized;
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_experiments::algorithms::{run_algorithm, AlgorithmKind};
+use ssim_experiments::workloads::{density_pattern, DatasetKind};
+use std::time::Duration;
+
+/// Figures 8(a)/(b)/(c): vary |Vq| on each dataset family.
+fn bench_vary_pattern_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a-8c_time_vs_pattern_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    for dataset in DatasetKind::all() {
+        for pattern_nodes in [4usize, 8] {
+            let w = workload_sized(dataset, 400, pattern_nodes);
+            // The paper only runs VF2 on the small real-life graphs.
+            let include_vf2 = dataset != DatasetKind::Synthetic;
+            for kind in AlgorithmKind::performance_set(include_vf2) {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}_{}", kind.name(), dataset.name()),
+                        format!("Vq={pattern_nodes}"),
+                    ),
+                    &w,
+                    |b, w| b.iter(|| run_algorithm(kind, &w.pattern, &w.data)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Figure 8(d): vary the pattern density αq on synthetic data (Sim / Match / Match+ only).
+fn bench_vary_pattern_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8d_time_vs_pattern_density");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    let data = DatasetKind::Synthetic.generate(400, 42);
+    for alpha_q in [1.05f64, 1.35] {
+        let pattern = density_pattern(&data, 6, alpha_q, 3);
+        for (name, config) in [("Match", MatchConfig::basic()), ("Match+", MatchConfig::optimized())] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("alpha_q={alpha_q}")),
+                &(&pattern, &data),
+                |b, (pattern, data)| b.iter(|| strong_simulation(pattern, data, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_pattern_size, bench_vary_pattern_density);
+criterion_main!(benches);

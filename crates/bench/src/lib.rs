@@ -1,0 +1,55 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! Every bench target in `benches/` regenerates one table or figure group of the paper's
+//! evaluation (see DESIGN.md for the experiment index). The benches run at a reduced,
+//! laptop-friendly scale; the absolute numbers differ from the paper's cluster, but the
+//! relative ordering of the algorithms — the result being reproduced — is preserved.
+
+use ssim_datasets::patterns::extract_pattern;
+use ssim_experiments::workloads::{experiment_pattern, DatasetKind};
+use ssim_graph::{Graph, Pattern};
+
+/// Default data-graph size used by the benches.
+pub const BENCH_NODES: usize = 400;
+
+/// Default pattern size used by the benches (the paper fixes `|Vq| = 10`).
+pub const BENCH_PATTERN_NODES: usize = 6;
+
+/// A prepared benchmark workload: one data graph plus one extracted pattern.
+pub struct BenchWorkload {
+    /// The data graph.
+    pub data: Graph,
+    /// The pattern to match.
+    pub pattern: Pattern,
+    /// Dataset family the workload came from.
+    pub dataset: DatasetKind,
+}
+
+/// Builds the standard workload for a dataset family.
+pub fn workload(dataset: DatasetKind) -> BenchWorkload {
+    workload_sized(dataset, BENCH_NODES, BENCH_PATTERN_NODES)
+}
+
+/// Builds a workload with explicit sizes.
+pub fn workload_sized(dataset: DatasetKind, nodes: usize, pattern_nodes: usize) -> BenchWorkload {
+    let data = dataset.generate(nodes, 42);
+    let pattern = extract_pattern(&data, pattern_nodes, 7)
+        .filter(|p| p.node_count() == pattern_nodes)
+        .unwrap_or_else(|| experiment_pattern(&data, pattern_nodes, 7));
+    BenchWorkload { data, pattern, dataset }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_for_every_dataset() {
+        for dataset in DatasetKind::all() {
+            let w = workload_sized(dataset, 150, 4);
+            assert_eq!(w.data.node_count(), 150);
+            assert_eq!(w.pattern.node_count(), 4);
+            assert_eq!(w.dataset, dataset);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Graph bisimulation (Section 3.2).
+//!
+//! A pattern `Q` matches a graph `Gs` via bisimulation, `Q ∼ Gs`, when `Q ≺ Gs` with the
+//! maximum match relation `S` and `Gs ≺ Q` with the inverse `S⁻` as *its* maximum match
+//! relation. Bisimulation preserves more topology than simulation but pattern matching via
+//! bisimulation (finding subgraphs `Gs ⊆ G` with `Q ∼ Gs`) is NP-hard; the paper uses this
+//! as one of the two negative results motivating strong simulation as the tractable sweet
+//! spot. This module provides the (PTIME) whole-graph bisimulation check used in tests and
+//! in the discussion material.
+
+use crate::relation::MatchRelation;
+use crate::simulation::graph_simulation;
+use ssim_graph::{Graph, NodeId, Pattern};
+
+/// Computes the maximum simulation relation of `a` over `b` in both directions and checks
+/// the bisimulation condition of the paper: the maximum relation of `b` over `a` must be the
+/// inverse of the maximum relation of `a` over `b`.
+///
+/// Returns the forward maximum relation when the graphs are bisimilar, `None` otherwise.
+/// `a` must be connected (it is treated as the pattern side).
+pub fn bisimulation(a: &Pattern, b: &Graph) -> Option<MatchRelation> {
+    let forward = graph_simulation(a, b)?;
+    // The reverse direction treats `b` as the pattern; `b` need not be connected, so run the
+    // raw refinement rather than constructing a `Pattern`.
+    let reverse = simulation_unchecked(b, a.graph())?;
+    // Check that reverse == inverse(forward).
+    let forward_pairs: std::collections::BTreeSet<(u32, u32)> =
+        forward.pairs().map(|(u, v)| (u.0, v.0)).collect();
+    let reverse_pairs: std::collections::BTreeSet<(u32, u32)> =
+        reverse.pairs().map(|(u, v)| (v.0, u.0)).collect();
+    if forward_pairs == reverse_pairs {
+        Some(forward)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` when `Q ∼ G` (whole-graph bisimulation, PTIME).
+pub fn bisimilar(a: &Pattern, b: &Graph) -> bool {
+    bisimulation(a, b).is_some()
+}
+
+/// Maximum simulation relation of an arbitrary (possibly disconnected) "pattern" graph over a
+/// data graph. Connectivity is irrelevant for the fixpoint itself.
+fn simulation_unchecked(pattern_graph: &Graph, data: &Graph) -> Option<MatchRelation> {
+    let mut relation = MatchRelation::empty(pattern_graph.node_count(), data.node_count());
+    for u in pattern_graph.nodes() {
+        for &v in data.nodes_with_label(pattern_graph.label(u)) {
+            relation.insert(u, v);
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (u, u_child) in pattern_graph.edges() {
+            let removals: Vec<NodeId> = relation
+                .candidates(u)
+                .iter()
+                .map(NodeId::from_index)
+                .filter(|&v| !data.out_neighbors(v).any(|w| relation.contains(u_child, w)))
+                .collect();
+            for v in removals {
+                relation.remove(u, v);
+                changed = true;
+            }
+        }
+    }
+    if relation.is_total() {
+        Some(relation)
+    } else {
+        None
+    }
+}
+
+/// Partitions the nodes of a graph into bisimulation-equivalence classes (Kanellakis–Smolka
+/// style iterative splitting on successor signatures). Two nodes are in the same class iff
+/// they are bisimilar within the graph. Useful for building bisimulation-minimal graphs in
+/// tests and examples.
+pub fn bisimulation_partition(graph: &Graph) -> Vec<usize> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Initial partition: by label.
+    let mut class: Vec<usize> = {
+        let mut map = std::collections::HashMap::new();
+        graph
+            .nodes()
+            .map(|v| {
+                let next = map.len();
+                *map.entry(graph.label(v)).or_insert(next)
+            })
+            .collect()
+    };
+    loop {
+        // Signature: (current class, sorted classes of successors).
+        let mut signatures: Vec<(usize, Vec<usize>)> = Vec::with_capacity(n);
+        for v in graph.nodes() {
+            let mut succ: Vec<usize> = graph.out_neighbors(v).map(|w| class[w.index()]).collect();
+            succ.sort_unstable();
+            succ.dedup();
+            signatures.push((class[v.index()], succ));
+        }
+        let mut map = std::collections::HashMap::new();
+        let mut new_class = vec![0usize; n];
+        for (i, sig) in signatures.iter().enumerate() {
+            let next = map.len();
+            new_class[i] = *map.entry(sig.clone()).or_insert(next);
+        }
+        if new_class == class {
+            return class;
+        }
+        class = new_class;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_graph::Label;
+
+    #[test]
+    fn isomorphic_graphs_are_bisimilar() {
+        let pattern =
+            Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(1), Label(0)], &[(1, 0)]).unwrap();
+        assert!(bisimilar(&pattern, &data));
+    }
+
+    #[test]
+    fn two_cycle_and_four_cycle_are_bisimilar() {
+        // The classic example: an A<->B 2-cycle is bisimilar to an A->B->A->B 4-cycle.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1), (1, 0)]).unwrap();
+        let four = Graph::from_edges(
+            vec![Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        .unwrap();
+        assert!(bisimilar(&pattern, &four));
+    }
+
+    #[test]
+    fn extra_unmatchable_structure_breaks_bisimulation() {
+        // Data has an extra C node the pattern cannot simulate back.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(7)], &[(0, 1), (2, 1)]).unwrap();
+        assert!(!bisimilar(&pattern, &data));
+        // Simulation in the forward direction still holds.
+        assert!(crate::simulation::simulates(&pattern, &data));
+    }
+
+    #[test]
+    fn asymmetric_children_break_bisimulation() {
+        // Pattern: A -> B. Data: A -> B, plus an A with no child. Forward simulation holds,
+        // but the childless A cannot be simulated by the pattern's A... it actually can (the
+        // pattern imposes no obligation on extra nodes) — the failure is that the childless
+        // data A must map to the pattern A, whose edge A -> B it cannot mirror.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1), Label(0)], &[(0, 1)]).unwrap();
+        assert!(!bisimilar(&pattern, &data));
+    }
+
+    #[test]
+    fn bisimulation_partition_merges_equivalent_nodes() {
+        // Two parallel A -> B branches from a root R: the two A's (and the two B's) are
+        // bisimilar.
+        let g = Graph::from_edges(
+            vec![Label(9), Label(0), Label(0), Label(1), Label(1)],
+            &[(0, 1), (0, 2), (1, 3), (2, 4)],
+        )
+        .unwrap();
+        let classes = bisimulation_partition(&g);
+        assert_eq!(classes[1], classes[2]);
+        assert_eq!(classes[3], classes[4]);
+        assert_ne!(classes[0], classes[1]);
+        assert_ne!(classes[1], classes[3]);
+    }
+
+    #[test]
+    fn bisimulation_partition_distinguishes_different_futures() {
+        // A -> B -> C versus A -> B (no C): the two B's are not bisimilar, hence neither are
+        // the two A's.
+        let g = Graph::from_edges(
+            vec![Label(0), Label(1), Label(2), Label(0), Label(1)],
+            &[(0, 1), (1, 2), (3, 4)],
+        )
+        .unwrap();
+        let classes = bisimulation_partition(&g);
+        assert_ne!(classes[1], classes[4]);
+        assert_ne!(classes[0], classes[3]);
+    }
+
+    #[test]
+    fn empty_graph_partition() {
+        let g = Graph::from_edges(vec![], &[]).unwrap();
+        assert!(bisimulation_partition(&g).is_empty());
+    }
+}

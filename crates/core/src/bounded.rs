@@ -1,0 +1,275 @@
+//! Bounded simulation (Fan et al., PVLDB 2010) — the extension the paper builds on.
+//!
+//! Bounded simulation relaxes pattern edges to *bounded paths*: each pattern edge carries a
+//! bound `k` (or "unbounded"), and `(u, v)` can be matched when, for every pattern edge
+//! `(u, u', k)`, some node `v'` matching `u'` is reachable from `v` by a **directed** path of
+//! length at most `k`. The paper's Remark (Section 2.2) notes that strong simulation can be
+//! extended the same way; this module provides the bounded matcher both as that extension's
+//! building block and as the cubic-time baseline the paper compares against conceptually.
+
+use crate::relation::MatchRelation;
+use ssim_graph::{Graph, GraphView, Label, NodeId};
+use std::collections::VecDeque;
+
+/// Bound on a bounded-pattern edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// The connection must be realised by a path of at most this many edges (≥ 1).
+    Hops(u32),
+    /// Any positive path length is acceptable (reachability).
+    Unbounded,
+}
+
+impl Bound {
+    fn admits(self, distance: u32) -> bool {
+        match self {
+            Bound::Hops(k) => distance >= 1 && distance <= k,
+            Bound::Unbounded => distance >= 1,
+        }
+    }
+}
+
+/// A pattern graph whose edges carry hop bounds.
+#[derive(Debug, Clone)]
+pub struct BoundedPattern {
+    labels: Vec<Label>,
+    edges: Vec<(NodeId, NodeId, Bound)>,
+}
+
+impl BoundedPattern {
+    /// Creates a bounded pattern from node labels and bounded edges.
+    ///
+    /// # Panics
+    /// Panics when an edge references an out-of-range node.
+    pub fn new(labels: Vec<Label>, edges: Vec<(NodeId, NodeId, Bound)>) -> Self {
+        for &(s, t, _) in &edges {
+            assert!(
+                s.index() < labels.len() && t.index() < labels.len(),
+                "bounded pattern edge ({s}, {t}) out of range"
+            );
+        }
+        BoundedPattern { labels, edges }
+    }
+
+    /// Converts an ordinary pattern into a bounded one where every edge has bound 1
+    /// (bounded simulation then coincides with graph simulation).
+    pub fn from_pattern(pattern: &ssim_graph::Pattern) -> Self {
+        let labels = pattern.graph().labels().to_vec();
+        let edges = pattern.graph().edges().map(|(s, t)| (s, t, Bound::Hops(1))).collect();
+        BoundedPattern { labels, edges }
+    }
+
+    /// Number of pattern nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The bounded edges.
+    pub fn edges(&self) -> &[(NodeId, NodeId, Bound)] {
+        &self.edges
+    }
+
+    /// Label of node `u`.
+    pub fn label(&self, u: NodeId) -> Label {
+        self.labels[u.index()]
+    }
+
+    /// Iterates over the pattern nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len()).map(NodeId::from_index)
+    }
+}
+
+/// Computes the maximum bounded-simulation relation of `pattern` over `data`.
+///
+/// Returns `None` when the data graph does not match. The algorithm mirrors the refinement
+/// loop of graph simulation, but the child condition is evaluated over bounded directed
+/// reachability rather than single edges.
+pub fn bounded_simulation(pattern: &BoundedPattern, data: &Graph) -> Option<MatchRelation> {
+    let view = GraphView::full(data);
+    let mut relation = MatchRelation::empty(pattern.node_count(), data.node_count());
+    for u in pattern.nodes() {
+        for &v in data.nodes_with_label(pattern.label(u)) {
+            relation.insert(u, v);
+        }
+    }
+    // Precompute, for every data node, the nodes reachable within the largest finite bound
+    // requested (or full reachability if any edge is unbounded). To keep memory bounded we
+    // compute reachability lazily per (node, bound) query with a memo of BFS frontiers.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(u, u_child, bound) in pattern.edges() {
+            let removals: Vec<NodeId> = relation
+                .candidates(u)
+                .iter()
+                .map(NodeId::from_index)
+                .filter(|&v| !has_bounded_successor(&view, v, bound, &relation, u_child))
+                .collect();
+            for v in removals {
+                relation.remove(u, v);
+                changed = true;
+            }
+            if relation.candidates(u).is_empty() {
+                return None;
+            }
+        }
+    }
+    if relation.is_total() {
+        Some(relation)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` when `Q ≺bounded G`.
+pub fn bounded_simulates(pattern: &BoundedPattern, data: &Graph) -> bool {
+    bounded_simulation(pattern, data).is_some()
+}
+
+/// BFS from `v` along directed edges, stopping as soon as a node matching `target` within
+/// the bound is found.
+fn has_bounded_successor(
+    view: &GraphView<'_>,
+    v: NodeId,
+    bound: Bound,
+    relation: &MatchRelation,
+    target: NodeId,
+) -> bool {
+    let limit = match bound {
+        Bound::Hops(k) => k,
+        Bound::Unbounded => u32::MAX,
+    };
+    let n = view.graph().node_count();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[v.index()] = 0;
+    queue.push_back(v);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[x.index()];
+        if dx >= limit {
+            continue;
+        }
+        for y in view.out_neighbors(x) {
+            if dist[y.index()] == u32::MAX {
+                dist[y.index()] = dx + 1;
+                if bound.admits(dx + 1) && relation.contains(target, y) {
+                    return true;
+                }
+                queue.push_back(y);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::graph_simulation;
+    use ssim_graph::Pattern;
+
+    fn chain(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        Graph::from_edges(labels.iter().map(|&l| Label(l)).collect(), edges).unwrap()
+    }
+
+    #[test]
+    fn bound_one_equals_graph_simulation() {
+        let pattern =
+            Pattern::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
+        let bounded = BoundedPattern::from_pattern(&pattern);
+        let data = chain(&[0, 1, 2, 0, 1], &[(0, 1), (1, 2), (3, 4)]);
+        let plain = graph_simulation(&pattern, &data).unwrap();
+        let via_bounded = bounded_simulation(&bounded, &data).unwrap();
+        assert_eq!(plain.to_sorted_pairs(), via_bounded.to_sorted_pairs());
+    }
+
+    #[test]
+    fn two_hop_bound_matches_across_an_intermediate_node() {
+        // Pattern: A -[≤2]-> C. Data: A -> B -> C (no direct edge).
+        let pattern = BoundedPattern::new(
+            vec![Label(0), Label(2)],
+            vec![(NodeId(0), NodeId(1), Bound::Hops(2))],
+        );
+        let data = chain(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let relation = bounded_simulation(&pattern, &data).unwrap();
+        assert!(relation.contains(NodeId(0), NodeId(0)));
+        assert!(relation.contains(NodeId(1), NodeId(2)));
+        // With bound 1 the same pattern fails.
+        let strict = BoundedPattern::new(
+            vec![Label(0), Label(2)],
+            vec![(NodeId(0), NodeId(1), Bound::Hops(1))],
+        );
+        assert!(!bounded_simulates(&strict, &data));
+    }
+
+    #[test]
+    fn unbounded_edge_is_reachability() {
+        // Pattern: A -[*]-> D over a long chain.
+        let pattern = BoundedPattern::new(
+            vec![Label(0), Label(3)],
+            vec![(NodeId(0), NodeId(1), Bound::Unbounded)],
+        );
+        let data = chain(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3)]);
+        assert!(bounded_simulates(&pattern, &data));
+        // Reverse the chain: D is no longer reachable from A.
+        let reversed = chain(&[0, 1, 2, 3], &[(3, 2), (2, 1), (1, 0)]);
+        assert!(!bounded_simulates(&pattern, &reversed));
+    }
+
+    #[test]
+    fn zero_length_paths_do_not_count() {
+        // Pattern: A -[≤3]-> A requires a directed cycle through A-labelled nodes, not the
+        // node itself at distance zero.
+        let pattern = BoundedPattern::new(
+            vec![Label(0), Label(0)],
+            vec![(NodeId(0), NodeId(1), Bound::Hops(3))],
+        );
+        let no_cycle = chain(&[0, 1], &[(0, 1)]);
+        assert!(!bounded_simulates(&pattern, &no_cycle));
+        let with_cycle = chain(&[0, 1, 0], &[(0, 1), (1, 2), (2, 0)]);
+        assert!(bounded_simulates(&pattern, &with_cycle));
+    }
+
+    #[test]
+    fn refinement_cascades_through_bounded_edges() {
+        // Pattern: A -[≤2]-> B -[≤1]-> C. Data contains a B that can reach no C, so the A
+        // that only reaches that B must also be removed.
+        let pattern = BoundedPattern::new(
+            vec![Label(0), Label(1), Label(2)],
+            vec![
+                (NodeId(0), NodeId(1), Bound::Hops(2)),
+                (NodeId(1), NodeId(2), Bound::Hops(1)),
+            ],
+        );
+        let data = chain(
+            &[0, 9, 1, 2, 0, 1],
+            &[(0, 1), (1, 2), (2, 3), (4, 5)], // A0 -> x -> B2 -> C3 ; A4 -> B5 (dead end)
+        );
+        let relation = bounded_simulation(&pattern, &data).unwrap();
+        assert!(relation.contains(NodeId(0), NodeId(0)));
+        assert!(!relation.contains(NodeId(0), NodeId(4)), "A4 only reaches the dead-end B5");
+        assert!(!relation.contains(NodeId(1), NodeId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_edge_panics() {
+        let _ = BoundedPattern::new(vec![Label(0)], vec![(NodeId(0), NodeId(3), Bound::Hops(1))]);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = BoundedPattern::new(
+            vec![Label(0), Label(1)],
+            vec![(NodeId(0), NodeId(1), Bound::Hops(2))],
+        );
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.edges().len(), 1);
+        assert_eq!(p.label(NodeId(1)), Label(1));
+        assert_eq!(p.nodes().count(), 2);
+        assert!(Bound::Unbounded.admits(10));
+        assert!(!Bound::Hops(2).admits(0));
+        assert!(!Bound::Hops(2).admits(3));
+    }
+}

@@ -1,0 +1,192 @@
+//! Dual-simulation filtering (Algorithm `dualFilter`, Fig. 5; Proposition 5).
+//!
+//! Instead of re-running dual simulation from label-based candidates in every ball, the
+//! optimised matcher first computes the maximum dual-simulation relation `S_G` over the
+//! **whole** data graph once, then projects it onto each ball. Inside a ball, a projected
+//! pair can only be invalid because of a *border node* (a node at distance exactly `dQ`
+//! from the center, whose neighbours may lie outside the ball) or because of a cascade
+//! started at one — Proposition 5. The removal process therefore starts from border pairs
+//! and propagates with a work queue, typically touching a small fraction of the ball.
+
+use crate::relation::MatchRelation;
+use ssim_graph::{Ball, GraphView, NodeId, Pattern};
+use std::collections::VecDeque;
+
+/// Refines the projection of the global relation onto a ball down to the ball's maximum
+/// dual-simulation relation, starting the removal process from the ball's border nodes.
+///
+/// `projected` must be the global maximum dual-simulation relation already projected onto
+/// the ball members (and possibly further restricted by connectivity pruning). Returns
+/// `None` when some pattern node loses all candidates, i.e. the ball holds no match.
+///
+/// Statistics about the work performed are accumulated into `removed_pairs` when provided.
+pub fn refine_projected(
+    pattern: &Pattern,
+    view: &GraphView<'_>,
+    ball: &Ball,
+    mut projected: MatchRelation,
+    mut removed_pairs: Option<&mut usize>,
+) -> Option<MatchRelation> {
+    let q = pattern.graph();
+    // Work queue of invalid (pattern node, data node) pairs.
+    let mut queue: VecDeque<(NodeId, NodeId)> = VecDeque::new();
+
+    // Seed: pairs whose data node is a border node and whose support is already broken
+    // (lines 2-5 of Fig. 5).
+    for v in ball.border_nodes() {
+        for u in projected.pattern_nodes_matching(v) {
+            if !pair_supported(pattern, view, &projected, u, v) {
+                queue.push_back((u, v));
+            }
+        }
+    }
+
+    while let Some((u, v)) = queue.pop_front() {
+        if !projected.contains(u, v) {
+            continue; // already removed through another path
+        }
+        projected.remove(u, v);
+        if let Some(count) = removed_pairs.as_deref_mut() {
+            *count += 1;
+        }
+        // Parents of u in Q matched to parents of v may have lost their child support
+        // (lines 8-11).
+        for u2 in q.in_neighbors(u) {
+            for v2 in view.in_neighbors(v) {
+                if projected.contains(u2, v2)
+                    && !view.out_neighbors(v2).any(|w| projected.contains(u, w))
+                {
+                    queue.push_back((u2, v2));
+                }
+            }
+        }
+        // Children of u in Q matched to children of v may have lost their parent support
+        // (lines 12-15).
+        for u1 in q.out_neighbors(u) {
+            for v1 in view.out_neighbors(v) {
+                if projected.contains(u1, v1)
+                    && !view.in_neighbors(v1).any(|w| projected.contains(u, w))
+                {
+                    queue.push_back((u1, v1));
+                }
+            }
+        }
+    }
+
+    if projected.is_total() {
+        Some(projected)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` when the pair `(u, v)` has both child and parent support inside the view.
+fn pair_supported(
+    pattern: &Pattern,
+    view: &GraphView<'_>,
+    relation: &MatchRelation,
+    u: NodeId,
+    v: NodeId,
+) -> bool {
+    let q = pattern.graph();
+    for u1 in q.out_neighbors(u) {
+        if !view.out_neighbors(v).any(|w| relation.contains(u1, w)) {
+            return false;
+        }
+    }
+    for u2 in q.in_neighbors(u) {
+        if !view.in_neighbors(v).any(|w| relation.contains(u2, w)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::{dual_simulation, dual_simulation_view};
+    use ssim_graph::{Graph, Label};
+
+    /// Builds the Fig. 6(b)-style data: a chain of A -> B pairs where the outermost pair
+    /// loses support once confined to a ball.
+    fn chain_data() -> (Pattern, Graph) {
+        // Pattern: A -> B -> C ... simplified to A -> B with a C tail so diameters differ.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        // Data: A1 -> B1 -> A2 -> B2 -> A3 -> B3   (B -> A edges carry no pattern meaning but
+        // keep the chain connected), all labelled alternately A/B.
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+        )
+        .unwrap();
+        (pattern, data)
+    }
+
+    #[test]
+    fn projection_plus_refinement_equals_fresh_dual_sim_on_ball() {
+        let (pattern, data) = chain_data();
+        let global = dual_simulation(&pattern, &data).unwrap();
+        for center in data.nodes() {
+            let ball = Ball::new(&data, center, pattern.diameter().max(1));
+            let view = ball.view(&data);
+            let projected = global.project(ball.membership());
+            let filtered = refine_projected(&pattern, &view, &ball, projected, None);
+            let fresh = dual_simulation_view(&pattern, &view);
+            match (filtered, fresh) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(
+                    a.to_sorted_pairs(),
+                    b.to_sorted_pairs(),
+                    "mismatch for ball centred at {center}"
+                ),
+                (a, b) => panic!(
+                    "dualFilter and DualSim disagree for center {center}: {:?} vs {:?}",
+                    a.map(|r| r.to_sorted_pairs()),
+                    b.map(|r| r.to_sorted_pairs())
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn counts_removed_pairs() {
+        let (pattern, data) = chain_data();
+        let global = dual_simulation(&pattern, &data).unwrap();
+        let center = NodeId(2);
+        let ball = Ball::new(&data, center, 1);
+        let view = ball.view(&data);
+        let projected = global.project(ball.membership());
+        let mut removed = 0usize;
+        let _ = refine_projected(&pattern, &view, &ball, projected, Some(&mut removed));
+        // At least one projected pair loses support inside the radius-1 ball.
+        assert!(removed > 0);
+    }
+
+    #[test]
+    fn ball_with_no_surviving_match_returns_none() {
+        // Pattern A -> B; data node A with its B child outside the radius-0 ball.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let global = dual_simulation(&pattern, &data).unwrap();
+        let ball = Ball::new(&data, NodeId(0), 0);
+        let view = ball.view(&data);
+        let projected = global.project(ball.membership());
+        assert!(refine_projected(&pattern, &view, &ball, projected, None).is_none());
+    }
+
+    #[test]
+    fn interior_pairs_keep_their_global_support() {
+        // A ball large enough to contain the whole component: nothing should be removed.
+        let (pattern, data) = chain_data();
+        let global = dual_simulation(&pattern, &data).unwrap();
+        let ball = Ball::new(&data, NodeId(2), 10);
+        let view = ball.view(&data);
+        let projected = global.project(ball.membership());
+        let mut removed = 0usize;
+        let refined =
+            refine_projected(&pattern, &view, &ball, projected.clone(), Some(&mut removed)).unwrap();
+        assert_eq!(removed, 0);
+        assert_eq!(refined.to_sorted_pairs(), projected.to_sorted_pairs());
+    }
+}

@@ -1,0 +1,109 @@
+//! Connectivity pruning (Section 4.2, Example 6).
+//!
+//! By Theorem 2, only the connected component of the match graph that contains the ball
+//! center can contribute to the perfect subgraph of that ball. Candidate nodes that are not
+//! (undirectedly) connected to the center *through other candidate nodes* therefore cannot
+//! survive into the result and can be discarded **before** the expensive dual-simulation
+//! refinement, shrinking the candidate sets.
+
+use crate::relation::MatchRelation;
+use ssim_graph::{GraphView, NodeId, Pattern};
+
+/// Restricts `relation` to the candidates that are connected to `center` within the
+/// candidate-induced subgraph of `view` (undirected connectivity).
+///
+/// Returns `None` when the center itself is not a candidate of any pattern node — in that
+/// case the ball cannot produce a perfect subgraph at all and can be skipped.
+pub fn prune_by_connectivity(
+    _pattern: &Pattern,
+    view: &GraphView<'_>,
+    center: NodeId,
+    relation: &MatchRelation,
+) -> Option<MatchRelation> {
+    let candidates = relation.matched_data_nodes();
+    if !candidates.contains(center.index()) {
+        return None;
+    }
+    // Flood fill from the center over candidate nodes only (undirected).
+    let mut reachable = ssim_graph::BitSet::new(view.graph().node_count());
+    let mut stack = vec![center];
+    reachable.insert(center.index());
+    while let Some(v) = stack.pop() {
+        for w in view.out_neighbors(v).chain(view.in_neighbors(v)) {
+            if candidates.contains(w.index()) && reachable.insert(w.index()) {
+                stack.push(w);
+            }
+        }
+    }
+    Some(relation.project(&reachable))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::{dual_simulation_view, refine_dual};
+    use crate::simulation::initial_candidates;
+    use ssim_graph::{Graph, Label};
+
+    /// Example 6 style data: two candidate islands {A1,B1} and {A2,B2}; only the island of
+    /// the center matters.
+    fn islands() -> (Pattern, Graph) {
+        let pattern =
+            Pattern::from_edges(vec![Label(0) /*A*/, Label(1) /*B*/], &[(0, 1)]).unwrap();
+        // island 1: A1 -> B1. island 2: A2 -> B2. bridge via an unlabelled-for-Q node C: B1 -> C -> A2.
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(0), Label(1), Label(9)],
+            &[(0, 1), (2, 3), (1, 4), (4, 2)],
+        )
+        .unwrap();
+        (pattern, data)
+    }
+
+    #[test]
+    fn prunes_candidates_not_connected_to_center() {
+        let (pattern, data) = islands();
+        let view = GraphView::full(&data);
+        let initial = initial_candidates(&pattern, &view);
+        // All four labelled nodes are initial candidates.
+        assert_eq!(initial.pair_count(), 4);
+        let pruned = prune_by_connectivity(&pattern, &view, NodeId(0), &initial).unwrap();
+        // Only A1/B1 survive: the path to the other island goes through the non-candidate C.
+        assert_eq!(pruned.to_sorted_pairs(), vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn returns_none_when_center_is_not_a_candidate() {
+        let (pattern, data) = islands();
+        let view = GraphView::full(&data);
+        let initial = initial_candidates(&pattern, &view);
+        assert!(prune_by_connectivity(&pattern, &view, NodeId(4), &initial).is_none());
+    }
+
+    #[test]
+    fn pruning_does_not_change_the_center_component_result() {
+        let (pattern, data) = islands();
+        let view = GraphView::full(&data);
+        let full = dual_simulation_view(&pattern, &view).unwrap();
+        let initial = initial_candidates(&pattern, &view);
+        let pruned = prune_by_connectivity(&pattern, &view, NodeId(2), &initial).unwrap();
+        let refined = refine_dual(&pattern, &view, pruned).unwrap();
+        // Restricted to the center's island, the relations agree.
+        for (u, v) in refined.pairs() {
+            assert!(full.contains(u, v));
+        }
+        assert!(refined.contains(NodeId(0), NodeId(2)));
+        assert!(refined.contains(NodeId(1), NodeId(3)));
+        assert!(!refined.contains(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn center_candidate_island_of_one() {
+        // A lone candidate with no candidate neighbours keeps only itself.
+        let pattern = Pattern::from_edges(vec![Label(0)], &[]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(0)], &[]).unwrap();
+        let view = GraphView::full(&data);
+        let initial = initial_candidates(&pattern, &view);
+        let pruned = prune_by_connectivity(&pattern, &view, NodeId(1), &initial).unwrap();
+        assert_eq!(pruned.to_sorted_pairs(), vec![(0, 1)]);
+    }
+}

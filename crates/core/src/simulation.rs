@@ -1,0 +1,249 @@
+//! Graph simulation `Q ≺ G` (Milner; Henzinger, Henzinger & Kopke).
+//!
+//! A graph `G` matches pattern `Q` via graph simulation when there is a relation
+//! `S ⊆ Vq × V` such that
+//!
+//! 1. every `(u, v) ∈ S` relates identically labelled nodes, and
+//! 2. every pattern node has a match, and for every pattern edge `(u, u')` and `(u, v) ∈ S`
+//!    there is a data edge `(v, v')` with `(u', v') ∈ S`.
+//!
+//! Only the *child* relationship is preserved — the paper's Example 1 shows how this loses
+//! topology. The maximum simulation relation is unique; [`graph_simulation`] computes it with
+//! the classic candidate-refinement fixpoint, operating over a [`GraphView`] so the same code
+//! serves whole graphs and balls.
+
+use crate::relation::MatchRelation;
+use ssim_graph::{Graph, GraphView, NodeId, Pattern};
+
+/// Computes the maximum graph-simulation relation of `pattern` over `view`.
+///
+/// Returns `None` when `view` does not match the pattern (some pattern node ends up with an
+/// empty candidate set); otherwise returns the unique maximum match relation.
+pub fn graph_simulation_view(pattern: &Pattern, view: &GraphView<'_>) -> Option<MatchRelation> {
+    let relation = refine(pattern, view, RefineMode::ChildrenOnly, initial_candidates(pattern, view));
+    relation.filter(MatchRelation::is_total)
+}
+
+/// Computes the maximum graph-simulation relation of `pattern` over the whole `data` graph.
+pub fn graph_simulation(pattern: &Pattern, data: &Graph) -> Option<MatchRelation> {
+    graph_simulation_view(pattern, &GraphView::full(data))
+}
+
+/// Returns `true` when `Q ≺ G`, i.e. the data graph matches the pattern via graph simulation.
+pub fn simulates(pattern: &Pattern, data: &Graph) -> bool {
+    graph_simulation(pattern, data).is_some()
+}
+
+/// Which refinement conditions to enforce. Shared by plain and dual simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RefineMode {
+    /// Enforce only the child (successor) condition — graph simulation.
+    ChildrenOnly,
+    /// Enforce both the child and the parent (predecessor) conditions — dual simulation.
+    ChildrenAndParents,
+}
+
+/// Builds the initial candidate sets `sim(u) = {v ∈ view | l(v) = l(u)}`.
+pub(crate) fn initial_candidates(pattern: &Pattern, view: &GraphView<'_>) -> MatchRelation {
+    let mut relation =
+        MatchRelation::empty(pattern.node_count(), view.graph().node_count());
+    for u in pattern.nodes() {
+        for v in view.nodes_with_label(pattern.label(u)) {
+            relation.insert(u, v);
+        }
+    }
+    relation
+}
+
+/// Iteratively removes candidates that violate the simulation conditions until a fixpoint is
+/// reached. Returns the refined relation (which may have empty candidate sets).
+///
+/// This is the refinement loop of procedure `DualSim` in Fig. 3 of the paper, parameterised
+/// by whether the parent condition is enforced.
+pub(crate) fn refine(
+    pattern: &Pattern,
+    view: &GraphView<'_>,
+    mode: RefineMode,
+    mut relation: MatchRelation,
+) -> Option<MatchRelation> {
+    let q = pattern.graph();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (u, u_child) in q.edges() {
+            // Child condition: v ∈ sim(u) needs an out-neighbour in sim(u_child).
+            let removals: Vec<NodeId> = relation
+                .candidates(u)
+                .iter()
+                .map(NodeId::from_index)
+                .filter(|&v| {
+                    !view.out_neighbors(v).any(|w| relation.contains(u_child, w))
+                })
+                .collect();
+            for v in removals {
+                relation.remove(u, v);
+                changed = true;
+            }
+            if relation.candidates(u).is_empty() {
+                return Some(relation);
+            }
+            if mode == RefineMode::ChildrenAndParents {
+                // Parent condition: v ∈ sim(u_child) needs an in-neighbour in sim(u).
+                let removals: Vec<NodeId> = relation
+                    .candidates(u_child)
+                    .iter()
+                    .map(NodeId::from_index)
+                    .filter(|&v| !view.in_neighbors(v).any(|w| relation.contains(u, w)))
+                    .collect();
+                for v in removals {
+                    relation.remove(u_child, v);
+                    changed = true;
+                }
+                if relation.candidates(u_child).is_empty() {
+                    return Some(relation);
+                }
+            }
+        }
+    }
+    Some(relation)
+}
+
+/// Checks that `relation` is a valid (not necessarily maximum) graph-simulation witness:
+/// labels match, every pattern node has a candidate, and the child condition holds for every
+/// pair. Used by tests and by the topology report.
+pub fn is_valid_simulation(
+    pattern: &Pattern,
+    data: &Graph,
+    relation: &MatchRelation,
+) -> bool {
+    let view = GraphView::full(data);
+    if !relation.is_total() || !relation.respects_labels(pattern, data) {
+        return false;
+    }
+    for (u, u_child) in pattern.graph().edges() {
+        for v in relation.candidates(u).iter().map(NodeId::from_index) {
+            if !view.out_neighbors(v).any(|w| relation.contains(u_child, w)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_graph::Label;
+
+    /// Pattern: A -> B. Data: A -> B plus an extra A with no B child.
+    #[test]
+    fn simple_child_refinement() {
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(0)],
+            &[(0, 1)],
+        )
+        .unwrap();
+        let relation = graph_simulation(&pattern, &data).unwrap();
+        // Data node 2 (label A, no child) must be removed from sim(A).
+        assert_eq!(relation.to_sorted_pairs(), vec![(0, 0), (1, 1)]);
+        assert!(simulates(&pattern, &data));
+        assert!(is_valid_simulation(&pattern, &data, &relation));
+    }
+
+    #[test]
+    fn no_match_when_label_is_missing() {
+        let pattern = Pattern::from_edges(vec![Label(0), Label(9)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        assert!(graph_simulation(&pattern, &data).is_none());
+        assert!(!simulates(&pattern, &data));
+    }
+
+    #[test]
+    fn no_match_when_edge_cannot_be_simulated() {
+        // Pattern: A -> A (needs an A with an A child). Data: single A, no edges.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(0)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0)], &[]).unwrap();
+        assert!(!simulates(&pattern, &data));
+    }
+
+    #[test]
+    fn directed_cycle_matches_longer_cycle() {
+        // Pattern: 2-cycle A <-> B. Data: 4-cycle A -> B -> A -> B -> (first A).
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1), (1, 0)]).unwrap();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        .unwrap();
+        let relation = graph_simulation(&pattern, &data).unwrap();
+        // Every data node participates: simulation cannot tell the 2-cycle from the 4-cycle.
+        assert_eq!(relation.pair_count(), 4);
+    }
+
+    #[test]
+    fn simulation_ignores_parents_example1_style() {
+        // Pattern: HR -> Bio and SE -> Bio (Bio needs two parents).
+        // Data: HR -> Bio1, SE -> Bio2 — no Bio has both parents, yet simulation matches.
+        let pattern =
+            Pattern::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 2), (1, 2)]).unwrap();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(2), Label(2)],
+            &[(0, 2), (1, 3)],
+        )
+        .unwrap();
+        let relation = graph_simulation(&pattern, &data).unwrap();
+        // Both Bio1 and Bio2 stay in sim(Bio): the parent condition is not enforced.
+        assert_eq!(relation.candidates(NodeId(2)).len(), 2);
+    }
+
+    #[test]
+    fn maximum_relation_contains_any_valid_witness() {
+        // The maximum relation must be a superset of a hand-constructed witness.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(
+            vec![Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (2, 3)],
+        )
+        .unwrap();
+        let maximum = graph_simulation(&pattern, &data).unwrap();
+        let mut witness = MatchRelation::empty(2, 4);
+        witness.insert(NodeId(0), NodeId(0));
+        witness.insert(NodeId(1), NodeId(1));
+        assert!(is_valid_simulation(&pattern, &data, &witness));
+        assert!(witness.is_subrelation_of(&maximum));
+        assert_eq!(maximum.pair_count(), 4);
+    }
+
+    #[test]
+    fn single_node_pattern_matches_every_labelled_node() {
+        let pattern = Pattern::from_edges(vec![Label(5)], &[]).unwrap();
+        let data = Graph::from_edges(vec![Label(5), Label(5), Label(1)], &[(0, 1)]).unwrap();
+        let relation = graph_simulation(&pattern, &data).unwrap();
+        assert_eq!(relation.to_sorted_pairs(), vec![(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn self_loop_pattern_requires_cycle() {
+        // Pattern: A with a self-loop. A chain of A's has no directed cycle, so no match.
+        let pattern = Pattern::from_edges(vec![Label(0)], &[(0, 0)]).unwrap();
+        let chain = Graph::from_edges(vec![Label(0); 3], &[(0, 1), (1, 2)]).unwrap();
+        assert!(!simulates(&pattern, &chain));
+        let cycle = Graph::from_edges(vec![Label(0); 3], &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(simulates(&pattern, &cycle));
+    }
+
+    #[test]
+    fn is_valid_simulation_rejects_bad_witnesses() {
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        // Empty relation: not total.
+        let empty = MatchRelation::empty(2, 2);
+        assert!(!is_valid_simulation(&pattern, &data, &empty));
+        // Label-violating relation.
+        let mut bad = MatchRelation::empty(2, 2);
+        bad.insert(NodeId(0), NodeId(1));
+        bad.insert(NodeId(1), NodeId(0));
+        assert!(!is_valid_simulation(&pattern, &data, &bad));
+    }
+}

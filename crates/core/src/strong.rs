@@ -1,0 +1,500 @@
+//! Strong simulation `Q ≺LD G`: the `Match` and `Match+` algorithms (Section 4, Fig. 3).
+//!
+//! `Match` inspects, for every data node `w`, the ball `Ĝ[w, dQ]` of radius `dQ` (the
+//! pattern diameter), computes the maximum dual-simulation relation inside the ball
+//! (procedure `DualSim`), and extracts the connected component of the resulting match graph
+//! that contains `w` (procedure `ExtractMaxPG`). The set of all such *maximum perfect
+//! subgraphs* is the answer; by Proposition 4 it contains at most `|V|` elements.
+//!
+//! `Match+` layers the three optimisations of Section 4.2 on top: query minimization
+//! ([`crate::minimize`]), dual-simulation filtering ([`crate::dual_filter`]) and connectivity
+//! pruning ([`crate::pruning`]). All of them preserve the result exactly; the configuration
+//! is expressed with [`MatchConfig`] so the ablation benches can toggle them independently.
+
+use crate::dual::{dual_simulation, refine_dual};
+use crate::dual_filter::refine_projected;
+use crate::match_graph::{extract_max_perfect_subgraph, PerfectSubgraph};
+use crate::minimize::minimize_pattern;
+use crate::pruning::prune_by_connectivity;
+use crate::relation::MatchRelation;
+use crate::simulation::initial_candidates;
+use ssim_graph::{Ball, Graph, NodeId, Pattern};
+use std::collections::BTreeSet;
+
+/// Configuration of the strong-simulation matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchConfig {
+    /// Minimise the pattern with `minQ` before matching (Theorem 6).
+    pub minimize_query: bool,
+    /// Compute the global dual-simulation relation once and filter it per ball
+    /// (`dualFilter`, Fig. 5) instead of running `DualSim` from scratch in every ball.
+    pub dual_filter: bool,
+    /// Prune ball candidates that are not connected to the ball center through other
+    /// candidates (Example 6) before refinement.
+    pub connectivity_pruning: bool,
+    /// Override the ball radius; `None` uses the pattern diameter `dQ` as in the paper.
+    pub radius_override: Option<usize>,
+    /// Drop structurally identical perfect subgraphs discovered from different centers.
+    pub deduplicate: bool,
+}
+
+impl Default for MatchConfig {
+    /// The plain `Match` algorithm of Fig. 3 — no optimisations, no deduplication.
+    fn default() -> Self {
+        MatchConfig {
+            minimize_query: false,
+            dual_filter: false,
+            connectivity_pruning: false,
+            radius_override: None,
+            deduplicate: false,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// The plain `Match` algorithm (Fig. 3).
+    pub fn basic() -> Self {
+        Self::default()
+    }
+
+    /// `Match+`: all optimisations of Section 4.2 enabled.
+    pub fn optimized() -> Self {
+        MatchConfig {
+            minimize_query: true,
+            dual_filter: true,
+            connectivity_pruning: true,
+            radius_override: None,
+            deduplicate: false,
+        }
+    }
+
+    /// Sets an explicit ball radius instead of the pattern diameter.
+    pub fn with_radius(mut self, radius: usize) -> Self {
+        self.radius_override = Some(radius);
+        self
+    }
+
+    /// Enables structural deduplication of the returned perfect subgraphs.
+    pub fn with_deduplication(mut self) -> Self {
+        self.deduplicate = true;
+        self
+    }
+}
+
+/// Counters describing the work performed by a strong-simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Number of candidate ball centers considered (= `|V|` without dual filtering).
+    pub balls_considered: usize,
+    /// Balls actually refined (centers surviving the global dual-simulation filter).
+    pub balls_processed: usize,
+    /// Balls skipped because their center cannot match any pattern node.
+    pub balls_skipped: usize,
+    /// Balls whose projected relation required at least one removal (dual filter only).
+    pub balls_with_invalid_matches: usize,
+    /// Total `(u, v)` pairs removed by the per-ball dual filter.
+    pub filter_removed_pairs: usize,
+    /// Perfect subgraphs found (before deduplication).
+    pub perfect_subgraphs: usize,
+    /// `(original, minimised)` pattern sizes when query minimization ran.
+    pub pattern_sizes: Option<(usize, usize)>,
+    /// Ball radius that was used.
+    pub radius: usize,
+}
+
+/// The result of a strong-simulation run: the set `Θ` of maximum perfect subgraphs plus the
+/// work statistics.
+#[derive(Debug, Clone)]
+pub struct MatchOutput {
+    /// Maximum perfect subgraphs, in ascending order of their ball centers.
+    pub subgraphs: Vec<PerfectSubgraph>,
+    /// Work counters.
+    pub stats: MatchStats,
+}
+
+impl MatchOutput {
+    /// Returns `true` when at least one perfect subgraph was found, i.e. `Q ≺LD G`.
+    pub fn is_match(&self) -> bool {
+        !self.subgraphs.is_empty()
+    }
+
+    /// The union of data nodes across all perfect subgraphs.
+    pub fn matched_nodes(&self) -> BTreeSet<NodeId> {
+        self.subgraphs.iter().flat_map(|s| s.nodes.iter().copied()).collect()
+    }
+
+    /// Data nodes matched to a specific pattern node, across all perfect subgraphs.
+    pub fn matches_of(&self, pattern_node: NodeId) -> BTreeSet<NodeId> {
+        self.subgraphs.iter().flat_map(|s| s.matches_of(pattern_node)).collect()
+    }
+
+    /// Total number of matched data nodes (with multiplicity across subgraphs collapsed).
+    pub fn matched_node_count(&self) -> usize {
+        self.matched_nodes().len()
+    }
+
+    /// Structurally distinct perfect subgraphs (different centers may discover the same
+    /// node/edge set).
+    pub fn distinct_subgraphs(&self) -> Vec<&PerfectSubgraph> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for s in &self.subgraphs {
+            let key: (Vec<u32>, Vec<(u32, u32)>) = (
+                s.nodes.iter().map(|n| n.0).collect(),
+                s.edges.iter().map(|(a, b)| (a.0, b.0)).collect(),
+            );
+            if seen.insert(key) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+/// Runs strong simulation of `pattern` over `data` with the given configuration.
+///
+/// This is Algorithm `Match` (Fig. 3) when `config` is [`MatchConfig::basic`] and `Match+`
+/// when it is [`MatchConfig::optimized`]; any other combination toggles individual
+/// optimisations for ablation studies.
+pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) -> MatchOutput {
+    let mut stats = MatchStats::default();
+
+    // Optimisation 1: query minimization. The ball radius stays the *original* diameter
+    // (Lemma 3). Results are translated back to the original pattern nodes at the end so the
+    // output is expressed against the caller's pattern regardless of the configuration.
+    let minimized;
+    let mut class_members: Vec<Vec<NodeId>> = Vec::new();
+    let (effective_pattern, radius) = if config.minimize_query {
+        minimized = minimize_pattern(pattern);
+        stats.pattern_sizes = Some((minimized.original_size, minimized.pattern.size()));
+        class_members = vec![Vec::new(); minimized.pattern.node_count()];
+        for (original_index, class) in minimized.class_of.iter().enumerate() {
+            class_members[class.index()].push(NodeId::from_index(original_index));
+        }
+        let radius = config.radius_override.unwrap_or(minimized.original_diameter);
+        (&minimized.pattern, radius)
+    } else {
+        (pattern, config.radius_override.unwrap_or(pattern.diameter()))
+    };
+    stats.radius = radius;
+
+    // Optimisation 2 (part 1): the global dual-simulation relation, computed once.
+    let global_relation: Option<MatchRelation> = if config.dual_filter {
+        match dual_simulation(effective_pattern, data) {
+            Some(rel) => Some(rel),
+            None => {
+                // The whole graph does not even dual-simulate the pattern: no ball can.
+                stats.balls_considered = data.node_count();
+                stats.balls_skipped = data.node_count();
+                return MatchOutput { subgraphs: Vec::new(), stats };
+            }
+        }
+    } else {
+        None
+    };
+    let global_matched = global_relation.as_ref().map(MatchRelation::matched_data_nodes);
+
+    let mut subgraphs = Vec::new();
+    for center in data.nodes() {
+        stats.balls_considered += 1;
+        // Balls whose center cannot match any pattern node are skipped outright.
+        if let Some(matched) = &global_matched {
+            if !matched.contains(center.index()) {
+                stats.balls_skipped += 1;
+                continue;
+            }
+        }
+        stats.balls_processed += 1;
+        let ball = Ball::new(data, center, radius);
+        let view = ball.view(data);
+
+        // Starting relation: either the projected global relation or fresh label candidates.
+        let start = match &global_relation {
+            Some(global) => global.project(ball.membership()),
+            None => initial_candidates(effective_pattern, &view),
+        };
+
+        // Optimisation 3: connectivity pruning around the center.
+        let start = if config.connectivity_pruning {
+            match prune_by_connectivity(effective_pattern, &view, center, &start) {
+                Some(pruned) => pruned,
+                None => continue, // center cannot match: no perfect subgraph in this ball
+            }
+        } else {
+            start
+        };
+
+        // Refinement: border-seeded work queue when starting from the projected global
+        // relation, full fixpoint otherwise.
+        let relation = if config.dual_filter {
+            let mut removed = 0usize;
+            let refined =
+                refine_projected(effective_pattern, &view, &ball, start, Some(&mut removed));
+            if removed > 0 {
+                stats.balls_with_invalid_matches += 1;
+                stats.filter_removed_pairs += removed;
+            }
+            refined
+        } else {
+            refine_dual(effective_pattern, &view, start)
+        };
+        let Some(relation) = relation else { continue };
+
+        if let Some(mut subgraph) =
+            extract_max_perfect_subgraph(effective_pattern, &view, &relation, center, radius)
+        {
+            // Express the relation in terms of the caller's pattern nodes when the matcher
+            // ran on the minimised pattern.
+            if config.minimize_query {
+                let mut expanded = Vec::with_capacity(subgraph.relation.len());
+                for (class_node, data_node) in &subgraph.relation {
+                    for &original in &class_members[class_node.index()] {
+                        expanded.push((original, *data_node));
+                    }
+                }
+                expanded.sort_unstable();
+                subgraph.relation = expanded;
+            }
+            subgraphs.push(subgraph);
+        }
+    }
+
+    if config.deduplicate {
+        let distinct: Vec<PerfectSubgraph> = {
+            let output = MatchOutput { subgraphs, stats: stats.clone() };
+            output.distinct_subgraphs().into_iter().cloned().collect()
+        };
+        subgraphs = distinct;
+    }
+    stats.perfect_subgraphs = subgraphs.len();
+    MatchOutput { subgraphs, stats }
+}
+
+/// Returns `true` when `Q ≺LD G`, i.e. some ball of `G` contains a perfect subgraph.
+pub fn strong_simulates(pattern: &Pattern, data: &Graph) -> bool {
+    strong_simulation(pattern, data, &MatchConfig::basic()).is_match()
+}
+
+/// Convenience wrapper for the fully optimised matcher (`Match+`).
+pub fn strong_simulation_plus(pattern: &Pattern, data: &Graph) -> MatchOutput {
+    strong_simulation(pattern, data, &MatchConfig::optimized())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_graph::{GraphBuilder, Label};
+
+    /// Builds the running example of the paper (Fig. 1): pattern Q1 and data graph G1.
+    ///
+    /// Q1: HR -> SE, HR -> Bio, SE -> Bio, DM -> Bio, DM <-> AI.
+    /// G1: one connected component where Bio4 satisfies every requirement, plus components
+    /// with partially-recommended biologists and a long AI/DM cycle.
+    pub(crate) fn figure1() -> (Pattern, Graph, NodeId) {
+        // Labels: HR=0, SE=1, Bio=2, DM=3, AI=4
+        let pattern = Pattern::from_edges(
+            vec![Label(0), Label(1), Label(2), Label(3), Label(4)],
+            &[(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 3)],
+        )
+        .unwrap();
+
+        let mut b = GraphBuilder::new();
+        // Component 1: HR1 -> Bio1 (recommended by HR only).
+        let hr1 = b.add_node("HR");
+        let bio1 = b.add_node("Bio");
+        b.add_edge(hr1, bio1);
+        // Component 2: SE1 -> Bio2 (recommended by SE only).
+        let se1 = b.add_node("SE");
+        let bio2 = b.add_node("Bio");
+        b.add_edge(se1, bio2);
+        // Component 3: the long AI/DM cycle feeding Bio3 (k = 3 pairs).
+        let bio3 = b.add_node("Bio");
+        let mut cycle_nodes = Vec::new();
+        for _ in 0..3 {
+            let ai = b.add_node("AI");
+            let dm = b.add_node("DM");
+            cycle_nodes.push((ai, dm));
+            b.add_edge(dm, bio3);
+        }
+        for i in 0..cycle_nodes.len() {
+            let (ai, dm) = cycle_nodes[i];
+            b.add_edge(ai, dm);
+            let (next_ai, _) = cycle_nodes[(i + 1) % cycle_nodes.len()];
+            b.add_edge(dm, next_ai);
+        }
+        // Component 4: the good one around Bio4.
+        let hr2 = b.add_node("HR");
+        let se2 = b.add_node("SE");
+        let bio4 = b.add_node("Bio");
+        let dm1p = b.add_node("DM");
+        let dm2p = b.add_node("DM");
+        let ai1p = b.add_node("AI");
+        let ai2p = b.add_node("AI");
+        b.add_edge(hr2, se2);
+        b.add_edge(hr2, bio4);
+        b.add_edge(se2, bio4);
+        b.add_edge(dm1p, bio4);
+        b.add_edge(dm2p, bio4);
+        b.add_edge(dm1p, ai1p);
+        b.add_edge(ai1p, dm1p);
+        b.add_edge(dm2p, ai2p);
+        b.add_edge(ai2p, dm2p);
+        let (graph, interner) = b.build_with_interner();
+        // Translate the string labels to the numeric labels used by the pattern.
+        // (The builder interned HR=0, Bio=1, SE=2, AI=3, DM=4 in insertion order; rebuild the
+        // data graph with the pattern's labelling so both sides agree.)
+        let relabel = |l: ssim_graph::Label| -> Label {
+            match interner.name(l).unwrap() {
+                "HR" => Label(0),
+                "SE" => Label(1),
+                "Bio" => Label(2),
+                "DM" => Label(3),
+                "AI" => Label(4),
+                other => panic!("unexpected label {other}"),
+            }
+        };
+        let labels: Vec<Label> = graph.nodes().map(|v| relabel(graph.label(v))).collect();
+        let edges: Vec<(u32, u32)> = graph.edges().map(|(a, b)| (a.0, b.0)).collect();
+        let data = Graph::from_edges(labels, &edges).unwrap();
+        (pattern, data, bio4)
+    }
+
+    #[test]
+    fn figure1_strong_simulation_finds_only_bio4() {
+        let (pattern, data, bio4) = figure1();
+        let bio_label = Label(2);
+        // Plain simulation matches every biologist (Example 1)…
+        let sim = crate::simulation::graph_simulation(&pattern, &data).unwrap();
+        let sim_bios: Vec<NodeId> = sim
+            .candidates(NodeId(2))
+            .iter()
+            .map(NodeId::from_index)
+            .collect();
+        assert_eq!(sim_bios.len(), 4, "graph simulation keeps all four biologists");
+        // …strong simulation keeps only Bio4 (Example 2(3)).
+        let result = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        assert!(result.is_match());
+        let matched_bios: Vec<NodeId> = result
+            .matches_of(NodeId(2))
+            .into_iter()
+            .filter(|v| data.label(*v) == bio_label)
+            .collect();
+        assert_eq!(matched_bios, vec![bio4]);
+        // The long AI/DM cycle is not part of any perfect subgraph.
+        let matched = result.matched_nodes();
+        for v in data.nodes() {
+            if matched.contains(&v) {
+                // every matched node lives in Bio4's component
+                assert!(
+                    ssim_graph::traversal::undirected_distance(&data, v, bio4).is_some(),
+                    "matched node {v} is outside Bio4's component"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_all_configs_agree() {
+        let (pattern, data, _) = figure1();
+        let base = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        for config in [
+            MatchConfig { dual_filter: true, ..MatchConfig::basic() },
+            MatchConfig { connectivity_pruning: true, ..MatchConfig::basic() },
+            MatchConfig { minimize_query: true, ..MatchConfig::basic() },
+            MatchConfig::optimized(),
+        ] {
+            let out = strong_simulation(&pattern, &data, &config);
+            assert_eq!(
+                base.matched_nodes(),
+                out.matched_nodes(),
+                "config {config:?} changed the matched node set"
+            );
+            assert_eq!(
+                base.subgraphs.len(),
+                out.subgraphs.len(),
+                "config {config:?} changed the number of perfect subgraphs"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_filter_skips_unmatchable_centers() {
+        let (pattern, data, _) = figure1();
+        let out = strong_simulation(&pattern, &data, &MatchConfig::optimized());
+        assert!(out.stats.balls_skipped > 0, "expected the global filter to skip some balls");
+        assert_eq!(
+            out.stats.balls_considered,
+            data.node_count(),
+            "every node is considered as a potential center"
+        );
+        assert_eq!(
+            out.stats.balls_processed + out.stats.balls_skipped,
+            out.stats.balls_considered
+        );
+        assert!(out.stats.pattern_sizes.is_some());
+        assert_eq!(out.stats.radius, pattern.diameter());
+    }
+
+    #[test]
+    fn no_match_when_label_absent() {
+        let pattern = Pattern::from_edges(vec![Label(0), Label(9)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        for config in [MatchConfig::basic(), MatchConfig::optimized()] {
+            let out = strong_simulation(&pattern, &data, &config);
+            assert!(!out.is_match());
+            assert_eq!(out.stats.perfect_subgraphs, 0);
+        }
+        assert!(!strong_simulates(&pattern, &data));
+    }
+
+    #[test]
+    fn proposition4_bounded_number_of_matches() {
+        let (pattern, data, _) = figure1();
+        let out = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        assert!(out.subgraphs.len() <= data.node_count());
+    }
+
+    #[test]
+    fn proposition3_diameter_bound() {
+        let (pattern, data, _) = figure1();
+        let out = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        for s in &out.subgraphs {
+            let d = ssim_graph::metrics::induced_diameter(&data, &s.nodes);
+            assert!(
+                d <= 2 * pattern.diameter(),
+                "perfect subgraph diameter {d} exceeds 2·dQ = {}",
+                2 * pattern.diameter()
+            );
+        }
+    }
+
+    #[test]
+    fn radius_override_and_dedup() {
+        let (pattern, data, _) = figure1();
+        let config = MatchConfig::basic().with_radius(1).with_deduplication();
+        let out = strong_simulation(&pattern, &data, &config);
+        assert_eq!(out.stats.radius, 1);
+        // Deduplicated output has no structurally identical subgraphs.
+        let distinct = out.distinct_subgraphs().len();
+        assert_eq!(distinct, out.subgraphs.len());
+    }
+
+    #[test]
+    fn single_node_pattern_matches_every_labelled_node() {
+        let pattern = Pattern::from_edges(vec![Label(2)], &[]).unwrap();
+        let (_, data, _) = figure1();
+        let out = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        // Every Bio node forms its own perfect subgraph (radius 0 balls).
+        let bios = data.nodes().filter(|v| data.label(*v) == Label(2)).count();
+        assert_eq!(out.subgraphs.len(), bios);
+        assert!(out.subgraphs.iter().all(|s| s.node_count() == 1));
+    }
+
+    #[test]
+    fn strong_simulation_plus_matches_basic() {
+        let (pattern, data, _) = figure1();
+        let basic = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        let plus = strong_simulation_plus(&pattern, &data);
+        assert_eq!(basic.matched_nodes(), plus.matched_nodes());
+    }
+}

@@ -1,0 +1,271 @@
+//! Topology-preservation criteria (Section 3.1, Table 2).
+//!
+//! The paper evaluates matching notions against six criteria: preservation of children,
+//! parents, connectivity, cycles (directed and undirected), locality, and boundedness of the
+//! match results. This module provides checkers for each criterion so that the test-suite
+//! and the experiment harness can verify the claims of Table 2 on concrete match results.
+
+use crate::match_graph::MatchGraph;
+use crate::relation::MatchRelation;
+use crate::strong::MatchOutput;
+use ssim_graph::cycles::{has_directed_cycle, has_undirected_cycle};
+use ssim_graph::metrics::induced_diameter;
+use ssim_graph::{Graph, GraphView, NodeId, Pattern};
+
+/// Criterion (1): every child of a matched pattern node is matched by a child of the data
+/// node. This holds for every notion from plain simulation upward.
+pub fn children_preserved(pattern: &Pattern, data: &Graph, relation: &MatchRelation) -> bool {
+    let view = GraphView::full(data);
+    for (u, u_child) in pattern.graph().edges() {
+        for v in relation.candidates(u).iter().map(NodeId::from_index) {
+            if !view.out_neighbors(v).any(|w| relation.contains(u_child, w)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Criterion (2): every parent of a matched pattern node is matched by a parent of the data
+/// node. Plain simulation violates this; dual and strong simulation satisfy it.
+pub fn parents_preserved(pattern: &Pattern, data: &Graph, relation: &MatchRelation) -> bool {
+    let view = GraphView::full(data);
+    for (u_parent, u) in pattern.graph().edges() {
+        for v in relation.candidates(u).iter().map(NodeId::from_index) {
+            if !view.in_neighbors(v).any(|w| relation.contains(u_parent, w)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Criterion (3) as realised by strong simulation: each perfect subgraph is (undirectedly)
+/// connected.
+pub fn connectivity_preserved(data: &Graph, output: &MatchOutput) -> bool {
+    output.subgraphs.iter().all(|s| {
+        if s.nodes.len() <= 1 {
+            return true;
+        }
+        let (sub, _) = data.subgraph_with_edges(&s.nodes, &s.edges);
+        ssim_graph::components::is_connected(&sub)
+    })
+}
+
+/// Criterion (4a): if the pattern has a directed cycle, the match graph has one
+/// (Proposition 2 — holds already for plain simulation).
+pub fn directed_cycles_preserved(
+    pattern: &Pattern,
+    data: &Graph,
+    relation: &MatchRelation,
+) -> bool {
+    if !has_directed_cycle(pattern.graph()) {
+        return true;
+    }
+    let view = GraphView::full(data);
+    let mg = MatchGraph::build(pattern, &view, relation);
+    let (sub, _) = data.subgraph_with_edges(&mg.nodes, &mg.edges);
+    has_directed_cycle(&sub)
+}
+
+/// Criterion (4b): if the pattern has an undirected cycle, the match graph has one
+/// (Theorem 3 — requires dual simulation).
+pub fn undirected_cycles_preserved(
+    pattern: &Pattern,
+    data: &Graph,
+    relation: &MatchRelation,
+) -> bool {
+    if !has_undirected_cycle(pattern.graph()) {
+        return true;
+    }
+    let view = GraphView::full(data);
+    let mg = MatchGraph::build(pattern, &view, relation);
+    let (sub, _) = data.subgraph_with_edges(&mg.nodes, &mg.edges);
+    has_undirected_cycle(&sub)
+}
+
+/// Criterion (5): every perfect subgraph has diameter at most `2·dQ` (Proposition 3).
+pub fn locality_preserved(pattern: &Pattern, data: &Graph, output: &MatchOutput) -> bool {
+    output.subgraphs.iter().all(|s| induced_diameter(data, &s.nodes) <= 2 * pattern.diameter())
+}
+
+/// Criterion (6): the number of perfect subgraphs is bounded by the number of data nodes
+/// (Proposition 4).
+pub fn matches_bounded(data: &Graph, output: &MatchOutput) -> bool {
+    output.subgraphs.len() <= data.node_count()
+}
+
+/// Aggregated Table 2-style report for one strong-simulation result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyReport {
+    /// Criterion (1): children preserved by each perfect subgraph's relation.
+    pub children: bool,
+    /// Criterion (2): parents preserved by each perfect subgraph's relation.
+    pub parents: bool,
+    /// Criterion (3): each perfect subgraph is connected.
+    pub connectivity: bool,
+    /// Criterion (4a): directed cycles of the pattern appear in each perfect subgraph.
+    pub directed_cycles: bool,
+    /// Criterion (4b): undirected cycles of the pattern appear in each perfect subgraph.
+    pub undirected_cycles: bool,
+    /// Criterion (5): diameters bounded by `2·dQ`.
+    pub locality: bool,
+    /// Criterion (6): at most `|V|` perfect subgraphs.
+    pub bounded_matches: bool,
+}
+
+impl TopologyReport {
+    /// Evaluates all criteria for a strong-simulation output.
+    pub fn evaluate(pattern: &Pattern, data: &Graph, output: &MatchOutput) -> Self {
+        // Reconstruct a relation per perfect subgraph and check the per-pair criteria.
+        let mut children = true;
+        let mut parents = true;
+        let mut directed = true;
+        let mut undirected = true;
+        for s in &output.subgraphs {
+            let mut relation =
+                MatchRelation::empty(pattern.node_count(), data.node_count());
+            for &(u, v) in &s.relation {
+                relation.insert(u, v);
+            }
+            children &= children_preserved(pattern, data, &relation);
+            parents &= parents_preserved(pattern, data, &relation);
+            directed &= directed_cycles_preserved(pattern, data, &relation);
+            undirected &= undirected_cycles_preserved(pattern, data, &relation);
+        }
+        TopologyReport {
+            children,
+            parents,
+            connectivity: connectivity_preserved(data, output),
+            directed_cycles: directed,
+            undirected_cycles: undirected,
+            locality: locality_preserved(pattern, data, output),
+            bounded_matches: matches_bounded(data, output),
+        }
+    }
+
+    /// Returns `true` when every criterion holds — the strong-simulation column of Table 2.
+    pub fn all_preserved(&self) -> bool {
+        self.children
+            && self.parents
+            && self.connectivity
+            && self.directed_cycles
+            && self.undirected_cycles
+            && self.locality
+            && self.bounded_matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::dual_simulation;
+    use crate::simulation::graph_simulation;
+    use crate::strong::{strong_simulation, MatchConfig};
+    use ssim_graph::Label;
+
+    /// Pattern with both a directed 2-cycle and an undirected triangle (Q1 of Fig. 1).
+    fn q1() -> Pattern {
+        Pattern::from_edges(
+            vec![Label(0), Label(1), Label(2), Label(3), Label(4)],
+            &[(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 3)],
+        )
+        .unwrap()
+    }
+
+    /// Simulation-only data (Example 1): disconnected graph where simulation matches but
+    /// parents are not preserved.
+    fn g1_like() -> Graph {
+        // HR1 -> Bio1 ; SE1 -> Bio2 ; DM1 -> Bio3, DM1 -> AI1, AI1 -> DM1 ;
+        // HR2 -> SE2 -> Bio4 <- HR2, DM2 -> Bio4, DM2 <-> AI2.
+        Graph::from_edges(
+            vec![
+                Label(0), // 0 HR1
+                Label(2), // 1 Bio1
+                Label(1), // 2 SE1
+                Label(2), // 3 Bio2
+                Label(3), // 4 DM1
+                Label(2), // 5 Bio3
+                Label(4), // 6 AI1
+                Label(0), // 7 HR2
+                Label(1), // 8 SE2
+                Label(2), // 9 Bio4
+                Label(3), // 10 DM2
+                Label(4), // 11 AI2
+            ],
+            &[
+                (0, 1),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (6, 4),
+                (7, 8),
+                (7, 9),
+                (8, 9),
+                (10, 9),
+                (10, 11),
+                (11, 10),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simulation_preserves_children_but_not_parents() {
+        let pattern = q1();
+        let data = g1_like();
+        let sim = graph_simulation(&pattern, &data).unwrap();
+        assert!(children_preserved(&pattern, &data, &sim));
+        assert!(!parents_preserved(&pattern, &data, &sim), "Example 1: Bio1 has no SE parent");
+    }
+
+    #[test]
+    fn dual_simulation_preserves_parents() {
+        let pattern = q1();
+        let data = g1_like();
+        let dual = dual_simulation(&pattern, &data).unwrap();
+        assert!(children_preserved(&pattern, &data, &dual));
+        assert!(parents_preserved(&pattern, &data, &dual));
+        assert!(directed_cycles_preserved(&pattern, &data, &dual));
+        assert!(undirected_cycles_preserved(&pattern, &data, &dual));
+    }
+
+    #[test]
+    fn strong_simulation_satisfies_every_criterion() {
+        let pattern = q1();
+        let data = g1_like();
+        let output = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        assert!(output.is_match());
+        let report = TopologyReport::evaluate(&pattern, &data, &output);
+        assert!(report.all_preserved(), "{report:?}");
+    }
+
+    #[test]
+    fn report_on_empty_output_is_trivially_true() {
+        let pattern = q1();
+        let data = Graph::from_edges(vec![Label(9)], &[]).unwrap();
+        let output = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        assert!(!output.is_match());
+        let report = TopologyReport::evaluate(&pattern, &data, &output);
+        assert!(report.all_preserved());
+    }
+
+    #[test]
+    fn cycle_criteria_trivially_hold_for_acyclic_patterns() {
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let relation = dual_simulation(&pattern, &data).unwrap();
+        assert!(directed_cycles_preserved(&pattern, &data, &relation));
+        assert!(undirected_cycles_preserved(&pattern, &data, &relation));
+    }
+
+    #[test]
+    fn locality_and_boundedness() {
+        let pattern = q1();
+        let data = g1_like();
+        let output = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        assert!(locality_preserved(&pattern, &data, &output));
+        assert!(matches_bounded(&data, &output));
+        assert!(connectivity_preserved(&data, &output));
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload generators for the strong-simulation evaluation.
+//!
+//! The paper's experiments (Section 5) run on two real-life graphs — the Amazon product
+//! co-purchase network and a YouTube related-video network — and on synthetic graphs
+//! produced by a generator controlled by `(n, α, l)`: `n` nodes, `n^α` edges and `l` node
+//! labels (`l = 200`, `α = 1.2` by default).
+//!
+//! The real datasets are not redistributable here, so this crate provides *statistically
+//! similar* generators (see the substitution table in DESIGN.md):
+//!
+//! * [`synthetic::synthetic`] — the `(n, α, l)` generator, reimplemented directly,
+//! * [`reallike::amazon_like`] — sparse co-purchase-style graphs (average out-degree ≈ 3.3,
+//!   category labels with a skewed distribution),
+//! * [`reallike::youtube_like`] — denser related-video-style graphs (average out-degree ≈ 20),
+//! * [`patterns`] — pattern workloads: random connected patterns of a given size and
+//!   density, patterns extracted from a data graph (guaranteeing at least one exact match),
+//!   and the hand-crafted patterns of the paper's figures (Q1–Q4, QA, QY).
+//!
+//! Every generator is deterministic given its seed, so experiments are reproducible.
+
+pub mod paper;
+pub mod patterns;
+pub mod reallike;
+pub mod synthetic;
+
+pub use patterns::{extract_pattern, random_pattern, PatternGenConfig};
+pub use reallike::{amazon_like, youtube_like, RealWorldConfig};
+pub use synthetic::{synthetic, SyntheticConfig};

@@ -1,0 +1,242 @@
+//! Hand-crafted pattern/data pairs from the paper's figures.
+//!
+//! These small graphs reproduce the running examples used throughout the paper: the
+//! social-matching scenario of Fig. 1 (Q1 / G1), the book / mutual-recommendation / citation
+//! examples of Fig. 2 (Q2–Q4 with G2–G4), and the two real-life query shapes of Fig. 7
+//! (QA over Amazon-like data, QY over YouTube-like data). They back the examples and the
+//! qualitative tests, and give readers concrete objects matching the prose of the paper.
+
+use ssim_graph::{Graph, GraphBuilder, LabelInterner, NodeId, Pattern};
+
+/// A named pattern/data pair from a figure of the paper.
+#[derive(Debug, Clone)]
+pub struct FigureExample {
+    /// Figure identifier, e.g. `"fig1"`.
+    pub name: &'static str,
+    /// The pattern graph.
+    pub pattern: Pattern,
+    /// The data graph.
+    pub data: Graph,
+    /// Label interner shared by pattern and data (for pretty-printing).
+    pub interner: LabelInterner,
+    /// The data nodes the paper singles out as the *intended* matches (e.g. `Bio4`).
+    pub expected_matches: Vec<NodeId>,
+}
+
+fn build(
+    name: &'static str,
+    pattern_nodes: &[&str],
+    pattern_edges: &[(u32, u32)],
+    data_nodes: &[&str],
+    data_edges: &[(u32, u32)],
+    expected: &[u32],
+) -> FigureExample {
+    let mut interner = LabelInterner::new();
+    let pattern = {
+        let mut b = GraphBuilder::new();
+        for label in pattern_nodes {
+            b.add_labeled_node(interner.intern(label));
+        }
+        for &(s, t) in pattern_edges {
+            b.add_edge(NodeId(s), NodeId(t));
+        }
+        Pattern::new(b.build()).expect("figure patterns are connected")
+    };
+    let data = {
+        let mut b = GraphBuilder::new();
+        for label in data_nodes {
+            b.add_labeled_node(interner.intern(label));
+        }
+        for &(s, t) in data_edges {
+            b.add_edge(NodeId(s), NodeId(t));
+        }
+        b.build()
+    };
+    FigureExample {
+        name,
+        pattern,
+        data,
+        interner,
+        expected_matches: expected.iter().map(|&i| NodeId(i)).collect(),
+    }
+}
+
+/// Fig. 1: the expertise-recommendation network. Pattern Q1 asks for a biologist
+/// recommended by an HR person, an SE and a DM, with the SE also recommended by HR and the
+/// DM in a mutual-recommendation cycle with an AI expert. Only `Bio4` (data node 16)
+/// qualifies.
+pub fn figure1() -> FigureExample {
+    // Pattern nodes: 0 HR, 1 SE, 2 Bio, 3 DM, 4 AI.
+    let pattern_nodes = ["HR", "SE", "Bio", "DM", "AI"];
+    let pattern_edges = [(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 3)];
+    // Data: component A (HR1 -> Bio1), component B (SE1 -> Bio2), component C (the long
+    // AI/DM cycle feeding Bio3), component D (the good one around Bio4).
+    let data_nodes = [
+        "HR", "Bio", // 0 HR1, 1 Bio1
+        "SE", "Bio", // 2 SE1, 3 Bio2
+        "Bio", // 4 Bio3
+        "AI", "DM", "AI", "DM", "AI", "DM", // 5..=10: AI1,DM1,AI2,DM2,AI3,DM3 (long cycle)
+        "HR", "SE", "Bio", // 11 HR2, 12 SE2, 13 Bio4
+        "DM", "DM", "AI", "AI", // 14 DM'1, 15 DM'2, 16 AI'1, 17 AI'2
+    ];
+    let data_edges = [
+        (0, 1),               // HR1 -> Bio1
+        (2, 3),               // SE1 -> Bio2
+        (6, 4), (8, 4), (10, 4), // DMi -> Bio3
+        (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 5), // AI1->DM1->AI2->DM2->AI3->DM3->AI1
+        (11, 12), (11, 13), (12, 13), // HR2 -> SE2, HR2 -> Bio4, SE2 -> Bio4
+        (14, 13), (15, 13),   // DM'1 -> Bio4, DM'2 -> Bio4
+        // The DM'/AI' nodes form a directed 4-cycle DM'1 -> AI'1 -> DM'2 -> AI'2 -> DM'1:
+        // it dual-simulates the DM <-> AI 2-cycle of Q1 but is not isomorphic to it, which is
+        // why subgraph isomorphism finds no match in G1 (Example 2(1)).
+        (14, 16), (16, 15), (15, 17), (17, 14),
+    ];
+    build("fig1", &pattern_nodes, &pattern_edges, &data_nodes, &data_edges, &[13])
+}
+
+/// Fig. 2, Q2/G2: a book recommended by both students (ST) and teachers (TE). `book2`
+/// (data node 3) is the intended match; `book1` is recommended by a student only.
+pub fn figure2_books() -> FigureExample {
+    build(
+        "fig2-q2",
+        &["ST", "TE", "book"],
+        &[(0, 2), (1, 2)],
+        &["ST", "TE", "book", "book"],
+        &[(0, 2), (0, 3), (1, 3)],
+        &[3],
+    )
+}
+
+/// Fig. 2, Q3/G3: people who recommend each other. `P1`, `P2`, `P3` form mutual
+/// recommendations; `P4` only recommends and is never recommended back.
+pub fn figure3_mutual() -> FigureExample {
+    build(
+        "fig2-q3",
+        &["P", "P"],
+        &[(0, 1), (1, 0)],
+        &["P", "P", "P", "P"],
+        &[(0, 1), (1, 0), (1, 2), (2, 1), (3, 0)],
+        &[0, 1, 2],
+    )
+}
+
+/// Fig. 2, Q4/G4: papers on social networks (SN) cited by database papers (DB) which in turn
+/// cite graph-theory papers. `SN1`, `SN2` are the intended matches; `SN3`, `SN4` are cited by
+/// database papers that do not cite graph theory.
+pub fn figure4_citations() -> FigureExample {
+    build(
+        "fig2-q4",
+        &["DB", "SN", "graph"],
+        &[(0, 1), (0, 2)],
+        &[
+            "DB", "DB", // 0, 1: good database papers
+            "SN", "SN", // 2, 3: SN1, SN2
+            "graph", "graph", // 4, 5
+            "DB", "SN", "SN", // 6: DB that cites no graph paper; 7, 8: SN3, SN4
+        ],
+        &[(0, 2), (0, 4), (1, 3), (1, 5), (6, 7), (6, 8)],
+        &[2, 3],
+    )
+}
+
+/// Fig. 7(a)-style Amazon pattern QA: a "Parenting & Families" book co-purchased with both
+/// "Children's Books" and "Home & Garden" books, and co-purchased with a
+/// "Health, Mind & Body" book in both directions.
+pub fn pattern_qa() -> (Pattern, LabelInterner) {
+    let mut interner = LabelInterner::new();
+    let mut b = GraphBuilder::new();
+    let parenting = b.add_labeled_node(interner.intern("Parenting&Families"));
+    let children = b.add_labeled_node(interner.intern("Children'sBooks"));
+    let home = b.add_labeled_node(interner.intern("Home&Garden"));
+    let health = b.add_labeled_node(interner.intern("Health,Mind&Body"));
+    b.add_edge(parenting, children);
+    b.add_edge(parenting, home);
+    b.add_edge(parenting, health);
+    b.add_edge(health, parenting);
+    (Pattern::new(b.build()).expect("QA is connected"), interner)
+}
+
+/// Fig. 7(b)-style YouTube pattern QY: an "Entertainment" video related to "Film & Animation"
+/// and "Music" videos, with a "Sports" video related to the same "Film & Animation" and
+/// "Music" videos.
+pub fn pattern_qy() -> (Pattern, LabelInterner) {
+    let mut interner = LabelInterner::new();
+    let mut b = GraphBuilder::new();
+    let entertainment = b.add_labeled_node(interner.intern("Entertainment"));
+    let film = b.add_labeled_node(interner.intern("Film&Animation"));
+    let music = b.add_labeled_node(interner.intern("Music"));
+    let sports = b.add_labeled_node(interner.intern("Sports"));
+    b.add_edge(entertainment, film);
+    b.add_edge(entertainment, music);
+    b.add_edge(sports, film);
+    b.add_edge(sports, music);
+    (Pattern::new(b.build()).expect("QY is connected"), interner)
+}
+
+/// All figure examples, for data-driven tests.
+pub fn all_figures() -> Vec<FigureExample> {
+    vec![figure1(), figure2_books(), figure3_mutual(), figure4_citations()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let f = figure1();
+        assert_eq!(f.pattern.node_count(), 5);
+        assert_eq!(f.pattern.diameter(), 3);
+        assert_eq!(f.data.node_count(), 18);
+        assert_eq!(f.expected_matches, vec![NodeId(13)]);
+        assert_eq!(f.interner.name(f.data.label(NodeId(13))), Some("Bio"));
+        // G1 is disconnected (four components).
+        assert!(!ssim_graph::components::is_connected(&f.data));
+    }
+
+    #[test]
+    fn figure2_books_shape() {
+        let f = figure2_books();
+        assert_eq!(f.pattern.node_count(), 3);
+        assert_eq!(f.data.node_count(), 4);
+        assert_eq!(f.expected_matches, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn figure3_mutual_shape() {
+        let f = figure3_mutual();
+        assert_eq!(f.pattern.edge_count(), 2);
+        assert!(ssim_graph::cycles::has_directed_cycle(f.pattern.graph()));
+        assert_eq!(f.expected_matches.len(), 3);
+    }
+
+    #[test]
+    fn figure4_citations_shape() {
+        let f = figure4_citations();
+        assert_eq!(f.pattern.node_count(), 3);
+        assert_eq!(f.data.node_count(), 9);
+        assert_eq!(f.expected_matches, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn qa_and_qy_patterns_are_connected() {
+        let (qa, qa_labels) = pattern_qa();
+        assert_eq!(qa.node_count(), 4);
+        assert!(qa_labels.get("Home&Garden").is_some());
+        assert!(ssim_graph::cycles::has_directed_cycle(qa.graph()), "QA has the 2-cycle");
+        let (qy, _) = pattern_qy();
+        assert_eq!(qy.node_count(), 4);
+        assert_eq!(qy.diameter(), 2);
+    }
+
+    #[test]
+    fn all_figures_are_consistent() {
+        for f in all_figures() {
+            assert!(f.pattern.node_count() >= 2, "{}", f.name);
+            assert!(f.data.node_count() >= f.pattern.node_count(), "{}", f.name);
+            for m in &f.expected_matches {
+                assert!(f.data.contains_node(*m), "{}: expected match out of range", f.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The `(n, α, l)` synthetic generator of the paper.
+//!
+//! "It is controlled by three parameters: the number `n` of nodes, the number `n^α` of
+//! edges, and the number `l` of node labels. Given `n`, `α`, and `l`, the generator produces
+//! a graph with `n` nodes, `n^α` edges, and the nodes are labeled from a set of `l` labels."
+//! The defaults used throughout the evaluation are `l = 200` and `α = 1.2`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ssim_graph::{Graph, GraphBuilder, Label, NodeId};
+
+/// Parameters of the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Density exponent `α`: the graph has `⌊n^α⌋` directed edges.
+    pub alpha: f64,
+    /// Number of distinct labels `l`.
+    pub labels: usize,
+    /// RNG seed; the same configuration and seed always produce the same graph.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    /// The paper's defaults: `α = 1.2`, `l = 200`, with a modest node count.
+    fn default() -> Self {
+        SyntheticConfig { nodes: 10_000, alpha: 1.2, labels: 200, seed: 42 }
+    }
+}
+
+impl SyntheticConfig {
+    /// Creates a configuration with the paper's default `α` and `l`.
+    pub fn with_nodes(nodes: usize, seed: u64) -> Self {
+        SyntheticConfig { nodes, seed, ..Default::default() }
+    }
+
+    /// Number of edges `⌊n^α⌋` this configuration asks for.
+    pub fn edge_target(&self) -> usize {
+        if self.nodes == 0 {
+            return 0;
+        }
+        (self.nodes as f64).powf(self.alpha).floor() as usize
+    }
+}
+
+/// Generates a synthetic graph as described in Section 5 of the paper.
+///
+/// Edges connect uniformly random node pairs (self-loops allowed, parallel duplicates
+/// retried a bounded number of times), and labels are drawn uniformly from `0..l`.
+pub fn synthetic(config: &SyntheticConfig) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let n = config.nodes;
+    let mut builder = GraphBuilder::with_capacity(n, config.edge_target());
+    let label_count = config.labels.max(1) as u32;
+    for _ in 0..n {
+        builder.add_labeled_node(Label(rng.gen_range(0..label_count)));
+    }
+    if n == 0 {
+        return builder.build();
+    }
+    let target = config.edge_target();
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    // Parallel edges are deduplicated at build time; retry a few times per edge so the final
+    // count stays close to the target even for dense configurations.
+    let max_attempts = target.saturating_mul(4).max(16);
+    let mut seen = std::collections::HashSet::with_capacity(target * 2);
+    while added < target && attempts < max_attempts {
+        attempts += 1;
+        let s = rng.gen_range(0..n) as u32;
+        let t = rng.gen_range(0..n) as u32;
+        if seen.insert((s, t)) {
+            builder.add_edge(NodeId(s), NodeId(t));
+            added += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_node_and_edge_counts() {
+        let config = SyntheticConfig { nodes: 500, alpha: 1.2, labels: 50, seed: 7 };
+        let g = synthetic(&config);
+        assert_eq!(g.node_count(), 500);
+        let target = config.edge_target();
+        assert!(g.edge_count() > target * 9 / 10, "got {} edges, target {target}", g.edge_count());
+        assert!(g.edge_count() <= target);
+    }
+
+    #[test]
+    fn labels_come_from_the_requested_alphabet() {
+        let config = SyntheticConfig { nodes: 200, alpha: 1.1, labels: 10, seed: 1 };
+        let g = synthetic(&config);
+        assert!(g.nodes().all(|v| g.label(v).0 < 10));
+        assert!(g.distinct_label_count() <= 10);
+        // With 200 nodes and 10 labels, all labels almost surely appear.
+        assert!(g.distinct_label_count() >= 8);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let config = SyntheticConfig { nodes: 300, alpha: 1.15, labels: 20, seed: 99 };
+        let a = synthetic(&config);
+        let b = synthetic(&config);
+        assert_eq!(a, b);
+        let c = synthetic(&SyntheticConfig { seed: 100, ..config });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_configurations() {
+        let empty = synthetic(&SyntheticConfig { nodes: 0, alpha: 1.2, labels: 5, seed: 0 });
+        assert_eq!(empty.node_count(), 0);
+        let single = synthetic(&SyntheticConfig { nodes: 1, alpha: 1.2, labels: 1, seed: 0 });
+        assert_eq!(single.node_count(), 1);
+        assert!(single.edge_count() <= 1);
+    }
+
+    #[test]
+    fn default_config_matches_the_paper() {
+        let d = SyntheticConfig::default();
+        assert_eq!(d.labels, 200);
+        assert!((d.alpha - 1.2).abs() < 1e-12);
+        let with_nodes = SyntheticConfig::with_nodes(1234, 5);
+        assert_eq!(with_nodes.nodes, 1234);
+        assert_eq!(with_nodes.labels, 200);
+    }
+
+    #[test]
+    fn edge_target_computation() {
+        let c = SyntheticConfig { nodes: 100, alpha: 1.5, labels: 10, seed: 0 };
+        assert_eq!(c.edge_target(), 1000);
+        let z = SyntheticConfig { nodes: 0, alpha: 1.5, labels: 10, seed: 0 };
+        assert_eq!(z.edge_target(), 0);
+    }
+}

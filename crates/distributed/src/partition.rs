@@ -1,0 +1,153 @@
+//! Graph partitioning into `k` fragments.
+//!
+//! The paper's distributed algorithm is agnostic to how the graph is partitioned ("it is
+//! applicable to any G regardless of how G is partitioned and distributed"); two simple
+//! strategies are provided so the experiments can show how fragmentation quality affects the
+//! shipped-data bound.
+
+use ssim_graph::{Graph, NodeId};
+
+/// Strategy used to assign nodes to fragments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Node `v` goes to fragment `v mod k` — maximally scattered, worst-case boundary size.
+    Hash,
+    /// Contiguous ranges of node ids — preserves the locality of generators that allocate
+    /// related nodes with nearby ids, so fewer balls cross fragments.
+    Range,
+}
+
+/// Assignment of every node to one of `k` fragments (sites).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphPartition {
+    site_of: Vec<usize>,
+    sites: usize,
+}
+
+impl GraphPartition {
+    /// Partitions `graph` into `sites` fragments with the given strategy.
+    ///
+    /// # Panics
+    /// Panics when `sites == 0`.
+    pub fn new(graph: &Graph, sites: usize, strategy: PartitionStrategy) -> Self {
+        assert!(sites > 0, "a partition needs at least one site");
+        let n = graph.node_count();
+        let site_of = match strategy {
+            PartitionStrategy::Hash => (0..n).map(|i| i % sites).collect(),
+            PartitionStrategy::Range => {
+                let chunk = n.div_ceil(sites).max(1);
+                (0..n).map(|i| (i / chunk).min(sites - 1)).collect()
+            }
+        };
+        GraphPartition { site_of, sites }
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// The site holding `node`.
+    pub fn site_of(&self, node: NodeId) -> usize {
+        self.site_of[node.index()]
+    }
+
+    /// Nodes owned by `site`, in ascending order.
+    pub fn nodes_of(&self, site: usize) -> Vec<NodeId> {
+        self.site_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == site)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Returns `true` when `node` has at least one neighbour stored on a different site —
+    /// exactly the nodes whose balls may have to be shipped.
+    pub fn is_border_node(&self, graph: &Graph, node: NodeId) -> bool {
+        let home = self.site_of(node);
+        graph
+            .out_neighbors(node)
+            .chain(graph.in_neighbors(node))
+            .any(|w| self.site_of(w) != home)
+    }
+
+    /// Number of edges whose endpoints live on different sites (the edge cut).
+    pub fn edge_cut(&self, graph: &Graph) -> usize {
+        graph.edges().filter(|&(s, t)| self.site_of(s) != self.site_of(t)).count()
+    }
+
+    /// Sizes of all fragments.
+    pub fn fragment_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.sites];
+        for &s in &self.site_of {
+            sizes[s] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_graph::Label;
+
+    fn chain(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(vec![Label(0); n], &edges).unwrap()
+    }
+
+    #[test]
+    fn hash_partition_balances_nodes() {
+        let g = chain(10);
+        let p = GraphPartition::new(&g, 3, PartitionStrategy::Hash);
+        assert_eq!(p.sites(), 3);
+        assert_eq!(p.fragment_sizes().iter().sum::<usize>(), 10);
+        assert!(p.fragment_sizes().iter().all(|&s| (3..=4).contains(&s)));
+        assert_eq!(p.site_of(NodeId(4)), 1);
+    }
+
+    #[test]
+    fn range_partition_is_contiguous_and_has_smaller_cut() {
+        let g = chain(30);
+        let hash = GraphPartition::new(&g, 3, PartitionStrategy::Hash);
+        let range = GraphPartition::new(&g, 3, PartitionStrategy::Range);
+        assert!(range.edge_cut(&g) < hash.edge_cut(&g));
+        // A chain cut into 3 contiguous ranges has exactly 2 cross edges.
+        assert_eq!(range.edge_cut(&g), 2);
+    }
+
+    #[test]
+    fn border_nodes_touch_other_fragments() {
+        let g = chain(10);
+        let p = GraphPartition::new(&g, 2, PartitionStrategy::Range);
+        // Nodes 4 and 5 straddle the boundary of a 2-way range partition.
+        assert!(p.is_border_node(&g, NodeId(4)));
+        assert!(p.is_border_node(&g, NodeId(5)));
+        assert!(!p.is_border_node(&g, NodeId(0)));
+    }
+
+    #[test]
+    fn single_site_has_no_cut() {
+        let g = chain(5);
+        let p = GraphPartition::new(&g, 1, PartitionStrategy::Hash);
+        assert_eq!(p.edge_cut(&g), 0);
+        assert!(g.nodes().all(|v| !p.is_border_node(&g, v)));
+        assert_eq!(p.nodes_of(0).len(), 5);
+    }
+
+    #[test]
+    fn more_sites_than_nodes() {
+        let g = chain(3);
+        let p = GraphPartition::new(&g, 8, PartitionStrategy::Range);
+        assert_eq!(p.fragment_sizes().iter().sum::<usize>(), 3);
+        assert_eq!(p.sites(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_panics() {
+        let g = chain(3);
+        let _ = GraphPartition::new(&g, 0, PartitionStrategy::Hash);
+    }
+}

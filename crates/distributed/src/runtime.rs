@@ -1,0 +1,288 @@
+//! The simulated coordinator/site runtime.
+//!
+//! One thread per site evaluates the balls centred at the site's own nodes and reports a
+//! partial result `Θi` plus traffic counters back to the coordinator over a channel; the
+//! coordinator assembles the union. Every ball is evaluated exactly once (at the site owning
+//! its center), so the union equals the centralized result — the property the tests verify.
+
+use crate::partition::{GraphPartition, PartitionStrategy};
+use ssim_core::dual::dual_simulation_view;
+use ssim_core::match_graph::{extract_max_perfect_subgraph, PerfectSubgraph};
+use ssim_core::minimize::minimize_pattern;
+use ssim_graph::{Ball, Graph, Pattern};
+use std::sync::mpsc;
+use std::thread;
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedConfig {
+    /// Number of sites (fragments).
+    pub sites: usize,
+    /// How the data graph is partitioned across sites.
+    pub strategy: PartitionStrategy,
+    /// Minimise the query at the coordinator before broadcasting it.
+    pub minimize_query: bool,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig { sites: 4, strategy: PartitionStrategy::Range, minimize_query: true }
+    }
+}
+
+/// Network-traffic accounting for one distributed run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Balls whose center sits next to a fragment boundary (candidates for shipping).
+    pub border_balls: usize,
+    /// Balls that actually contained at least one foreign node and thus required shipping.
+    pub shipped_balls: usize,
+    /// Total number of foreign nodes shipped across all balls.
+    pub shipped_nodes: usize,
+    /// Total number of ball edges incident to a foreign node (shipped edges).
+    pub shipped_edges: usize,
+    /// Perfect subgraphs shipped back to the coordinator.
+    pub result_subgraphs: usize,
+    /// Number of balls evaluated by each site.
+    pub balls_per_site: Vec<usize>,
+}
+
+/// Result of a distributed strong-simulation run.
+#[derive(Debug, Clone)]
+pub struct DistributedOutput {
+    /// The union of the sites' partial results, ordered by ball center.
+    pub subgraphs: Vec<PerfectSubgraph>,
+    /// Aggregated traffic counters.
+    pub traffic: TrafficStats,
+    /// The partition that was used.
+    pub partition: GraphPartition,
+}
+
+impl DistributedOutput {
+    /// Union of matched data nodes, mirroring [`ssim_core::strong::MatchOutput::matched_nodes`].
+    pub fn matched_nodes(&self) -> std::collections::BTreeSet<ssim_graph::NodeId> {
+        self.subgraphs.iter().flat_map(|s| s.nodes.iter().copied()).collect()
+    }
+}
+
+/// Partial result produced by one site.
+struct SiteReport {
+    site: usize,
+    subgraphs: Vec<PerfectSubgraph>,
+    border_balls: usize,
+    shipped_balls: usize,
+    shipped_nodes: usize,
+    shipped_edges: usize,
+    balls: usize,
+}
+
+/// Runs strong simulation of `pattern` over `data` distributed across
+/// `config.sites` simulated sites.
+pub fn distributed_strong_simulation(
+    pattern: &Pattern,
+    data: &Graph,
+    config: &DistributedConfig,
+) -> DistributedOutput {
+    let partition = GraphPartition::new(data, config.sites, config.strategy);
+
+    // Coordinator step 1: optionally minimise the query, then "broadcast" it. The ball
+    // radius stays the diameter of the original query (Lemma 3).
+    let radius = pattern.diameter();
+    let effective_pattern = if config.minimize_query {
+        minimize_pattern(pattern).pattern
+    } else {
+        pattern.clone()
+    };
+
+    let (tx, rx) = mpsc::channel::<SiteReport>();
+    let mut reports: Vec<SiteReport> = Vec::with_capacity(partition.sites());
+    thread::scope(|scope| {
+        for site in 0..partition.sites() {
+            let tx = tx.clone();
+            let partition = &partition;
+            let pattern = &effective_pattern;
+            scope.spawn(move || {
+                let report = evaluate_site(site, pattern, radius, data, partition);
+                // The coordinator may have stopped listening only if the scope panicked;
+                // ignore send failures in that case.
+                let _ = tx.send(report);
+            });
+        }
+        drop(tx);
+        // Coordinator step 3: collect partial results from every site.
+        while let Ok(report) = rx.recv() {
+            reports.push(report);
+        }
+    });
+
+    // Assemble the union, deterministically ordered by ball center.
+    let mut traffic = TrafficStats { balls_per_site: vec![0; partition.sites()], ..Default::default() };
+    let mut subgraphs = Vec::new();
+    for report in reports {
+        traffic.border_balls += report.border_balls;
+        traffic.shipped_balls += report.shipped_balls;
+        traffic.shipped_nodes += report.shipped_nodes;
+        traffic.shipped_edges += report.shipped_edges;
+        traffic.result_subgraphs += report.subgraphs.len();
+        traffic.balls_per_site[report.site] = report.balls;
+        subgraphs.extend(report.subgraphs);
+    }
+    subgraphs.sort_by_key(|s| s.center);
+    DistributedOutput { subgraphs, traffic, partition }
+}
+
+/// Site worker: evaluate every ball whose center is owned by `site`.
+fn evaluate_site(
+    site: usize,
+    pattern: &Pattern,
+    radius: usize,
+    data: &Graph,
+    partition: &GraphPartition,
+) -> SiteReport {
+    let mut report = SiteReport {
+        site,
+        subgraphs: Vec::new(),
+        border_balls: 0,
+        shipped_balls: 0,
+        shipped_nodes: 0,
+        shipped_edges: 0,
+        balls: 0,
+    };
+    for center in partition.nodes_of(site) {
+        report.balls += 1;
+        if partition.is_border_node(data, center) {
+            report.border_balls += 1;
+        }
+        let ball = Ball::new(data, center, radius);
+        // Traffic accounting: every ball member stored on a different site would have to be
+        // shipped to this site, together with its incident ball edges.
+        let foreign: Vec<_> =
+            ball.members().iter().copied().filter(|&v| partition.site_of(v) != site).collect();
+        if !foreign.is_empty() {
+            report.shipped_balls += 1;
+            report.shipped_nodes += foreign.len();
+            for &v in &foreign {
+                report.shipped_edges += data
+                    .out_neighbors(v)
+                    .chain(data.in_neighbors(v))
+                    .filter(|w| ball.contains(*w))
+                    .count();
+            }
+        }
+        let view = ball.view(data);
+        if let Some(relation) = dual_simulation_view(pattern, &view) {
+            if let Some(subgraph) =
+                extract_max_perfect_subgraph(pattern, &view, &relation, center, radius)
+            {
+                report.subgraphs.push(subgraph);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_core::strong::{strong_simulation, MatchConfig};
+    use ssim_datasets::paper;
+    use ssim_datasets::synthetic::{synthetic, SyntheticConfig};
+    use ssim_datasets::patterns::extract_pattern;
+
+    #[test]
+    fn distributed_equals_centralized_on_figure1() {
+        let fig = paper::figure1();
+        let central = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
+        for sites in [1, 2, 3, 5] {
+            for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range] {
+                let config = DistributedConfig { sites, strategy, minimize_query: false };
+                let out = distributed_strong_simulation(&fig.pattern, &fig.data, &config);
+                assert_eq!(
+                    central.matched_nodes(),
+                    out.matched_nodes(),
+                    "sites={sites} strategy={strategy:?}"
+                );
+                assert_eq!(central.subgraphs.len(), out.subgraphs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_equals_centralized_on_synthetic_data() {
+        let data = synthetic(&SyntheticConfig { nodes: 250, alpha: 1.15, labels: 12, seed: 3 });
+        let pattern = extract_pattern(&data, 4, 9).expect("pattern extraction succeeds");
+        let central = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        let out = distributed_strong_simulation(
+            &pattern,
+            &data,
+            &DistributedConfig { sites: 4, strategy: PartitionStrategy::Hash, minimize_query: true },
+        );
+        assert_eq!(central.matched_nodes(), out.matched_nodes());
+        assert_eq!(central.subgraphs.len(), out.subgraphs.len());
+    }
+
+    #[test]
+    fn single_site_ships_nothing() {
+        let fig = paper::figure2_books();
+        let out = distributed_strong_simulation(
+            &fig.pattern,
+            &fig.data,
+            &DistributedConfig { sites: 1, strategy: PartitionStrategy::Hash, minimize_query: false },
+        );
+        assert_eq!(out.traffic.shipped_balls, 0);
+        assert_eq!(out.traffic.shipped_nodes, 0);
+        assert_eq!(out.traffic.border_balls, 0);
+        assert_eq!(out.traffic.balls_per_site, vec![fig.data.node_count()]);
+    }
+
+    #[test]
+    fn shipping_is_bounded_by_border_balls_times_ball_size() {
+        let data = synthetic(&SyntheticConfig { nodes: 150, alpha: 1.1, labels: 8, seed: 21 });
+        let pattern = extract_pattern(&data, 3, 4).unwrap();
+        let out = distributed_strong_simulation(
+            &pattern,
+            &data,
+            &DistributedConfig { sites: 3, strategy: PartitionStrategy::Range, minimize_query: false },
+        );
+        // Shipped balls can never exceed the total number of balls, and every shipped ball
+        // ships at most the whole graph.
+        let total_balls: usize = out.traffic.balls_per_site.iter().sum();
+        assert_eq!(total_balls, data.node_count());
+        assert!(out.traffic.shipped_balls <= total_balls);
+        assert!(out.traffic.shipped_nodes <= out.traffic.shipped_balls * data.node_count());
+        assert_eq!(out.traffic.result_subgraphs, out.subgraphs.len());
+    }
+
+    #[test]
+    fn range_partition_ships_less_than_hash_partition() {
+        // On a long path graph the range partition has O(sites) border nodes while the hash
+        // partition makes nearly every node a border node, so range must ship less.
+        let n = 200u32;
+        let labels: Vec<ssim_graph::Label> =
+            (0..n).map(|i| ssim_graph::Label(i % 2)).collect();
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let data = ssim_graph::Graph::from_edges(labels, &edges).unwrap();
+        let pattern = ssim_graph::Pattern::from_edges(
+            vec![ssim_graph::Label(0), ssim_graph::Label(1)],
+            &[(0, 1)],
+        )
+        .unwrap();
+        let hash = distributed_strong_simulation(
+            &pattern,
+            &data,
+            &DistributedConfig { sites: 4, strategy: PartitionStrategy::Hash, minimize_query: false },
+        );
+        let range = distributed_strong_simulation(
+            &pattern,
+            &data,
+            &DistributedConfig { sites: 4, strategy: PartitionStrategy::Range, minimize_query: false },
+        );
+        assert_eq!(hash.matched_nodes(), range.matched_nodes());
+        assert!(
+            range.traffic.shipped_nodes < hash.traffic.shipped_nodes,
+            "range partition ({}) should ship no more than hash ({})",
+            range.traffic.shipped_nodes,
+            hash.traffic.shipped_nodes
+        );
+    }
+}

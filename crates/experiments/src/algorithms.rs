@@ -1,0 +1,192 @@
+//! Unified adapter over all matching algorithms compared in the evaluation.
+
+use ssim_baselines::mcs::{self, McsConfig};
+use ssim_baselines::tale::{self, TaleConfig};
+use ssim_baselines::vf2::{self, Vf2Limits};
+use ssim_core::simulation::graph_simulation;
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_graph::{Graph, NodeId, Pattern};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// The algorithms compared in Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Graph simulation (`Sim` in the figures).
+    Sim,
+    /// Strong simulation, plain `Match` algorithm.
+    Match,
+    /// Strong simulation with all optimisations (`Match+`).
+    MatchPlus,
+    /// VF2 subgraph isomorphism.
+    Vf2,
+    /// TALE-style approximate matching.
+    Tale,
+    /// MCS-based approximate matching.
+    Mcs,
+}
+
+impl AlgorithmKind {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Sim => "Sim",
+            AlgorithmKind::Match => "Match",
+            AlgorithmKind::MatchPlus => "Match+",
+            AlgorithmKind::Vf2 => "VF2",
+            AlgorithmKind::Tale => "TALE",
+            AlgorithmKind::Mcs => "MCS",
+        }
+    }
+
+    /// The algorithms of the quality experiments (Figures 7(c)–7(n)).
+    pub fn quality_set() -> [AlgorithmKind; 5] {
+        [
+            AlgorithmKind::Vf2,
+            AlgorithmKind::Match,
+            AlgorithmKind::Mcs,
+            AlgorithmKind::Tale,
+            AlgorithmKind::Sim,
+        ]
+    }
+
+    /// The algorithms of the performance experiments (Figures 8(a)–8(h)).
+    pub fn performance_set(include_vf2: bool) -> Vec<AlgorithmKind> {
+        let mut set = vec![AlgorithmKind::Sim, AlgorithmKind::Match, AlgorithmKind::MatchPlus];
+        if include_vf2 {
+            set.push(AlgorithmKind::Vf2);
+        }
+        set
+    }
+}
+
+/// Result of running one algorithm on one (pattern, data) pair.
+#[derive(Debug, Clone)]
+pub struct AlgoRun {
+    /// Which algorithm produced this run.
+    pub algorithm: AlgorithmKind,
+    /// Union of all data nodes appearing in the algorithm's matches.
+    pub matched_nodes: BTreeSet<NodeId>,
+    /// Number of matched subgraphs reported.
+    pub subgraph_count: usize,
+    /// Sizes (node counts) of the individual matched subgraphs.
+    pub subgraph_sizes: Vec<usize>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl AlgoRun {
+    /// Total number of distinct matched data nodes.
+    pub fn matched_node_count(&self) -> usize {
+        self.matched_nodes.len()
+    }
+}
+
+/// Runs `algorithm` on the given pattern and data graph, timing it and normalising the
+/// result shape.
+pub fn run_algorithm(algorithm: AlgorithmKind, pattern: &Pattern, data: &Graph) -> AlgoRun {
+    let start = Instant::now();
+    let (matched_nodes, subgraph_sizes): (BTreeSet<NodeId>, Vec<usize>) = match algorithm {
+        AlgorithmKind::Sim => {
+            let nodes: BTreeSet<NodeId> = match graph_simulation(pattern, data) {
+                Some(rel) => rel.matched_data_nodes().iter().map(NodeId::from_index).collect(),
+                None => BTreeSet::new(),
+            };
+            // Sim returns a single match relation, reported as one matched subgraph.
+            let sizes = if nodes.is_empty() { vec![] } else { vec![nodes.len()] };
+            (nodes, sizes)
+        }
+        AlgorithmKind::Match | AlgorithmKind::MatchPlus => {
+            let config = if algorithm == AlgorithmKind::Match {
+                MatchConfig::basic()
+            } else {
+                MatchConfig::optimized()
+            };
+            let output = strong_simulation(pattern, data, &config);
+            let sizes = output.subgraphs.iter().map(|s| s.node_count()).collect();
+            (output.matched_nodes(), sizes)
+        }
+        AlgorithmKind::Vf2 => {
+            let result = vf2::find_embeddings(
+                pattern,
+                data,
+                Vf2Limits { max_embeddings: 20_000, max_steps: 5_000_000 },
+            );
+            let subgraphs = result.matched_subgraphs();
+            let nodes = ssim_baselines::matched_node_union(&subgraphs);
+            let sizes = subgraphs.iter().map(|s| s.node_count()).collect();
+            (nodes, sizes)
+        }
+        AlgorithmKind::Tale => {
+            let subgraphs = tale::find_matches(pattern, data, &TaleConfig::default());
+            let nodes = ssim_baselines::matched_node_union(&subgraphs);
+            let sizes = subgraphs.iter().map(|s| s.node_count()).collect();
+            (nodes, sizes)
+        }
+        AlgorithmKind::Mcs => {
+            let subgraphs = mcs::find_matches(pattern, data, &McsConfig::default());
+            let nodes = ssim_baselines::matched_node_union(&subgraphs);
+            let sizes = subgraphs.iter().map(|s| s.node_count()).collect();
+            (nodes, sizes)
+        }
+    };
+    AlgoRun {
+        algorithm,
+        subgraph_count: subgraph_sizes.len(),
+        matched_nodes,
+        subgraph_sizes,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssim_datasets::paper;
+
+    #[test]
+    fn all_algorithms_run_on_figure1() {
+        let fig = paper::figure1();
+        for kind in AlgorithmKind::quality_set() {
+            let run = run_algorithm(kind, &fig.pattern, &fig.data);
+            assert_eq!(run.algorithm, kind);
+            assert_eq!(run.subgraph_count, run.subgraph_sizes.len());
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn proposition1_containment_on_figure1() {
+        // VF2 ⊆ Match ⊆ Sim in terms of matched nodes (Proposition 1).
+        let fig = paper::figure1();
+        let vf2 = run_algorithm(AlgorithmKind::Vf2, &fig.pattern, &fig.data);
+        let matchd = run_algorithm(AlgorithmKind::Match, &fig.pattern, &fig.data);
+        let sim = run_algorithm(AlgorithmKind::Sim, &fig.pattern, &fig.data);
+        assert!(vf2.matched_nodes.is_subset(&matchd.matched_nodes));
+        assert!(matchd.matched_nodes.is_subset(&sim.matched_nodes));
+    }
+
+    #[test]
+    fn match_and_match_plus_agree() {
+        let fig = paper::figure4_citations();
+        let a = run_algorithm(AlgorithmKind::Match, &fig.pattern, &fig.data);
+        let b = run_algorithm(AlgorithmKind::MatchPlus, &fig.pattern, &fig.data);
+        assert_eq!(a.matched_nodes, b.matched_nodes);
+        assert_eq!(a.subgraph_count, b.subgraph_count);
+    }
+
+    #[test]
+    fn performance_set_composition() {
+        assert_eq!(AlgorithmKind::performance_set(true).len(), 4);
+        assert_eq!(AlgorithmKind::performance_set(false).len(), 3);
+        assert_eq!(AlgorithmKind::quality_set().len(), 5);
+    }
+
+    #[test]
+    fn sim_reports_a_single_subgraph() {
+        let fig = paper::figure2_books();
+        let run = run_algorithm(AlgorithmKind::Sim, &fig.pattern, &fig.data);
+        assert_eq!(run.subgraph_count, 1);
+        assert_eq!(run.subgraph_sizes, vec![run.matched_node_count()]);
+    }
+}

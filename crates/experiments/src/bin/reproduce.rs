@@ -1,0 +1,121 @@
+//! `reproduce` — regenerate the tables and figures of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [--scale tiny|small|paper] [--nodes N] [exp-id ...]
+//! ```
+//!
+//! With no experiment ids every experiment is run. Valid ids: `fig7a`, `fig7b`,
+//! `fig7c`..`fig7h` (closeness), `fig7i`..`fig7n` (match counts), `table3`,
+//! `fig8a`..`fig8h` (performance), `opt` (optimisation ablation), `dist` (distributed).
+
+use ssim_experiments::scale::ExperimentScale;
+use ssim_experiments::workloads::DatasetKind;
+use ssim_experiments::{ablation, closeness, distributed_exp, match_counts, match_sizes, performance, quality};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::paper_scaled();
+    let mut requested: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => ExperimentScale::tiny(),
+                    Some("small") => ExperimentScale::small(),
+                    Some("paper") | None => ExperimentScale::paper_scaled(),
+                    Some(other) => {
+                        eprintln!("unknown scale {other:?}, using paper scale");
+                        ExperimentScale::paper_scaled()
+                    }
+                };
+            }
+            "--nodes" => {
+                i += 1;
+                if let Some(n) = args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    scale.data_nodes = n;
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: reproduce [--scale tiny|small|paper] [--nodes N] [exp-id ...]");
+                return;
+            }
+            other => requested.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let run_all = requested.is_empty();
+    let wants = |id: &str| run_all || requested.iter().any(|r| r == id);
+
+    println!(
+        "reproducing the evaluation of \"Capturing Topology in Graph Pattern Matching\" \
+         (scale: {} data nodes)\n",
+        scale.data_nodes
+    );
+
+    // Figures 7(a)/(b): qualitative case studies.
+    if wants("fig7a") {
+        println!("{}", quality::render(&quality::amazon_case(scale.data_nodes.min(2_000), scale.seed)));
+    }
+    if wants("fig7b") {
+        println!("{}", quality::render(&quality::youtube_case(scale.data_nodes.min(1_000), scale.seed)));
+    }
+
+    // Figures 7(c)-(h): closeness.
+    let closeness_ids = ["fig7c", "fig7d", "fig7e", "fig7f", "fig7g", "fig7h"];
+    for (idx, dataset) in DatasetKind::all().iter().enumerate() {
+        if wants(closeness_ids[idx]) {
+            println!("{}", closeness::closeness_vs_pattern_size(*dataset, &scale).to_table());
+        }
+        if wants(closeness_ids[idx + 3]) {
+            println!("{}", closeness::closeness_vs_data_size(*dataset, &scale).to_table());
+        }
+    }
+
+    // Figures 7(i)-(n): match counts.
+    let count_ids = ["fig7i", "fig7j", "fig7k", "fig7l", "fig7m", "fig7n"];
+    for (idx, dataset) in DatasetKind::all().iter().enumerate() {
+        if wants(count_ids[idx]) {
+            println!("{}", match_counts::counts_vs_pattern_size(*dataset, &scale).to_table());
+        }
+        if wants(count_ids[idx + 3]) {
+            println!("{}", match_counts::counts_vs_data_size(*dataset, &scale).to_table());
+        }
+    }
+
+    // Table 3: matched-subgraph sizes.
+    if wants("table3") {
+        println!("{}", match_sizes::render_table3(&match_sizes::table3(&scale)));
+    }
+
+    // Figures 8(a)-(h): performance.
+    let perf_pattern_ids = ["fig8a", "fig8b", "fig8c"];
+    let perf_data_ids = ["fig8e", "fig8f", "fig8g"];
+    for (idx, dataset) in DatasetKind::all().iter().enumerate() {
+        if wants(perf_pattern_ids[idx]) {
+            println!("{}", performance::time_vs_pattern_size(*dataset, &scale).to_table());
+        }
+        if wants(perf_data_ids[idx]) {
+            println!("{}", performance::time_vs_data_size(*dataset, &scale).to_table());
+        }
+    }
+    if wants("fig8d") {
+        println!("{}", performance::time_vs_pattern_density(&scale).to_table());
+    }
+    if wants("fig8h") {
+        println!("{}", performance::time_vs_data_density(&scale).to_table());
+    }
+
+    // Optimisation ablation and distributed evaluation.
+    if wants("opt") {
+        let rows = ablation::optimization_ablation(DatasetKind::Synthetic, &scale);
+        println!("{}", ablation::render(&rows, DatasetKind::Synthetic));
+    }
+    if wants("dist") {
+        let rows = distributed_exp::traffic_vs_sites(DatasetKind::AmazonLike, &scale);
+        println!("{}", distributed_exp::render(&rows, DatasetKind::AmazonLike));
+    }
+}

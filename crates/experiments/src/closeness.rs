@@ -1,0 +1,127 @@
+//! Exp-1, Figures 7(c)–7(h): closeness of each algorithm to subgraph isomorphism.
+//!
+//! Paper findings being reproduced: the closeness of `Match` stays in the 70–80% band across
+//! pattern and data sizes, `Sim` in 25–38%, `TALE` in 35–42% and `MCS` in 46–57%; none of
+//! the algorithms is very sensitive to the sweep variable.
+
+use crate::algorithms::{run_algorithm, AlgorithmKind};
+use crate::metrics::closeness;
+use crate::report::Figure;
+use crate::scale::ExperimentScale;
+use crate::workloads::{experiment_pattern, DatasetKind};
+
+/// Figures 7(c)/(d)/(e): closeness while varying the pattern size `|Vq|` on a fixed graph.
+pub fn closeness_vs_pattern_size(dataset: DatasetKind, scale: &ExperimentScale) -> Figure {
+    let mut fig = Figure::new(
+        match dataset {
+            DatasetKind::AmazonLike => "fig7c",
+            DatasetKind::YouTubeLike => "fig7d",
+            DatasetKind::Synthetic => "fig7e",
+        },
+        &format!("closeness vs |Vq| ({})", dataset.name()),
+        "|Vq|",
+        "closeness",
+    );
+    let data = dataset.generate(scale.data_nodes, scale.seed);
+    for (point, &size) in scale.pattern_sizes.iter().enumerate() {
+        for rep in 0..scale.patterns_per_point {
+            let pattern = experiment_pattern(&data, size, scale.point_seed(point, rep));
+            let vf2 = run_algorithm(AlgorithmKind::Vf2, &pattern, &data);
+            for kind in AlgorithmKind::quality_set() {
+                let run = if kind == AlgorithmKind::Vf2 {
+                    vf2.clone()
+                } else {
+                    run_algorithm(kind, &pattern, &data)
+                };
+                fig.push(size as f64, kind, closeness(&vf2, &run));
+            }
+        }
+    }
+    fig
+}
+
+/// Figures 7(f)/(g)/(h): closeness while varying the data size `|V|` with `|Vq|` fixed.
+pub fn closeness_vs_data_size(dataset: DatasetKind, scale: &ExperimentScale) -> Figure {
+    let mut fig = Figure::new(
+        match dataset {
+            DatasetKind::AmazonLike => "fig7f",
+            DatasetKind::YouTubeLike => "fig7g",
+            DatasetKind::Synthetic => "fig7h",
+        },
+        &format!("closeness vs |V| ({})", dataset.name()),
+        "|V|",
+        "closeness",
+    );
+    for (point, &nodes) in scale.data_sweep.iter().enumerate() {
+        let data = dataset.generate(nodes, scale.seed.wrapping_add(point as u64));
+        for rep in 0..scale.patterns_per_point {
+            let pattern =
+                experiment_pattern(&data, scale.fixed_pattern_size, scale.point_seed(point, rep));
+            let vf2 = run_algorithm(AlgorithmKind::Vf2, &pattern, &data);
+            for kind in AlgorithmKind::quality_set() {
+                let run = if kind == AlgorithmKind::Vf2 {
+                    vf2.clone()
+                } else {
+                    run_algorithm(kind, &pattern, &data)
+                };
+                fig.push(nodes as f64, kind, closeness(&vf2, &run));
+            }
+        }
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closeness_sweep_has_all_algorithms_and_sane_values() {
+        let scale = ExperimentScale::tiny();
+        let fig = closeness_vs_pattern_size(DatasetKind::Synthetic, &scale);
+        assert_eq!(fig.id, "fig7e");
+        assert_eq!(fig.algorithms().len(), 5);
+        assert_eq!(fig.xs().len(), scale.pattern_sizes.len());
+        for p in &fig.points {
+            assert!(p.value >= 0.0 && p.value <= 1.0 + 1e-9, "closeness {} out of range", p.value);
+        }
+        // VF2's closeness to itself is 1 by definition.
+        for x in fig.xs() {
+            assert!((fig.value_at(x, AlgorithmKind::Vf2).unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn match_is_closer_to_vf2_than_sim() {
+        // The headline quality claim of the paper, at tiny scale.
+        let scale = ExperimentScale::tiny();
+        let fig = closeness_vs_pattern_size(DatasetKind::AmazonLike, &scale);
+        let mut match_total = 0.0;
+        let mut sim_total = 0.0;
+        let mut n = 0.0;
+        for x in fig.xs() {
+            if let (Some(m), Some(s)) =
+                (fig.value_at(x, AlgorithmKind::Match), fig.value_at(x, AlgorithmKind::Sim))
+            {
+                match_total += m;
+                sim_total += s;
+                n += 1.0;
+            }
+        }
+        assert!(n > 0.0);
+        assert!(
+            match_total / n >= sim_total / n,
+            "Match average closeness {} should not be below Sim {}",
+            match_total / n,
+            sim_total / n
+        );
+    }
+
+    #[test]
+    fn data_size_sweep_produces_one_row_per_size() {
+        let scale = ExperimentScale::tiny();
+        let fig = closeness_vs_data_size(DatasetKind::YouTubeLike, &scale);
+        assert_eq!(fig.id, "fig7g");
+        assert_eq!(fig.xs().len(), scale.data_sweep.len());
+    }
+}

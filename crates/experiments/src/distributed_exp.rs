@@ -1,0 +1,103 @@
+//! Distributed evaluation experiment (Section 4.3).
+//!
+//! The paper's distributed algorithm ships only the balls that straddle fragment
+//! boundaries. This experiment measures the shipped data while varying the number of sites
+//! and the partition strategy, and verifies that the distributed result equals the
+//! centralized one.
+
+use crate::scale::ExperimentScale;
+use crate::workloads::{experiment_pattern, DatasetKind};
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_distributed::{
+    distributed_strong_simulation, DistributedConfig, PartitionStrategy, TrafficStats,
+};
+
+/// One measured row of the distributed experiment.
+#[derive(Debug, Clone)]
+pub struct DistributedRow {
+    /// Number of simulated sites.
+    pub sites: usize,
+    /// Partition strategy used.
+    pub strategy: PartitionStrategy,
+    /// Traffic counters of the run.
+    pub traffic: TrafficStats,
+    /// Whether the distributed result matched the centralized result exactly.
+    pub matches_centralized: bool,
+    /// Wall-clock seconds of the distributed run.
+    pub seconds: f64,
+}
+
+/// Runs the experiment on one dataset family, sweeping the number of sites.
+pub fn traffic_vs_sites(dataset: DatasetKind, scale: &ExperimentScale) -> Vec<DistributedRow> {
+    let data = dataset.generate(scale.data_nodes, scale.seed);
+    let pattern = experiment_pattern(&data, scale.fixed_pattern_size, scale.point_seed(900, 0));
+    let centralized = strong_simulation(&pattern, &data, &MatchConfig::basic());
+    let mut rows = Vec::new();
+    for sites in [1usize, 2, 4, 8] {
+        for strategy in [PartitionStrategy::Range, PartitionStrategy::Hash] {
+            let start = std::time::Instant::now();
+            let out = distributed_strong_simulation(
+                &pattern,
+                &data,
+                &DistributedConfig { sites, strategy, minimize_query: false },
+            );
+            let seconds = start.elapsed().as_secs_f64();
+            rows.push(DistributedRow {
+                sites,
+                strategy,
+                matches_centralized: out.matched_nodes() == centralized.matched_nodes()
+                    && out.subgraphs.len() == centralized.subgraphs.len(),
+                traffic: out.traffic,
+                seconds,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the distributed rows as a text table.
+pub fn render(rows: &[DistributedRow], dataset: DatasetKind) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== dist — distributed evaluation ({}) ==", dataset.name());
+    let _ = writeln!(
+        out,
+        "{:>7}{:>9}{:>15}{:>15}{:>15}{:>10}{:>10}",
+        "sites", "part.", "border balls", "shipped balls", "shipped nodes", "correct", "seconds"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>7}{:>9}{:>15}{:>15}{:>15}{:>10}{:>10.4}",
+            r.sites,
+            match r.strategy {
+                PartitionStrategy::Hash => "hash",
+                PartitionStrategy::Range => "range",
+            },
+            r.traffic.border_balls,
+            r.traffic.shipped_balls,
+            r.traffic.shipped_nodes,
+            r.matches_centralized,
+            r.seconds
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_rows_are_correct_and_monotone_in_sites() {
+        let scale = ExperimentScale::tiny();
+        let rows = traffic_vs_sites(DatasetKind::Synthetic, &scale);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.matches_centralized), "distributed result diverged");
+        // One site ships nothing.
+        let single: Vec<_> = rows.iter().filter(|r| r.sites == 1).collect();
+        assert!(single.iter().all(|r| r.traffic.shipped_nodes == 0));
+        let text = render(&rows, DatasetKind::Synthetic);
+        assert!(text.contains("shipped nodes"));
+    }
+}

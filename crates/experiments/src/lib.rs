@@ -1,0 +1,34 @@
+//! Experiment harness for the strong-simulation evaluation.
+//!
+//! Section 5 of the paper reports two experiment families:
+//!
+//! * **Exp-1 (match quality)** — the *closeness* of each algorithm's matched nodes to the
+//!   nodes matched by subgraph isomorphism (Figures 7(c)–7(h)), the number of matched
+//!   subgraphs (Figures 7(i)–7(n)) and the size distribution of matched subgraphs
+//!   (Table 3), plus two qualitative case studies on real data (Figures 7(a)–7(b)).
+//! * **Exp-2 (performance)** — running time of `Sim`, `Match`, `Match+` and `VF2` while
+//!   varying pattern size, pattern density, data size and data density
+//!   (Figures 8(a)–8(h)), and the effectiveness of the optimisations (≈ 1/3 time saved).
+//!
+//! Each figure/table has a function in the corresponding module that regenerates its series
+//! at a configurable [`scale::ExperimentScale`]; the `reproduce` binary prints them as text
+//! tables and EXPERIMENTS.md records the measured values next to the paper's.
+
+pub mod ablation;
+pub mod algorithms;
+pub mod closeness;
+pub mod distributed_exp;
+pub mod match_counts;
+pub mod match_sizes;
+pub mod metrics;
+pub mod performance;
+pub mod quality;
+pub mod report;
+pub mod scale;
+pub mod workloads;
+
+pub use algorithms::{run_algorithm, AlgoRun, AlgorithmKind};
+pub use metrics::closeness as closeness_metric;
+pub use report::{Figure, SeriesPoint};
+pub use scale::ExperimentScale;
+pub use workloads::DatasetKind;

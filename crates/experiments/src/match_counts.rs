@@ -1,0 +1,107 @@
+//! Exp-1, Figures 7(i)–7(n): number of matched subgraphs returned by each algorithm.
+//!
+//! Paper findings being reproduced: `Match` returns roughly 25–38% as many matched subgraphs
+//! as VF2, while the approximate matchers TALE and MCS return even more than VF2; counts
+//! shrink as patterns grow and grow with the data size.
+
+use crate::algorithms::{run_algorithm, AlgorithmKind};
+use crate::report::Figure;
+use crate::scale::ExperimentScale;
+use crate::workloads::{experiment_pattern, DatasetKind};
+
+/// The algorithms reported in Figures 7(i)–7(n); `Sim` is omitted because it always returns
+/// a single match relation (as the paper notes).
+fn count_set() -> [AlgorithmKind; 4] {
+    [AlgorithmKind::Tale, AlgorithmKind::Mcs, AlgorithmKind::Vf2, AlgorithmKind::Match]
+}
+
+/// Figures 7(i)/(j)/(k): matched-subgraph counts while varying `|Vq|`.
+pub fn counts_vs_pattern_size(dataset: DatasetKind, scale: &ExperimentScale) -> Figure {
+    let mut fig = Figure::new(
+        match dataset {
+            DatasetKind::AmazonLike => "fig7i",
+            DatasetKind::YouTubeLike => "fig7j",
+            DatasetKind::Synthetic => "fig7k",
+        },
+        &format!("# matched subgraphs vs |Vq| ({})", dataset.name()),
+        "|Vq|",
+        "# matched subgraphs",
+    );
+    let data = dataset.generate(scale.data_nodes, scale.seed);
+    for (point, &size) in scale.pattern_sizes.iter().enumerate() {
+        for rep in 0..scale.patterns_per_point {
+            let pattern = experiment_pattern(&data, size, scale.point_seed(point, rep));
+            for kind in count_set() {
+                let run = run_algorithm(kind, &pattern, &data);
+                fig.push(size as f64, kind, run.subgraph_count as f64);
+            }
+        }
+    }
+    fig
+}
+
+/// Figures 7(l)/(m)/(n): matched-subgraph counts while varying `|V|`.
+pub fn counts_vs_data_size(dataset: DatasetKind, scale: &ExperimentScale) -> Figure {
+    let mut fig = Figure::new(
+        match dataset {
+            DatasetKind::AmazonLike => "fig7l",
+            DatasetKind::YouTubeLike => "fig7m",
+            DatasetKind::Synthetic => "fig7n",
+        },
+        &format!("# matched subgraphs vs |V| ({})", dataset.name()),
+        "|V|",
+        "# matched subgraphs",
+    );
+    for (point, &nodes) in scale.data_sweep.iter().enumerate() {
+        let data = dataset.generate(nodes, scale.seed.wrapping_add(point as u64));
+        for rep in 0..scale.patterns_per_point {
+            let pattern =
+                experiment_pattern(&data, scale.fixed_pattern_size, scale.point_seed(point, rep));
+            for kind in count_set() {
+                let run = run_algorithm(kind, &pattern, &data);
+                fig.push(nodes as f64, kind, run.subgraph_count as f64);
+            }
+        }
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_sweep_shape() {
+        let scale = ExperimentScale::tiny();
+        let fig = counts_vs_pattern_size(DatasetKind::Synthetic, &scale);
+        assert_eq!(fig.id, "fig7k");
+        assert_eq!(fig.algorithms().len(), 4);
+        for p in &fig.points {
+            assert!(p.value >= 0.0);
+            assert!(p.value.fract().abs() < 1e-9, "counts are integers");
+        }
+    }
+
+    #[test]
+    fn counts_grow_or_hold_with_data_size_for_match() {
+        let scale = ExperimentScale::tiny();
+        let fig = counts_vs_data_size(DatasetKind::AmazonLike, &scale);
+        assert_eq!(fig.id, "fig7l");
+        let xs = fig.xs();
+        assert_eq!(xs.len(), scale.data_sweep.len());
+        // Counts are defined at every sweep point for Match.
+        for x in xs {
+            assert!(fig.value_at(x, AlgorithmKind::Match).is_some());
+        }
+    }
+
+    #[test]
+    fn match_reports_bounded_counts() {
+        // Proposition 4: at most |V| perfect subgraphs.
+        let scale = ExperimentScale::tiny();
+        let fig = counts_vs_pattern_size(DatasetKind::AmazonLike, &scale);
+        for p in fig.points.iter().filter(|p| p.algorithm == AlgorithmKind::Match) {
+            assert!(p.value <= scale.data_nodes as f64);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Quality metrics of Exp-1.
+
+use crate::algorithms::AlgoRun;
+
+/// The *closeness* metric of the paper:
+///
+/// ```text
+/// closeness = #matches_subIso / #matches_found
+/// ```
+///
+/// where `#matches_subIso` is the total number of nodes in the matches found by VF2 and
+/// `#matches_found` the total number of nodes in the matches found by the algorithm under
+/// comparison. For VF2 itself the value is 1 by definition. When the compared algorithm
+/// finds no node at all the metric is defined as 1.0 if VF2 also found nothing and 0.0
+/// otherwise.
+pub fn closeness(vf2: &AlgoRun, other: &AlgoRun) -> f64 {
+    let reference = vf2.matched_node_count();
+    let found = other.matched_node_count();
+    if found == 0 {
+        return if reference == 0 { 1.0 } else { 0.0 };
+    }
+    reference as f64 / found as f64
+}
+
+/// Histogram of matched-subgraph sizes, reproducing the buckets of Table 3:
+/// `[0,9]`, `[10,19]`, `[20,29]`, `[30,39]`, `[40,49]`, `≥ 50`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SizeHistogram {
+    /// Bucket counts in the order listed above.
+    pub buckets: [usize; 6],
+}
+
+impl SizeHistogram {
+    /// Builds the histogram from a list of subgraph sizes.
+    pub fn from_sizes(sizes: &[usize]) -> Self {
+        let mut buckets = [0usize; 6];
+        for &s in sizes {
+            let idx = (s / 10).min(5);
+            buckets[idx] += 1;
+        }
+        SizeHistogram { buckets }
+    }
+
+    /// Total number of subgraphs counted.
+    pub fn total(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of subgraphs with fewer than 30 nodes (the paper reports > 80%).
+    pub fn fraction_below_30(&self) -> f64 {
+        if self.total() == 0 {
+            return 1.0;
+        }
+        (self.buckets[0] + self.buckets[1] + self.buckets[2]) as f64 / self.total() as f64
+    }
+
+    /// Labels of the buckets, for reports.
+    pub fn bucket_labels() -> [&'static str; 6] {
+        ["[0,9]", "[10,19]", "[20,29]", "[30,39]", "[40,49]", ">=50"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::AlgorithmKind;
+    use ssim_graph::NodeId;
+    use std::collections::BTreeSet;
+    use std::time::Duration;
+
+    fn run_with_nodes(kind: AlgorithmKind, nodes: &[u32]) -> AlgoRun {
+        AlgoRun {
+            algorithm: kind,
+            matched_nodes: nodes.iter().map(|&i| NodeId(i)).collect::<BTreeSet<_>>(),
+            subgraph_count: 1,
+            subgraph_sizes: vec![nodes.len()],
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn closeness_ratio() {
+        let vf2 = run_with_nodes(AlgorithmKind::Vf2, &[1, 2, 3]);
+        let sim = run_with_nodes(AlgorithmKind::Sim, &[1, 2, 3, 4, 5, 6]);
+        assert!((closeness(&vf2, &sim) - 0.5).abs() < 1e-12);
+        assert!((closeness(&vf2, &vf2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_with_empty_results() {
+        let empty_vf2 = run_with_nodes(AlgorithmKind::Vf2, &[]);
+        let empty_other = run_with_nodes(AlgorithmKind::Sim, &[]);
+        let some_vf2 = run_with_nodes(AlgorithmKind::Vf2, &[1]);
+        assert_eq!(closeness(&empty_vf2, &empty_other), 1.0);
+        assert_eq!(closeness(&some_vf2, &empty_other), 0.0);
+        let big_other = run_with_nodes(AlgorithmKind::Sim, &[1, 2]);
+        assert_eq!(closeness(&empty_vf2, &big_other), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = SizeHistogram::from_sizes(&[3, 9, 10, 25, 31, 49, 50, 120]);
+        assert_eq!(h.buckets, [2, 1, 1, 1, 1, 2]);
+        assert_eq!(h.total(), 8);
+        assert!((h.fraction_below_30() - 0.5).abs() < 1e-12);
+        assert_eq!(SizeHistogram::bucket_labels().len(), 6);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = SizeHistogram::from_sizes(&[]);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction_below_30(), 1.0);
+    }
+}

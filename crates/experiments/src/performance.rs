@@ -1,0 +1,155 @@
+//! Exp-2, Figures 8(a)–8(h): running time of `Sim`, `Match`, `Match+` and `VF2`.
+//!
+//! Paper findings being reproduced: VF2 is orders of magnitude slower than the simulation
+//! family and stops scaling quickly; `Match` and `Match+` scale with both pattern and data
+//! size; `Match+` runs in about two thirds of the time of `Match`; `Sim` is the fastest
+//! (the price of its poor match quality).
+
+use crate::algorithms::{run_algorithm, AlgorithmKind};
+use crate::report::Figure;
+use crate::scale::ExperimentScale;
+use crate::workloads::{density_pattern, experiment_pattern, DatasetKind};
+
+/// Figures 8(a)/(b)/(c): running time while varying the pattern size `|Vq|`.
+pub fn time_vs_pattern_size(dataset: DatasetKind, scale: &ExperimentScale) -> Figure {
+    let mut fig = Figure::new(
+        match dataset {
+            DatasetKind::AmazonLike => "fig8a",
+            DatasetKind::YouTubeLike => "fig8b",
+            DatasetKind::Synthetic => "fig8c",
+        },
+        &format!("running time vs |Vq| ({})", dataset.name()),
+        "|Vq|",
+        "seconds",
+    );
+    let data = dataset.generate(scale.data_nodes, scale.seed);
+    let algorithms = AlgorithmKind::performance_set(scale.include_vf2);
+    for (point, &size) in scale.pattern_sizes.iter().enumerate() {
+        for rep in 0..scale.patterns_per_point {
+            let pattern = experiment_pattern(&data, size, scale.point_seed(point, rep));
+            for &kind in &algorithms {
+                let run = run_algorithm(kind, &pattern, &data);
+                fig.push(size as f64, kind, run.elapsed.as_secs_f64());
+            }
+        }
+    }
+    fig
+}
+
+/// Figure 8(d): running time while varying the pattern density `αq` (synthetic data).
+pub fn time_vs_pattern_density(scale: &ExperimentScale) -> Figure {
+    let mut fig = Figure::new(
+        "fig8d",
+        "running time vs pattern density αq (synthetic)",
+        "alpha_q",
+        "seconds",
+    );
+    let data = DatasetKind::Synthetic.generate(scale.data_nodes, scale.seed);
+    // The paper omits VF2 here (it cannot finish); follow suit.
+    let algorithms = AlgorithmKind::performance_set(false);
+    for (point, &alpha) in scale.pattern_densities.iter().enumerate() {
+        for rep in 0..scale.patterns_per_point {
+            let pattern = density_pattern(
+                &data,
+                scale.fixed_pattern_size,
+                alpha,
+                scale.point_seed(point, rep),
+            );
+            for &kind in &algorithms {
+                let run = run_algorithm(kind, &pattern, &data);
+                fig.push(alpha, kind, run.elapsed.as_secs_f64());
+            }
+        }
+    }
+    fig
+}
+
+/// Figures 8(e)/(f)/(g): running time while varying the data size `|V|`.
+pub fn time_vs_data_size(dataset: DatasetKind, scale: &ExperimentScale) -> Figure {
+    let mut fig = Figure::new(
+        match dataset {
+            DatasetKind::AmazonLike => "fig8e",
+            DatasetKind::YouTubeLike => "fig8f",
+            DatasetKind::Synthetic => "fig8g",
+        },
+        &format!("running time vs |V| ({})", dataset.name()),
+        "|V|",
+        "seconds",
+    );
+    // The paper only runs VF2 on the (small) real-life graphs.
+    let include_vf2 = scale.include_vf2 && dataset != DatasetKind::Synthetic;
+    let algorithms = AlgorithmKind::performance_set(include_vf2);
+    for (point, &nodes) in scale.data_sweep.iter().enumerate() {
+        let data = dataset.generate(nodes, scale.seed.wrapping_add(point as u64));
+        for rep in 0..scale.patterns_per_point {
+            let pattern =
+                experiment_pattern(&data, scale.fixed_pattern_size, scale.point_seed(point, rep));
+            for &kind in &algorithms {
+                let run = run_algorithm(kind, &pattern, &data);
+                fig.push(nodes as f64, kind, run.elapsed.as_secs_f64());
+            }
+        }
+    }
+    fig
+}
+
+/// Figure 8(h): running time while varying the data density `α` (synthetic data).
+pub fn time_vs_data_density(scale: &ExperimentScale) -> Figure {
+    let mut fig = Figure::new(
+        "fig8h",
+        "running time vs data density α (synthetic)",
+        "alpha",
+        "seconds",
+    );
+    let algorithms = AlgorithmKind::performance_set(false);
+    for (point, &alpha) in scale.data_densities.iter().enumerate() {
+        let data = DatasetKind::Synthetic.generate_with_density(
+            scale.data_nodes,
+            alpha,
+            scale.seed.wrapping_add(point as u64),
+        );
+        for rep in 0..scale.patterns_per_point {
+            let pattern =
+                experiment_pattern(&data, scale.fixed_pattern_size, scale.point_seed(point, rep));
+            for &kind in &algorithms {
+                let run = run_algorithm(kind, &pattern, &data);
+                fig.push(alpha, kind, run.elapsed.as_secs_f64());
+            }
+        }
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_size_sweep_times_every_algorithm() {
+        let scale = ExperimentScale::tiny();
+        let fig = time_vs_pattern_size(DatasetKind::AmazonLike, &scale);
+        assert_eq!(fig.id, "fig8a");
+        assert_eq!(fig.algorithms().len(), 4);
+        assert!(fig.points.iter().all(|p| p.value >= 0.0));
+    }
+
+    #[test]
+    fn density_sweeps_exclude_vf2() {
+        let scale = ExperimentScale::tiny();
+        let d = time_vs_pattern_density(&scale);
+        assert!(!d.algorithms().contains(&AlgorithmKind::Vf2));
+        let h = time_vs_data_density(&scale);
+        assert_eq!(h.id, "fig8h");
+        assert_eq!(h.xs().len(), scale.data_densities.len());
+    }
+
+    #[test]
+    fn synthetic_data_size_sweep_excludes_vf2() {
+        let scale = ExperimentScale::tiny();
+        let fig = time_vs_data_size(DatasetKind::Synthetic, &scale);
+        assert_eq!(fig.id, "fig8g");
+        assert!(!fig.algorithms().contains(&AlgorithmKind::Vf2));
+        let amazon = time_vs_data_size(DatasetKind::AmazonLike, &scale);
+        assert!(amazon.algorithms().contains(&AlgorithmKind::Vf2));
+    }
+}

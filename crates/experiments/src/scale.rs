@@ -1,0 +1,115 @@
+//! Experiment scales.
+//!
+//! The paper runs on graphs with up to 10⁸ nodes on a 30-machine cluster; this reproduction
+//! targets a laptop, so every experiment accepts an [`ExperimentScale`] that controls data
+//! sizes, pattern sizes and repetition counts. The *shape* of the results (who wins, by what
+//! factor, where crossovers appear) is what is being reproduced — see EXPERIMENTS.md.
+
+/// Sizing knobs shared by all experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Number of data-graph nodes for experiments that vary the pattern.
+    pub data_nodes: usize,
+    /// Pattern sizes `|Vq|` to sweep (the paper uses 2–20).
+    pub pattern_sizes: Vec<usize>,
+    /// Data sizes `|V|` to sweep for experiments that vary the data graph.
+    pub data_sweep: Vec<usize>,
+    /// Pattern densities `αq` to sweep (the paper uses 1.05–1.35).
+    pub pattern_densities: Vec<f64>,
+    /// Data densities `α` to sweep (the paper uses 1.05–1.35).
+    pub data_densities: Vec<f64>,
+    /// Number of pattern seeds averaged per measurement point.
+    pub patterns_per_point: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Pattern size used when the pattern is held fixed (the paper uses `|Vq| = 10`).
+    pub fixed_pattern_size: usize,
+    /// Include the exponential VF2 baseline (the paper drops it on large inputs).
+    pub include_vf2: bool,
+}
+
+impl ExperimentScale {
+    /// Minimal scale used by unit and integration tests: runs in well under a second.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            data_nodes: 120,
+            pattern_sizes: vec![2, 3, 4],
+            data_sweep: vec![80, 120],
+            pattern_densities: vec![1.05, 1.2],
+            data_densities: vec![1.05, 1.2],
+            patterns_per_point: 1,
+            seed: 7,
+            fixed_pattern_size: 4,
+            include_vf2: true,
+        }
+    }
+
+    /// Small scale used by the Criterion benches.
+    pub fn small() -> Self {
+        ExperimentScale {
+            data_nodes: 500,
+            pattern_sizes: vec![2, 4, 6, 8],
+            data_sweep: vec![250, 500, 750],
+            pattern_densities: vec![1.05, 1.15, 1.25, 1.35],
+            data_densities: vec![1.05, 1.15, 1.25, 1.35],
+            patterns_per_point: 2,
+            seed: 11,
+            fixed_pattern_size: 6,
+            include_vf2: true,
+        }
+    }
+
+    /// Default scale of the `reproduce` binary: a laptop-sized rendition of the paper's
+    /// sweeps (minutes, not hours).
+    pub fn paper_scaled() -> Self {
+        ExperimentScale {
+            data_nodes: 2_000,
+            pattern_sizes: vec![2, 4, 6, 8, 10, 12],
+            data_sweep: vec![500, 1_000, 1_500, 2_000, 2_500],
+            pattern_densities: vec![1.05, 1.10, 1.15, 1.20, 1.25, 1.30, 1.35],
+            data_densities: vec![1.05, 1.10, 1.15, 1.20, 1.25, 1.30, 1.35],
+            patterns_per_point: 3,
+            seed: 42,
+            fixed_pattern_size: 8,
+            include_vf2: true,
+        }
+    }
+
+    /// Deterministic seed for the `i`-th repetition of a measurement point.
+    pub fn point_seed(&self, point: usize, repetition: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(point as u64 * 1_000_003)
+            .wrapping_add(repetition as u64 * 7_919)
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::paper_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        let tiny = ExperimentScale::tiny();
+        let small = ExperimentScale::small();
+        let full = ExperimentScale::paper_scaled();
+        assert!(tiny.data_nodes < small.data_nodes);
+        assert!(small.data_nodes < full.data_nodes);
+        assert!(tiny.pattern_sizes.len() <= full.pattern_sizes.len());
+        assert_eq!(ExperimentScale::default(), full);
+    }
+
+    #[test]
+    fn point_seeds_differ() {
+        let s = ExperimentScale::tiny();
+        assert_ne!(s.point_seed(0, 0), s.point_seed(0, 1));
+        assert_ne!(s.point_seed(0, 0), s.point_seed(1, 0));
+        assert_eq!(s.point_seed(2, 3), s.point_seed(2, 3));
+    }
+}

@@ -1,0 +1,139 @@
+//! Dataset and pattern workloads used by the experiments.
+
+use ssim_datasets::patterns::{extract_pattern, random_pattern, PatternGenConfig};
+use ssim_datasets::reallike::{amazon_like, youtube_like};
+use ssim_datasets::synthetic::{synthetic, SyntheticConfig};
+use ssim_graph::{Graph, Pattern};
+
+/// The three dataset families of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Amazon-like product co-purchase graphs (sparse, avg out-degree ≈ 3.3).
+    AmazonLike,
+    /// YouTube-like related-video graphs (dense, avg out-degree ≈ 20).
+    YouTubeLike,
+    /// The `(n, α, l)` synthetic generator with the paper defaults `α = 1.2`, `l = 200`.
+    Synthetic,
+}
+
+impl DatasetKind {
+    /// Human-readable dataset name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::AmazonLike => "amazon-like",
+            DatasetKind::YouTubeLike => "youtube-like",
+            DatasetKind::Synthetic => "synthetic",
+        }
+    }
+
+    /// Generates a graph of roughly `nodes` nodes for this dataset family.
+    pub fn generate(&self, nodes: usize, seed: u64) -> Graph {
+        match self {
+            DatasetKind::AmazonLike => amazon_like(nodes, seed),
+            DatasetKind::YouTubeLike => youtube_like(nodes, seed),
+            DatasetKind::Synthetic => {
+                synthetic(&SyntheticConfig { nodes, seed, ..SyntheticConfig::default() })
+            }
+        }
+    }
+
+    /// Generates a graph with an explicit density exponent `α` (only meaningful for the
+    /// synthetic family; the real-like families keep their natural density).
+    pub fn generate_with_density(&self, nodes: usize, alpha: f64, seed: u64) -> Graph {
+        match self {
+            DatasetKind::Synthetic => synthetic(&SyntheticConfig {
+                nodes,
+                alpha,
+                seed,
+                ..SyntheticConfig::default()
+            }),
+            _ => self.generate(nodes, seed),
+        }
+    }
+
+    /// All dataset families, in the order the paper's figures list them.
+    pub fn all() -> [DatasetKind; 3] {
+        [DatasetKind::AmazonLike, DatasetKind::YouTubeLike, DatasetKind::Synthetic]
+    }
+}
+
+/// Produces a pattern with `size` nodes for the experiments.
+///
+/// Patterns are *extracted* from the data graph so that subgraph isomorphism always finds at
+/// least one match — the closeness metric is meaningless otherwise. Falls back to a random
+/// pattern over the data graph's label range when extraction cannot reach the requested
+/// size (tiny or fragmented graphs).
+pub fn experiment_pattern(data: &Graph, size: usize, seed: u64) -> Pattern {
+    if let Some(p) = extract_pattern(data, size, seed) {
+        if p.node_count() == size {
+            return p;
+        }
+    }
+    random_pattern(&PatternGenConfig {
+        nodes: size,
+        alpha: 1.2,
+        labels: data.distinct_label_count().max(1),
+        seed,
+    })
+}
+
+/// Produces a pattern with `size` nodes and density exponent `alpha_q` (used by the
+/// pattern-density sweep of Fig. 8(d)). Labels are drawn from the data graph's label range
+/// so matches remain possible.
+pub fn density_pattern(data: &Graph, size: usize, alpha_q: f64, seed: u64) -> Pattern {
+    random_pattern(&PatternGenConfig {
+        nodes: size,
+        alpha: alpha_q,
+        labels: data.distinct_label_count().max(1),
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_names_and_generation() {
+        for kind in DatasetKind::all() {
+            let g = kind.generate(150, 3);
+            assert_eq!(g.node_count(), 150, "{}", kind.name());
+            assert!(g.edge_count() > 0, "{}", kind.name());
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn youtube_like_is_denser() {
+        let a = DatasetKind::AmazonLike.generate(300, 1);
+        let y = DatasetKind::YouTubeLike.generate(300, 1);
+        assert!(y.edge_count() > a.edge_count());
+    }
+
+    #[test]
+    fn density_parameter_changes_synthetic_only() {
+        let sparse = DatasetKind::Synthetic.generate_with_density(200, 1.05, 5);
+        let dense = DatasetKind::Synthetic.generate_with_density(200, 1.3, 5);
+        assert!(dense.edge_count() > sparse.edge_count());
+        let a1 = DatasetKind::AmazonLike.generate_with_density(200, 1.05, 5);
+        let a2 = DatasetKind::AmazonLike.generate_with_density(200, 1.3, 5);
+        assert_eq!(a1, a2, "real-like datasets ignore the density exponent");
+    }
+
+    #[test]
+    fn experiment_patterns_have_the_requested_size() {
+        let data = DatasetKind::Synthetic.generate(200, 9);
+        for size in [2, 4, 6] {
+            let p = experiment_pattern(&data, size, 13);
+            assert_eq!(p.node_count(), size);
+        }
+    }
+
+    #[test]
+    fn density_patterns_scale_edge_count() {
+        let data = DatasetKind::Synthetic.generate(200, 9);
+        let sparse = density_pattern(&data, 8, 1.05, 3);
+        let dense = density_pattern(&data, 8, 1.35, 3);
+        assert!(dense.edge_count() >= sparse.edge_count());
+    }
+}

@@ -1,0 +1,191 @@
+//! Balls `Ĝ[w, r]`: the radius-`r` undirected neighbourhood of a node.
+//!
+//! A ball is the subgraph of `G` whose nodes lie within undirected distance `r` of the
+//! center `w` and whose edges are **all** edges of `G` between those nodes (Section 2.2 of
+//! the paper). Border nodes — nodes at distance exactly `r` — are tracked because the
+//! `dualFilter` optimisation (Fig. 5, Proposition 5) starts its removal process from them.
+
+use crate::bitset::BitSet;
+use crate::graph::{Graph, NodeId};
+use crate::traversal::bounded_bfs_undirected;
+use crate::view::GraphView;
+
+/// The ball `Ĝ[w, r]` of a data graph.
+#[derive(Debug, Clone)]
+pub struct Ball {
+    center: NodeId,
+    radius: usize,
+    /// Members in BFS order from the center.
+    members: Vec<NodeId>,
+    /// Distance from the center for each entry of `members`.
+    distances: Vec<u32>,
+    /// Membership bitset over the *original* graph's node ids.
+    membership: BitSet,
+}
+
+impl Ball {
+    /// Builds the ball of radius `radius` centred at `center`.
+    ///
+    /// # Panics
+    /// Panics when `center` is not a node of `graph`.
+    pub fn new(graph: &Graph, center: NodeId, radius: usize) -> Self {
+        assert!(graph.contains_node(center), "ball center {center} out of range");
+        let (members, distances) = bounded_bfs_undirected(graph, center, radius);
+        let mut membership = BitSet::new(graph.node_count());
+        for &m in &members {
+            membership.insert(m.index());
+        }
+        Ball { center, radius, members, distances, membership }
+    }
+
+    /// The ball center `w`.
+    #[inline]
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+
+    /// The ball radius `r`.
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Nodes of the ball (original graph ids), in BFS order from the center.
+    #[inline]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of nodes in the ball.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` when `node` belongs to the ball.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.membership.contains(node.index())
+    }
+
+    /// Distance of `node` from the center, when the node is in the ball.
+    pub fn distance(&self, node: NodeId) -> Option<usize> {
+        self.members
+            .iter()
+            .position(|&m| m == node)
+            .map(|i| self.distances[i] as usize)
+    }
+
+    /// Border nodes: members at distance exactly `radius` from the center.
+    pub fn border_nodes(&self) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .zip(&self.distances)
+            .filter(|(_, &d)| d as usize == self.radius)
+            .map(|(&m, _)| m)
+            .collect()
+    }
+
+    /// Membership bitset over the original graph's node ids.
+    #[inline]
+    pub fn membership(&self) -> &BitSet {
+        &self.membership
+    }
+
+    /// A [`GraphView`] of `graph` restricted to this ball.
+    pub fn view<'a>(&'a self, graph: &'a Graph) -> GraphView<'a> {
+        GraphView::restricted(graph, &self.membership)
+    }
+
+    /// Materialises the ball as a standalone graph; returns the graph and the mapping
+    /// *new id → original id*. Mostly useful for presentation and tests — the matching
+    /// algorithms use [`Ball::view`] instead.
+    pub fn to_graph(&self, graph: &Graph) -> (Graph, Vec<NodeId>) {
+        graph.induced_subgraph(&self.members)
+    }
+
+    /// Number of edges of the ball subgraph. `O(Σ deg)` over members.
+    pub fn edge_count(&self, graph: &Graph) -> usize {
+        self.members
+            .iter()
+            .map(|&u| graph.out_neighbors(u).filter(|v| self.contains(*v)).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Label;
+
+    fn star_plus_tail() -> Graph {
+        // 0 is the hub of a star over 1..=3; 3 -> 4 -> 5 is a tail.
+        Graph::from_edges(
+            vec![Label(0); 6],
+            &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn radius_one_ball() {
+        let g = star_plus_tail();
+        let ball = Ball::new(&g, NodeId(0), 1);
+        assert_eq!(ball.center(), NodeId(0));
+        assert_eq!(ball.radius(), 1);
+        assert_eq!(ball.node_count(), 4);
+        assert!(ball.contains(NodeId(3)));
+        assert!(!ball.contains(NodeId(4)));
+        assert_eq!(ball.border_nodes(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(ball.distance(NodeId(0)), Some(0));
+        assert_eq!(ball.distance(NodeId(3)), Some(1));
+        assert_eq!(ball.distance(NodeId(5)), None);
+        assert_eq!(ball.edge_count(&g), 3);
+    }
+
+    #[test]
+    fn radius_zero_ball_is_single_node() {
+        let g = star_plus_tail();
+        let ball = Ball::new(&g, NodeId(4), 0);
+        assert_eq!(ball.members(), &[NodeId(4)]);
+        assert_eq!(ball.border_nodes(), vec![NodeId(4)]);
+        assert_eq!(ball.edge_count(&g), 0);
+    }
+
+    #[test]
+    fn ball_uses_undirected_distance() {
+        let g = star_plus_tail();
+        // Node 5 reaches node 4 and 3 via reversed edges.
+        let ball = Ball::new(&g, NodeId(5), 2);
+        assert!(ball.contains(NodeId(3)));
+        assert!(!ball.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn large_radius_covers_component() {
+        let g = star_plus_tail();
+        let ball = Ball::new(&g, NodeId(2), 10);
+        assert_eq!(ball.node_count(), 6);
+        assert!(ball.border_nodes().is_empty());
+        let (sub, mapping) = ball.to_graph(&g);
+        assert_eq!(sub.node_count(), 6);
+        assert_eq!(sub.edge_count(), 5);
+        assert_eq!(mapping.len(), 6);
+    }
+
+    #[test]
+    fn view_restricts_neighbors() {
+        let g = star_plus_tail();
+        let ball = Ball::new(&g, NodeId(0), 1);
+        let view = ball.view(&g);
+        assert_eq!(view.node_count(), 4);
+        assert_eq!(view.out_neighbors(NodeId(3)).count(), 0); // 3 -> 4 leaves the ball
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_center_panics() {
+        let g = star_plus_tail();
+        let _ = Ball::new(&g, NodeId(42), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::labels::{Label, LabelInterner};
+
+/// Builds a [`Graph`] by adding nodes and edges incrementally.
+///
+/// The builder keeps a per-node adjacency list and converts it into the CSR representation on
+/// [`GraphBuilder::build`]. Edge targets are sorted and deduplicated so the resulting graph
+/// supports binary-search edge lookups.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    out_edges: Vec<Vec<NodeId>>,
+    interner: LabelInterner,
+    edge_count_hint: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-allocated capacity for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            labels: Vec::with_capacity(nodes),
+            out_edges: Vec::with_capacity(nodes),
+            interner: LabelInterner::new(),
+            edge_count_hint: edges,
+        }
+    }
+
+    /// Adds a node labelled by the string `label` (interned via the builder's interner).
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        let l = self.interner.intern(label);
+        self.add_labeled_node(l)
+    }
+
+    /// Adds a node with an explicit [`Label`] (used by generators producing numeric labels).
+    pub fn add_labeled_node(&mut self, label: Label) -> NodeId {
+        let id = NodeId::from_index(self.labels.len());
+        self.labels.push(label);
+        self.out_edges.push(Vec::new());
+        id
+    }
+
+    /// Adds `count` nodes all carrying `label`; returns the id of the first one.
+    pub fn add_labeled_nodes(&mut self, label: Label, count: usize) -> NodeId {
+        let first = NodeId::from_index(self.labels.len());
+        for _ in 0..count {
+            self.add_labeled_node(label);
+        }
+        first
+    }
+
+    /// Adds the directed edge `(from, to)`.
+    ///
+    /// # Panics
+    /// Panics when either endpoint has not been added yet; use [`GraphBuilder::try_add_edge`]
+    /// for a fallible variant.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        self.try_add_edge(from, to).expect("edge endpoint out of range");
+    }
+
+    /// Adds the directed edge `(from, to)`, reporting invalid endpoints as errors.
+    pub fn try_add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        let n = self.labels.len();
+        for endpoint in [from, to] {
+            if endpoint.index() >= n {
+                return Err(GraphError::InvalidNode { node: endpoint.0, node_count: n });
+            }
+        }
+        self.out_edges[from.index()].push(to);
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Access to the label interner (e.g. to translate labels back to names for display).
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Consumes the builder and returns the label interner, for callers that only need the
+    /// string table.
+    pub fn into_interner(self) -> LabelInterner {
+        self.interner
+    }
+
+    /// Finalises the CSR graph. Parallel edges are removed; edge order is normalised.
+    pub fn build(self) -> Graph {
+        self.build_with_interner().0
+    }
+
+    /// Finalises the graph and also hands back the label interner.
+    pub fn build_with_interner(mut self) -> (Graph, LabelInterner) {
+        let n = self.labels.len();
+        // Deduplicate and sort each adjacency list.
+        let mut total = 0usize;
+        for list in &mut self.out_edges {
+            list.sort_unstable();
+            list.dedup();
+            total += list.len();
+        }
+        let _ = self.edge_count_hint;
+        let mut fwd_offsets = Vec::with_capacity(n + 1);
+        let mut fwd_targets = Vec::with_capacity(total);
+        fwd_offsets.push(0);
+        for list in &self.out_edges {
+            fwd_targets.extend_from_slice(list);
+            fwd_offsets.push(fwd_targets.len());
+        }
+        // Reverse CSR via counting sort over targets.
+        let mut in_degree = vec![0usize; n];
+        for &t in &fwd_targets {
+            in_degree[t.index()] += 1;
+        }
+        let mut rev_offsets = Vec::with_capacity(n + 1);
+        rev_offsets.push(0);
+        let mut acc = 0usize;
+        for d in &in_degree {
+            acc += d;
+            rev_offsets.push(acc);
+        }
+        let mut cursor = rev_offsets[..n].to_vec();
+        let mut rev_targets = vec![NodeId(0); total];
+        for (src_idx, list) in self.out_edges.iter().enumerate() {
+            for &t in list {
+                rev_targets[cursor[t.index()]] = NodeId::from_index(src_idx);
+                cursor[t.index()] += 1;
+            }
+        }
+        // Sources within each reverse bucket are already in ascending order because we iterate
+        // sources in ascending order, so binary search in `has_edge` stays valid.
+        let graph = Graph::from_csr(self.labels, fwd_offsets, fwd_targets, rev_offsets, rev_targets);
+        (graph, self.interner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_with_string_labels() {
+        let mut b = GraphBuilder::new();
+        let hr = b.add_node("HR");
+        let se = b.add_node("SE");
+        let bio = b.add_node("Bio");
+        let hr2 = b.add_node("HR");
+        b.add_edge(hr, bio);
+        b.add_edge(se, bio);
+        b.add_edge(hr2, se);
+        let (g, interner) = b.build_with_interner();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.label(hr), g.label(hr2));
+        assert_eq!(interner.name(g.label(bio)), Some("Bio"));
+        assert_eq!(g.nodes_with_label(interner.get("HR").unwrap()), &[hr, hr2]);
+    }
+
+    #[test]
+    fn try_add_edge_reports_bad_endpoints() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        assert!(b.try_add_edge(a, NodeId(5)).is_err());
+        assert!(b.try_add_edge(NodeId(5), a).is_err());
+        assert!(b.try_add_edge(a, a).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn add_edge_panics_on_bad_endpoint() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        b.add_edge(a, NodeId(9));
+    }
+
+    #[test]
+    fn reverse_adjacency_matches_forward() {
+        let mut b = GraphBuilder::with_capacity(5, 6);
+        for i in 0..5u32 {
+            b.add_labeled_node(Label(i % 2));
+        }
+        let edges = [(0u32, 1u32), (2, 1), (3, 1), (1, 4), (4, 0), (0, 4)];
+        for (s, t) in edges {
+            b.add_edge(NodeId(s), NodeId(t));
+        }
+        let g = b.build();
+        for (s, t) in g.edges() {
+            assert!(g.in_neighbors(t).any(|p| p == s));
+        }
+        assert_eq!(g.in_neighbors(NodeId(1)).collect::<Vec<_>>(), vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(g.in_degree(NodeId(4)), 2);
+    }
+
+    #[test]
+    fn add_labeled_nodes_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_labeled_nodes(Label(7), 10);
+        assert_eq!(first, NodeId(0));
+        assert_eq!(b.node_count(), 10);
+        let g = b.build();
+        assert_eq!(g.nodes_with_label(Label(7)).len(), 10);
+    }
+
+    #[test]
+    fn into_interner_returns_string_table() {
+        let mut b = GraphBuilder::new();
+        b.add_node("only");
+        let interner = b.into_interner();
+        assert_eq!(interner.len(), 1);
+    }
+}

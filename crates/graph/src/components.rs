@@ -1,0 +1,271 @@
+//! Connected components (undirected) and strongly connected components.
+//!
+//! Theorem 2 of the paper reduces perfect-subgraph extraction to finding the undirected
+//! connected component of the match graph that contains the ball center; connectivity
+//! pruning (Example 6) uses the same primitive inside balls.
+
+use crate::graph::{Graph, NodeId};
+use crate::view::GraphView;
+
+/// Assignment of every node to an undirected connected component.
+#[derive(Debug, Clone)]
+pub struct ConnectedComponents {
+    /// Component id per node index; nodes outside a restricted view get `usize::MAX`.
+    component: Vec<usize>,
+    count: usize,
+}
+
+/// Marker for nodes that are outside the analysed view.
+pub const NO_COMPONENT: usize = usize::MAX;
+
+impl ConnectedComponents {
+    /// Computes undirected connected components of the whole graph.
+    pub fn compute(graph: &Graph) -> Self {
+        Self::compute_view(&GraphView::full(graph))
+    }
+
+    /// Computes undirected connected components of a restricted view.
+    pub fn compute_view(view: &GraphView<'_>) -> Self {
+        let n = view.graph().node_count();
+        let mut component = vec![NO_COMPONENT; n];
+        let mut count = 0;
+        let mut stack = Vec::new();
+        for start in view.nodes() {
+            if component[start.index()] != NO_COMPONENT {
+                continue;
+            }
+            component[start.index()] = count;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for v in view.out_neighbors(u).chain(view.in_neighbors(u)) {
+                    if component[v.index()] == NO_COMPONENT {
+                        component[v.index()] = count;
+                        stack.push(v);
+                    }
+                }
+            }
+            count += 1;
+        }
+        ConnectedComponents { component, count }
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component id of `node`, or `None` when the node is outside the analysed view.
+    pub fn component_of(&self, node: NodeId) -> Option<usize> {
+        match self.component.get(node.index()) {
+            Some(&c) if c != NO_COMPONENT => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when the two nodes are in the same component.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        matches!((self.component_of(a), self.component_of(b)), (Some(x), Some(y)) if x == y)
+    }
+
+    /// All nodes of the component containing `node` (ascending order).
+    pub fn members_of(&self, node: NodeId) -> Vec<NodeId> {
+        match self.component_of(node) {
+            None => Vec::new(),
+            Some(c) => self
+                .component
+                .iter()
+                .enumerate()
+                .filter(|(_, &cc)| cc == c)
+                .map(|(i, _)| NodeId::from_index(i))
+                .collect(),
+        }
+    }
+
+    /// Groups nodes by component, returning one vector per component id.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (i, &c) in self.component.iter().enumerate() {
+            if c != NO_COMPONENT {
+                groups[c].push(NodeId::from_index(i));
+            }
+        }
+        groups
+    }
+}
+
+/// Returns `true` when the graph is (undirected) connected.
+///
+/// The empty graph is considered connected (it has zero components), matching the convention
+/// that pattern graphs are non-empty and connected.
+pub fn is_connected(graph: &Graph) -> bool {
+    ConnectedComponents::compute(graph).count() <= 1
+}
+
+/// Tarjan's strongly connected components (iterative formulation).
+///
+/// Returns one vector of node ids per SCC, in reverse topological order of the condensation.
+pub fn strongly_connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut result: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0u32;
+
+    // Explicit DFS stack: (node, neighbour iterator position).
+    enum Frame {
+        Enter(NodeId),
+        Resume(NodeId, usize),
+    }
+
+    for start in graph.nodes() {
+        if index[start.index()] != u32::MAX {
+            continue;
+        }
+        let mut call_stack = vec![Frame::Enter(start)];
+        while let Some(frame) = call_stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v.index()] = next_index;
+                    low[v.index()] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v.index()] = true;
+                    call_stack.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut child_pos) => {
+                    let neighbors: Vec<NodeId> = graph.out_neighbors(v).collect();
+                    let mut descended = false;
+                    while child_pos < neighbors.len() {
+                        let w = neighbors[child_pos];
+                        child_pos += 1;
+                        if index[w.index()] == u32::MAX {
+                            call_stack.push(Frame::Resume(v, child_pos));
+                            call_stack.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w.index()] {
+                            low[v.index()] = low[v.index()].min(index[w.index()]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if low[v.index()] == index[v.index()] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w.index()] = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort_unstable();
+                        result.push(scc);
+                    }
+                    // Propagate lowlink to the parent frame, if any.
+                    if let Some(Frame::Resume(parent, _)) = call_stack.last() {
+                        let p = parent.index();
+                        low[p] = low[p].min(low[v.index()]);
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::BitSet;
+    use crate::labels::Label;
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(vec![Label(0); 6], &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let cc = ConnectedComponents::compute(&g);
+        assert_eq!(cc.count(), 3);
+        assert!(cc.same_component(NodeId(0), NodeId(2)));
+        assert!(!cc.same_component(NodeId(0), NodeId(3)));
+        assert_eq!(cc.members_of(NodeId(3)), vec![NodeId(3), NodeId(4)]);
+        assert_eq!(cc.members_of(NodeId(5)), vec![NodeId(5)]);
+        assert_eq!(cc.groups().len(), 3);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn edge_direction_is_ignored_for_connectivity() {
+        let g = Graph::from_edges(vec![Label(0); 3], &[(1, 0), (1, 2)]).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::from_edges(vec![], &[]).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(ConnectedComponents::compute(&g).count(), 0);
+    }
+
+    #[test]
+    fn restricted_view_components() {
+        let g = Graph::from_edges(vec![Label(0); 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let mut members = BitSet::new(5);
+        for i in [0usize, 1, 3, 4] {
+            members.insert(i);
+        }
+        let view = GraphView::restricted(&g, &members);
+        let cc = ConnectedComponents::compute_view(&view);
+        assert_eq!(cc.count(), 2);
+        assert_eq!(cc.component_of(NodeId(2)), None);
+        assert!(cc.same_component(NodeId(0), NodeId(1)));
+        assert!(cc.same_component(NodeId(3), NodeId(4)));
+        assert!(!cc.same_component(NodeId(1), NodeId(3)));
+        assert!(cc.members_of(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn scc_of_two_cycles_and_bridge() {
+        // cycle {0,1,2}, cycle {3,4}, bridge 2 -> 3, isolated 5.
+        let g = Graph::from_edges(
+            vec![Label(0); 6],
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
+        )
+        .unwrap();
+        let mut sccs = strongly_connected_components(&g);
+        sccs.sort_by_key(|c| c[0]);
+        assert_eq!(sccs.len(), 3);
+        assert_eq!(sccs[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sccs[1], vec![NodeId(3), NodeId(4)]);
+        assert_eq!(sccs[2], vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn scc_of_dag_is_singletons() {
+        let g = Graph::from_edges(vec![Label(0); 4], &[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_self_loop_is_its_own_component() {
+        let g = Graph::from_edges(vec![Label(0); 2], &[(0, 0), (0, 1)]).unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+    }
+
+    #[test]
+    fn scc_long_cycle() {
+        // A directed cycle of 50 nodes must be a single SCC.
+        let n = 50u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Graph::from_edges(vec![Label(0); n as usize], &edges).unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 50);
+    }
+}

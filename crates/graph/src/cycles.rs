@@ -1,0 +1,192 @@
+//! Directed and undirected cycle detection.
+//!
+//! The paper's topology-preservation criterion (4) distinguishes directed cycles (preserved
+//! by plain simulation, Proposition 2) from undirected cycles (preserved only from dual
+//! simulation upward, Theorem 3). These helpers let the test-suite and the topology report
+//! check both.
+
+use crate::components::strongly_connected_components;
+use crate::graph::{Graph, NodeId};
+
+/// Returns `true` when the graph contains a directed cycle (self-loops count).
+pub fn has_directed_cycle(graph: &Graph) -> bool {
+    // A directed cycle exists iff some SCC has more than one node, or some node has a
+    // self-loop.
+    if graph.nodes().any(|v| graph.has_edge(v, v)) {
+        return true;
+    }
+    strongly_connected_components(graph).iter().any(|scc| scc.len() > 1)
+}
+
+/// Returns `true` when the graph contains an undirected cycle.
+///
+/// Undirected cycles follow the paper's definition: a sequence of nodes connected by edges in
+/// either orientation, with no repeated node except the endpoints, of length at least one.
+/// Self-loops therefore count; a pair of anti-parallel edges `(u,v)` and `(v,u)` forms an
+/// undirected cycle of length 2.
+pub fn has_undirected_cycle(graph: &Graph) -> bool {
+    // Self-loops.
+    if graph.nodes().any(|v| graph.has_edge(v, v)) {
+        return true;
+    }
+    // Anti-parallel edge pairs.
+    if graph.edges().any(|(u, v)| u != v && graph.has_edge(v, u)) {
+        return true;
+    }
+    // Classic union-find over the undirected simple graph: a cycle exists iff some edge joins
+    // two nodes already connected.
+    let n = graph.node_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (u, v) in graph.edges() {
+        if u == v {
+            continue;
+        }
+        // Skip the second copy of anti-parallel pairs (already handled above).
+        if graph.has_edge(v, u) && v < u {
+            continue;
+        }
+        let (ru, rv) = (find(&mut parent, u.index()), find(&mut parent, v.index()));
+        if ru == rv {
+            return true;
+        }
+        parent[ru] = rv;
+    }
+    false
+}
+
+/// Lengths of all *simple* directed cycles through edges inside SCCs, capped at `max_cycles`
+/// enumerated cycles. Used by the bounded-cycle discussion (Theorem 4) tests; exponential in
+/// the worst case, so only applied to small graphs.
+pub fn directed_cycle_lengths(graph: &Graph, max_cycles: usize) -> Vec<usize> {
+    let mut lengths = Vec::new();
+    let n = graph.node_count();
+    // Simple DFS-based enumeration starting from each node, only visiting nodes with id >=
+    // start (Johnson-style restriction to avoid duplicates).
+    for start in graph.nodes() {
+        if lengths.len() >= max_cycles {
+            break;
+        }
+        let mut path: Vec<NodeId> = vec![start];
+        let mut on_path = vec![false; n];
+        on_path[start.index()] = true;
+        // stack of neighbour iterators by position
+        let mut iters: Vec<Vec<NodeId>> =
+            vec![graph.out_neighbors(start).filter(|v| v.index() >= start.index()).collect()];
+        let mut pos = vec![0usize];
+        while !path.is_empty() && lengths.len() < max_cycles {
+            let depth = path.len() - 1;
+            if pos[depth] < iters[depth].len() {
+                let next = iters[depth][pos[depth]];
+                pos[depth] += 1;
+                if next == start {
+                    lengths.push(path.len());
+                } else if !on_path[next.index()] {
+                    on_path[next.index()] = true;
+                    path.push(next);
+                    iters.push(
+                        graph.out_neighbors(next).filter(|v| v.index() >= start.index()).collect(),
+                    );
+                    pos.push(0);
+                }
+            } else {
+                let done = path.pop().expect("path underflow");
+                on_path[done.index()] = false;
+                iters.pop();
+                pos.pop();
+            }
+        }
+    }
+    lengths
+}
+
+/// Length of the longest simple directed cycle, if any (small graphs only — exponential).
+pub fn longest_directed_cycle(graph: &Graph, max_cycles: usize) -> Option<usize> {
+    directed_cycle_lengths(graph, max_cycles).into_iter().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Label;
+
+    fn g(edges: &[(u32, u32)], n: usize) -> Graph {
+        Graph::from_edges(vec![Label(0); n], edges).unwrap()
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let graph = g(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        assert!(!has_directed_cycle(&graph));
+        // The diamond is an undirected cycle though.
+        assert!(has_undirected_cycle(&graph));
+    }
+
+    #[test]
+    fn tree_has_no_undirected_cycle() {
+        let graph = g(&[(0, 1), (0, 2), (1, 3)], 4);
+        assert!(!has_undirected_cycle(&graph));
+        assert!(!has_directed_cycle(&graph));
+    }
+
+    #[test]
+    fn directed_triangle() {
+        let graph = g(&[(0, 1), (1, 2), (2, 0)], 3);
+        assert!(has_directed_cycle(&graph));
+        assert!(has_undirected_cycle(&graph));
+        assert_eq!(longest_directed_cycle(&graph, 100), Some(3));
+    }
+
+    #[test]
+    fn self_loop_counts_as_cycle() {
+        let graph = g(&[(0, 0)], 1);
+        assert!(has_directed_cycle(&graph));
+        assert!(has_undirected_cycle(&graph));
+        assert_eq!(longest_directed_cycle(&graph, 10), Some(1));
+    }
+
+    #[test]
+    fn antiparallel_pair_is_length_two_cycle() {
+        let graph = g(&[(0, 1), (1, 0)], 2);
+        assert!(has_directed_cycle(&graph));
+        assert!(has_undirected_cycle(&graph));
+        assert_eq!(longest_directed_cycle(&graph, 10), Some(2));
+    }
+
+    #[test]
+    fn cycle_lengths_enumeration() {
+        // Two directed cycles: a triangle 0-1-2 and a 2-cycle 3-4.
+        let graph = g(&[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)], 5);
+        let mut lengths = directed_cycle_lengths(&graph, 100);
+        lengths.sort_unstable();
+        assert_eq!(lengths, vec![2, 3]);
+    }
+
+    #[test]
+    fn enumeration_respects_cap() {
+        // Complete directed graph on 5 nodes has many cycles; cap must hold.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let graph = g(&edges, 5);
+        let lengths = directed_cycle_lengths(&graph, 7);
+        assert_eq!(lengths.len(), 7);
+    }
+
+    #[test]
+    fn no_cycle_returns_none() {
+        let graph = g(&[(0, 1)], 2);
+        assert_eq!(longest_directed_cycle(&graph, 10), None);
+    }
+}

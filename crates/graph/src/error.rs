@@ -1,0 +1,77 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors raised while building, validating or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node id that does not exist in the graph.
+    InvalidNode {
+        /// The offending node id (raw index).
+        node: u32,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A pattern graph was required to be connected but is not.
+    DisconnectedPattern {
+        /// Number of undirected connected components found.
+        components: usize,
+    },
+    /// A pattern graph must contain at least one node.
+    EmptyPattern,
+    /// A textual graph description could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode { node, node_count } => {
+                write!(f, "node id {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::DisconnectedPattern { components } => {
+                write!(
+                    f,
+                    "pattern graphs must be connected, found {components} connected components"
+                )
+            }
+            GraphError::EmptyPattern => write!(f, "pattern graphs must contain at least one node"),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_node() {
+        let e = GraphError::InvalidNode { node: 7, node_count: 3 };
+        assert_eq!(e.to_string(), "node id 7 out of range (graph has 3 nodes)");
+    }
+
+    #[test]
+    fn display_disconnected() {
+        let e = GraphError::DisconnectedPattern { components: 2 };
+        assert!(e.to_string().contains("2 connected components"));
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = GraphError::Parse { line: 4, message: "bad edge".into() };
+        assert_eq!(e.to_string(), "parse error at line 4: bad edge");
+    }
+
+    #[test]
+    fn display_empty_pattern() {
+        assert!(GraphError::EmptyPattern.to_string().contains("at least one node"));
+    }
+}

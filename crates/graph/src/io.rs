@@ -1,0 +1,172 @@
+//! Textual graph serialization: a simple labelled edge-list format and GraphViz DOT output.
+//!
+//! The edge-list format is line oriented:
+//!
+//! ```text
+//! # comment
+//! v <id> <label>
+//! e <source-id> <target-id>
+//! ```
+//!
+//! Node ids must be dense `0..n` integers (any order); labels are free-form tokens without
+//! whitespace. This is the interchange format used by the examples and by the experiment
+//! harness when dumping generated workloads.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::labels::LabelInterner;
+use std::fmt::Write as _;
+
+/// Parses the labelled edge-list format described in the module docs.
+pub fn parse_edge_list(text: &str) -> Result<(Graph, LabelInterner), GraphError> {
+    // First pass: collect node declarations so ids can be validated and ordered densely.
+    let mut nodes: Vec<(u32, String)> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("v") => {
+                let id = parse_u32(parts.next(), lineno, "node id")?;
+                let label = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse { line: lineno, message: "missing node label".into() })?;
+                nodes.push((id, label.to_string()));
+            }
+            Some("e") => {
+                let s = parse_u32(parts.next(), lineno, "edge source")?;
+                let t = parse_u32(parts.next(), lineno, "edge target")?;
+                edges.push((s, t));
+            }
+            Some(other) => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("unknown record type {other:?} (expected 'v' or 'e')"),
+                })
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    nodes.sort_by_key(|(id, _)| *id);
+    for (expected, (id, _)) in nodes.iter().enumerate() {
+        if *id as usize != expected {
+            return Err(GraphError::Parse {
+                line: 0,
+                message: format!("node ids must be dense 0..n, missing or duplicate id {expected}"),
+            });
+        }
+    }
+    let mut builder = GraphBuilder::with_capacity(nodes.len(), edges.len());
+    for (_, label) in &nodes {
+        builder.add_node(label);
+    }
+    for (s, t) in edges {
+        builder.try_add_edge(NodeId(s), NodeId(t))?;
+    }
+    Ok(builder.build_with_interner())
+}
+
+fn parse_u32(tok: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    tok.parse::<u32>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} {tok:?} (expected unsigned integer)"),
+    })
+}
+
+/// Serialises a graph to the labelled edge-list format.
+pub fn to_edge_list(graph: &Graph, interner: &LabelInterner) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    for v in graph.nodes() {
+        let _ = writeln!(out, "v {} {}", v.0, interner.display(graph.label(v)));
+    }
+    for (s, t) in graph.edges() {
+        let _ = writeln!(out, "e {} {}", s.0, t.0);
+    }
+    out
+}
+
+/// Renders a graph in GraphViz DOT syntax (directed), labelling nodes as `id:label`.
+pub fn to_dot(graph: &Graph, interner: &LabelInterner, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    for v in graph.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}:{}\"];", v.0, v.0, interner.display(graph.label(v)));
+    }
+    for (s, t) in graph.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", s.0, t.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Label;
+
+    #[test]
+    fn roundtrip_edge_list() {
+        let text = "\
+# a tiny graph
+v 0 HR
+v 1 SE
+v 2 Bio
+e 0 1
+e 0 2
+e 1 2
+";
+        let (g, interner) = parse_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(interner.name(g.label(NodeId(2))), Some("Bio"));
+        let serialized = to_edge_list(&g, &interner);
+        let (g2, _) = parse_edge_list(&serialized).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn nodes_may_appear_out_of_order() {
+        let text = "v 1 B\nv 0 A\ne 0 1\n";
+        let (g, interner) = parse_edge_list(text).unwrap();
+        assert_eq!(interner.name(g.label(NodeId(0))), Some("A"));
+        assert_eq!(interner.name(g.label(NodeId(1))), Some("B"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_records() {
+        assert!(matches!(parse_edge_list("x 1 2\n"), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(parse_edge_list("v abc L\n"), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(parse_edge_list("v 0\n"), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(parse_edge_list("e 0\n"), Err(GraphError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn parse_rejects_sparse_node_ids() {
+        let err = parse_edge_list("v 0 A\nv 2 B\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_edges_to_unknown_nodes() {
+        let err = parse_edge_list("v 0 A\ne 0 5\n").unwrap_err();
+        assert!(matches!(err, GraphError::InvalidNode { node: 5, .. }));
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let g = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let interner = LabelInterner::new();
+        let dot = to_dot(&g, &interner, "demo");
+        assert!(dot.starts_with("digraph demo {"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n0 [label=\"0:L0\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,143 @@
+//! Node labels and label interning.
+//!
+//! The paper models node attributes as labels drawn from a (possibly infinite) alphabet Σ.
+//! Internally every label is a small integer ([`Label`]); the [`LabelInterner`] maps between
+//! human-readable strings (e.g. `"Bio"`, `"HR"`, `"DM"`) and those integers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node label: an interned identifier into a [`LabelInterner`] or a raw synthetic label id.
+///
+/// Labels are plain `u32`s so that label comparison — the single most frequent operation in
+/// every simulation algorithm — is a register compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// Returns the raw integer value of this label.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Label {
+    fn from(v: u32) -> Self {
+        Label(v)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between label strings and [`Label`] ids.
+///
+/// Interning is only used at graph-construction and presentation time; the matching
+/// algorithms themselves never touch strings.
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    by_name: HashMap<String, Label>,
+    names: Vec<String>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing label if it was seen before.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let label = Label(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), label);
+        label
+    }
+
+    /// Looks up a label by name without interning.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `label`, if it was interned through this interner.
+    pub fn name(&self, label: Label) -> Option<&str> {
+        self.names.get(label.index()).map(String::as_str)
+    }
+
+    /// Returns the name of `label`, or a synthetic `L<id>` string for labels that were never
+    /// interned (e.g. labels of synthetic graphs).
+    pub fn display(&self, label: Label) -> String {
+        self.name(label).map(str::to_string).unwrap_or_else(|| label.to_string())
+    }
+
+    /// Number of distinct interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` when no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all interned `(label, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("Bio");
+        let b = interner.intern("HR");
+        let a2 = interner.intern("Bio");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let mut interner = LabelInterner::new();
+        let a = interner.intern("DM");
+        assert_eq!(interner.get("DM"), Some(a));
+        assert_eq!(interner.get("AI"), None);
+        assert_eq!(interner.name(a), Some("DM"));
+        assert_eq!(interner.name(Label(99)), None);
+    }
+
+    #[test]
+    fn display_falls_back_to_synthetic_name() {
+        let interner = LabelInterner::new();
+        assert_eq!(interner.display(Label(7)), "L7");
+        assert!(interner.is_empty());
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut interner = LabelInterner::new();
+        interner.intern("a");
+        interner.intern("b");
+        let collected: Vec<_> = interner.iter().map(|(l, n)| (l.0, n.to_string())).collect();
+        assert_eq!(collected, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+
+    #[test]
+    fn label_ordering_and_index() {
+        assert!(Label(1) < Label(2));
+        assert_eq!(Label(5).index(), 5);
+        assert_eq!(Label::from(3u32), Label(3));
+    }
+}

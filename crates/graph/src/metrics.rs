@@ -1,0 +1,133 @@
+//! Graph metrics: eccentricity, diameter, degree statistics.
+//!
+//! The diameter `dQ` of the (connected) pattern graph determines the ball radius used by
+//! strong simulation, and Proposition 3 bounds every perfect subgraph's diameter by `2·dQ`.
+//! Distances are undirected, per Section 2.1.
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::{bfs_distances, Direction, UNREACHABLE};
+
+/// Eccentricity of `node`: the largest undirected distance from `node` to any node reachable
+/// from it. Returns 0 for an isolated node.
+pub fn eccentricity(graph: &Graph, node: NodeId) -> usize {
+    bfs_distances(graph, node, Direction::Undirected)
+        .iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .map(|&d| d as usize)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Diameter of the graph: the longest shortest undirected distance between any pair of nodes
+/// in the same connected component.
+///
+/// For a disconnected graph this returns the maximum diameter over its components (the value
+/// used when treating each component independently); the paper only ever takes diameters of
+/// connected pattern graphs, where the two notions coincide. The empty graph has diameter 0.
+pub fn diameter(graph: &Graph) -> usize {
+    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+}
+
+/// Diameter of the subgraph induced by `nodes` (undirected distances measured inside that
+/// subgraph). Used to verify Proposition 3 on perfect subgraphs.
+pub fn induced_diameter(graph: &Graph, nodes: &[NodeId]) -> usize {
+    let (sub, _) = graph.induced_subgraph(nodes);
+    diameter(&sub)
+}
+
+/// Summary statistics about node degrees, used when reporting generated workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum total degree.
+    pub min: usize,
+    /// Maximum total degree.
+    pub max: usize,
+    /// Average total degree (in-degree plus out-degree).
+    pub mean: f64,
+    /// Average out-degree, i.e. `|E| / |V|`.
+    pub mean_out: f64,
+}
+
+/// Computes [`DegreeStats`] for the graph. Returns zeros for the empty graph.
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.node_count();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, mean_out: 0.0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut total = 0usize;
+    for v in graph.nodes() {
+        let d = graph.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        total += d;
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: total as f64 / n as f64,
+        mean_out: graph.edge_count() as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Label;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(vec![Label(0); n], &edges).unwrap()
+    }
+
+    #[test]
+    fn path_diameter_and_eccentricity() {
+        let g = path(5);
+        assert_eq!(diameter(&g), 4);
+        assert_eq!(eccentricity(&g, NodeId(0)), 4);
+        assert_eq!(eccentricity(&g, NodeId(2)), 2);
+    }
+
+    #[test]
+    fn directed_cycle_diameter_uses_undirected_distance() {
+        // Directed 4-cycle: undirected diameter is 2 even though directed distance can be 3.
+        let g = Graph::from_edges(vec![Label(0); 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(diameter(&g), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_takes_max_component_diameter() {
+        let g = Graph::from_edges(vec![Label(0); 6], &[(0, 1), (1, 2), (2, 3), (4, 5)]).unwrap();
+        assert_eq!(diameter(&g), 3);
+    }
+
+    #[test]
+    fn single_node_and_empty() {
+        let single = Graph::from_edges(vec![Label(0)], &[]).unwrap();
+        assert_eq!(diameter(&single), 0);
+        assert_eq!(eccentricity(&single, NodeId(0)), 0);
+        let empty = Graph::from_edges(vec![], &[]).unwrap();
+        assert_eq!(diameter(&empty), 0);
+    }
+
+    #[test]
+    fn induced_diameter_of_subset() {
+        let g = path(6);
+        // Nodes {0,1,2} form a path of diameter 2; {0, 5} are disconnected when induced.
+        assert_eq!(induced_diameter(&g, &[NodeId(0), NodeId(1), NodeId(2)]), 2);
+        assert_eq!(induced_diameter(&g, &[NodeId(0), NodeId(5)]), 0);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = Graph::from_edges(vec![Label(0); 4], &[(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        let stats = degree_stats(&g);
+        assert_eq!(stats.max, 3); // node 0 has out-degree 3
+        assert_eq!(stats.min, 1); // node 3 has a single incoming edge
+        assert!((stats.mean - 2.0).abs() < 1e-9);
+        assert!((stats.mean_out - 1.0).abs() < 1e-9);
+        let empty = Graph::from_edges(vec![], &[]).unwrap();
+        assert_eq!(degree_stats(&empty), DegreeStats { min: 0, max: 0, mean: 0.0, mean_out: 0.0 });
+    }
+}

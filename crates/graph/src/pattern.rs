@@ -1,0 +1,142 @@
+//! Pattern graphs `Q(Vq, Eq)`.
+//!
+//! The paper assumes w.l.o.g. that pattern graphs are connected (Section 2.1); their
+//! diameter `dQ` fixes the ball radius of strong simulation. [`Pattern`] wraps a [`Graph`]
+//! with that validation and caches the diameter.
+
+use crate::components::is_connected;
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::labels::Label;
+use crate::metrics::diameter;
+
+/// A validated, connected pattern graph with a cached diameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    graph: Graph,
+    diameter: usize,
+}
+
+impl Pattern {
+    /// Wraps a graph as a pattern, checking non-emptiness and connectivity.
+    pub fn new(graph: Graph) -> Result<Self, GraphError> {
+        if graph.node_count() == 0 {
+            return Err(GraphError::EmptyPattern);
+        }
+        if !is_connected(&graph) {
+            let components = crate::components::ConnectedComponents::compute(&graph).count();
+            return Err(GraphError::DisconnectedPattern { components });
+        }
+        let diameter = diameter(&graph);
+        Ok(Pattern { graph, diameter })
+    }
+
+    /// Convenience constructor from labels and an edge list.
+    pub fn from_edges(labels: Vec<Label>, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        let graph = Graph::from_edges(labels, edges)?;
+        Pattern::new(graph)
+    }
+
+    /// The underlying pattern graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The pattern diameter `dQ`, used as the ball radius in strong simulation.
+    #[inline]
+    pub fn diameter(&self) -> usize {
+        self.diameter
+    }
+
+    /// Number of pattern nodes `|Vq|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of pattern edges `|Eq|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Pattern size `|Q| = |Vq| + |Eq|` (the measure minimised by query minimization).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.graph.size()
+    }
+
+    /// Iterates over the pattern nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+
+    /// Label of pattern node `u`.
+    #[inline]
+    pub fn label(&self, u: NodeId) -> Label {
+        self.graph.label(u)
+    }
+
+    /// Consumes the pattern and returns the underlying graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+impl TryFrom<Graph> for Pattern {
+    type Error = GraphError;
+
+    fn try_from(graph: Graph) -> Result<Self, Self::Error> {
+        Pattern::new(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_pattern_is_accepted() {
+        // The Q1 pattern of Fig. 1: HR -> SE, HR -> Bio, SE -> Bio, DM -> Bio, DM <-> AI.
+        let p = Pattern::from_edges(
+            vec![Label(0), Label(1), Label(2), Label(3), Label(4)],
+            &[(0, 1), (0, 2), (1, 2), (3, 2), (3, 4), (4, 3)],
+        )
+        .unwrap();
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.edge_count(), 6);
+        assert_eq!(p.size(), 11);
+        // HR—SE—Bio—DM—AI: longest shortest undirected path is HR..AI = 3.
+        assert_eq!(p.diameter(), 3);
+        assert_eq!(p.label(NodeId(4)), Label(4));
+        assert_eq!(p.nodes().count(), 5);
+    }
+
+    #[test]
+    fn disconnected_pattern_is_rejected() {
+        let err = Pattern::from_edges(vec![Label(0); 4], &[(0, 1), (2, 3)]).unwrap_err();
+        assert_eq!(err, GraphError::DisconnectedPattern { components: 2 });
+    }
+
+    #[test]
+    fn empty_pattern_is_rejected() {
+        let err = Pattern::from_edges(vec![], &[]).unwrap_err();
+        assert_eq!(err, GraphError::EmptyPattern);
+    }
+
+    #[test]
+    fn single_node_pattern_has_diameter_zero() {
+        let p = Pattern::from_edges(vec![Label(3)], &[]).unwrap();
+        assert_eq!(p.diameter(), 0);
+        assert_eq!(p.size(), 1);
+    }
+
+    #[test]
+    fn try_from_and_into_graph_roundtrip() {
+        let g = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let p = Pattern::try_from(g.clone()).unwrap();
+        assert_eq!(p.diameter(), 1);
+        assert_eq!(p.into_graph(), g);
+    }
+}

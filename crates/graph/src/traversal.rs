@@ -1,0 +1,214 @@
+//! Breadth-first traversals and shortest-distance computations.
+//!
+//! The paper's distance `dist(u, v)` is the length of the shortest **undirected** path, and
+//! both balls and diameters are defined in terms of it. Directed BFS is also provided for
+//! reachability-style uses.
+
+use crate::graph::{Graph, NodeId};
+use crate::view::GraphView;
+use std::collections::VecDeque;
+
+/// Distance value used to mark unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Which edge directions a traversal may follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from source to target only.
+    Forward,
+    /// Follow edges from target to source only.
+    Backward,
+    /// Treat edges as undirected (the paper's notion of distance).
+    Undirected,
+}
+
+/// Computes BFS distances from `source` over the whole graph.
+///
+/// Returns a vector indexed by node id; unreachable nodes hold [`UNREACHABLE`].
+pub fn bfs_distances(graph: &Graph, source: NodeId, direction: Direction) -> Vec<u32> {
+    bfs_distances_view(&GraphView::full(graph), source, direction)
+}
+
+/// Computes BFS distances from `source` inside a [`GraphView`].
+pub fn bfs_distances_view(view: &GraphView<'_>, source: NodeId, direction: Direction) -> Vec<u32> {
+    let n = view.graph().node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    if !view.contains(source) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        let visit = |v: NodeId, dist: &mut Vec<u32>, queue: &mut VecDeque<NodeId>| {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        };
+        match direction {
+            Direction::Forward => {
+                for v in view.out_neighbors(u) {
+                    visit(v, &mut dist, &mut queue);
+                }
+            }
+            Direction::Backward => {
+                for v in view.in_neighbors(u) {
+                    visit(v, &mut dist, &mut queue);
+                }
+            }
+            Direction::Undirected => {
+                for v in view.out_neighbors(u) {
+                    visit(v, &mut dist, &mut queue);
+                }
+                for v in view.in_neighbors(u) {
+                    visit(v, &mut dist, &mut queue);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// BFS limited to nodes within `radius` undirected hops of `source`.
+///
+/// Returns `(members, distances)` where `members` lists the reached nodes in BFS order and
+/// `distances[i]` is the distance of `members[i]`.
+pub fn bounded_bfs_undirected(
+    graph: &Graph,
+    source: NodeId,
+    radius: usize,
+) -> (Vec<NodeId>, Vec<u32>) {
+    let mut dist: Vec<u32> = vec![UNREACHABLE; graph.node_count()];
+    let mut members = Vec::new();
+    let mut member_dist = Vec::new();
+    if !graph.contains_node(source) {
+        return (members, member_dist);
+    }
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    members.push(source);
+    member_dist.push(0);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du as usize >= radius {
+            continue;
+        }
+        for v in graph.out_neighbors(u).chain(graph.in_neighbors(u)) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                members.push(v);
+                member_dist.push(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    (members, member_dist)
+}
+
+/// Shortest undirected distance between two nodes, the paper's `dist(u, v)`.
+///
+/// Returns `None` when the nodes are in different (undirected) connected components.
+pub fn undirected_distance(graph: &Graph, from: NodeId, to: NodeId) -> Option<usize> {
+    let dist = bfs_distances(graph, from, Direction::Undirected);
+    match dist.get(to.index()) {
+        Some(&d) if d != UNREACHABLE => Some(d as usize),
+        _ => None,
+    }
+}
+
+/// Nodes reachable from `source` following the given direction (including `source`).
+pub fn reachable(graph: &Graph, source: NodeId, direction: Direction) -> Vec<NodeId> {
+    bfs_distances(graph, source, direction)
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Label;
+
+    fn path_graph(n: usize) -> Graph {
+        // 0 -> 1 -> ... -> n-1
+        let labels = vec![Label(0); n];
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(labels, &edges).unwrap()
+    }
+
+    #[test]
+    fn directed_vs_undirected_distances() {
+        let g = path_graph(4);
+        let fwd = bfs_distances(&g, NodeId(3), Direction::Forward);
+        assert_eq!(fwd, vec![UNREACHABLE, UNREACHABLE, UNREACHABLE, 0]);
+        let bwd = bfs_distances(&g, NodeId(3), Direction::Backward);
+        assert_eq!(bwd, vec![3, 2, 1, 0]);
+        let und = bfs_distances(&g, NodeId(3), Direction::Undirected);
+        assert_eq!(und, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn undirected_distance_between_nodes() {
+        let g = path_graph(5);
+        assert_eq!(undirected_distance(&g, NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(undirected_distance(&g, NodeId(4), NodeId(0)), Some(4));
+        assert_eq!(undirected_distance(&g, NodeId(2), NodeId(2)), Some(0));
+    }
+
+    #[test]
+    fn distance_in_disconnected_graph_is_none() {
+        let g = Graph::from_edges(vec![Label(0); 4], &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(undirected_distance(&g, NodeId(0), NodeId(3)), None);
+        assert_eq!(undirected_distance(&g, NodeId(2), NodeId(3)), Some(1));
+    }
+
+    #[test]
+    fn bounded_bfs_respects_radius() {
+        let g = path_graph(6);
+        let (members, dists) = bounded_bfs_undirected(&g, NodeId(0), 2);
+        assert_eq!(members, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(dists, vec![0, 1, 2]);
+        let (all, _) = bounded_bfs_undirected(&g, NodeId(0), 100);
+        assert_eq!(all.len(), 6);
+        let (only, _) = bounded_bfs_undirected(&g, NodeId(3), 0);
+        assert_eq!(only, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn bounded_bfs_from_invalid_source_is_empty() {
+        let g = path_graph(3);
+        let (members, dists) = bounded_bfs_undirected(&g, NodeId(17), 2);
+        assert!(members.is_empty());
+        assert!(dists.is_empty());
+    }
+
+    #[test]
+    fn reachable_sets() {
+        let g = Graph::from_edges(vec![Label(0); 5], &[(0, 1), (1, 2), (3, 2), (3, 4)]).unwrap();
+        assert_eq!(reachable(&g, NodeId(0), Direction::Forward), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(reachable(&g, NodeId(2), Direction::Backward).len(), 4);
+        assert_eq!(reachable(&g, NodeId(0), Direction::Undirected).len(), 5);
+    }
+
+    #[test]
+    fn view_restricted_bfs() {
+        use crate::bitset::BitSet;
+        let g = path_graph(5);
+        let mut members = BitSet::new(5);
+        for i in 0..3 {
+            members.insert(i);
+        }
+        let view = GraphView::restricted(&g, &members);
+        let d = bfs_distances_view(&view, NodeId(0), Direction::Undirected);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], UNREACHABLE);
+        // Source outside the view yields all-unreachable.
+        let d2 = bfs_distances_view(&view, NodeId(4), Direction::Undirected);
+        assert!(d2.iter().all(|&x| x == UNREACHABLE));
+    }
+}

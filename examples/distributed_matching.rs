@@ -1,0 +1,58 @@
+//! Distributed strong simulation (Section 4.3) over a partitioned co-purchase graph.
+//!
+//! Partitions an Amazon-like graph across simulated sites, evaluates the pattern in
+//! parallel, and reports the shipped data — demonstrating the data-locality property that
+//! makes strong simulation (unlike plain simulation) suitable for distributed evaluation.
+//!
+//! Run with: `cargo run --release --example distributed_matching`
+
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_datasets::patterns::extract_pattern;
+use ssim_datasets::reallike::amazon_like;
+use ssim_distributed::{distributed_strong_simulation, DistributedConfig, PartitionStrategy};
+
+fn main() {
+    let data = amazon_like(1_500, 7);
+    let pattern = extract_pattern(&data, 5, 3).expect("pattern extraction succeeds");
+    println!(
+        "data: {} nodes, {} edges   pattern: {} nodes, diameter {}\n",
+        data.node_count(),
+        data.edge_count(),
+        pattern.node_count(),
+        pattern.diameter()
+    );
+
+    let centralized = strong_simulation(&pattern, &data, &MatchConfig::basic());
+    println!(
+        "centralized Match: {} perfect subgraphs, {} matched nodes\n",
+        centralized.subgraphs.len(),
+        centralized.matched_node_count()
+    );
+
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>14} {:>10}",
+        "sites", "part.", "border balls", "shipped balls", "shipped nodes", "correct"
+    );
+    for sites in [2usize, 4, 8] {
+        for (name, strategy) in [("range", PartitionStrategy::Range), ("hash", PartitionStrategy::Hash)] {
+            let out = distributed_strong_simulation(
+                &pattern,
+                &data,
+                &DistributedConfig { sites, strategy, minimize_query: true },
+            );
+            let correct = out.matched_nodes() == centralized.matched_nodes();
+            println!(
+                "{:>6} {:>8} {:>14} {:>14} {:>14} {:>10}",
+                sites,
+                name,
+                out.traffic.border_balls,
+                out.traffic.shipped_balls,
+                out.traffic.shipped_nodes,
+                correct
+            );
+            assert!(correct, "distributed evaluation must agree with the centralized result");
+        }
+    }
+    println!("\nEvery configuration reproduces the centralized result; the shipped data is");
+    println!("bounded by the balls that straddle fragment boundaries (Section 4.3).");
+}

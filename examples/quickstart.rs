@@ -1,0 +1,73 @@
+//! Quickstart: build a pattern and a data graph, run every matching notion, print results.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ssim_core::bisimulation::bisimilar;
+use ssim_core::dual::dual_simulation;
+use ssim_core::simulation::graph_simulation;
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_graph::{GraphBuilder, NodeId, Pattern};
+
+fn main() {
+    // Pattern: a project manager (PM) who manages a developer (DEV) and a tester (QA),
+    // where the tester also reports to the developer.
+    let mut qb = GraphBuilder::new();
+    let pm = qb.add_node("PM");
+    let dev = qb.add_node("DEV");
+    let qa = qb.add_node("QA");
+    qb.add_edge(pm, dev);
+    qb.add_edge(pm, qa);
+    qb.add_edge(qa, dev);
+    let (pattern_graph, labels) = qb.build_with_interner();
+    let pattern = Pattern::new(pattern_graph).expect("pattern is connected");
+
+    // Data graph: two teams. Team 1 matches the pattern exactly; team 2 has a QA person who
+    // does not report to the developer.
+    let mut gb = GraphBuilder::new();
+    let pm1 = gb.add_node("PM");
+    let dev1 = gb.add_node("DEV");
+    let qa1 = gb.add_node("QA");
+    gb.add_edge(pm1, dev1);
+    gb.add_edge(pm1, qa1);
+    gb.add_edge(qa1, dev1);
+    let pm2 = gb.add_node("PM");
+    let dev2 = gb.add_node("DEV");
+    let qa2 = gb.add_node("QA");
+    gb.add_edge(pm2, dev2);
+    gb.add_edge(pm2, qa2); // qa2 -> dev2 edge is missing
+    let data = gb.build();
+
+    println!("pattern: {} nodes, {} edges, diameter {}", pattern.node_count(), pattern.edge_count(), pattern.diameter());
+    println!("data:    {} nodes, {} edges\n", data.node_count(), data.edge_count());
+
+    // Graph simulation: keeps both teams (it only checks children).
+    let sim = graph_simulation(&pattern, &data).expect("simulation match exists");
+    println!("graph simulation matched nodes:  {:?}", sim.matched_data_nodes().to_vec());
+
+    // Dual simulation: still both teams' PM/DEV but drops qa2 (no parent check fails here —
+    // the missing edge hurts the child side of qa2).
+    let dual = dual_simulation(&pattern, &data).expect("dual simulation match exists");
+    println!("dual simulation matched nodes:   {:?}", dual.matched_data_nodes().to_vec());
+
+    // Strong simulation: perfect subgraphs inside balls of radius d_Q.
+    let strong = strong_simulation(&pattern, &data, &MatchConfig::optimized());
+    println!("strong simulation perfect subgraphs: {}", strong.subgraphs.len());
+    for s in &strong.subgraphs {
+        let names: Vec<String> = s
+            .nodes
+            .iter()
+            .map(|&v| format!("{}:{}", v, labels.display(data.label(v))))
+            .collect();
+        println!("  ball center {} -> {{{}}}", s.center, names.join(", "));
+    }
+    println!();
+    println!("team 1 tester (qa1 = {}) matched: {}", qa1, strong.matched_nodes().contains(&qa1));
+    println!("team 2 tester (qa2 = {}) matched: {}", qa2, strong.matched_nodes().contains(&qa2));
+    println!("pattern bisimilar to data: {}", bisimilar(&pattern, &data));
+
+    // The matches of each pattern node across all perfect subgraphs.
+    for u in pattern.nodes() {
+        let matches: Vec<NodeId> = strong.matches_of(u).into_iter().collect();
+        println!("pattern node {} ({}) matches {:?}", u, labels.display(pattern.label(u)), matches);
+    }
+}

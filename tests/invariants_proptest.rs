@@ -1,0 +1,141 @@
+//! Property-based tests of the paper's theorems and propositions on random workloads.
+//!
+//! Random data graphs are generated from arbitrary edge lists over a small label alphabet;
+//! random connected patterns come from the dataset generators. The properties checked are
+//! the formal results of Section 3 plus the correctness statements behind the Section 4.2
+//! optimisations.
+
+use proptest::prelude::*;
+use ssim_core::dual::{dual_simulation, is_valid_dual_simulation};
+use ssim_core::match_graph::MatchGraph;
+use ssim_core::minimize::minimize_pattern;
+use ssim_core::simulation::{graph_simulation, is_valid_simulation};
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_core::topology::TopologyReport;
+use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
+use ssim_graph::{metrics, Graph, GraphView, Label, NodeId, Pattern};
+
+/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
+/// labels drawn from a 4-symbol alphabet.
+fn data_graph() -> impl Strategy<Value = Graph> {
+    (3usize..24).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
+                .expect("endpoints are in range by construction")
+        })
+    })
+}
+
+/// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
+fn pattern() -> impl Strategy<Value = Pattern> {
+    (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
+        random_pattern(&PatternGenConfig { nodes, alpha, labels: 4, seed })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The computed simulation / dual-simulation relations are valid witnesses and dual is
+    /// contained in plain simulation.
+    #[test]
+    fn computed_relations_are_valid_witnesses(data in data_graph(), q in pattern()) {
+        if let Some(sim) = graph_simulation(&q, &data) {
+            prop_assert!(is_valid_simulation(&q, &data, &sim));
+            if let Some(dual) = dual_simulation(&q, &data) {
+                prop_assert!(is_valid_dual_simulation(&q, &data, &dual));
+                prop_assert!(dual.is_subrelation_of(&sim));
+            }
+        } else {
+            // No simulation match implies no dual-simulation match (Proposition 1).
+            prop_assert!(dual_simulation(&q, &data).is_none());
+        }
+    }
+
+    /// Propositions 3 and 4 plus Theorem 2: perfect subgraphs are connected, at most |V| of
+    /// them exist, and each has diameter at most 2·dQ; moreover every Table 2 criterion
+    /// holds for the strong-simulation output.
+    #[test]
+    fn strong_simulation_output_satisfies_the_topology_criteria(
+        data in data_graph(),
+        q in pattern(),
+    ) {
+        let output = strong_simulation(&q, &data, &MatchConfig::basic());
+        prop_assert!(output.subgraphs.len() <= data.node_count());
+        for s in &output.subgraphs {
+            prop_assert!(metrics::induced_diameter(&data, &s.nodes) <= 2 * q.diameter());
+            prop_assert!(!s.nodes.is_empty());
+            // The relation stored with the subgraph only mentions nodes of the subgraph.
+            for (_, v) in &s.relation {
+                prop_assert!(s.nodes.contains(v));
+            }
+        }
+        let report = TopologyReport::evaluate(&q, &data, &output);
+        prop_assert!(report.all_preserved(), "report: {report:?}");
+    }
+
+    /// Strong-simulation matched nodes are contained in the dual-simulation matched nodes,
+    /// which are contained in the simulation matched nodes (Proposition 1 at node level).
+    #[test]
+    fn matched_node_hierarchy(data in data_graph(), q in pattern()) {
+        let strong = strong_simulation(&q, &data, &MatchConfig::basic());
+        let dual_nodes: std::collections::BTreeSet<NodeId> = dual_simulation(&q, &data)
+            .map(|r| r.matched_data_nodes().iter().map(NodeId::from_index).collect())
+            .unwrap_or_default();
+        let sim_nodes: std::collections::BTreeSet<NodeId> = graph_simulation(&q, &data)
+            .map(|r| r.matched_data_nodes().iter().map(NodeId::from_index).collect())
+            .unwrap_or_default();
+        for v in strong.matched_nodes() {
+            prop_assert!(dual_nodes.contains(&v));
+        }
+        for v in &dual_nodes {
+            prop_assert!(sim_nodes.contains(v));
+        }
+    }
+
+    /// Lemma 2: the minimised pattern produces the same dual-simulation match graph on any
+    /// data graph, and minimization never grows the pattern.
+    #[test]
+    fn query_minimization_preserves_match_graphs(data in data_graph(), q in pattern()) {
+        let minimized = minimize_pattern(&q);
+        prop_assert!(minimized.pattern.size() <= q.size());
+        let view = GraphView::full(&data);
+        let original = dual_simulation(&q, &data);
+        let reduced = dual_simulation(&minimized.pattern, &data);
+        match (original, reduced) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                let mg_a = MatchGraph::build(&q, &view, &a);
+                let mg_b = MatchGraph::build(&minimized.pattern, &view, &b);
+                prop_assert_eq!(mg_a, mg_b);
+            }
+            (a, b) => {
+                prop_assert!(false, "minimization changed matchability: {:?} vs {:?}", a.is_some(), b.is_some());
+            }
+        }
+    }
+
+    /// Minimization is idempotent: minimising a minimised pattern changes nothing.
+    #[test]
+    fn query_minimization_is_idempotent(q in pattern()) {
+        let once = minimize_pattern(&q);
+        let twice = minimize_pattern(&once.pattern);
+        prop_assert_eq!(once.pattern.node_count(), twice.pattern.node_count());
+        prop_assert_eq!(once.pattern.edge_count(), twice.pattern.edge_count());
+    }
+
+    /// Self-matching: every connected pattern strongly simulates itself, and the identity
+    /// pairs appear in its dual-simulation relation with itself.
+    #[test]
+    fn patterns_match_themselves(q in pattern()) {
+        let data = q.graph().clone();
+        let dual = dual_simulation(&q, &data).expect("a pattern dual-simulates itself");
+        for u in q.nodes() {
+            prop_assert!(dual.contains(u, u));
+        }
+        let strong = strong_simulation(&q, &data, &MatchConfig::basic());
+        prop_assert!(strong.is_match());
+    }
+}

@@ -1,0 +1,91 @@
+//! Proposition 1: the matching notions form a containment hierarchy.
+//!
+//! If `Q ⋐ G` (subgraph isomorphism) then `Q ≺LD G` (strong simulation); if `Q ≺LD G` then
+//! `Q ≺D G` (dual simulation); and if `Q ≺D G` then `Q ≺ G` (graph simulation). On the level
+//! of matched nodes this means VF2 ⊆ Match ⊆ DualSim ⊆ Sim.
+
+use ssim_baselines::vf2::{find_embeddings, Vf2Limits};
+use ssim_core::dual::dual_simulation;
+use ssim_core::simulation::graph_simulation;
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_datasets::patterns::extract_pattern;
+use ssim_datasets::reallike::amazon_like;
+use ssim_datasets::synthetic::{synthetic, SyntheticConfig};
+use ssim_datasets::paper;
+use ssim_graph::{Graph, NodeId, Pattern};
+use std::collections::BTreeSet;
+
+fn matched_nodes_by_notion(pattern: &Pattern, data: &Graph) -> [BTreeSet<NodeId>; 4] {
+    let vf2 = find_embeddings(pattern, data, Vf2Limits::default());
+    let vf2_nodes: BTreeSet<NodeId> =
+        vf2.embeddings.iter().flat_map(|e| e.iter().copied()).collect();
+    let strong = strong_simulation(pattern, data, &MatchConfig::basic());
+    let strong_nodes = strong.matched_nodes();
+    let dual_nodes: BTreeSet<NodeId> = dual_simulation(pattern, data)
+        .map(|r| r.matched_data_nodes().iter().map(NodeId::from_index).collect())
+        .unwrap_or_default();
+    let sim_nodes: BTreeSet<NodeId> = graph_simulation(pattern, data)
+        .map(|r| r.matched_data_nodes().iter().map(NodeId::from_index).collect())
+        .unwrap_or_default();
+    [vf2_nodes, strong_nodes, dual_nodes, sim_nodes]
+}
+
+fn assert_hierarchy(pattern: &Pattern, data: &Graph, context: &str) {
+    let [vf2, strong, dual, sim] = matched_nodes_by_notion(pattern, data);
+    assert!(vf2.is_subset(&strong), "{context}: VF2 ⊄ strong simulation");
+    assert!(strong.is_subset(&dual), "{context}: strong ⊄ dual simulation");
+    assert!(dual.is_subset(&sim), "{context}: dual ⊄ simulation");
+    // Boolean implications of Proposition 1.
+    if !vf2.is_empty() {
+        assert!(!strong.is_empty(), "{context}: Q⋐G must imply Q≺LD G");
+    }
+    if !strong.is_empty() {
+        assert!(!dual.is_empty(), "{context}: Q≺LD G must imply Q≺D G");
+    }
+    if !dual.is_empty() {
+        assert!(!sim.is_empty(), "{context}: Q≺D G must imply Q≺G");
+    }
+}
+
+#[test]
+fn hierarchy_holds_on_the_paper_figures() {
+    for fig in paper::all_figures() {
+        assert_hierarchy(&fig.pattern, &fig.data, fig.name);
+    }
+}
+
+#[test]
+fn hierarchy_holds_on_synthetic_graphs() {
+    for seed in 0..6u64 {
+        let data = synthetic(&SyntheticConfig { nodes: 150, alpha: 1.2, labels: 8, seed });
+        for size in [2usize, 3, 4] {
+            if let Some(pattern) = extract_pattern(&data, size, seed.wrapping_add(17)) {
+                assert_hierarchy(&pattern, &data, &format!("synthetic seed={seed} |Vq|={size}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchy_holds_on_amazon_like_graphs() {
+    for seed in 0..3u64 {
+        let data = amazon_like(200, seed);
+        if let Some(pattern) = extract_pattern(&data, 4, seed) {
+            assert_hierarchy(&pattern, &data, &format!("amazon seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn closeness_ordering_matches_the_paper() {
+    // Because of the containment hierarchy, closeness(Match) ≥ closeness(Sim) always holds
+    // (Match matches no more nodes than Sim). Check it on a mid-size workload.
+    let data = amazon_like(300, 5);
+    let pattern = extract_pattern(&data, 5, 9).expect("extraction succeeds");
+    let [vf2, strong, _, sim] = matched_nodes_by_notion(&pattern, &data);
+    if !strong.is_empty() && !sim.is_empty() {
+        let closeness_match = vf2.len() as f64 / strong.len() as f64;
+        let closeness_sim = vf2.len() as f64 / sim.len() as f64;
+        assert!(closeness_match >= closeness_sim);
+    }
+}

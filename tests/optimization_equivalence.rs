@@ -1,0 +1,119 @@
+//! The Section 4.2 optimisations never change the result of strong simulation.
+//!
+//! Every combination of {query minimization, dual-simulation filtering, connectivity
+//! pruning} must produce the same set of matched nodes, the same number of perfect
+//! subgraphs and the same per-pattern-node matches as the plain `Match` algorithm — only the
+//! amount of work may differ.
+
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_datasets::paper;
+use ssim_datasets::patterns::extract_pattern;
+use ssim_datasets::reallike::{amazon_like, youtube_like};
+use ssim_datasets::synthetic::{synthetic, SyntheticConfig};
+use ssim_graph::{Graph, Pattern};
+
+/// All eight on/off combinations of the three optimisations.
+fn all_configs() -> Vec<MatchConfig> {
+    let mut configs = Vec::new();
+    for minimize_query in [false, true] {
+        for dual_filter in [false, true] {
+            for connectivity_pruning in [false, true] {
+                configs.push(MatchConfig {
+                    minimize_query,
+                    dual_filter,
+                    connectivity_pruning,
+                    radius_override: None,
+                    deduplicate: false,
+                });
+            }
+        }
+    }
+    configs
+}
+
+fn assert_all_configs_agree(pattern: &Pattern, data: &Graph, context: &str) {
+    let baseline = strong_simulation(pattern, data, &MatchConfig::basic());
+    for config in all_configs() {
+        let out = strong_simulation(pattern, data, &config);
+        assert_eq!(
+            baseline.matched_nodes(),
+            out.matched_nodes(),
+            "{context}: matched nodes differ for {config:?}"
+        );
+        assert_eq!(
+            baseline.subgraphs.len(),
+            out.subgraphs.len(),
+            "{context}: subgraph count differs for {config:?}"
+        );
+        for u in pattern.nodes() {
+            assert_eq!(
+                baseline.matches_of(u),
+                out.matches_of(u),
+                "{context}: matches of pattern node {u} differ for {config:?}"
+            );
+        }
+        // Work accounting is consistent.
+        assert_eq!(out.stats.balls_considered, data.node_count(), "{context}");
+        assert_eq!(
+            out.stats.balls_processed + out.stats.balls_skipped,
+            out.stats.balls_considered,
+            "{context}"
+        );
+    }
+}
+
+#[test]
+fn optimisations_preserve_results_on_the_paper_figures() {
+    for fig in paper::all_figures() {
+        assert_all_configs_agree(&fig.pattern, &fig.data, fig.name);
+    }
+}
+
+#[test]
+fn optimisations_preserve_results_on_synthetic_graphs() {
+    for seed in 0..5u64 {
+        let data = synthetic(&SyntheticConfig { nodes: 120, alpha: 1.2, labels: 6, seed });
+        for size in [3usize, 5] {
+            if let Some(pattern) = extract_pattern(&data, size, seed.wrapping_add(31)) {
+                assert_all_configs_agree(&pattern, &data, &format!("synthetic seed={seed} size={size}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn optimisations_preserve_results_on_real_like_graphs() {
+    let amazon = amazon_like(180, 4);
+    if let Some(pattern) = extract_pattern(&amazon, 4, 8) {
+        assert_all_configs_agree(&pattern, &amazon, "amazon-like");
+    }
+    let youtube = youtube_like(120, 4);
+    if let Some(pattern) = extract_pattern(&youtube, 3, 8) {
+        assert_all_configs_agree(&pattern, &youtube, "youtube-like");
+    }
+}
+
+#[test]
+fn dual_filter_never_processes_more_balls_than_basic_match() {
+    let data = amazon_like(200, 12);
+    let pattern = extract_pattern(&data, 5, 3).expect("extraction succeeds");
+    let basic = strong_simulation(&pattern, &data, &MatchConfig::basic());
+    let filtered = strong_simulation(
+        &pattern,
+        &data,
+        &MatchConfig { dual_filter: true, ..MatchConfig::basic() },
+    );
+    assert!(filtered.stats.balls_processed <= basic.stats.balls_processed);
+    assert_eq!(basic.matched_nodes(), filtered.matched_nodes());
+}
+
+#[test]
+fn deduplication_only_removes_structural_duplicates() {
+    let fig = paper::figure1();
+    let plain = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
+    let deduped =
+        strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic().with_deduplication());
+    assert!(deduped.subgraphs.len() <= plain.subgraphs.len());
+    assert_eq!(plain.matched_nodes(), deduped.matched_nodes());
+    assert_eq!(deduped.subgraphs.len(), plain.distinct_subgraphs().len());
+}

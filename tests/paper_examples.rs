@@ -1,0 +1,135 @@
+//! Integration tests reproducing the worked examples of the paper (Fig. 1 and Fig. 2).
+//!
+//! Each test checks the exact qualitative claims the paper makes about which nodes are
+//! matched by subgraph isomorphism, graph simulation, dual simulation and strong simulation.
+
+use ssim_baselines::vf2::{find_embeddings, is_subgraph_isomorphic, Vf2Limits};
+use ssim_core::dual::dual_simulation;
+use ssim_core::simulation::graph_simulation;
+use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_core::topology::TopologyReport;
+use ssim_datasets::paper;
+use ssim_graph::NodeId;
+use std::collections::BTreeSet;
+
+/// Example 1 / Example 2(3): on Fig. 1, subgraph isomorphism finds nothing, simulation
+/// matches all four biologists, strong simulation returns only Bio4.
+#[test]
+fn figure1_only_bio4_is_a_strong_match() {
+    let fig = paper::figure1();
+    let bio = NodeId(2);
+
+    // (1) No subgraph of G1 is isomorphic to Q1.
+    assert!(!is_subgraph_isomorphic(&fig.pattern, &fig.data));
+
+    // (2) Graph simulation matches every biologist.
+    let sim = graph_simulation(&fig.pattern, &fig.data).expect("Q1 ≺ G1");
+    let bio_label = fig.pattern.label(bio);
+    let sim_bios: BTreeSet<NodeId> = sim
+        .candidates(bio)
+        .iter()
+        .map(NodeId::from_index)
+        .collect();
+    let all_bios: BTreeSet<NodeId> =
+        fig.data.nodes().filter(|&v| fig.data.label(v) == bio_label).collect();
+    assert_eq!(sim_bios, all_bios, "simulation keeps all four biologists");
+    assert_eq!(all_bios.len(), 4);
+
+    // (3) Strong simulation returns exactly Bio4.
+    let strong = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
+    let strong_bios: Vec<NodeId> = strong.matches_of(bio).into_iter().collect();
+    assert_eq!(strong_bios, fig.expected_matches);
+
+    // The long AI/DM cycle is not part of any perfect subgraph (Example 2(3)).
+    let cycle_nodes: Vec<NodeId> = (5..=10).map(NodeId).collect();
+    let matched = strong.matched_nodes();
+    assert!(cycle_nodes.iter().all(|v| !matched.contains(v)), "the k-cycle must be excluded");
+
+    // Strong simulation satisfies every Table 2 criterion on this instance.
+    assert!(TopologyReport::evaluate(&fig.pattern, &fig.data, &strong).all_preserved());
+}
+
+/// Example 2(4): the book recommended by both a student and a teacher.
+#[test]
+fn figure2_books_dualiy_filters_book1() {
+    let fig = paper::figure2_books();
+    let book_pattern = NodeId(2);
+    let book1 = NodeId(2);
+    let book2 = NodeId(3);
+
+    // Simulation keeps both books.
+    let sim = graph_simulation(&fig.pattern, &fig.data).unwrap();
+    assert!(sim.contains(book_pattern, book1));
+    assert!(sim.contains(book_pattern, book2));
+
+    // Dual and strong simulation keep only book2.
+    let dual = dual_simulation(&fig.pattern, &fig.data).unwrap();
+    assert!(!dual.contains(book_pattern, book1));
+    assert!(dual.contains(book_pattern, book2));
+
+    let strong = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
+    let books: Vec<NodeId> = strong.matches_of(book_pattern).into_iter().collect();
+    assert_eq!(books, fig.expected_matches);
+
+    // Subgraph isomorphism also finds book2 (in separate match graphs, per the paper).
+    let vf2 = find_embeddings(&fig.pattern, &fig.data, Vf2Limits::default());
+    assert!(vf2.is_match());
+    assert!(vf2.embeddings.iter().all(|e| e[book_pattern.index()] == book2));
+}
+
+/// Example 2(5): people who recommend each other; P4 only recommends and is excluded.
+#[test]
+fn figure3_mutual_recommendation_excludes_p4() {
+    let fig = paper::figure3_mutual();
+    let strong = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
+    let matched = strong.matched_nodes();
+    let expected: BTreeSet<NodeId> = fig.expected_matches.iter().copied().collect();
+    assert_eq!(matched, expected, "P1, P2, P3 are the only strong-simulation matches");
+
+    // Plain simulation still matches P4 (node 3): it has a child to mimic but no parent is
+    // required.
+    let sim = graph_simulation(&fig.pattern, &fig.data).unwrap();
+    assert!(sim.matched_data_nodes().contains(3));
+
+    // Subgraph isomorphism agrees with strong simulation on the matched people.
+    let vf2 = find_embeddings(&fig.pattern, &fig.data, Vf2Limits::default());
+    let vf2_nodes = ssim_baselines::matched_node_union(&vf2.matched_subgraphs());
+    assert!(vf2_nodes.iter().all(|v| expected.contains(v)));
+}
+
+/// Example 2(6): the citation pattern; SN3/SN4 are excessive matches of simulation that
+/// dual and strong simulation remove.
+#[test]
+fn figure4_citations_filters_excessive_sn_matches() {
+    let fig = paper::figure4_citations();
+    let sn_pattern = NodeId(1);
+
+    let sim = graph_simulation(&fig.pattern, &fig.data).unwrap();
+    let sim_sns: BTreeSet<NodeId> =
+        sim.candidates(sn_pattern).iter().map(NodeId::from_index).collect();
+    assert!(sim_sns.contains(&NodeId(7)) && sim_sns.contains(&NodeId(8)), "Sim over-matches");
+
+    let strong = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
+    let strong_sns: Vec<NodeId> = strong.matches_of(sn_pattern).into_iter().collect();
+    assert_eq!(strong_sns, fig.expected_matches);
+
+    // VF2 finds the same SN papers, spread across several match graphs.
+    let vf2 = find_embeddings(&fig.pattern, &fig.data, Vf2Limits::default());
+    let vf2_sns: BTreeSet<NodeId> =
+        vf2.embeddings.iter().map(|e| e[sn_pattern.index()]).collect();
+    assert_eq!(vf2_sns.into_iter().collect::<Vec<_>>(), fig.expected_matches);
+    assert!(vf2.matched_subgraphs().len() >= strong.distinct_subgraphs().len());
+}
+
+/// The QA / QY patterns of Fig. 7 are valid connected patterns with the structure the paper
+/// describes (QA contains a 2-cycle; QY is a 4-node diamond).
+#[test]
+fn real_life_patterns_have_the_described_shape() {
+    let (qa, _) = paper::pattern_qa();
+    assert_eq!(qa.node_count(), 4);
+    assert!(ssim_graph::cycles::has_directed_cycle(qa.graph()));
+    let (qy, _) = paper::pattern_qy();
+    assert_eq!(qy.node_count(), 4);
+    assert!(!ssim_graph::cycles::has_directed_cycle(qy.graph()));
+    assert!(ssim_graph::cycles::has_undirected_cycle(qy.graph()));
+}
