@@ -34,7 +34,9 @@ impl MatchedSubgraph {
     /// Builds a matched subgraph from an arbitrary iterator of node ids.
     pub fn new(nodes: impl IntoIterator<Item = NodeId>) -> Self {
         let set: BTreeSet<NodeId> = nodes.into_iter().collect();
-        MatchedSubgraph { nodes: set.into_iter().collect() }
+        MatchedSubgraph {
+            nodes: set.into_iter().collect(),
+        }
     }
 
     /// Number of nodes in the matched subgraph.
@@ -51,7 +53,10 @@ impl MatchedSubgraph {
 /// Union of the node sets of a collection of matched subgraphs — the quantity used by the
 /// closeness metric of the paper.
 pub fn matched_node_union(subgraphs: &[MatchedSubgraph]) -> BTreeSet<NodeId> {
-    subgraphs.iter().flat_map(|s| s.nodes.iter().copied()).collect()
+    subgraphs
+        .iter()
+        .flat_map(|s| s.nodes.iter().copied())
+        .collect()
 }
 
 #[cfg(test)]

@@ -26,7 +26,10 @@ pub struct McsConfig {
 
 impl Default for McsConfig {
     fn default() -> Self {
-        McsConfig { threshold: 0.7, max_candidates: 100_000 }
+        McsConfig {
+            threshold: 0.7,
+            max_candidates: 100_000,
+        }
     }
 }
 
@@ -80,8 +83,10 @@ fn candidate_subgraph(
         let current = selected[frontier];
         frontier += 1;
         // Neighbours with pattern labels first, then any neighbour, deterministic order.
-        let mut neighbors: Vec<NodeId> =
-            data.out_neighbors(current).chain(data.in_neighbors(current)).collect();
+        let mut neighbors: Vec<NodeId> = data
+            .out_neighbors(current)
+            .chain(data.in_neighbors(current))
+            .collect();
         neighbors.sort_by_key(|&v| (!pattern_labels.contains(&data.label(v)), v));
         for v in neighbors {
             if selected.len() >= size {
@@ -124,9 +129,7 @@ fn greedy_mcs(pattern: &Pattern, data: &Graph, candidate: &[NodeId]) -> usize {
                 // Prefer higher scores; ties broken by smaller ids for determinism.
                 let better = match best {
                     None => true,
-                    Some((s, bu, bv)) => {
-                        score > s || (score == s && (u, v) < (bu, bv))
-                    }
+                    Some((s, bu, bv)) => score > s || (score == s && (u, v) < (bu, bv)),
                 };
                 if better {
                     best = Some((score, u, v));
@@ -160,11 +163,8 @@ mod tests {
     #[test]
     fn exact_copy_is_accepted() {
         let pattern = pattern_path();
-        let data = Graph::from_edges(
-            vec![Label(0), Label(1), Label(2)],
-            &[(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
         let matches = find_matches(&pattern, &data, &McsConfig::default());
         assert!(!matches.is_empty());
         assert!(matches.iter().any(|m| m.node_count() == 3));
@@ -175,14 +175,18 @@ mod tests {
         // Data: A -> B -> D (wrong last label). MCS pairs A and B (2 of 3 nodes = 0.66 < 0.7
         // → rejected) unless the threshold is lowered.
         let pattern = pattern_path();
-        let data = Graph::from_edges(
-            vec![Label(0), Label(1), Label(9)],
-            &[(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(9)], &[(0, 1), (1, 2)]).unwrap();
         let strict = find_matches(&pattern, &data, &McsConfig::default());
         assert!(strict.is_empty());
-        let lenient = find_matches(&pattern, &data, &McsConfig { threshold: 0.6, ..Default::default() });
+        let lenient = find_matches(
+            &pattern,
+            &data,
+            &McsConfig {
+                threshold: 0.6,
+                ..Default::default()
+            },
+        );
         assert!(!lenient.is_empty());
     }
 
@@ -198,7 +202,10 @@ mod tests {
         let pattern = Pattern::from_edges(vec![Label(0)], &[]).unwrap();
         let labels = vec![Label(0); 50];
         let data = Graph::from_edges(labels, &[]).unwrap();
-        let config = McsConfig { max_candidates: 5, ..Default::default() };
+        let config = McsConfig {
+            max_candidates: 5,
+            ..Default::default()
+        };
         let matches = find_matches(&pattern, &data, &config);
         assert!(matches.len() <= 5);
     }
@@ -206,11 +213,8 @@ mod tests {
     #[test]
     fn greedy_mcs_scores_shared_structure() {
         let pattern = pattern_path();
-        let data = Graph::from_edges(
-            vec![Label(0), Label(1), Label(2)],
-            &[(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
         let full = greedy_mcs(&pattern, &data, &[NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(full, 3);
         let partial = greedy_mcs(&pattern, &data, &[NodeId(0), NodeId(2)]);
@@ -228,8 +232,22 @@ mod tests {
             &[(0, 1), (1, 2), (3, 4), (4, 5)],
         )
         .unwrap();
-        let strict = find_matches(&pattern, &data, &McsConfig { threshold: 0.9, ..Default::default() });
-        let loose = find_matches(&pattern, &data, &McsConfig { threshold: 0.5, ..Default::default() });
+        let strict = find_matches(
+            &pattern,
+            &data,
+            &McsConfig {
+                threshold: 0.9,
+                ..Default::default()
+            },
+        );
+        let loose = find_matches(
+            &pattern,
+            &data,
+            &McsConfig {
+                threshold: 0.5,
+                ..Default::default()
+            },
+        );
         assert!(loose.len() >= strict.len());
     }
 }

@@ -30,7 +30,11 @@ impl Default for TaleConfig {
     fn default() -> Self {
         // The paper "adopted the same setting as [32]": important nodes are the high-degree
         // ones, and up to 25% of edges may be missed.
-        TaleConfig { important_fraction: 0.5, missing_edge_ratio: 0.25, max_matches_per_seed: 64 }
+        TaleConfig {
+            important_fraction: 0.5,
+            missing_edge_ratio: 0.25,
+            max_matches_per_seed: 64,
+        }
     }
 }
 
@@ -94,13 +98,21 @@ fn nh_compatible(q: &Graph, u: NodeId, data: &Graph, v: NodeId) -> bool {
     if data.label(v) != q.label(u) || data.degree(v) < q.degree(u) {
         return false;
     }
-    let mut pattern_neighbor_labels: Vec<_> =
-        q.out_neighbors(u).chain(q.in_neighbors(u)).map(|w| q.label(w)).collect();
+    let mut pattern_neighbor_labels: Vec<_> = q
+        .out_neighbors(u)
+        .chain(q.in_neighbors(u))
+        .map(|w| q.label(w))
+        .collect();
     pattern_neighbor_labels.sort_unstable();
     pattern_neighbor_labels.dedup();
-    let data_neighbor_labels: std::collections::HashSet<_> =
-        data.out_neighbors(v).chain(data.in_neighbors(v)).map(|w| data.label(w)).collect();
-    pattern_neighbor_labels.iter().all(|l| data_neighbor_labels.contains(l))
+    let data_neighbor_labels: std::collections::HashSet<_> = data
+        .out_neighbors(v)
+        .chain(data.in_neighbors(v))
+        .map(|w| data.label(w))
+        .collect();
+    pattern_neighbor_labels
+        .iter()
+        .all(|l| data_neighbor_labels.contains(l))
 }
 
 /// Number of pattern edges between `u` and already-mapped nodes that `v` realises / misses.
@@ -151,7 +163,9 @@ fn extend(
         return;
     }
     if depth == order.len() {
-        results.push(MatchedSubgraph::new(mapping.iter().map(|m| m.expect("complete"))));
+        results.push(MatchedSubgraph::new(
+            mapping.iter().map(|m| m.expect("complete")),
+        ));
         *found += 1;
         return;
     }
@@ -199,7 +213,18 @@ fn extend(
         }
         mapping[u.index()] = Some(v);
         used.insert(v.index());
-        extend(depth + 1, order, pattern, data, config, important, mapping, used, results, found);
+        extend(
+            depth + 1,
+            order,
+            pattern,
+            data,
+            config,
+            important,
+            mapping,
+            used,
+            results,
+            found,
+        );
         used.remove(v.index());
         mapping[u.index()] = None;
         if *found >= config.max_matches_per_seed {
@@ -222,11 +247,8 @@ mod tests {
     #[test]
     fn exact_match_is_found() {
         let pattern = pattern_vee();
-        let data = Graph::from_edges(
-            vec![Label(0), Label(1), Label(2)],
-            &[(0, 2), (1, 2)],
-        )
-        .unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 2), (1, 2)]).unwrap();
         let matches = find_matches(&pattern, &data, &TaleConfig::default());
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].node_count(), 3);
@@ -245,7 +267,10 @@ mod tests {
         .unwrap();
         let exact = find_embeddings(&pattern, &data, Vf2Limits::default());
         assert_eq!(exact.embeddings.len(), 1);
-        let loose = TaleConfig { missing_edge_ratio: 1.0, ..TaleConfig::default() };
+        let loose = TaleConfig {
+            missing_edge_ratio: 1.0,
+            ..TaleConfig::default()
+        };
         let approx = find_matches(&pattern, &data, &loose);
         // The approximate matcher finds at least as many subgraphs as VF2.
         assert!(approx.len() >= exact.matched_subgraphs().len());
@@ -263,23 +288,19 @@ mod tests {
         // The important node is C (degree 2). A data C with only one neighbour label must be
         // rejected even with a generous missing-edge budget.
         let pattern = pattern_vee();
-        let data = Graph::from_edges(
-            vec![Label(0), Label(2)],
-            &[(0, 1)],
-        )
-        .unwrap();
-        let loose = TaleConfig { missing_edge_ratio: 1.0, ..TaleConfig::default() };
+        let data = Graph::from_edges(vec![Label(0), Label(2)], &[(0, 1)]).unwrap();
+        let loose = TaleConfig {
+            missing_edge_ratio: 1.0,
+            ..TaleConfig::default()
+        };
         assert!(find_matches(&pattern, &data, &loose).is_empty());
     }
 
     #[test]
     fn matches_are_deduplicated_and_sorted() {
         let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
-        let data = Graph::from_edges(
-            vec![Label(0), Label(1), Label(1)],
-            &[(0, 1), (0, 2)],
-        )
-        .unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(1)], &[(0, 1), (0, 2)]).unwrap();
         let matches = find_matches(&pattern, &data, &TaleConfig::default());
         assert_eq!(matches.len(), 2);
         assert!(matches.windows(2).all(|w| w[0] <= w[1]));
@@ -296,7 +317,10 @@ mod tests {
         }
         let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
         let data = Graph::from_edges(labels, &edges).unwrap();
-        let config = TaleConfig { max_matches_per_seed: 5, ..TaleConfig::default() };
+        let config = TaleConfig {
+            max_matches_per_seed: 5,
+            ..TaleConfig::default()
+        };
         let matches = find_matches(&pattern, &data, &config);
         assert_eq!(matches.len(), 5);
     }

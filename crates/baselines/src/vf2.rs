@@ -24,7 +24,10 @@ pub struct Vf2Limits {
 
 impl Default for Vf2Limits {
     fn default() -> Self {
-        Vf2Limits { max_embeddings: 100_000, max_steps: 50_000_000 }
+        Vf2Limits {
+            max_embeddings: 100_000,
+            max_steps: 50_000_000,
+        }
     }
 }
 
@@ -42,8 +45,11 @@ pub struct Vf2Result {
 impl Vf2Result {
     /// The matched subgraphs (node sets) of the embeddings, deduplicated.
     pub fn matched_subgraphs(&self) -> Vec<MatchedSubgraph> {
-        let mut subs: Vec<MatchedSubgraph> =
-            self.embeddings.iter().map(|e| MatchedSubgraph::new(e.iter().copied())).collect();
+        let mut subs: Vec<MatchedSubgraph> = self
+            .embeddings
+            .iter()
+            .map(|e| MatchedSubgraph::new(e.iter().copied()))
+            .collect();
         subs.sort();
         subs.dedup();
         subs
@@ -62,7 +68,11 @@ pub fn find_embeddings(pattern: &Pattern, data: &Graph, limits: Vf2Limits) -> Vf
     let nq = q.node_count();
     let mut mapping: Vec<Option<NodeId>> = vec![None; nq];
     let mut used = BitSet::new(data.node_count());
-    let mut result = Vf2Result { embeddings: Vec::new(), truncated: false, steps: 0 };
+    let mut result = Vf2Result {
+        embeddings: Vec::new(),
+        truncated: false,
+        steps: 0,
+    };
 
     // Pre-compute pattern degrees for the look-ahead check.
     let q_out: Vec<usize> = q.nodes().map(|u| q.out_degree(u)).collect();
@@ -86,9 +96,12 @@ pub fn find_embeddings(pattern: &Pattern, data: &Graph, limits: Vf2Limits) -> Vf
             return;
         }
         if depth == order.len() {
-            result
-                .embeddings
-                .push(mapping.iter().map(|m| m.expect("complete mapping")).collect());
+            result.embeddings.push(
+                mapping
+                    .iter()
+                    .map(|m| m.expect("complete mapping"))
+                    .collect(),
+            );
             return;
         }
         let u = order[depth];
@@ -115,7 +128,18 @@ pub fn find_embeddings(pattern: &Pattern, data: &Graph, limits: Vf2Limits) -> Vf
             }
             mapping[u.index()] = Some(v);
             used.insert(v.index());
-            recurse(depth + 1, order, pattern, data, q_out, q_in, mapping, used, limits, result);
+            recurse(
+                depth + 1,
+                order,
+                pattern,
+                data,
+                q_out,
+                q_in,
+                mapping,
+                used,
+                limits,
+                result,
+            );
             used.remove(v.index());
             mapping[u.index()] = None;
             if result.truncated {
@@ -141,8 +165,15 @@ pub fn find_embeddings(pattern: &Pattern, data: &Graph, limits: Vf2Limits) -> Vf
 
 /// Returns `true` when at least one embedding of `pattern` exists in `data`.
 pub fn is_subgraph_isomorphic(pattern: &Pattern, data: &Graph) -> bool {
-    find_embeddings(pattern, data, Vf2Limits { max_embeddings: 1, ..Vf2Limits::default() })
-        .is_match()
+    find_embeddings(
+        pattern,
+        data,
+        Vf2Limits {
+            max_embeddings: 1,
+            ..Vf2Limits::default()
+        },
+    )
+    .is_match()
 }
 
 /// Matching order: start from the node with the rarest label/highest degree, then repeatedly
@@ -237,7 +268,11 @@ mod tests {
     use ssim_graph::Label;
 
     fn pattern_triangle() -> Pattern {
-        Pattern::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2), (2, 0)]).unwrap()
+        Pattern::from_edges(
+            vec![Label(0), Label(1), Label(2)],
+            &[(0, 1), (1, 2), (2, 0)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -259,11 +294,8 @@ mod tests {
     #[test]
     fn no_triangle_in_a_dag() {
         let pattern = pattern_triangle();
-        let data = Graph::from_edges(
-            vec![Label(0), Label(1), Label(2)],
-            &[(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
         assert!(!is_subgraph_isomorphic(&pattern, &data));
     }
 
@@ -320,7 +352,10 @@ mod tests {
         let result = find_embeddings(
             &pattern,
             &data,
-            Vf2Limits { max_embeddings: 2, max_steps: 1_000_000 },
+            Vf2Limits {
+                max_embeddings: 2,
+                max_steps: 1_000_000,
+            },
         );
         assert_eq!(result.embeddings.len(), 2);
         assert!(result.truncated);
@@ -334,8 +369,14 @@ mod tests {
             &[(0, 1), (1, 2), (2, 0)],
         )
         .unwrap();
-        let result =
-            find_embeddings(&pattern, &data, Vf2Limits { max_embeddings: 10, max_steps: 1 });
+        let result = find_embeddings(
+            &pattern,
+            &data,
+            Vf2Limits {
+                max_embeddings: 10,
+                max_steps: 1,
+            },
+        );
         assert!(result.truncated);
     }
 

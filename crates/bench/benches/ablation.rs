@@ -16,7 +16,10 @@ use std::time::Duration;
 
 fn bench_match_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("opt_match_variants");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for dataset in [DatasetKind::AmazonLike, DatasetKind::Synthetic] {
         let BenchWorkload { data, pattern, .. } = workload(dataset);
         for variant in variants() {
@@ -32,9 +35,14 @@ fn bench_match_variants(c: &mut Criterion) {
 
 fn bench_building_blocks(c: &mut Criterion) {
     let mut group = c.benchmark_group("opt_building_blocks");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let BenchWorkload { data, pattern, .. } = workload(DatasetKind::AmazonLike);
-    group.bench_function("global_dual_simulation", |b| b.iter(|| dual_simulation(&pattern, &data)));
+    group.bench_function("global_dual_simulation", |b| {
+        b.iter(|| dual_simulation(&pattern, &data))
+    });
     group.bench_function("minQ", |b| b.iter(|| minimize_pattern(&pattern)));
     group.finish();
 }

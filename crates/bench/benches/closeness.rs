@@ -12,7 +12,10 @@ use std::time::Duration;
 
 fn bench_closeness(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7c-7h_closeness");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for dataset in DatasetKind::all() {
         let BenchWorkload { data, pattern, .. } = workload(dataset);
         for kind in AlgorithmKind::quality_set() {

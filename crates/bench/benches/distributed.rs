@@ -14,17 +14,25 @@ use std::time::Duration;
 
 fn bench_distributed(c: &mut Criterion) {
     let mut group = c.benchmark_group("dist_strong_simulation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let BenchWorkload { data, pattern, .. } = workload(DatasetKind::AmazonLike);
 
     group.bench_function("centralized", |b| {
         b.iter(|| strong_simulation(&pattern, &data, &MatchConfig::basic()))
     });
     for sites in [2usize, 4] {
-        for (name, strategy) in
-            [("range", PartitionStrategy::Range), ("hash", PartitionStrategy::Hash)]
-        {
-            let config = DistributedConfig { sites, strategy, minimize_query: false };
+        for (name, strategy) in [
+            ("range", PartitionStrategy::Range),
+            ("hash", PartitionStrategy::Hash),
+        ] {
+            let config = DistributedConfig {
+                sites,
+                strategy,
+                minimize_query: false,
+            };
             group.bench_with_input(
                 BenchmarkId::new(format!("distributed_{name}"), format!("sites={sites}")),
                 &config,

@@ -11,9 +11,16 @@ use std::time::Duration;
 
 fn bench_match_counts(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7i-7n_match_counts");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    let algorithms =
-        [AlgorithmKind::Tale, AlgorithmKind::Mcs, AlgorithmKind::Vf2, AlgorithmKind::Match];
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let algorithms = [
+        AlgorithmKind::Tale,
+        AlgorithmKind::Mcs,
+        AlgorithmKind::Vf2,
+        AlgorithmKind::Match,
+    ];
     for dataset in [DatasetKind::AmazonLike, DatasetKind::Synthetic] {
         for pattern_nodes in [4usize, 8] {
             let w = workload_sized(dataset, 400, pattern_nodes);

@@ -1,0 +1,236 @@
+//! Engine trajectory bench: times the matching engine's configurations on the standard
+//! workload and emits `BENCH_match.json` at the workspace root so future engine work has a
+//! baseline to beat.
+//!
+//! Configurations measured, on `workload()` at `BENCH_NODES` for every dataset family:
+//!
+//! * `seed/match` — the seed's engine (naive fixpoint, sequential, `|V|`-sized ball
+//!   relations) running plain `Match`,
+//! * `seed/match_plus` — the seed's engine running `Match+`,
+//! * `engine/match` — worklist + compact balls + parallel running plain `Match`,
+//! * `engine/match_plus` — the full fast engine running `Match+`.
+//!
+//! For each configuration the JSON records mean seconds per run, processed balls per
+//! second and data nodes per second, plus the speedup of the fast engine over the seed
+//! engine. Run with `cargo bench --bench match_engine`.
+
+use ssim_bench::{workload, BenchWorkload, BENCH_NODES, BENCH_PATTERN_NODES};
+use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
+use ssim_experiments::workloads::DatasetKind;
+use std::time::Instant;
+
+/// One measured configuration.
+struct ConfigResult {
+    name: &'static str,
+    seconds: f64,
+    balls_per_sec: f64,
+    nodes_per_sec: f64,
+    subgraphs: usize,
+    matched_nodes: usize,
+}
+
+/// Times `runs` executions after one warm-up and returns the mean seconds plus the output.
+fn time_config(
+    pattern: &ssim_graph::Pattern,
+    data: &ssim_graph::Graph,
+    config: &MatchConfig,
+    runs: usize,
+) -> (f64, MatchOutput) {
+    let warmup = strong_simulation(pattern, data, config);
+    let start = Instant::now();
+    for _ in 0..runs {
+        let out = strong_simulation(pattern, data, config);
+        assert_eq!(
+            out.subgraphs.len(),
+            warmup.subgraphs.len(),
+            "nondeterministic output"
+        );
+    }
+    (start.elapsed().as_secs_f64() / runs as f64, warmup)
+}
+
+fn measure(
+    name: &'static str,
+    w: &BenchWorkload,
+    config: &MatchConfig,
+    runs: usize,
+) -> ConfigResult {
+    let (seconds, out) = time_config(&w.pattern, &w.data, config, runs);
+    ConfigResult {
+        name,
+        seconds,
+        balls_per_sec: out.stats.balls_processed as f64 / seconds,
+        nodes_per_sec: w.data.node_count() as f64 / seconds,
+        subgraphs: out.subgraphs.len(),
+        matched_nodes: out.matched_node_count(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    // `cargo test` may execute bench targets in test mode; only benchmark under
+    // `cargo bench`.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let runs = 3usize;
+    let threads = ssim_core::parallel::available_threads();
+    let configs: [(&'static str, MatchConfig); 4] = [
+        ("seed/match", MatchConfig::seed_reference()),
+        (
+            "seed/match_plus",
+            MatchConfig {
+                minimize_query: true,
+                dual_filter: true,
+                connectivity_pruning: true,
+                ..MatchConfig::seed_reference()
+            },
+        ),
+        ("engine/match", MatchConfig::basic()),
+        ("engine/match_plus", MatchConfig::optimized()),
+    ];
+
+    let mut dataset_blobs = Vec::new();
+    for dataset in DatasetKind::all() {
+        let w = workload(dataset);
+        eprintln!(
+            "dataset {} : |V|={} |E|={} pattern |Vq|={} dQ={}",
+            dataset.name(),
+            w.data.node_count(),
+            w.data.edge_count(),
+            w.pattern.node_count(),
+            w.pattern.diameter()
+        );
+        let results: Vec<ConfigResult> = configs
+            .iter()
+            .map(|(name, config)| measure(name, &w, config, runs))
+            .collect();
+        // Headline: the optimised matcher on the new engine vs the seed's naive
+        // sequential engine (its shipped `Match`). Same-configuration ratios are also
+        // recorded so engine regressions stay visible.
+        let headline = results[0].seconds / results[3].seconds;
+        let speedup_plus = results[1].seconds / results[3].seconds;
+        let speedup_basic = results[0].seconds / results[2].seconds;
+        for r in &results {
+            eprintln!(
+                "  {:<18} {:>10.4} ms/run  {:>12.0} balls/s  {:>12.0} nodes/s  ({} subgraphs)",
+                r.name,
+                r.seconds * 1e3,
+                r.balls_per_sec,
+                r.nodes_per_sec,
+                r.subgraphs
+            );
+        }
+        eprintln!(
+            "  speedup: Match+ vs seed engine {headline:.2}x (same-config: Match {speedup_basic:.2}x, Match+ {speedup_plus:.2}x)"
+        );
+        let config_json: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "      {{\"name\": \"{}\", \"seconds_per_run\": {:.6}, ",
+                        "\"balls_per_sec\": {:.1}, \"nodes_per_sec\": {:.1}, ",
+                        "\"subgraphs\": {}, \"matched_nodes\": {}}}"
+                    ),
+                    json_escape(r.name),
+                    r.seconds,
+                    r.balls_per_sec,
+                    r.nodes_per_sec,
+                    r.subgraphs,
+                    r.matched_nodes
+                )
+            })
+            .collect();
+        dataset_blobs.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"nodes\": {}, \"edges\": {}, ",
+                "\"pattern_nodes\": {}, \"pattern_diameter\": {},\n",
+                "     \"speedup_match_plus_vs_seed_engine\": {:.3},\n",
+                "     \"speedup_match_same_config\": {:.3}, ",
+                "\"speedup_match_plus_same_config\": {:.3},\n",
+                "     \"configs\": [\n{}\n    ]}}"
+            ),
+            json_escape(dataset.name()),
+            w.data.node_count(),
+            w.data.edge_count(),
+            w.pattern.node_count(),
+            w.pattern.diameter(),
+            headline,
+            speedup_basic,
+            speedup_plus,
+            config_json.join(",\n")
+        ));
+    }
+
+    // Cascade stress: a self-loop pattern over a long path forces the refinement to strip
+    // the candidate set one layer per pass, the worst case the worklist engine exists for.
+    // `Match+` computes the (empty) global dual-simulation relation and skips every ball,
+    // so this row isolates the refinement algorithms.
+    {
+        let n = 4000u32;
+        let pattern =
+            ssim_graph::Pattern::from_edges(vec![ssim_graph::Label(0)], &[(0, 0)]).unwrap();
+        let chain = ssim_graph::Graph::from_edges(
+            vec![ssim_graph::Label(0); n as usize],
+            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let seed_cfg = MatchConfig {
+            minimize_query: true,
+            dual_filter: true,
+            connectivity_pruning: true,
+            ..MatchConfig::seed_reference()
+        };
+        let (seed_secs, seed_out) = time_config(&pattern, &chain, &seed_cfg, runs);
+        let (engine_secs, engine_out) =
+            time_config(&pattern, &chain, &MatchConfig::optimized(), runs);
+        assert_eq!(seed_out.subgraphs.len(), engine_out.subgraphs.len());
+        // Unlike the dataset rows' cross-config headline, this is a *same-config*
+        // comparison (Match+ on both engines), isolating the refinement algorithm.
+        let cascade_speedup = seed_secs / engine_secs;
+        eprintln!(
+            "cascade chain n={n}: seed {:.3} ms, engine {:.3} ms — {cascade_speedup:.1}x (same-config Match+)",
+            seed_secs * 1e3,
+            engine_secs * 1e3
+        );
+        dataset_blobs.push(format!(
+            concat!(
+                "    {{\"dataset\": \"cascade-chain\", \"nodes\": {}, \"edges\": {}, ",
+                "\"pattern_nodes\": 1, \"pattern_diameter\": 0,\n",
+                "     \"speedup_match_plus_same_config\": {:.3},\n",
+                "     \"configs\": [\n",
+                "      {{\"name\": \"seed/match_plus\", \"seconds_per_run\": {:.6}}},\n",
+                "      {{\"name\": \"engine/match_plus\", \"seconds_per_run\": {:.6}}}\n",
+                "    ]}}"
+            ),
+            n,
+            n - 1,
+            cascade_speedup,
+            seed_secs,
+            engine_secs
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"match_engine\",\n  \"bench_nodes\": {},\n",
+            "  \"bench_pattern_nodes\": {},\n  \"runs_per_config\": {},\n",
+            "  \"threads\": {},\n  \"datasets\": [\n{}\n  ]\n}}\n"
+        ),
+        BENCH_NODES,
+        BENCH_PATTERN_NODES,
+        runs,
+        threads,
+        dataset_blobs.join(",\n")
+    );
+
+    // Emit at the workspace root: crates/bench/../../BENCH_match.json.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_match.json");
+    std::fs::write(&path, &json).expect("write BENCH_match.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -11,14 +11,19 @@ use std::time::Duration;
 
 fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_match_sizes");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let mut scale = ExperimentScale::tiny();
     scale.data_nodes = 300;
     scale.fixed_pattern_size = 5;
     for dataset in DatasetKind::all() {
-        group.bench_with_input(BenchmarkId::new("Match", dataset.name()), &dataset, |b, &d| {
-            b.iter(|| size_distribution(d, &scale))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("Match", dataset.name()),
+            &dataset,
+            |b, &d| b.iter(|| size_distribution(d, &scale)),
+        );
     }
     group.finish();
 }

@@ -14,14 +14,20 @@ use std::time::Duration;
 /// Figures 8(e)/(f)/(g): vary |V| on each dataset family.
 fn bench_vary_data_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8e-8g_time_vs_data_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for dataset in DatasetKind::all() {
         for nodes in [200usize, 600] {
             let w = workload_sized(dataset, nodes, 5);
             let include_vf2 = dataset != DatasetKind::Synthetic;
             for kind in AlgorithmKind::performance_set(include_vf2) {
                 group.bench_with_input(
-                    BenchmarkId::new(format!("{}_{}", kind.name(), dataset.name()), format!("V={nodes}")),
+                    BenchmarkId::new(
+                        format!("{}_{}", kind.name(), dataset.name()),
+                        format!("V={nodes}"),
+                    ),
                     &w,
                     |b, w| b.iter(|| run_algorithm(kind, &w.pattern, &w.data)),
                 );
@@ -34,11 +40,17 @@ fn bench_vary_data_size(c: &mut Criterion) {
 /// Figure 8(h): vary the data density α on synthetic data.
 fn bench_vary_data_density(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8h_time_vs_data_density");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for alpha in [1.05f64, 1.3] {
         let data = DatasetKind::Synthetic.generate_with_density(400, alpha, 42);
         let pattern = experiment_pattern(&data, 5, 7);
-        for (name, config) in [("Match", MatchConfig::basic()), ("Match+", MatchConfig::optimized())] {
+        for (name, config) in [
+            ("Match", MatchConfig::basic()),
+            ("Match+", MatchConfig::optimized()),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("alpha={alpha}")),
                 &(&pattern, &data),

@@ -14,7 +14,10 @@ use std::time::Duration;
 /// Figures 8(a)/(b)/(c): vary |Vq| on each dataset family.
 fn bench_vary_pattern_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8a-8c_time_vs_pattern_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for dataset in DatasetKind::all() {
         for pattern_nodes in [4usize, 8] {
             let w = workload_sized(dataset, 400, pattern_nodes);
@@ -38,11 +41,17 @@ fn bench_vary_pattern_size(c: &mut Criterion) {
 /// Figure 8(d): vary the pattern density αq on synthetic data (Sim / Match / Match+ only).
 fn bench_vary_pattern_density(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8d_time_vs_pattern_density");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let data = DatasetKind::Synthetic.generate(400, 42);
     for alpha_q in [1.05f64, 1.35] {
         let pattern = density_pattern(&data, 6, alpha_q, 3);
-        for (name, config) in [("Match", MatchConfig::basic()), ("Match+", MatchConfig::optimized())] {
+        for (name, config) in [
+            ("Match", MatchConfig::basic()),
+            ("Match+", MatchConfig::optimized()),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("alpha_q={alpha_q}")),
                 &(&pattern, &data),

@@ -36,7 +36,11 @@ pub fn workload_sized(dataset: DatasetKind, nodes: usize, pattern_nodes: usize) 
     let pattern = extract_pattern(&data, pattern_nodes, 7)
         .filter(|p| p.node_count() == pattern_nodes)
         .unwrap_or_else(|| experiment_pattern(&data, pattern_nodes, 7));
-    BenchWorkload { data, pattern, dataset }
+    BenchWorkload {
+        data,
+        pattern,
+        dataset,
+    }
 }
 
 #[cfg(test)]

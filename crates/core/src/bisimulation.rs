@@ -121,8 +121,7 @@ mod tests {
 
     #[test]
     fn isomorphic_graphs_are_bisimilar() {
-        let pattern =
-            Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
         let data = Graph::from_edges(vec![Label(1), Label(0)], &[(1, 0)]).unwrap();
         assert!(bisimilar(&pattern, &data));
     }

@@ -55,7 +55,11 @@ impl BoundedPattern {
     /// (bounded simulation then coincides with graph simulation).
     pub fn from_pattern(pattern: &ssim_graph::Pattern) -> Self {
         let labels = pattern.graph().labels().to_vec();
-        let edges = pattern.graph().edges().map(|(s, t)| (s, t, Bound::Hops(1))).collect();
+        let edges = pattern
+            .graph()
+            .edges()
+            .map(|(s, t)| (s, t, Bound::Hops(1)))
+            .collect();
         BoundedPattern { labels, edges }
     }
 
@@ -248,7 +252,10 @@ mod tests {
         );
         let relation = bounded_simulation(&pattern, &data).unwrap();
         assert!(relation.contains(NodeId(0), NodeId(0)));
-        assert!(!relation.contains(NodeId(0), NodeId(4)), "A4 only reaches the dead-end B5");
+        assert!(
+            !relation.contains(NodeId(0), NodeId(4)),
+            "A4 only reaches the dead-end B5"
+        );
         assert!(!relation.contains(NodeId(1), NodeId(5)));
     }
 

@@ -7,22 +7,44 @@
 //! procedure (`DualSim` in Fig. 3) inside every ball.
 
 use crate::relation::MatchRelation;
-use crate::simulation::{initial_candidates, refine, RefineMode};
-use ssim_graph::{Graph, GraphView, NodeId, Pattern};
+use crate::simulation::{initial_candidates, refine, refine_with, RefineMode, RefineStrategy};
+use ssim_graph::{AdjView, Graph, GraphView, NodeId, Pattern};
 
 /// Computes the maximum dual-simulation relation of `pattern` over `view`
 /// (procedure `DualSim` of the paper).
 ///
 /// Returns `None` when the view does not match the pattern via dual simulation.
-pub fn dual_simulation_view(pattern: &Pattern, view: &GraphView<'_>) -> Option<MatchRelation> {
-    let relation =
-        refine(pattern, view, RefineMode::ChildrenAndParents, initial_candidates(pattern, view));
+pub fn dual_simulation_view<V: AdjView>(pattern: &Pattern, view: &V) -> Option<MatchRelation> {
+    let relation = refine(
+        pattern,
+        view,
+        RefineMode::ChildrenAndParents,
+        initial_candidates(pattern, view),
+    );
     relation.filter(MatchRelation::is_total)
 }
 
 /// Computes the maximum dual-simulation relation over the whole data graph.
 pub fn dual_simulation(pattern: &Pattern, data: &Graph) -> Option<MatchRelation> {
     dual_simulation_view(pattern, &GraphView::full(data))
+}
+
+/// [`dual_simulation`] with an explicit [`RefineStrategy`] — `NaiveFixpoint` is the seed's
+/// re-scan loop, kept as the equivalence oracle for tests and ablation benches.
+pub fn dual_simulation_with(
+    pattern: &Pattern,
+    data: &Graph,
+    strategy: RefineStrategy,
+) -> Option<MatchRelation> {
+    let view = GraphView::full(data);
+    let relation = refine_with(
+        pattern,
+        &view,
+        RefineMode::ChildrenAndParents,
+        initial_candidates(pattern, &view),
+        strategy,
+    );
+    relation.filter(MatchRelation::is_total)
 }
 
 /// Returns `true` when `Q ≺D G`.
@@ -33,22 +55,35 @@ pub fn dual_simulates(pattern: &Pattern, data: &Graph) -> bool {
 /// Refines an arbitrary starting relation down to the maximum dual-simulation relation
 /// contained in it. Used by the `dualFilter` optimisation, which starts from the global
 /// relation projected onto a ball rather than from the label-based candidates.
-pub fn refine_dual(
+pub fn refine_dual<V: AdjView>(
     pattern: &Pattern,
-    view: &GraphView<'_>,
+    view: &V,
     start: MatchRelation,
 ) -> Option<MatchRelation> {
     let relation = refine(pattern, view, RefineMode::ChildrenAndParents, start);
     relation.filter(MatchRelation::is_total)
 }
 
+/// [`refine_dual`] with an explicit [`RefineStrategy`].
+pub fn refine_dual_with<V: AdjView>(
+    pattern: &Pattern,
+    view: &V,
+    start: MatchRelation,
+    strategy: RefineStrategy,
+) -> Option<MatchRelation> {
+    let relation = refine_with(
+        pattern,
+        view,
+        RefineMode::ChildrenAndParents,
+        start,
+        strategy,
+    );
+    relation.filter(MatchRelation::is_total)
+}
+
 /// Checks that `relation` is a valid dual-simulation witness (labels, totality, child and
 /// parent conditions). Used by tests and the topology report.
-pub fn is_valid_dual_simulation(
-    pattern: &Pattern,
-    data: &Graph,
-    relation: &MatchRelation,
-) -> bool {
+pub fn is_valid_dual_simulation(pattern: &Pattern, data: &Graph, relation: &MatchRelation) -> bool {
     let view = GraphView::full(data);
     if !crate::simulation::is_valid_simulation(pattern, data, relation) {
         return false;
@@ -73,12 +108,21 @@ mod tests {
     /// and a teacher. Simulation keeps book1 (student-only); dual simulation removes it.
     fn book_example() -> (Pattern, Graph) {
         let pattern = Pattern::from_edges(
-            vec![Label(0) /*ST*/, Label(1) /*TE*/, Label(2) /*book*/],
+            vec![
+                Label(0), /*ST*/
+                Label(1), /*TE*/
+                Label(2), /*book*/
+            ],
             &[(0, 2), (1, 2)],
         )
         .unwrap();
         let data = Graph::from_edges(
-            vec![Label(0), Label(1), Label(2) /*book1*/, Label(2) /*book2*/],
+            vec![
+                Label(0),
+                Label(1),
+                Label(2), /*book1*/
+                Label(2), /*book2*/
+            ],
             &[(0, 2), (0, 3), (1, 3)],
         )
         .unwrap();
@@ -89,9 +133,15 @@ mod tests {
     fn duality_filters_book1() {
         let (pattern, data) = book_example();
         let sim = graph_simulation(&pattern, &data).unwrap();
-        assert!(sim.contains(NodeId(2), NodeId(2)), "plain simulation keeps book1");
+        assert!(
+            sim.contains(NodeId(2), NodeId(2)),
+            "plain simulation keeps book1"
+        );
         let dual = dual_simulation(&pattern, &data).unwrap();
-        assert!(!dual.contains(NodeId(2), NodeId(2)), "dual simulation removes book1");
+        assert!(
+            !dual.contains(NodeId(2), NodeId(2)),
+            "dual simulation removes book1"
+        );
         assert!(dual.contains(NodeId(2), NodeId(3)));
         assert!(is_valid_dual_simulation(&pattern, &data, &dual));
     }

@@ -9,21 +9,23 @@
 //! and propagates with a work queue, typically touching a small fraction of the ball.
 
 use crate::relation::MatchRelation;
-use ssim_graph::{Ball, GraphView, NodeId, Pattern};
+use ssim_graph::{AdjView, NodeId, Pattern};
 use std::collections::VecDeque;
 
 /// Refines the projection of the global relation onto a ball down to the ball's maximum
 /// dual-simulation relation, starting the removal process from the ball's border nodes.
 ///
 /// `projected` must be the global maximum dual-simulation relation already projected onto
-/// the ball members (and possibly further restricted by connectivity pruning). Returns
-/// `None` when some pattern node loses all candidates, i.e. the ball holds no match.
+/// the ball members (and possibly further restricted by connectivity pruning), expressed in
+/// the same id space as `view` and `border` — either global ids with a restricted view (the
+/// seed path) or ball-local ids with a [`ssim_graph::CompactBall`]'s graph. Returns `None`
+/// when some pattern node loses all candidates, i.e. the ball holds no match.
 ///
 /// Statistics about the work performed are accumulated into `removed_pairs` when provided.
-pub fn refine_projected(
+pub fn refine_projected<V: AdjView>(
     pattern: &Pattern,
-    view: &GraphView<'_>,
-    ball: &Ball,
+    view: &V,
+    border: &[NodeId],
     mut projected: MatchRelation,
     mut removed_pairs: Option<&mut usize>,
 ) -> Option<MatchRelation> {
@@ -33,7 +35,7 @@ pub fn refine_projected(
 
     // Seed: pairs whose data node is a border node and whose support is already broken
     // (lines 2-5 of Fig. 5).
-    for v in ball.border_nodes() {
+    for &v in border {
         for u in projected.pattern_nodes_matching(v) {
             if !pair_supported(pattern, view, &projected, u, v) {
                 queue.push_back((u, v));
@@ -81,9 +83,9 @@ pub fn refine_projected(
 }
 
 /// Returns `true` when the pair `(u, v)` has both child and parent support inside the view.
-fn pair_supported(
+fn pair_supported<V: AdjView>(
     pattern: &Pattern,
-    view: &GraphView<'_>,
+    view: &V,
     relation: &MatchRelation,
     u: NodeId,
     v: NodeId,
@@ -106,7 +108,7 @@ fn pair_supported(
 mod tests {
     use super::*;
     use crate::dual::{dual_simulation, dual_simulation_view};
-    use ssim_graph::{Graph, Label};
+    use ssim_graph::{Ball, Graph, Label};
 
     /// Builds the Fig. 6(b)-style data: a chain of A -> B pairs where the outermost pair
     /// loses support once confined to a ball.
@@ -131,7 +133,7 @@ mod tests {
             let ball = Ball::new(&data, center, pattern.diameter().max(1));
             let view = ball.view(&data);
             let projected = global.project(ball.membership());
-            let filtered = refine_projected(&pattern, &view, &ball, projected, None);
+            let filtered = refine_projected(&pattern, &view, &ball.border_nodes(), projected, None);
             let fresh = dual_simulation_view(&pattern, &view);
             match (filtered, fresh) {
                 (None, None) => {}
@@ -158,7 +160,13 @@ mod tests {
         let view = ball.view(&data);
         let projected = global.project(ball.membership());
         let mut removed = 0usize;
-        let _ = refine_projected(&pattern, &view, &ball, projected, Some(&mut removed));
+        let _ = refine_projected(
+            &pattern,
+            &view,
+            &ball.border_nodes(),
+            projected,
+            Some(&mut removed),
+        );
         // At least one projected pair loses support inside the radius-1 ball.
         assert!(removed > 0);
     }
@@ -172,7 +180,7 @@ mod tests {
         let ball = Ball::new(&data, NodeId(0), 0);
         let view = ball.view(&data);
         let projected = global.project(ball.membership());
-        assert!(refine_projected(&pattern, &view, &ball, projected, None).is_none());
+        assert!(refine_projected(&pattern, &view, &ball.border_nodes(), projected, None).is_none());
     }
 
     #[test]
@@ -184,8 +192,14 @@ mod tests {
         let view = ball.view(&data);
         let projected = global.project(ball.membership());
         let mut removed = 0usize;
-        let refined =
-            refine_projected(&pattern, &view, &ball, projected.clone(), Some(&mut removed)).unwrap();
+        let refined = refine_projected(
+            &pattern,
+            &view,
+            &ball.border_nodes(),
+            projected.clone(),
+            Some(&mut removed),
+        )
+        .unwrap();
         assert_eq!(removed, 0);
         assert_eq!(refined.to_sorted_pairs(), projected.to_sorted_pairs());
     }

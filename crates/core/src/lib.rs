@@ -57,15 +57,16 @@ pub mod dual;
 pub mod dual_filter;
 pub mod match_graph;
 pub mod minimize;
+pub mod parallel;
 pub mod pruning;
 pub mod relation;
 pub mod simulation;
 pub mod strong;
 pub mod topology;
 
-pub use dual::{dual_simulation, dual_simulates};
+pub use dual::{dual_simulates, dual_simulation, dual_simulation_with};
 pub use match_graph::{MatchGraph, PerfectSubgraph};
 pub use minimize::minimize_pattern;
 pub use relation::MatchRelation;
-pub use simulation::{graph_simulation, simulates};
+pub use simulation::{graph_simulation, graph_simulation_with, simulates, RefineStrategy};
 pub use strong::{strong_simulation, MatchConfig, MatchOutput, MatchStats};

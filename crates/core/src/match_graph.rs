@@ -9,7 +9,7 @@
 //! maximum perfect subgraphs, one per ball at most (Theorem 1).
 
 use crate::relation::MatchRelation;
-use ssim_graph::{BitSet, Graph, GraphView, NodeId, Pattern};
+use ssim_graph::{AdjView, BitSet, Graph, NodeId, Pattern};
 
 /// The match graph w.r.t. a match relation: data nodes and the data edges that realise some
 /// pattern edge. Node ids refer to the original data graph.
@@ -23,9 +23,12 @@ pub struct MatchGraph {
 
 impl MatchGraph {
     /// Builds the match graph of `relation` over `view`.
-    pub fn build(pattern: &Pattern, view: &GraphView<'_>, relation: &MatchRelation) -> Self {
-        let nodes: Vec<NodeId> =
-            relation.matched_data_nodes().iter().map(NodeId::from_index).collect();
+    pub fn build<V: AdjView>(pattern: &Pattern, view: &V, relation: &MatchRelation) -> Self {
+        let nodes: Vec<NodeId> = relation
+            .matched_data_nodes()
+            .iter()
+            .map(NodeId::from_index)
+            .collect();
         let mut edges = Vec::new();
         for (u, u_child) in pattern.graph().edges() {
             for v in relation.candidates(u).iter().map(NodeId::from_index) {
@@ -62,7 +65,11 @@ impl MatchGraph {
             return Vec::new();
         }
         // Union-find over positions in `self.nodes`.
-        let index_of = |n: NodeId| self.nodes.binary_search(&n).expect("edge endpoint not in node set");
+        let index_of = |n: NodeId| {
+            self.nodes
+                .binary_search(&n)
+                .expect("edge endpoint not in node set")
+        };
         let mut parent: Vec<usize> = (0..self.nodes.len()).collect();
         fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
@@ -78,7 +85,8 @@ impl MatchGraph {
                 parent[ra] = rb;
             }
         }
-        let mut groups: std::collections::BTreeMap<usize, Vec<NodeId>> = std::collections::BTreeMap::new();
+        let mut groups: std::collections::BTreeMap<usize, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
         for (i, &n) in self.nodes.iter().enumerate() {
             groups.entry(find(&mut parent, i)).or_default().push(n);
         }
@@ -90,7 +98,9 @@ impl MatchGraph {
         if !self.contains_node(node) {
             return None;
         }
-        self.connected_components().into_iter().find(|c| c.binary_search(&node).is_ok())
+        self.connected_components()
+            .into_iter()
+            .find(|c| c.binary_search(&node).is_ok())
     }
 
     /// Materialises the match graph as a standalone [`Graph`] (plus new-id → original-id map).
@@ -128,7 +138,11 @@ impl PerfectSubgraph {
 
     /// Data nodes matching a given pattern node.
     pub fn matches_of(&self, pattern_node: NodeId) -> Vec<NodeId> {
-        self.relation.iter().filter(|(u, _)| *u == pattern_node).map(|&(_, v)| v).collect()
+        self.relation
+            .iter()
+            .filter(|(u, _)| *u == pattern_node)
+            .map(|&(_, v)| v)
+            .collect()
     }
 
     /// Materialises the subgraph as a standalone [`Graph`] (plus id map).
@@ -148,9 +162,9 @@ impl PerfectSubgraph {
 /// Returns `None` when the ball center `w` does not appear in the relation (line 1 of the
 /// procedure), otherwise the connected component of the match graph that contains `w`
 /// (justified by Theorem 2).
-pub fn extract_max_perfect_subgraph(
+pub fn extract_max_perfect_subgraph<V: AdjView>(
     pattern: &Pattern,
-    view: &GraphView<'_>,
+    view: &V,
     relation: &MatchRelation,
     center: NodeId,
     radius: usize,
@@ -160,7 +174,7 @@ pub fn extract_max_perfect_subgraph(
     }
     let match_graph = MatchGraph::build(pattern, view, relation);
     let component = match_graph.component_containing(center)?;
-    let mut in_component = BitSet::new(view.graph().node_count());
+    let mut in_component = BitSet::new(view.id_space());
     for &n in &component {
         in_component.insert(n.index());
     }
@@ -174,14 +188,20 @@ pub fn extract_max_perfect_subgraph(
         .pairs()
         .filter(|(_, v)| in_component.contains(v.index()))
         .collect();
-    Some(PerfectSubgraph { center, radius, nodes: component, edges, relation: relation_pairs })
+    Some(PerfectSubgraph {
+        center,
+        radius,
+        nodes: component,
+        edges,
+        relation: relation_pairs,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dual::dual_simulation;
-    use ssim_graph::Label;
+    use ssim_graph::{GraphView, Label};
 
     /// Pattern A -> B; data has two disjoint A -> B pairs and a stray labelled-C node.
     fn two_components() -> (Pattern, Graph) {
@@ -202,7 +222,10 @@ mod tests {
         let mg = MatchGraph::build(&pattern, &view, &relation);
         assert_eq!(mg.nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         // Edge 0->4 is not covered by any pattern edge (node 4 has label C).
-        assert_eq!(mg.edges, vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]);
+        assert_eq!(
+            mg.edges,
+            vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]
+        );
         assert_eq!(mg.node_count(), 4);
         assert_eq!(mg.edge_count(), 2);
         assert!(mg.contains_node(NodeId(2)));
@@ -216,13 +239,19 @@ mod tests {
         let mg = MatchGraph::build(&pattern, &GraphView::full(&data), &relation);
         let comps = mg.connected_components();
         assert_eq!(comps.len(), 2);
-        assert_eq!(mg.component_containing(NodeId(3)).unwrap(), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(
+            mg.component_containing(NodeId(3)).unwrap(),
+            vec![NodeId(2), NodeId(3)]
+        );
         assert_eq!(mg.component_containing(NodeId(4)), None);
     }
 
     #[test]
     fn empty_match_graph() {
-        let mg = MatchGraph { nodes: vec![], edges: vec![] };
+        let mg = MatchGraph {
+            nodes: vec![],
+            edges: vec![],
+        };
         assert!(mg.connected_components().is_empty());
         assert_eq!(mg.component_containing(NodeId(0)), None);
     }

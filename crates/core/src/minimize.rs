@@ -62,14 +62,20 @@ pub fn minimize_pattern(pattern: &Pattern) -> MinimizedPattern {
     }
 
     // Lines 3-4: build the quotient pattern.
-    let mut builder = ssim_graph::GraphBuilder::with_capacity(class_reps.len(), pattern.edge_count());
+    let mut builder =
+        ssim_graph::GraphBuilder::with_capacity(class_reps.len(), pattern.edge_count());
     for &rep in &class_reps {
         builder.add_labeled_node(pattern.label(rep));
     }
     let mut edges: Vec<(u32, u32)> = pattern
         .graph()
         .edges()
-        .map(|(u, v)| (class_of_raw[u.index()] as u32, class_of_raw[v.index()] as u32))
+        .map(|(u, v)| {
+            (
+                class_of_raw[u.index()] as u32,
+                class_of_raw[v.index()] as u32,
+            )
+        })
         .collect();
     edges.sort_unstable();
     edges.dedup();
@@ -100,7 +106,16 @@ mod tests {
     fn q5() -> Pattern {
         // labels: R=0, A=1, B=2, C=3, D=4
         Pattern::from_edges(
-            vec![Label(0), Label(1), Label(2), Label(2), Label(3), Label(3), Label(4), Label(4)],
+            vec![
+                Label(0),
+                Label(1),
+                Label(2),
+                Label(2),
+                Label(3),
+                Label(3),
+                Label(4),
+                Label(4),
+            ],
             &[
                 (0, 1), // R -> A
                 (0, 2), // R -> B1
@@ -155,7 +170,11 @@ mod tests {
         )
         .unwrap();
         let minimized = minimize_pattern(&pattern);
-        assert_eq!(minimized.pattern.node_count(), 4, "B1 and B2 must stay distinct");
+        assert_eq!(
+            minimized.pattern.node_count(),
+            4,
+            "B1 and B2 must stay distinct"
+        );
     }
 
     #[test]

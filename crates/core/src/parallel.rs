@@ -1,0 +1,94 @@
+//! Scoped-thread parallel driver shared by the matching engine and the distributed runtime.
+//!
+//! The environment has no external crates (no rayon), so fan-out is built on
+//! `std::thread::scope`: a fixed worker pool is spawned per call, each worker produces one
+//! result, and results are returned **in worker order** so callers can merge
+//! deterministically (the engine stripes ball centers over workers and re-sorts subgraphs
+//! by center id; the distributed runtime gives each site its own worker).
+
+use std::thread;
+
+/// Number of worker threads the machine supports.
+pub fn available_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `worker(0), …, worker(threads - 1)` on scoped threads and returns their results in
+/// worker order. With `threads <= 1` the single worker runs inline on the caller's thread.
+///
+/// # Panics
+/// Propagates a panic of any worker.
+pub fn par_workers<T, F>(threads: usize, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![worker(0)];
+    }
+    thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || worker(t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// The indices of `0..len` assigned to worker `t` of `threads` under striped assignment.
+///
+/// Striping (worker `t` takes `t, t + threads, t + 2·threads, …`) balances workloads whose
+/// cost varies smoothly along the index range, such as ball sizes along node ids.
+pub fn stripe(len: usize, threads: usize, t: usize) -> impl Iterator<Item = usize> {
+    (t..len).step_by(threads.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_worker_order() {
+        let results = par_workers(8, |t| t * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let calls = AtomicUsize::new(0);
+        let results = par_workers(1, |t| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            t
+        });
+        assert_eq!(results, vec![0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(par_workers(0, |t| t), vec![0]);
+    }
+
+    #[test]
+    fn stripes_partition_the_range() {
+        let mut all: Vec<usize> = (0..4).flat_map(|t| stripe(10, 4, t)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert_eq!(stripe(10, 4, 1).collect::<Vec<_>>(), vec![1, 5, 9]);
+        assert_eq!(stripe(3, 8, 5).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = par_workers(2, |t| {
+            if t == 1 {
+                panic!("boom");
+            }
+            t
+        });
+    }
+}

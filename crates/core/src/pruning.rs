@@ -7,16 +7,16 @@
 //! refinement, shrinking the candidate sets.
 
 use crate::relation::MatchRelation;
-use ssim_graph::{GraphView, NodeId, Pattern};
+use ssim_graph::{AdjView, NodeId, Pattern};
 
 /// Restricts `relation` to the candidates that are connected to `center` within the
 /// candidate-induced subgraph of `view` (undirected connectivity).
 ///
 /// Returns `None` when the center itself is not a candidate of any pattern node — in that
 /// case the ball cannot produce a perfect subgraph at all and can be skipped.
-pub fn prune_by_connectivity(
+pub fn prune_by_connectivity<V: AdjView>(
     _pattern: &Pattern,
-    view: &GraphView<'_>,
+    view: &V,
     center: NodeId,
     relation: &MatchRelation,
 ) -> Option<MatchRelation> {
@@ -25,7 +25,7 @@ pub fn prune_by_connectivity(
         return None;
     }
     // Flood fill from the center over candidate nodes only (undirected).
-    let mut reachable = ssim_graph::BitSet::new(view.graph().node_count());
+    let mut reachable = ssim_graph::BitSet::new(view.id_space());
     let mut stack = vec![center];
     reachable.insert(center.index());
     while let Some(v) = stack.pop() {
@@ -43,13 +43,12 @@ mod tests {
     use super::*;
     use crate::dual::{dual_simulation_view, refine_dual};
     use crate::simulation::initial_candidates;
-    use ssim_graph::{Graph, Label};
+    use ssim_graph::{Graph, GraphView, Label};
 
     /// Example 6 style data: two candidate islands {A1,B1} and {A2,B2}; only the island of
     /// the center matters.
     fn islands() -> (Pattern, Graph) {
-        let pattern =
-            Pattern::from_edges(vec![Label(0) /*A*/, Label(1) /*B*/], &[(0, 1)]).unwrap();
+        let pattern = Pattern::from_edges(vec![Label(0) /*A*/, Label(1) /*B*/], &[(0, 1)]).unwrap();
         // island 1: A1 -> B1. island 2: A2 -> B2. bridge via an unlabelled-for-Q node C: B1 -> C -> A2.
         let data = Graph::from_edges(
             vec![Label(0), Label(1), Label(0), Label(1), Label(9)],

@@ -5,7 +5,7 @@
 //! pattern node, which makes the refinement loops of (dual) simulation cheap: membership is
 //! a bit test and removal is a bit clear.
 
-use ssim_graph::{BitSet, NodeId, Pattern};
+use ssim_graph::{BitSet, CompactBall, NodeId, Pattern};
 
 /// A binary relation between the nodes of a pattern and the nodes of a data graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,7 +20,10 @@ impl MatchRelation {
     /// Creates an empty relation for a pattern with `pattern_nodes` nodes over a data graph
     /// with `data_nodes` nodes.
     pub fn empty(pattern_nodes: usize, data_nodes: usize) -> Self {
-        MatchRelation { sim: vec![BitSet::new(data_nodes); pattern_nodes], data_nodes }
+        MatchRelation {
+            sim: vec![BitSet::new(data_nodes); pattern_nodes],
+            data_nodes,
+        }
     }
 
     /// Number of pattern nodes covered by the relation.
@@ -84,7 +87,8 @@ impl MatchRelation {
     /// Iterates over all pairs `(pattern node, data node)` in ascending order.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.sim.iter().enumerate().flat_map(|(u, set)| {
-            set.iter().map(move |v| (NodeId::from_index(u), NodeId::from_index(v)))
+            set.iter()
+                .map(move |v| (NodeId::from_index(u), NodeId::from_index(v)))
         })
     }
 
@@ -118,10 +122,34 @@ impl MatchRelation {
         out
     }
 
+    /// Projects the relation onto a compact ball, translating the data side into the ball's
+    /// **local** id space: the result has `ball.node_count()` capacity, so per-ball
+    /// refinement operates on ball-sized bitsets instead of `|V|`-sized ones.
+    ///
+    /// Iterates the relation's pairs (not the ball members), so the cost is
+    /// `O(pair_count)` — after global dual simulation the surviving candidate sets are
+    /// typically far smaller than the ball.
+    pub fn project_compact(&self, ball: &CompactBall) -> MatchRelation {
+        let mut out = MatchRelation::empty(self.sim.len(), ball.node_count());
+        for (u, set) in self.sim.iter().enumerate() {
+            let u = NodeId::from_index(u);
+            for global in set.iter() {
+                if let Some(local) = ball.local_of(NodeId::from_index(global)) {
+                    out.insert(u, local);
+                }
+            }
+        }
+        out
+    }
+
     /// Returns `true` when `self` is pair-wise contained in `other`.
     pub fn is_subrelation_of(&self, other: &MatchRelation) -> bool {
         self.sim.len() == other.sim.len()
-            && self.sim.iter().zip(&other.sim).all(|(a, b)| a.is_subset_of(b))
+            && self
+                .sim
+                .iter()
+                .zip(&other.sim)
+                .all(|(a, b)| a.is_subset_of(b))
     }
 
     /// Sorted list of pairs as raw indices, convenient for equality assertions in tests.
@@ -196,7 +224,8 @@ mod tests {
     #[test]
     fn label_condition() {
         let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
-        let data = Graph::from_edges(vec![Label(0), Label(1), Label(1)], &[(0, 1), (0, 2)]).unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(1)], &[(0, 1), (0, 2)]).unwrap();
         let mut r = MatchRelation::empty(2, 3);
         r.insert(NodeId(0), NodeId(0));
         r.insert(NodeId(1), NodeId(2));

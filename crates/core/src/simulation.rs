@@ -13,20 +13,44 @@
 //! serves whole graphs and balls.
 
 use crate::relation::MatchRelation;
-use ssim_graph::{Graph, GraphView, NodeId, Pattern};
+use ssim_graph::{AdjView, Graph, GraphView, NodeId, Pattern};
+use std::collections::VecDeque;
 
 /// Computes the maximum graph-simulation relation of `pattern` over `view`.
 ///
 /// Returns `None` when `view` does not match the pattern (some pattern node ends up with an
 /// empty candidate set); otherwise returns the unique maximum match relation.
-pub fn graph_simulation_view(pattern: &Pattern, view: &GraphView<'_>) -> Option<MatchRelation> {
-    let relation = refine(pattern, view, RefineMode::ChildrenOnly, initial_candidates(pattern, view));
+pub fn graph_simulation_view<V: AdjView>(pattern: &Pattern, view: &V) -> Option<MatchRelation> {
+    let relation = refine(
+        pattern,
+        view,
+        RefineMode::ChildrenOnly,
+        initial_candidates(pattern, view),
+    );
     relation.filter(MatchRelation::is_total)
 }
 
 /// Computes the maximum graph-simulation relation of `pattern` over the whole `data` graph.
 pub fn graph_simulation(pattern: &Pattern, data: &Graph) -> Option<MatchRelation> {
     graph_simulation_view(pattern, &GraphView::full(data))
+}
+
+/// [`graph_simulation`] with an explicit [`RefineStrategy`] — `NaiveFixpoint` is the seed's
+/// re-scan loop, kept as the equivalence oracle for tests and ablation benches.
+pub fn graph_simulation_with(
+    pattern: &Pattern,
+    data: &Graph,
+    strategy: RefineStrategy,
+) -> Option<MatchRelation> {
+    let view = GraphView::full(data);
+    let relation = refine_with(
+        pattern,
+        &view,
+        RefineMode::ChildrenOnly,
+        initial_candidates(pattern, &view),
+        strategy,
+    );
+    relation.filter(MatchRelation::is_total)
 }
 
 /// Returns `true` when `Q ≺ G`, i.e. the data graph matches the pattern via graph simulation.
@@ -44,9 +68,8 @@ pub(crate) enum RefineMode {
 }
 
 /// Builds the initial candidate sets `sim(u) = {v ∈ view | l(v) = l(u)}`.
-pub(crate) fn initial_candidates(pattern: &Pattern, view: &GraphView<'_>) -> MatchRelation {
-    let mut relation =
-        MatchRelation::empty(pattern.node_count(), view.graph().node_count());
+pub fn initial_candidates<V: AdjView>(pattern: &Pattern, view: &V) -> MatchRelation {
+    let mut relation = MatchRelation::empty(pattern.node_count(), view.id_space());
     for u in pattern.nodes() {
         for v in view.nodes_with_label(pattern.label(u)) {
             relation.insert(u, v);
@@ -55,14 +78,281 @@ pub(crate) fn initial_candidates(pattern: &Pattern, view: &GraphView<'_>) -> Mat
     relation
 }
 
+/// Which refinement algorithm to run. The worklist engine is the default everywhere; the
+/// naive fixpoint is retained as the equivalence oracle for tests and ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineStrategy {
+    /// Counter-based worklist refinement (HHK-style): each removal is propagated
+    /// incrementally through per-`(pattern edge, data node)` support counters.
+    #[default]
+    Worklist,
+    /// The seed's `while changed` re-scan of every candidate of every pattern edge.
+    NaiveFixpoint,
+}
+
 /// Iteratively removes candidates that violate the simulation conditions until a fixpoint is
 /// reached. Returns the refined relation (which may have empty candidate sets).
 ///
 /// This is the refinement loop of procedure `DualSim` in Fig. 3 of the paper, parameterised
-/// by whether the parent condition is enforced.
-pub(crate) fn refine(
+/// by whether the parent condition is enforced. Dispatches to the worklist engine.
+pub(crate) fn refine<V: AdjView>(
     pattern: &Pattern,
-    view: &GraphView<'_>,
+    view: &V,
+    mode: RefineMode,
+    relation: MatchRelation,
+) -> Option<MatchRelation> {
+    refine_with(pattern, view, mode, relation, RefineStrategy::Worklist)
+}
+
+/// [`refine`] with an explicit [`RefineStrategy`].
+pub(crate) fn refine_with<V: AdjView>(
+    pattern: &Pattern,
+    view: &V,
+    mode: RefineMode,
+    relation: MatchRelation,
+    strategy: RefineStrategy,
+) -> Option<MatchRelation> {
+    match strategy {
+        RefineStrategy::Worklist => refine_worklist(pattern, view, mode, relation),
+        RefineStrategy::NaiveFixpoint => refine_naive(pattern, view, mode, relation),
+    }
+}
+
+/// Counter-based worklist refinement.
+///
+/// For every pattern edge `e = (u, u')` two families of support counters are kept:
+///
+/// * `child[e][v]` — for `v ∈ sim(u)`, the number of out-neighbours of `v` in `sim(u')`
+///   (the child condition's witnesses), and
+/// * `parent[e][v']` — for `v' ∈ sim(u')`, the number of in-neighbours of `v'` in `sim(u)`
+///   (the parent condition's witnesses, dual mode only).
+///
+/// A pair whose counter reaches zero is removed and pushed on a queue; processing a removed
+/// pair `(u, v)` decrements exactly the counters whose witness set contained `v`, so
+/// removals propagate incrementally instead of via the naive loop's quadratic re-scans.
+/// Counters are capped at [`COUNT_CAP`] with an exact recount on suspected zeros, which
+/// keeps every neighbourhood scan as short as the naive pass's early-exit `any` while
+/// preserving the worklist's incremental propagation on long removal cascades.
+fn refine_worklist<V: AdjView>(
+    pattern: &Pattern,
+    view: &V,
+    mode: RefineMode,
+    relation: MatchRelation,
+) -> Option<MatchRelation> {
+    REFINE_SCRATCH
+        .with_borrow_mut(|scratch| refine_worklist_with(pattern, view, mode, relation, scratch))
+}
+
+/// Witness counters are *capped* at this value: a counter never stores more than
+/// `COUNT_CAP`, so both the initial count and every recount stop scanning a neighbourhood
+/// after two witnesses (the same early-exit the naive pass enjoys via `any`). A decrement
+/// that reaches zero therefore only *suspects* a lost pair and triggers an exact (still
+/// capped) recount before removal — removals stay exact, scans stay short.
+const COUNT_CAP: u32 = 2;
+
+/// Counts elements of `iter` satisfying `pred`, stopping at [`COUNT_CAP`].
+#[inline]
+fn count_capped<I: Iterator<Item = NodeId>>(iter: I, mut pred: impl FnMut(NodeId) -> bool) -> u32 {
+    let mut c = 0u32;
+    for w in iter {
+        if pred(w) {
+            c += 1;
+            if c >= COUNT_CAP {
+                break;
+            }
+        }
+    }
+    c
+}
+
+/// Reusable buffers for [`refine_worklist_with`], held in a thread-local so the per-ball
+/// refinement calls of the matching engine do not allocate.
+///
+/// The counter arrays are grown but **never zeroed**: phase 1 writes the counter of every
+/// `(edge, candidate)` pair before phase 2 reads it, and only candidate entries are ever
+/// read, so stale values from previous calls are unreachable.
+#[derive(Default)]
+struct RefineScratch {
+    /// Flat child-support counters, indexed `edge * n + node`.
+    child: Vec<u32>,
+    /// Flat parent-support counters (dual mode), indexed `edge * n + node`.
+    parent: Vec<u32>,
+    /// Work queue of removed pairs awaiting propagation.
+    queue: VecDeque<(NodeId, NodeId)>,
+    /// Pairs found unsupported during counter initialisation.
+    dead: Vec<(NodeId, NodeId)>,
+    /// The pattern's edge list.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Edge ids grouped by child endpoint (CSR offsets + ids).
+    ein_off: Vec<u32>,
+    ein: Vec<u32>,
+    /// Edge ids grouped by parent endpoint (CSR offsets + ids).
+    eout_off: Vec<u32>,
+    eout: Vec<u32>,
+}
+
+thread_local! {
+    static REFINE_SCRATCH: std::cell::RefCell<RefineScratch> =
+        std::cell::RefCell::new(RefineScratch::default());
+}
+
+fn refine_worklist_with<V: AdjView>(
+    pattern: &Pattern,
+    view: &V,
+    mode: RefineMode,
+    mut relation: MatchRelation,
+    scratch: &mut RefineScratch,
+) -> Option<MatchRelation> {
+    let q = pattern.graph();
+    scratch.edges.clear();
+    scratch.edges.extend(q.edges());
+    let edges = std::mem::take(&mut scratch.edges);
+    if edges.is_empty() {
+        scratch.edges = edges;
+        return Some(relation);
+    }
+    let n = relation.data_node_capacity();
+    let dual = mode == RefineMode::ChildrenAndParents;
+
+    // Phase 1: compute every counter against the *full* starting relation, collecting the
+    // initially unsupported pairs. Counters must all see the same relation snapshot —
+    // removing eagerly here would make later decrements double-count.
+    if scratch.child.len() < edges.len() * n {
+        scratch.child.resize(edges.len() * n, 0);
+    }
+    if dual && scratch.parent.len() < edges.len() * n {
+        scratch.parent.resize(edges.len() * n, 0);
+    }
+    let child = &mut scratch.child;
+    let parent = &mut scratch.parent;
+    scratch.queue.clear();
+    scratch.dead.clear();
+    for (e, &(u, u_child)) in edges.iter().enumerate() {
+        let base = e * n;
+        for v in relation.candidates(u).iter().map(NodeId::from_index) {
+            let c = count_capped(view.out_neighbors(v), |w| relation.contains(u_child, w));
+            child[base + v.index()] = c;
+            if c == 0 {
+                scratch.dead.push((u, v));
+            }
+        }
+        if dual {
+            for v in relation.candidates(u_child).iter().map(NodeId::from_index) {
+                let c = count_capped(view.in_neighbors(v), |w| relation.contains(u, w));
+                parent[base + v.index()] = c;
+                if c == 0 {
+                    scratch.dead.push((u_child, v));
+                }
+            }
+        }
+    }
+    for &(u, v) in &scratch.dead {
+        // A pair may be unsupported w.r.t. several edges; remove (and queue) it once.
+        if relation.remove(u, v) {
+            if relation.candidates(u).is_empty() {
+                scratch.edges = edges;
+                return Some(relation);
+            }
+            scratch.queue.push_back((u, v));
+        }
+    }
+
+    // Pattern adjacency by edge id (counting-sort CSR), so propagation can find the edges
+    // touching a node without nested vectors.
+    let nq = q.node_count();
+    scratch.ein_off.clear();
+    scratch.ein_off.resize(nq + 1, 0);
+    scratch.eout_off.clear();
+    scratch.eout_off.resize(nq + 1, 0);
+    for &(u, u_child) in &edges {
+        scratch.eout_off[u.index() + 1] += 1;
+        scratch.ein_off[u_child.index() + 1] += 1;
+    }
+    for i in 0..nq {
+        scratch.ein_off[i + 1] += scratch.ein_off[i];
+        scratch.eout_off[i + 1] += scratch.eout_off[i];
+    }
+    scratch.ein.clear();
+    scratch.ein.resize(edges.len(), 0);
+    scratch.eout.clear();
+    scratch.eout.resize(edges.len(), 0);
+    {
+        let mut ein_cursor: Vec<u32> = scratch.ein_off[..nq].to_vec();
+        let mut eout_cursor: Vec<u32> = scratch.eout_off[..nq].to_vec();
+        for (e, &(u, u_child)) in edges.iter().enumerate() {
+            scratch.eout[eout_cursor[u.index()] as usize] = e as u32;
+            eout_cursor[u.index()] += 1;
+            scratch.ein[ein_cursor[u_child.index()] as usize] = e as u32;
+            ein_cursor[u_child.index()] += 1;
+        }
+    }
+
+    // Phase 2: drain the queue, propagating each removal to the counters it supported.
+    while let Some((u, v)) = scratch.queue.pop_front() {
+        // v left sim(u): for every pattern edge (u2, u), data parents w of v lose one child
+        // witness for that edge.
+        let ui = u.index();
+        for &e in &scratch.ein[scratch.ein_off[ui] as usize..scratch.ein_off[ui + 1] as usize] {
+            let e = e as usize;
+            let u2 = edges[e].0;
+            let base = e * n;
+            for w in view.in_neighbors(v) {
+                if relation.contains(u2, w) {
+                    child[base + w.index()] -= 1;
+                    if child[base + w.index()] == 0 {
+                        // The cap means a zero is only a *suspicion*: recount exactly
+                        // (capped again) before concluding the pair lost all support.
+                        let c = count_capped(view.out_neighbors(w), |x| relation.contains(u, x));
+                        child[base + w.index()] = c;
+                        if c == 0 && relation.remove(u2, w) {
+                            if relation.candidates(u2).is_empty() {
+                                scratch.edges = edges;
+                                return Some(relation);
+                            }
+                            scratch.queue.push_back((u2, w));
+                        }
+                    }
+                }
+            }
+        }
+        if dual {
+            // v left sim(u): for every pattern edge (u, u3), data children w of v lose one
+            // parent witness for that edge.
+            for &e in
+                &scratch.eout[scratch.eout_off[ui] as usize..scratch.eout_off[ui + 1] as usize]
+            {
+                let e = e as usize;
+                let u3 = edges[e].1;
+                let base = e * n;
+                for w in view.out_neighbors(v) {
+                    if relation.contains(u3, w) {
+                        parent[base + w.index()] -= 1;
+                        if parent[base + w.index()] == 0 {
+                            let c = count_capped(view.in_neighbors(w), |x| relation.contains(u, x));
+                            parent[base + w.index()] = c;
+                            if c == 0 && relation.remove(u3, w) {
+                                if relation.candidates(u3).is_empty() {
+                                    scratch.edges = edges;
+                                    return Some(relation);
+                                }
+                                scratch.queue.push_back((u3, w));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    scratch.edges = edges;
+    Some(relation)
+}
+
+/// The seed's naive re-scan fixpoint, kept verbatim as the equivalence oracle: the proptest
+/// suite asserts it agrees with [`RefineStrategy::Worklist`] on random inputs, and the
+/// ablation benches measure the gap.
+fn refine_naive<V: AdjView>(
+    pattern: &Pattern,
+    view: &V,
     mode: RefineMode,
     mut relation: MatchRelation,
 ) -> Option<MatchRelation> {
@@ -76,9 +366,7 @@ pub(crate) fn refine(
                 .candidates(u)
                 .iter()
                 .map(NodeId::from_index)
-                .filter(|&v| {
-                    !view.out_neighbors(v).any(|w| relation.contains(u_child, w))
-                })
+                .filter(|&v| !view.out_neighbors(v).any(|w| relation.contains(u_child, w)))
                 .collect();
             for v in removals {
                 relation.remove(u, v);
@@ -111,11 +399,7 @@ pub(crate) fn refine(
 /// Checks that `relation` is a valid (not necessarily maximum) graph-simulation witness:
 /// labels match, every pattern node has a candidate, and the child condition holds for every
 /// pair. Used by tests and by the topology report.
-pub fn is_valid_simulation(
-    pattern: &Pattern,
-    data: &Graph,
-    relation: &MatchRelation,
-) -> bool {
+pub fn is_valid_simulation(pattern: &Pattern, data: &Graph, relation: &MatchRelation) -> bool {
     let view = GraphView::full(data);
     if !relation.is_total() || !relation.respects_labels(pattern, data) {
         return false;
@@ -139,11 +423,7 @@ mod tests {
     #[test]
     fn simple_child_refinement() {
         let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
-        let data = Graph::from_edges(
-            vec![Label(0), Label(1), Label(0)],
-            &[(0, 1)],
-        )
-        .unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1), Label(0)], &[(0, 1)]).unwrap();
         let relation = graph_simulation(&pattern, &data).unwrap();
         // Data node 2 (label A, no child) must be removed from sim(A).
         assert_eq!(relation.to_sorted_pairs(), vec![(0, 0), (1, 1)]);

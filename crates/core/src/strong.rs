@@ -10,16 +10,33 @@
 //! ([`crate::minimize`]), dual-simulation filtering ([`crate::dual_filter`]) and connectivity
 //! pruning ([`crate::pruning`]). All of them preserve the result exactly; the configuration
 //! is expressed with [`MatchConfig`] so the ablation benches can toggle them independently.
+//!
+//! # Engine
+//!
+//! Independent of the paper-level optimisations, the engine has three performance layers,
+//! each with a seed-compatible fallback kept for ablation and as an equivalence oracle:
+//!
+//! * **worklist refinement** ([`RefineStrategy::Worklist`]) — counter-based incremental
+//!   removal propagation instead of the naive `while changed` re-scan,
+//! * **ball-local compact indexing** (`compact_balls`) — each ball is remapped to dense ids
+//!   `0..|ball|` ([`CompactBall`]) so relations, counters and adjacency are ball-sized
+//!   instead of `|V|`-sized,
+//! * **parallel ball processing** (`parallel`) — ball centers are striped over scoped worker
+//!   threads ([`crate::parallel`]); subgraphs are re-sorted by center id and stats merged by
+//!   summation, so the output is identical to the sequential run.
 
-use crate::dual::{dual_simulation, refine_dual};
+use crate::dual::{dual_simulation_with, refine_dual_with};
 use crate::dual_filter::refine_projected;
 use crate::match_graph::{extract_max_perfect_subgraph, PerfectSubgraph};
 use crate::minimize::minimize_pattern;
+use crate::parallel::{available_threads, par_workers, stripe};
 use crate::pruning::prune_by_connectivity;
 use crate::relation::MatchRelation;
-use crate::simulation::initial_candidates;
-use ssim_graph::{Ball, Graph, NodeId, Pattern};
-use std::collections::BTreeSet;
+use crate::simulation::{initial_candidates, RefineStrategy};
+use ssim_graph::{Ball, BallScratch, CompactBall, Graph, NodeId, Pattern};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 
 /// Configuration of the strong-simulation matcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,10 +53,21 @@ pub struct MatchConfig {
     pub radius_override: Option<usize>,
     /// Drop structurally identical perfect subgraphs discovered from different centers.
     pub deduplicate: bool,
+    /// Which refinement engine to run inside each ball (and for the global dual filter).
+    pub refine_strategy: RefineStrategy,
+    /// Process balls on all available cores. The output is deterministic either way.
+    pub parallel: bool,
+    /// Explicit worker count for the ball fan-out (benchmarks, scaling tests). `None`
+    /// sizes the pool automatically and runs small inputs inline.
+    pub thread_limit: Option<usize>,
+    /// Remap each ball to dense local ids and match over ball-sized bitsets. Disabling
+    /// falls back to the seed's `|V|`-sized relations over membership-filtered views.
+    pub compact_balls: bool,
 }
 
 impl Default for MatchConfig {
-    /// The plain `Match` algorithm of Fig. 3 — no optimisations, no deduplication.
+    /// The plain `Match` algorithm of Fig. 3 — no paper optimisations, no deduplication —
+    /// running on the fast engine (worklist + compact balls + parallel).
     fn default() -> Self {
         MatchConfig {
             minimize_query: false,
@@ -47,6 +75,10 @@ impl Default for MatchConfig {
             connectivity_pruning: false,
             radius_override: None,
             deduplicate: false,
+            refine_strategy: RefineStrategy::Worklist,
+            parallel: true,
+            thread_limit: None,
+            compact_balls: true,
         }
     }
 }
@@ -63,8 +95,18 @@ impl MatchConfig {
             minimize_query: true,
             dual_filter: true,
             connectivity_pruning: true,
-            radius_override: None,
-            deduplicate: false,
+            ..Self::default()
+        }
+    }
+
+    /// The seed's engine: naive fixpoint refinement, sequential, `|V|`-sized ball
+    /// relations. Used by benches as the speedup baseline and by tests as an oracle.
+    pub fn seed_reference() -> Self {
+        MatchConfig {
+            refine_strategy: RefineStrategy::NaiveFixpoint,
+            parallel: false,
+            compact_balls: false,
+            ..Self::default()
         }
     }
 
@@ -77,6 +119,26 @@ impl MatchConfig {
     /// Enables structural deduplication of the returned perfect subgraphs.
     pub fn with_deduplication(mut self) -> Self {
         self.deduplicate = true;
+        self
+    }
+
+    /// Forces sequential ball processing.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Forces an explicit worker count for the ball fan-out (bypasses the small-input
+    /// cutoff; used by scaling benches and the parallel-merge tests).
+    pub fn with_thread_limit(mut self, threads: usize) -> Self {
+        self.parallel = true;
+        self.thread_limit = Some(threads);
+        self
+    }
+
+    /// Selects the refinement engine.
+    pub fn with_refine_strategy(mut self, strategy: RefineStrategy) -> Self {
+        self.refine_strategy = strategy;
         self
     }
 }
@@ -120,12 +182,18 @@ impl MatchOutput {
 
     /// The union of data nodes across all perfect subgraphs.
     pub fn matched_nodes(&self) -> BTreeSet<NodeId> {
-        self.subgraphs.iter().flat_map(|s| s.nodes.iter().copied()).collect()
+        self.subgraphs
+            .iter()
+            .flat_map(|s| s.nodes.iter().copied())
+            .collect()
     }
 
     /// Data nodes matched to a specific pattern node, across all perfect subgraphs.
     pub fn matches_of(&self, pattern_node: NodeId) -> BTreeSet<NodeId> {
-        self.subgraphs.iter().flat_map(|s| s.matches_of(pattern_node)).collect()
+        self.subgraphs
+            .iter()
+            .flat_map(|s| s.matches_of(pattern_node))
+            .collect()
     }
 
     /// Total number of matched data nodes (with multiplicity across subgraphs collapsed).
@@ -136,19 +204,52 @@ impl MatchOutput {
     /// Structurally distinct perfect subgraphs (different centers may discover the same
     /// node/edge set).
     pub fn distinct_subgraphs(&self) -> Vec<&PerfectSubgraph> {
-        let mut seen = BTreeSet::new();
-        let mut out = Vec::new();
-        for s in &self.subgraphs {
-            let key: (Vec<u32>, Vec<(u32, u32)>) = (
-                s.nodes.iter().map(|n| n.0).collect(),
-                s.edges.iter().map(|(a, b)| (a.0, b.0)).collect(),
-            );
-            if seen.insert(key) {
-                out.push(s);
-            }
-        }
-        out
+        distinct_indices(&self.subgraphs)
+            .into_iter()
+            .map(|i| &self.subgraphs[i])
+            .collect()
     }
+}
+
+/// Hashes a subgraph's structural identity (node and edge sets) without cloning them.
+fn structural_hash(s: &PerfectSubgraph) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.nodes.len().hash(&mut h);
+    for n in &s.nodes {
+        n.0.hash(&mut h);
+    }
+    for (a, b) in &s.edges {
+        a.0.hash(&mut h);
+        b.0.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Indices of the structurally distinct subgraphs, keeping the first occurrence of each
+/// structure. Deduplication is hash-based with an equality check on collision, so it does
+/// not clone the node/edge vectors into set keys the way the seed did.
+fn distinct_indices(subgraphs: &[PerfectSubgraph]) -> Vec<usize> {
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::with_capacity(subgraphs.len());
+    let mut keep = Vec::with_capacity(subgraphs.len());
+    for (i, s) in subgraphs.iter().enumerate() {
+        let bucket = buckets.entry(structural_hash(s)).or_default();
+        let duplicate = bucket
+            .iter()
+            .any(|&j| subgraphs[j].nodes == s.nodes && subgraphs[j].edges == s.edges);
+        if !duplicate {
+            bucket.push(i);
+            keep.push(i);
+        }
+    }
+    keep
+}
+
+/// Per-worker partial result of the ball-processing fan-out.
+#[derive(Default)]
+struct WorkerResult {
+    subgraphs: Vec<PerfectSubgraph>,
+    balls_with_invalid_matches: usize,
+    filter_removed_pairs: usize,
 }
 
 /// Runs strong simulation of `pattern` over `data` with the given configuration.
@@ -171,103 +272,278 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
         for (original_index, class) in minimized.class_of.iter().enumerate() {
             class_members[class.index()].push(NodeId::from_index(original_index));
         }
-        let radius = config.radius_override.unwrap_or(minimized.original_diameter);
+        let radius = config
+            .radius_override
+            .unwrap_or(minimized.original_diameter);
         (&minimized.pattern, radius)
     } else {
-        (pattern, config.radius_override.unwrap_or(pattern.diameter()))
+        (
+            pattern,
+            config.radius_override.unwrap_or(pattern.diameter()),
+        )
     };
     stats.radius = radius;
 
     // Optimisation 2 (part 1): the global dual-simulation relation, computed once.
     let global_relation: Option<MatchRelation> = if config.dual_filter {
-        match dual_simulation(effective_pattern, data) {
+        match dual_simulation_with(effective_pattern, data, config.refine_strategy) {
             Some(rel) => Some(rel),
             None => {
                 // The whole graph does not even dual-simulate the pattern: no ball can.
                 stats.balls_considered = data.node_count();
                 stats.balls_skipped = data.node_count();
-                return MatchOutput { subgraphs: Vec::new(), stats };
+                return MatchOutput {
+                    subgraphs: Vec::new(),
+                    stats,
+                };
             }
         }
     } else {
         None
     };
-    let global_matched = global_relation.as_ref().map(MatchRelation::matched_data_nodes);
+    let global_matched = global_relation
+        .as_ref()
+        .map(MatchRelation::matched_data_nodes);
 
-    let mut subgraphs = Vec::new();
-    for center in data.nodes() {
-        stats.balls_considered += 1;
-        // Balls whose center cannot match any pattern node are skipped outright.
-        if let Some(matched) = &global_matched {
-            if !matched.contains(center.index()) {
-                stats.balls_skipped += 1;
-                continue;
-            }
+    // Balls whose center cannot match any pattern node are skipped outright.
+    stats.balls_considered = data.node_count();
+    let centers: Vec<NodeId> = match &global_matched {
+        Some(matched) => data
+            .nodes()
+            .filter(|c| matched.contains(c.index()))
+            .collect(),
+        None => data.nodes().collect(),
+    };
+    stats.balls_skipped = data.node_count() - centers.len();
+    stats.balls_processed = centers.len();
+
+    // Fan the per-ball work out over worker threads; worker `t` takes the centers at
+    // striped positions `t, t + T, …`, which balances ball sizes along the id range.
+    // Below the cutoff, thread spawn/join costs more than the matching itself, so small
+    // inputs run inline even when `parallel` is requested — unless an explicit
+    // `thread_limit` asks for real fan-out.
+    const PARALLEL_CUTOFF: usize = 128;
+    let threads = match (config.parallel, config.thread_limit) {
+        (false, _) => 1,
+        (true, Some(n)) => n.clamp(1, centers.len().max(1)),
+        (true, None) if centers.len() >= PARALLEL_CUTOFF => {
+            available_threads().min(centers.len()).max(1)
         }
-        stats.balls_processed += 1;
-        let ball = Ball::new(data, center, radius);
-        let view = ball.view(data);
-
-        // Starting relation: either the projected global relation or fresh label candidates.
-        let start = match &global_relation {
-            Some(global) => global.project(ball.membership()),
-            None => initial_candidates(effective_pattern, &view),
-        };
-
-        // Optimisation 3: connectivity pruning around the center.
-        let start = if config.connectivity_pruning {
-            match prune_by_connectivity(effective_pattern, &view, center, &start) {
-                Some(pruned) => pruned,
-                None => continue, // center cannot match: no perfect subgraph in this ball
-            }
-        } else {
-            start
-        };
-
-        // Refinement: border-seeded work queue when starting from the projected global
-        // relation, full fixpoint otherwise.
-        let relation = if config.dual_filter {
-            let mut removed = 0usize;
-            let refined =
-                refine_projected(effective_pattern, &view, &ball, start, Some(&mut removed));
+        (true, None) => 1,
+    };
+    let worker = |t: usize| -> WorkerResult {
+        let mut result = WorkerResult::default();
+        let mut scratch = BallScratch::new();
+        for i in stripe(centers.len(), threads, t) {
+            let center = centers[i];
+            let (subgraph, removed) = if config.compact_balls {
+                match_ball_compact(
+                    effective_pattern,
+                    data,
+                    center,
+                    radius,
+                    config,
+                    global_relation.as_ref(),
+                    &mut scratch,
+                )
+            } else {
+                match_ball_legacy(
+                    effective_pattern,
+                    data,
+                    center,
+                    radius,
+                    config,
+                    global_relation.as_ref(),
+                )
+            };
             if removed > 0 {
-                stats.balls_with_invalid_matches += 1;
-                stats.filter_removed_pairs += removed;
+                result.balls_with_invalid_matches += 1;
+                result.filter_removed_pairs += removed;
             }
-            refined
-        } else {
-            refine_dual(effective_pattern, &view, start)
-        };
-        let Some(relation) = relation else { continue };
-
-        if let Some(mut subgraph) =
-            extract_max_perfect_subgraph(effective_pattern, &view, &relation, center, radius)
-        {
-            // Express the relation in terms of the caller's pattern nodes when the matcher
-            // ran on the minimised pattern.
-            if config.minimize_query {
-                let mut expanded = Vec::with_capacity(subgraph.relation.len());
-                for (class_node, data_node) in &subgraph.relation {
-                    for &original in &class_members[class_node.index()] {
-                        expanded.push((original, *data_node));
+            if let Some(mut subgraph) = subgraph {
+                // Express the relation in terms of the caller's pattern nodes when the
+                // matcher ran on the minimised pattern.
+                if config.minimize_query {
+                    let mut expanded = Vec::with_capacity(subgraph.relation.len());
+                    for (class_node, data_node) in &subgraph.relation {
+                        for &original in &class_members[class_node.index()] {
+                            expanded.push((original, *data_node));
+                        }
                     }
+                    expanded.sort_unstable();
+                    subgraph.relation = expanded;
                 }
-                expanded.sort_unstable();
-                subgraph.relation = expanded;
+                result.subgraphs.push(subgraph);
             }
-            subgraphs.push(subgraph);
         }
+        result
+    };
+    let results = par_workers(threads, worker);
+
+    // Deterministic merge: stats are sums; subgraphs are re-sorted by their ball center
+    // (each center yields at most one subgraph, so the order is total).
+    let mut subgraphs = Vec::new();
+    for r in results {
+        stats.balls_with_invalid_matches += r.balls_with_invalid_matches;
+        stats.filter_removed_pairs += r.filter_removed_pairs;
+        subgraphs.extend(r.subgraphs);
     }
+    subgraphs.sort_by_key(|s| s.center);
 
     if config.deduplicate {
-        let distinct: Vec<PerfectSubgraph> = {
-            let output = MatchOutput { subgraphs, stats: stats.clone() };
-            output.distinct_subgraphs().into_iter().cloned().collect()
-        };
-        subgraphs = distinct;
+        let keep = distinct_indices(&subgraphs);
+        let mut iter = keep.into_iter().peekable();
+        let mut index = 0usize;
+        subgraphs.retain(|_| {
+            let keep_this = iter.peek() == Some(&index);
+            if keep_this {
+                iter.next();
+            }
+            index += 1;
+            keep_this
+        });
     }
     stats.perfect_subgraphs = subgraphs.len();
     MatchOutput { subgraphs, stats }
+}
+
+/// Matches one ball using the compact (ball-local ids) engine. Returns the translated
+/// perfect subgraph, if any, plus the number of pairs the dual filter removed.
+fn match_ball_compact(
+    pattern: &Pattern,
+    data: &Graph,
+    center: NodeId,
+    radius: usize,
+    config: &MatchConfig,
+    global_relation: Option<&MatchRelation>,
+    scratch: &mut BallScratch,
+) -> (Option<PerfectSubgraph>, usize) {
+    let ball = CompactBall::build(data, center, radius, scratch);
+    let view = ball.view(data);
+
+    // Starting relation (ball-local ids): either the projected global relation or fresh
+    // label candidates.
+    let start = match global_relation {
+        Some(global) => global.project_compact(&ball),
+        None => initial_candidates(pattern, &view),
+    };
+
+    // Optimisation 3: connectivity pruning around the center.
+    let start = if config.connectivity_pruning {
+        match prune_by_connectivity(pattern, &view, ball.center(), &start) {
+            Some(pruned) => pruned,
+            None => {
+                // Center cannot match: no perfect subgraph in this ball.
+                ball.recycle(scratch);
+                return (None, 0);
+            }
+        }
+    } else {
+        start
+    };
+
+    // Refinement: border-seeded work queue when starting from the projected global
+    // relation, full (worklist) fixpoint otherwise.
+    let mut removed = 0usize;
+    let relation = if config.dual_filter {
+        refine_projected(pattern, &view, ball.border(), start, Some(&mut removed))
+    } else {
+        refine_dual_with(pattern, &view, start, config.refine_strategy)
+    };
+    let result = relation.and_then(|relation| {
+        extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), radius)
+            .map(|s| translate_subgraph(s, &ball))
+    });
+    ball.recycle(scratch);
+    (result, removed)
+}
+
+/// Translates a perfect subgraph expressed in ball-local ids back to global ids.
+///
+/// Local ids follow BFS order, so the mapped vectors are re-sorted to restore the
+/// ascending-global-id invariants of [`PerfectSubgraph`]. This runs once per *extracted*
+/// subgraph — a tiny fraction of the per-ball work.
+fn translate_subgraph(local: PerfectSubgraph, ball: &CompactBall) -> PerfectSubgraph {
+    let mut nodes: Vec<NodeId> = local.nodes.into_iter().map(|n| ball.global_of(n)).collect();
+    nodes.sort_unstable();
+    let mut edges: Vec<(NodeId, NodeId)> = local
+        .edges
+        .into_iter()
+        .map(|(a, b)| (ball.global_of(a), ball.global_of(b)))
+        .collect();
+    edges.sort_unstable();
+    let mut relation: Vec<(NodeId, NodeId)> = local
+        .relation
+        .into_iter()
+        .map(|(u, v)| (u, ball.global_of(v)))
+        .collect();
+    relation.sort_unstable();
+    PerfectSubgraph {
+        center: ball.center_global(),
+        radius: local.radius,
+        nodes,
+        edges,
+        relation,
+    }
+}
+
+/// Matches one ball the seed way: `|V|`-sized relation bitsets over a membership-filtered
+/// view of the original graph. Kept for ablation benches and as the engine oracle.
+fn match_ball_legacy(
+    pattern: &Pattern,
+    data: &Graph,
+    center: NodeId,
+    radius: usize,
+    config: &MatchConfig,
+    global_relation: Option<&MatchRelation>,
+) -> (Option<PerfectSubgraph>, usize) {
+    let ball = Ball::new(data, center, radius);
+    let view = ball.view(data);
+    let start = match global_relation {
+        Some(global) => global.project(ball.membership()),
+        None => initial_candidates(pattern, &view),
+    };
+    let start = if config.connectivity_pruning {
+        match prune_by_connectivity(pattern, &view, center, &start) {
+            Some(pruned) => pruned,
+            None => return (None, 0),
+        }
+    } else {
+        start
+    };
+    let mut removed = 0usize;
+    let relation = if config.dual_filter {
+        refine_projected(
+            pattern,
+            &view,
+            &ball.border_nodes(),
+            start,
+            Some(&mut removed),
+        )
+    } else {
+        refine_dual_with(pattern, &view, start, config.refine_strategy)
+    };
+    let Some(relation) = relation else {
+        return (None, removed);
+    };
+    (
+        extract_max_perfect_subgraph(pattern, &view, &relation, center, radius),
+        removed,
+    )
+}
+
+/// Matches a single prebuilt compact ball with fresh label candidates and worklist
+/// refinement — the unit of work the distributed runtime's sites execute.
+pub fn match_compact_ball(
+    pattern: &Pattern,
+    ball: &CompactBall,
+    data: &Graph,
+) -> Option<PerfectSubgraph> {
+    let view = ball.view(data);
+    let start = initial_candidates(pattern, &view);
+    let relation = refine_dual_with(pattern, &view, start, RefineStrategy::Worklist)?;
+    extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
+        .map(|s| translate_subgraph(s, ball))
 }
 
 /// Returns `true` when `Q ≺LD G`, i.e. some ball of `G` contains a perfect subgraph.
@@ -370,7 +646,11 @@ mod tests {
             .iter()
             .map(NodeId::from_index)
             .collect();
-        assert_eq!(sim_bios.len(), 4, "graph simulation keeps all four biologists");
+        assert_eq!(
+            sim_bios.len(),
+            4,
+            "graph simulation keeps all four biologists"
+        );
         // …strong simulation keeps only Bio4 (Example 2(3)).
         let result = strong_simulation(&pattern, &data, &MatchConfig::basic());
         assert!(result.is_match());
@@ -398,10 +678,34 @@ mod tests {
         let (pattern, data, _) = figure1();
         let base = strong_simulation(&pattern, &data, &MatchConfig::basic());
         for config in [
-            MatchConfig { dual_filter: true, ..MatchConfig::basic() },
-            MatchConfig { connectivity_pruning: true, ..MatchConfig::basic() },
-            MatchConfig { minimize_query: true, ..MatchConfig::basic() },
+            MatchConfig {
+                dual_filter: true,
+                ..MatchConfig::basic()
+            },
+            MatchConfig {
+                connectivity_pruning: true,
+                ..MatchConfig::basic()
+            },
+            MatchConfig {
+                minimize_query: true,
+                ..MatchConfig::basic()
+            },
             MatchConfig::optimized(),
+            // Engine ablations must not change results either.
+            MatchConfig::seed_reference(),
+            MatchConfig::basic().sequential(),
+            MatchConfig::basic().with_thread_limit(4),
+            MatchConfig::optimized().with_thread_limit(3),
+            MatchConfig {
+                compact_balls: false,
+                ..MatchConfig::basic()
+            },
+            MatchConfig::basic().with_refine_strategy(RefineStrategy::NaiveFixpoint),
+            MatchConfig {
+                compact_balls: false,
+                ..MatchConfig::optimized()
+            },
+            MatchConfig::optimized().sequential(),
         ] {
             let out = strong_simulation(&pattern, &data, &config);
             assert_eq!(
@@ -418,10 +722,38 @@ mod tests {
     }
 
     #[test]
+    fn engine_paths_produce_identical_subgraphs() {
+        let (pattern, data, _) = figure1();
+        for base_config in [MatchConfig::basic(), MatchConfig::optimized()] {
+            let fast = strong_simulation(&pattern, &data, &base_config);
+            let seed = strong_simulation(
+                &pattern,
+                &data,
+                &MatchConfig {
+                    refine_strategy: RefineStrategy::NaiveFixpoint,
+                    parallel: false,
+                    compact_balls: false,
+                    ..base_config
+                },
+            );
+            assert_eq!(fast.subgraphs.len(), seed.subgraphs.len());
+            for (a, b) in fast.subgraphs.iter().zip(&seed.subgraphs) {
+                assert_eq!(a.center, b.center);
+                assert_eq!(a.nodes, b.nodes);
+                assert_eq!(a.edges, b.edges);
+                assert_eq!(a.relation, b.relation);
+            }
+        }
+    }
+
+    #[test]
     fn dual_filter_skips_unmatchable_centers() {
         let (pattern, data, _) = figure1();
         let out = strong_simulation(&pattern, &data, &MatchConfig::optimized());
-        assert!(out.stats.balls_skipped > 0, "expected the global filter to skip some balls");
+        assert!(
+            out.stats.balls_skipped > 0,
+            "expected the global filter to skip some balls"
+        );
         assert_eq!(
             out.stats.balls_considered,
             data.node_count(),
@@ -480,6 +812,24 @@ mod tests {
     }
 
     #[test]
+    fn dedup_matches_seed_semantics() {
+        // Dedup keeps the first occurrence of each structure, like the seed's BTreeSet key.
+        let (pattern, data, _) = figure1();
+        let plain = strong_simulation(&pattern, &data, &MatchConfig::basic().with_radius(1));
+        let deduped = strong_simulation(
+            &pattern,
+            &data,
+            &MatchConfig::basic().with_radius(1).with_deduplication(),
+        );
+        let expected: Vec<&PerfectSubgraph> = plain.distinct_subgraphs();
+        assert_eq!(deduped.subgraphs.len(), expected.len());
+        for (a, b) in deduped.subgraphs.iter().zip(expected) {
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.edges, b.edges);
+        }
+    }
+
+    #[test]
     fn single_node_pattern_matches_every_labelled_node() {
         let pattern = Pattern::from_edges(vec![Label(2)], &[]).unwrap();
         let (_, data, _) = figure1();
@@ -496,5 +846,25 @@ mod tests {
         let basic = strong_simulation(&pattern, &data, &MatchConfig::basic());
         let plus = strong_simulation_plus(&pattern, &data);
         assert_eq!(basic.matched_nodes(), plus.matched_nodes());
+    }
+
+    #[test]
+    fn match_compact_ball_agrees_with_engine() {
+        let (pattern, data, _) = figure1();
+        let radius = pattern.diameter();
+        let out = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        let mut scratch = BallScratch::new();
+        let mut found = Vec::new();
+        for center in data.nodes() {
+            let ball = CompactBall::build(&data, center, radius, &mut scratch);
+            if let Some(s) = match_compact_ball(&pattern, &ball, &data) {
+                found.push(s);
+            }
+        }
+        assert_eq!(found.len(), out.subgraphs.len());
+        for (a, b) in found.iter().zip(&out.subgraphs) {
+            assert_eq!(a.center, b.center);
+            assert_eq!(a.nodes, b.nodes);
+        }
     }
 }

@@ -86,7 +86,10 @@ pub fn undirected_cycles_preserved(
 
 /// Criterion (5): every perfect subgraph has diameter at most `2·dQ` (Proposition 3).
 pub fn locality_preserved(pattern: &Pattern, data: &Graph, output: &MatchOutput) -> bool {
-    output.subgraphs.iter().all(|s| induced_diameter(data, &s.nodes) <= 2 * pattern.diameter())
+    output
+        .subgraphs
+        .iter()
+        .all(|s| induced_diameter(data, &s.nodes) <= 2 * pattern.diameter())
 }
 
 /// Criterion (6): the number of perfect subgraphs is bounded by the number of data nodes
@@ -123,8 +126,7 @@ impl TopologyReport {
         let mut directed = true;
         let mut undirected = true;
         for s in &output.subgraphs {
-            let mut relation =
-                MatchRelation::empty(pattern.node_count(), data.node_count());
+            let mut relation = MatchRelation::empty(pattern.node_count(), data.node_count());
             for &(u, v) in &s.relation {
                 relation.insert(u, v);
             }
@@ -216,7 +218,10 @@ mod tests {
         let data = g1_like();
         let sim = graph_simulation(&pattern, &data).unwrap();
         assert!(children_preserved(&pattern, &data, &sim));
-        assert!(!parents_preserved(&pattern, &data, &sim), "Example 1: Bio1 has no SE parent");
+        assert!(
+            !parents_preserved(&pattern, &data, &sim),
+            "Example 1: Bio1 has no SE parent"
+        );
     }
 
     #[test]

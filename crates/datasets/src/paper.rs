@@ -80,18 +80,38 @@ pub fn figure1() -> FigureExample {
         "DM", "DM", "AI", "AI", // 14 DM'1, 15 DM'2, 16 AI'1, 17 AI'2
     ];
     let data_edges = [
-        (0, 1),               // HR1 -> Bio1
-        (2, 3),               // SE1 -> Bio2
-        (6, 4), (8, 4), (10, 4), // DMi -> Bio3
-        (5, 6), (6, 7), (7, 8), (8, 9), (9, 10), (10, 5), // AI1->DM1->AI2->DM2->AI3->DM3->AI1
-        (11, 12), (11, 13), (12, 13), // HR2 -> SE2, HR2 -> Bio4, SE2 -> Bio4
-        (14, 13), (15, 13),   // DM'1 -> Bio4, DM'2 -> Bio4
+        (0, 1), // HR1 -> Bio1
+        (2, 3), // SE1 -> Bio2
+        (6, 4),
+        (8, 4),
+        (10, 4), // DMi -> Bio3
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (9, 10),
+        (10, 5), // AI1->DM1->AI2->DM2->AI3->DM3->AI1
+        (11, 12),
+        (11, 13),
+        (12, 13), // HR2 -> SE2, HR2 -> Bio4, SE2 -> Bio4
+        (14, 13),
+        (15, 13), // DM'1 -> Bio4, DM'2 -> Bio4
         // The DM'/AI' nodes form a directed 4-cycle DM'1 -> AI'1 -> DM'2 -> AI'2 -> DM'1:
         // it dual-simulates the DM <-> AI 2-cycle of Q1 but is not isomorphic to it, which is
         // why subgraph isomorphism finds no match in G1 (Example 2(1)).
-        (14, 16), (16, 15), (15, 17), (17, 14),
+        (14, 16),
+        (16, 15),
+        (15, 17),
+        (17, 14),
     ];
-    build("fig1", &pattern_nodes, &pattern_edges, &data_nodes, &data_edges, &[13])
+    build(
+        "fig1",
+        &pattern_nodes,
+        &pattern_edges,
+        &data_nodes,
+        &data_edges,
+        &[13],
+    )
 }
 
 /// Fig. 2, Q2/G2: a book recommended by both students (ST) and teachers (TE). `book2`
@@ -175,7 +195,12 @@ pub fn pattern_qy() -> (Pattern, LabelInterner) {
 
 /// All figure examples, for data-driven tests.
 pub fn all_figures() -> Vec<FigureExample> {
-    vec![figure1(), figure2_books(), figure3_mutual(), figure4_citations()]
+    vec![
+        figure1(),
+        figure2_books(),
+        figure3_mutual(),
+        figure4_citations(),
+    ]
 }
 
 #[cfg(test)]
@@ -223,7 +248,10 @@ mod tests {
         let (qa, qa_labels) = pattern_qa();
         assert_eq!(qa.node_count(), 4);
         assert!(qa_labels.get("Home&Garden").is_some());
-        assert!(ssim_graph::cycles::has_directed_cycle(qa.graph()), "QA has the 2-cycle");
+        assert!(
+            ssim_graph::cycles::has_directed_cycle(qa.graph()),
+            "QA has the 2-cycle"
+        );
         let (qy, _) = pattern_qy();
         assert_eq!(qy.node_count(), 4);
         assert_eq!(qy.diameter(), 2);
@@ -235,7 +263,11 @@ mod tests {
             assert!(f.pattern.node_count() >= 2, "{}", f.name);
             assert!(f.data.node_count() >= f.pattern.node_count(), "{}", f.name);
             for m in &f.expected_matches {
-                assert!(f.data.contains_node(*m), "{}: expected match out of range", f.name);
+                assert!(
+                    f.data.contains_node(*m),
+                    "{}: expected match out of range",
+                    f.name
+                );
             }
         }
     }

@@ -28,7 +28,12 @@ pub struct PatternGenConfig {
 
 impl Default for PatternGenConfig {
     fn default() -> Self {
-        PatternGenConfig { nodes: 10, alpha: 1.2, labels: 200, seed: 7 }
+        PatternGenConfig {
+            nodes: 10,
+            alpha: 1.2,
+            labels: 200,
+            seed: 7,
+        }
     }
 }
 
@@ -88,8 +93,10 @@ pub fn extract_pattern(data: &Graph, size: usize, seed: u64) -> Option<Pattern> 
         while selected.len() < size && frontier < selected.len() {
             let current = selected[frontier];
             frontier += 1;
-            let mut neighbors: Vec<NodeId> =
-                data.out_neighbors(current).chain(data.in_neighbors(current)).collect();
+            let mut neighbors: Vec<NodeId> = data
+                .out_neighbors(current)
+                .chain(data.in_neighbors(current))
+                .collect();
             // Shuffle deterministically for workload diversity.
             for i in (1..neighbors.len()).rev() {
                 let j = rng.gen_range(0..=i);
@@ -127,24 +134,47 @@ mod tests {
     #[test]
     fn random_pattern_is_connected_and_sized() {
         for seed in 0..10 {
-            let config = PatternGenConfig { nodes: 8, alpha: 1.2, labels: 20, seed };
+            let config = PatternGenConfig {
+                nodes: 8,
+                alpha: 1.2,
+                labels: 20,
+                seed,
+            };
             let p = random_pattern(&config);
             assert_eq!(p.node_count(), 8);
-            assert!(p.edge_count() >= 7, "a spanning tree has at least n-1 edges");
+            assert!(
+                p.edge_count() >= 7,
+                "a spanning tree has at least n-1 edges"
+            );
             assert!(ssim_graph::components::is_connected(p.graph()));
         }
     }
 
     #[test]
     fn random_pattern_density_scales_with_alpha() {
-        let sparse = random_pattern(&PatternGenConfig { nodes: 12, alpha: 1.05, labels: 10, seed: 3 });
-        let dense = random_pattern(&PatternGenConfig { nodes: 12, alpha: 1.35, labels: 10, seed: 3 });
+        let sparse = random_pattern(&PatternGenConfig {
+            nodes: 12,
+            alpha: 1.05,
+            labels: 10,
+            seed: 3,
+        });
+        let dense = random_pattern(&PatternGenConfig {
+            nodes: 12,
+            alpha: 1.35,
+            labels: 10,
+            seed: 3,
+        });
         assert!(dense.edge_count() >= sparse.edge_count());
     }
 
     #[test]
     fn random_pattern_single_node() {
-        let p = random_pattern(&PatternGenConfig { nodes: 1, alpha: 1.2, labels: 5, seed: 0 });
+        let p = random_pattern(&PatternGenConfig {
+            nodes: 1,
+            alpha: 1.2,
+            labels: 5,
+            seed: 0,
+        });
         assert_eq!(p.node_count(), 1);
         assert_eq!(p.diameter(), 0);
     }
@@ -158,7 +188,12 @@ mod tests {
 
     #[test]
     fn extracted_pattern_nodes_come_from_the_data_graph() {
-        let data = synthetic(&SyntheticConfig { nodes: 300, alpha: 1.2, labels: 20, seed: 5 });
+        let data = synthetic(&SyntheticConfig {
+            nodes: 300,
+            alpha: 1.2,
+            labels: 20,
+            seed: 5,
+        });
         let p = extract_pattern(&data, 6, 11).expect("extraction succeeds on a synthetic graph");
         assert!(p.node_count() <= 6);
         assert!(p.node_count() >= 2);
@@ -173,13 +208,23 @@ mod tests {
     fn extraction_from_empty_graph_fails() {
         let empty = Graph::from_edges(vec![], &[]).unwrap();
         assert!(extract_pattern(&empty, 4, 0).is_none());
-        let data = synthetic(&SyntheticConfig { nodes: 50, alpha: 1.1, labels: 5, seed: 1 });
+        let data = synthetic(&SyntheticConfig {
+            nodes: 50,
+            alpha: 1.1,
+            labels: 5,
+            seed: 1,
+        });
         assert!(extract_pattern(&data, 0, 0).is_none());
     }
 
     #[test]
     fn extraction_is_deterministic() {
-        let data = synthetic(&SyntheticConfig { nodes: 200, alpha: 1.2, labels: 10, seed: 2 });
+        let data = synthetic(&SyntheticConfig {
+            nodes: 200,
+            alpha: 1.2,
+            labels: 10,
+            seed: 2,
+        });
         let a = extract_pattern(&data, 5, 77).unwrap();
         let b = extract_pattern(&data, 5, 77).unwrap();
         assert_eq!(a.graph(), b.graph());

@@ -76,13 +76,13 @@ pub fn youtube_like(nodes: usize, seed: u64) -> Graph {
 pub fn generate(config: &RealWorldConfig) -> Graph {
     let n = config.nodes;
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut builder =
-        GraphBuilder::with_capacity(n, (n as f64 * config.avg_out_degree) as usize);
+    let mut builder = GraphBuilder::with_capacity(n, (n as f64 * config.avg_out_degree) as usize);
 
     // Skewed label assignment: label k gets probability ∝ 1 / (k + 1)^skew.
     let label_count = config.labels.max(1);
-    let weights: Vec<f64> =
-        (0..label_count).map(|k| 1.0 / ((k + 1) as f64).powf(config.label_skew)).collect();
+    let weights: Vec<f64> = (0..label_count)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(config.label_skew))
+        .collect();
     let total_weight: f64 = weights.iter().sum();
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
@@ -121,7 +121,11 @@ pub fn generate(config: &RealWorldConfig) -> Graph {
                 // Local edge: a node within the id window (wrap-around).
                 let offset = rng.gen_range(1..=window);
                 let forward = rng.gen_bool(0.5);
-                let t = if forward { (source + offset) % n } else { (source + n - offset % n) % n };
+                let t = if forward {
+                    (source + offset) % n
+                } else {
+                    (source + n - offset % n) % n
+                };
                 NodeId(t as u32)
             } else {
                 // Preferential attachment: pick an endpoint of a previous edge.
@@ -175,8 +179,14 @@ mod tests {
             *counts.entry(g.label(v)).or_insert(0usize) += 1;
         }
         let max = counts.values().copied().max().unwrap();
-        assert!(max as f64 > 3_000.0 / 200.0 * 3.0, "label skew too weak: max count {max}");
-        assert!(g.distinct_label_count() > 20, "expected many categories to appear");
+        assert!(
+            max as f64 > 3_000.0 / 200.0 * 3.0,
+            "label skew too weak: max count {max}"
+        );
+        assert!(
+            g.distinct_label_count() > 20,
+            "expected many categories to appear"
+        );
     }
 
     #[test]

@@ -25,14 +25,23 @@ pub struct SyntheticConfig {
 impl Default for SyntheticConfig {
     /// The paper's defaults: `α = 1.2`, `l = 200`, with a modest node count.
     fn default() -> Self {
-        SyntheticConfig { nodes: 10_000, alpha: 1.2, labels: 200, seed: 42 }
+        SyntheticConfig {
+            nodes: 10_000,
+            alpha: 1.2,
+            labels: 200,
+            seed: 42,
+        }
     }
 }
 
 impl SyntheticConfig {
     /// Creates a configuration with the paper's default `α` and `l`.
     pub fn with_nodes(nodes: usize, seed: u64) -> Self {
-        SyntheticConfig { nodes, seed, ..Default::default() }
+        SyntheticConfig {
+            nodes,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Number of edges `⌊n^α⌋` this configuration asks for.
@@ -84,17 +93,31 @@ mod tests {
 
     #[test]
     fn respects_node_and_edge_counts() {
-        let config = SyntheticConfig { nodes: 500, alpha: 1.2, labels: 50, seed: 7 };
+        let config = SyntheticConfig {
+            nodes: 500,
+            alpha: 1.2,
+            labels: 50,
+            seed: 7,
+        };
         let g = synthetic(&config);
         assert_eq!(g.node_count(), 500);
         let target = config.edge_target();
-        assert!(g.edge_count() > target * 9 / 10, "got {} edges, target {target}", g.edge_count());
+        assert!(
+            g.edge_count() > target * 9 / 10,
+            "got {} edges, target {target}",
+            g.edge_count()
+        );
         assert!(g.edge_count() <= target);
     }
 
     #[test]
     fn labels_come_from_the_requested_alphabet() {
-        let config = SyntheticConfig { nodes: 200, alpha: 1.1, labels: 10, seed: 1 };
+        let config = SyntheticConfig {
+            nodes: 200,
+            alpha: 1.1,
+            labels: 10,
+            seed: 1,
+        };
         let g = synthetic(&config);
         assert!(g.nodes().all(|v| g.label(v).0 < 10));
         assert!(g.distinct_label_count() <= 10);
@@ -104,19 +127,37 @@ mod tests {
 
     #[test]
     fn deterministic_for_a_fixed_seed() {
-        let config = SyntheticConfig { nodes: 300, alpha: 1.15, labels: 20, seed: 99 };
+        let config = SyntheticConfig {
+            nodes: 300,
+            alpha: 1.15,
+            labels: 20,
+            seed: 99,
+        };
         let a = synthetic(&config);
         let b = synthetic(&config);
         assert_eq!(a, b);
-        let c = synthetic(&SyntheticConfig { seed: 100, ..config });
+        let c = synthetic(&SyntheticConfig {
+            seed: 100,
+            ..config
+        });
         assert_ne!(a, c);
     }
 
     #[test]
     fn degenerate_configurations() {
-        let empty = synthetic(&SyntheticConfig { nodes: 0, alpha: 1.2, labels: 5, seed: 0 });
+        let empty = synthetic(&SyntheticConfig {
+            nodes: 0,
+            alpha: 1.2,
+            labels: 5,
+            seed: 0,
+        });
         assert_eq!(empty.node_count(), 0);
-        let single = synthetic(&SyntheticConfig { nodes: 1, alpha: 1.2, labels: 1, seed: 0 });
+        let single = synthetic(&SyntheticConfig {
+            nodes: 1,
+            alpha: 1.2,
+            labels: 1,
+            seed: 0,
+        });
         assert_eq!(single.node_count(), 1);
         assert!(single.edge_count() <= 1);
     }
@@ -133,9 +174,19 @@ mod tests {
 
     #[test]
     fn edge_target_computation() {
-        let c = SyntheticConfig { nodes: 100, alpha: 1.5, labels: 10, seed: 0 };
+        let c = SyntheticConfig {
+            nodes: 100,
+            alpha: 1.5,
+            labels: 10,
+            seed: 0,
+        };
         assert_eq!(c.edge_target(), 1000);
-        let z = SyntheticConfig { nodes: 0, alpha: 1.5, labels: 10, seed: 0 };
+        let z = SyntheticConfig {
+            nodes: 0,
+            alpha: 1.5,
+            labels: 10,
+            seed: 0,
+        };
         assert_eq!(z.edge_target(), 0);
     }
 }

@@ -20,4 +20,6 @@ pub mod partition;
 pub mod runtime;
 
 pub use partition::{GraphPartition, PartitionStrategy};
-pub use runtime::{distributed_strong_simulation, DistributedConfig, DistributedOutput, TrafficStats};
+pub use runtime::{
+    distributed_strong_simulation, DistributedConfig, DistributedOutput, TrafficStats,
+};

@@ -74,7 +74,10 @@ impl GraphPartition {
 
     /// Number of edges whose endpoints live on different sites (the edge cut).
     pub fn edge_cut(&self, graph: &Graph) -> usize {
-        graph.edges().filter(|&(s, t)| self.site_of(s) != self.site_of(t)).count()
+        graph
+            .edges()
+            .filter(|&(s, t)| self.site_of(s) != self.site_of(t))
+            .count()
     }
 
     /// Sizes of all fragments.

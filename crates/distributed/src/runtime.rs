@@ -1,17 +1,21 @@
 //! The simulated coordinator/site runtime.
 //!
-//! One thread per site evaluates the balls centred at the site's own nodes and reports a
-//! partial result `Θi` plus traffic counters back to the coordinator over a channel; the
-//! coordinator assembles the union. Every ball is evaluated exactly once (at the site owning
-//! its center), so the union equals the centralized result — the property the tests verify.
+//! One worker per site evaluates the balls centred at the site's own nodes and reports a
+//! partial result `Θi` plus traffic counters back to the coordinator; the coordinator
+//! assembles the union. Every ball is evaluated exactly once (at the site owning its
+//! center), so the union equals the centralized result — the property the tests verify.
+//!
+//! The fan-out reuses the matching engine's parallel driver
+//! ([`ssim_core::parallel::par_workers`]) and each site matches its balls with the same
+//! ball-local compact engine ([`ssim_core::strong::match_compact_ball`]) the centralized
+//! `Match` runs, so engine improvements land on both runtimes at once.
 
 use crate::partition::{GraphPartition, PartitionStrategy};
-use ssim_core::dual::dual_simulation_view;
-use ssim_core::match_graph::{extract_max_perfect_subgraph, PerfectSubgraph};
+use ssim_core::match_graph::PerfectSubgraph;
 use ssim_core::minimize::minimize_pattern;
-use ssim_graph::{Ball, Graph, Pattern};
-use std::sync::mpsc;
-use std::thread;
+use ssim_core::parallel::par_workers;
+use ssim_core::strong::match_compact_ball;
+use ssim_graph::{BallScratch, CompactBall, Graph, Pattern};
 
 /// Configuration of a distributed run.
 #[derive(Debug, Clone, Copy)]
@@ -26,7 +30,11 @@ pub struct DistributedConfig {
 
 impl Default for DistributedConfig {
     fn default() -> Self {
-        DistributedConfig { sites: 4, strategy: PartitionStrategy::Range, minimize_query: true }
+        DistributedConfig {
+            sites: 4,
+            strategy: PartitionStrategy::Range,
+            minimize_query: true,
+        }
     }
 }
 
@@ -61,7 +69,10 @@ pub struct DistributedOutput {
 impl DistributedOutput {
     /// Union of matched data nodes, mirroring [`ssim_core::strong::MatchOutput::matched_nodes`].
     pub fn matched_nodes(&self) -> std::collections::BTreeSet<ssim_graph::NodeId> {
-        self.subgraphs.iter().flat_map(|s| s.nodes.iter().copied()).collect()
+        self.subgraphs
+            .iter()
+            .flat_map(|s| s.nodes.iter().copied())
+            .collect()
     }
 }
 
@@ -94,29 +105,17 @@ pub fn distributed_strong_simulation(
         pattern.clone()
     };
 
-    let (tx, rx) = mpsc::channel::<SiteReport>();
-    let mut reports: Vec<SiteReport> = Vec::with_capacity(partition.sites());
-    thread::scope(|scope| {
-        for site in 0..partition.sites() {
-            let tx = tx.clone();
-            let partition = &partition;
-            let pattern = &effective_pattern;
-            scope.spawn(move || {
-                let report = evaluate_site(site, pattern, radius, data, partition);
-                // The coordinator may have stopped listening only if the scope panicked;
-                // ignore send failures in that case.
-                let _ = tx.send(report);
-            });
-        }
-        drop(tx);
-        // Coordinator step 3: collect partial results from every site.
-        while let Ok(report) = rx.recv() {
-            reports.push(report);
-        }
+    // Coordinator step 2: every site evaluates its own balls; one worker per site, via the
+    // engine's shared parallel driver. Results come back in site order.
+    let reports: Vec<SiteReport> = par_workers(partition.sites(), |site| {
+        evaluate_site(site, &effective_pattern, radius, data, &partition)
     });
 
     // Assemble the union, deterministically ordered by ball center.
-    let mut traffic = TrafficStats { balls_per_site: vec![0; partition.sites()], ..Default::default() };
+    let mut traffic = TrafficStats {
+        balls_per_site: vec![0; partition.sites()],
+        ..Default::default()
+    };
     let mut subgraphs = Vec::new();
     for report in reports {
         traffic.border_balls += report.border_balls;
@@ -128,7 +127,11 @@ pub fn distributed_strong_simulation(
         subgraphs.extend(report.subgraphs);
     }
     subgraphs.sort_by_key(|s| s.center);
-    DistributedOutput { subgraphs, traffic, partition }
+    DistributedOutput {
+        subgraphs,
+        traffic,
+        partition,
+    }
 }
 
 /// Site worker: evaluate every ball whose center is owned by `site`.
@@ -148,16 +151,21 @@ fn evaluate_site(
         shipped_edges: 0,
         balls: 0,
     };
+    let mut scratch = BallScratch::new();
     for center in partition.nodes_of(site) {
         report.balls += 1;
         if partition.is_border_node(data, center) {
             report.border_balls += 1;
         }
-        let ball = Ball::new(data, center, radius);
+        let ball = CompactBall::build(data, center, radius, &mut scratch);
         // Traffic accounting: every ball member stored on a different site would have to be
         // shipped to this site, together with its incident ball edges.
-        let foreign: Vec<_> =
-            ball.members().iter().copied().filter(|&v| partition.site_of(v) != site).collect();
+        let foreign: Vec<_> = ball
+            .to_global()
+            .iter()
+            .copied()
+            .filter(|&v| partition.site_of(v) != site)
+            .collect();
         if !foreign.is_empty() {
             report.shipped_balls += 1;
             report.shipped_nodes += foreign.len();
@@ -165,18 +173,14 @@ fn evaluate_site(
                 report.shipped_edges += data
                     .out_neighbors(v)
                     .chain(data.in_neighbors(v))
-                    .filter(|w| ball.contains(*w))
+                    .filter(|w| ball.local_of(*w).is_some())
                     .count();
             }
         }
-        let view = ball.view(data);
-        if let Some(relation) = dual_simulation_view(pattern, &view) {
-            if let Some(subgraph) =
-                extract_max_perfect_subgraph(pattern, &view, &relation, center, radius)
-            {
-                report.subgraphs.push(subgraph);
-            }
+        if let Some(subgraph) = match_compact_ball(pattern, &ball, data) {
+            report.subgraphs.push(subgraph);
         }
+        ball.recycle(&mut scratch);
     }
     report
 }
@@ -186,8 +190,8 @@ mod tests {
     use super::*;
     use ssim_core::strong::{strong_simulation, MatchConfig};
     use ssim_datasets::paper;
-    use ssim_datasets::synthetic::{synthetic, SyntheticConfig};
     use ssim_datasets::patterns::extract_pattern;
+    use ssim_datasets::synthetic::{synthetic, SyntheticConfig};
 
     #[test]
     fn distributed_equals_centralized_on_figure1() {
@@ -195,7 +199,11 @@ mod tests {
         let central = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
         for sites in [1, 2, 3, 5] {
             for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range] {
-                let config = DistributedConfig { sites, strategy, minimize_query: false };
+                let config = DistributedConfig {
+                    sites,
+                    strategy,
+                    minimize_query: false,
+                };
                 let out = distributed_strong_simulation(&fig.pattern, &fig.data, &config);
                 assert_eq!(
                     central.matched_nodes(),
@@ -209,13 +217,22 @@ mod tests {
 
     #[test]
     fn distributed_equals_centralized_on_synthetic_data() {
-        let data = synthetic(&SyntheticConfig { nodes: 250, alpha: 1.15, labels: 12, seed: 3 });
+        let data = synthetic(&SyntheticConfig {
+            nodes: 250,
+            alpha: 1.15,
+            labels: 12,
+            seed: 3,
+        });
         let pattern = extract_pattern(&data, 4, 9).expect("pattern extraction succeeds");
         let central = strong_simulation(&pattern, &data, &MatchConfig::basic());
         let out = distributed_strong_simulation(
             &pattern,
             &data,
-            &DistributedConfig { sites: 4, strategy: PartitionStrategy::Hash, minimize_query: true },
+            &DistributedConfig {
+                sites: 4,
+                strategy: PartitionStrategy::Hash,
+                minimize_query: true,
+            },
         );
         assert_eq!(central.matched_nodes(), out.matched_nodes());
         assert_eq!(central.subgraphs.len(), out.subgraphs.len());
@@ -227,7 +244,11 @@ mod tests {
         let out = distributed_strong_simulation(
             &fig.pattern,
             &fig.data,
-            &DistributedConfig { sites: 1, strategy: PartitionStrategy::Hash, minimize_query: false },
+            &DistributedConfig {
+                sites: 1,
+                strategy: PartitionStrategy::Hash,
+                minimize_query: false,
+            },
         );
         assert_eq!(out.traffic.shipped_balls, 0);
         assert_eq!(out.traffic.shipped_nodes, 0);
@@ -237,12 +258,21 @@ mod tests {
 
     #[test]
     fn shipping_is_bounded_by_border_balls_times_ball_size() {
-        let data = synthetic(&SyntheticConfig { nodes: 150, alpha: 1.1, labels: 8, seed: 21 });
+        let data = synthetic(&SyntheticConfig {
+            nodes: 150,
+            alpha: 1.1,
+            labels: 8,
+            seed: 21,
+        });
         let pattern = extract_pattern(&data, 3, 4).unwrap();
         let out = distributed_strong_simulation(
             &pattern,
             &data,
-            &DistributedConfig { sites: 3, strategy: PartitionStrategy::Range, minimize_query: false },
+            &DistributedConfig {
+                sites: 3,
+                strategy: PartitionStrategy::Range,
+                minimize_query: false,
+            },
         );
         // Shipped balls can never exceed the total number of balls, and every shipped ball
         // ships at most the whole graph.
@@ -258,8 +288,7 @@ mod tests {
         // On a long path graph the range partition has O(sites) border nodes while the hash
         // partition makes nearly every node a border node, so range must ship less.
         let n = 200u32;
-        let labels: Vec<ssim_graph::Label> =
-            (0..n).map(|i| ssim_graph::Label(i % 2)).collect();
+        let labels: Vec<ssim_graph::Label> = (0..n).map(|i| ssim_graph::Label(i % 2)).collect();
         let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         let data = ssim_graph::Graph::from_edges(labels, &edges).unwrap();
         let pattern = ssim_graph::Pattern::from_edges(
@@ -270,12 +299,20 @@ mod tests {
         let hash = distributed_strong_simulation(
             &pattern,
             &data,
-            &DistributedConfig { sites: 4, strategy: PartitionStrategy::Hash, minimize_query: false },
+            &DistributedConfig {
+                sites: 4,
+                strategy: PartitionStrategy::Hash,
+                minimize_query: false,
+            },
         );
         let range = distributed_strong_simulation(
             &pattern,
             &data,
-            &DistributedConfig { sites: 4, strategy: PartitionStrategy::Range, minimize_query: false },
+            &DistributedConfig {
+                sites: 4,
+                strategy: PartitionStrategy::Range,
+                minimize_query: false,
+            },
         );
         assert_eq!(hash.matched_nodes(), range.matched_nodes());
         assert!(

@@ -23,20 +23,35 @@ pub struct AblationVariant {
 /// The configurations compared by the ablation bench.
 pub fn variants() -> Vec<AblationVariant> {
     vec![
-        AblationVariant { name: "Match", config: MatchConfig::basic() },
+        AblationVariant {
+            name: "Match",
+            config: MatchConfig::basic(),
+        },
         AblationVariant {
             name: "Match+minQ",
-            config: MatchConfig { minimize_query: true, ..MatchConfig::basic() },
+            config: MatchConfig {
+                minimize_query: true,
+                ..MatchConfig::basic()
+            },
         },
         AblationVariant {
             name: "Match+filter",
-            config: MatchConfig { dual_filter: true, ..MatchConfig::basic() },
+            config: MatchConfig {
+                dual_filter: true,
+                ..MatchConfig::basic()
+            },
         },
         AblationVariant {
             name: "Match+prune",
-            config: MatchConfig { connectivity_pruning: true, ..MatchConfig::basic() },
+            config: MatchConfig {
+                connectivity_pruning: true,
+                ..MatchConfig::basic()
+            },
         },
-        AblationVariant { name: "Match+", config: MatchConfig::optimized() },
+        AblationVariant {
+            name: "Match+",
+            config: MatchConfig::optimized(),
+        },
     ]
 }
 
@@ -90,7 +105,11 @@ pub fn optimization_ablation(dataset: DatasetKind, scale: &ExperimentScale) -> V
 pub fn render(rows: &[AblationRow], dataset: DatasetKind) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "== opt — optimisation ablation ({}) ==", dataset.name());
+    let _ = writeln!(
+        out,
+        "== opt — optimisation ablation ({}) ==",
+        dataset.name()
+    );
     let _ = writeln!(
         out,
         "{:>14}{:>12}{:>16}{:>14}{:>12}",
@@ -119,7 +138,11 @@ pub fn as_figure(rows: &[AblationRow], dataset: DatasetKind) -> Figure {
     for (i, r) in rows.iter().enumerate() {
         // Reuse Match/MatchPlus markers for the two endpoints; intermediate variants are
         // recorded under Match as repetitions at distinct x positions.
-        let marker = if r.variant == "Match+" { AlgorithmKind::MatchPlus } else { AlgorithmKind::Match };
+        let marker = if r.variant == "Match+" {
+            AlgorithmKind::MatchPlus
+        } else {
+            AlgorithmKind::Match
+        };
         fig.push(i as f64, marker, r.seconds);
     }
     fig

@@ -52,7 +52,11 @@ impl AlgorithmKind {
 
     /// The algorithms of the performance experiments (Figures 8(a)–8(h)).
     pub fn performance_set(include_vf2: bool) -> Vec<AlgorithmKind> {
-        let mut set = vec![AlgorithmKind::Sim, AlgorithmKind::Match, AlgorithmKind::MatchPlus];
+        let mut set = vec![
+            AlgorithmKind::Sim,
+            AlgorithmKind::Match,
+            AlgorithmKind::MatchPlus,
+        ];
         if include_vf2 {
             set.push(AlgorithmKind::Vf2);
         }
@@ -89,11 +93,19 @@ pub fn run_algorithm(algorithm: AlgorithmKind, pattern: &Pattern, data: &Graph) 
     let (matched_nodes, subgraph_sizes): (BTreeSet<NodeId>, Vec<usize>) = match algorithm {
         AlgorithmKind::Sim => {
             let nodes: BTreeSet<NodeId> = match graph_simulation(pattern, data) {
-                Some(rel) => rel.matched_data_nodes().iter().map(NodeId::from_index).collect(),
+                Some(rel) => rel
+                    .matched_data_nodes()
+                    .iter()
+                    .map(NodeId::from_index)
+                    .collect(),
                 None => BTreeSet::new(),
             };
             // Sim returns a single match relation, reported as one matched subgraph.
-            let sizes = if nodes.is_empty() { vec![] } else { vec![nodes.len()] };
+            let sizes = if nodes.is_empty() {
+                vec![]
+            } else {
+                vec![nodes.len()]
+            };
             (nodes, sizes)
         }
         AlgorithmKind::Match | AlgorithmKind::MatchPlus => {
@@ -110,7 +122,10 @@ pub fn run_algorithm(algorithm: AlgorithmKind, pattern: &Pattern, data: &Graph) 
             let result = vf2::find_embeddings(
                 pattern,
                 data,
-                Vf2Limits { max_embeddings: 20_000, max_steps: 5_000_000 },
+                Vf2Limits {
+                    max_embeddings: 20_000,
+                    max_steps: 5_000_000,
+                },
             );
             let subgraphs = result.matched_subgraphs();
             let nodes = ssim_baselines::matched_node_union(&subgraphs);

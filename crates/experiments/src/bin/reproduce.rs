@@ -12,7 +12,9 @@
 
 use ssim_experiments::scale::ExperimentScale;
 use ssim_experiments::workloads::DatasetKind;
-use ssim_experiments::{ablation, closeness, distributed_exp, match_counts, match_sizes, performance, quality};
+use ssim_experiments::{
+    ablation, closeness, distributed_exp, match_counts, match_sizes, performance, quality,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,20 +60,38 @@ fn main() {
 
     // Figures 7(a)/(b): qualitative case studies.
     if wants("fig7a") {
-        println!("{}", quality::render(&quality::amazon_case(scale.data_nodes.min(2_000), scale.seed)));
+        println!(
+            "{}",
+            quality::render(&quality::amazon_case(
+                scale.data_nodes.min(2_000),
+                scale.seed
+            ))
+        );
     }
     if wants("fig7b") {
-        println!("{}", quality::render(&quality::youtube_case(scale.data_nodes.min(1_000), scale.seed)));
+        println!(
+            "{}",
+            quality::render(&quality::youtube_case(
+                scale.data_nodes.min(1_000),
+                scale.seed
+            ))
+        );
     }
 
     // Figures 7(c)-(h): closeness.
     let closeness_ids = ["fig7c", "fig7d", "fig7e", "fig7f", "fig7g", "fig7h"];
     for (idx, dataset) in DatasetKind::all().iter().enumerate() {
         if wants(closeness_ids[idx]) {
-            println!("{}", closeness::closeness_vs_pattern_size(*dataset, &scale).to_table());
+            println!(
+                "{}",
+                closeness::closeness_vs_pattern_size(*dataset, &scale).to_table()
+            );
         }
         if wants(closeness_ids[idx + 3]) {
-            println!("{}", closeness::closeness_vs_data_size(*dataset, &scale).to_table());
+            println!(
+                "{}",
+                closeness::closeness_vs_data_size(*dataset, &scale).to_table()
+            );
         }
     }
 
@@ -79,16 +99,25 @@ fn main() {
     let count_ids = ["fig7i", "fig7j", "fig7k", "fig7l", "fig7m", "fig7n"];
     for (idx, dataset) in DatasetKind::all().iter().enumerate() {
         if wants(count_ids[idx]) {
-            println!("{}", match_counts::counts_vs_pattern_size(*dataset, &scale).to_table());
+            println!(
+                "{}",
+                match_counts::counts_vs_pattern_size(*dataset, &scale).to_table()
+            );
         }
         if wants(count_ids[idx + 3]) {
-            println!("{}", match_counts::counts_vs_data_size(*dataset, &scale).to_table());
+            println!(
+                "{}",
+                match_counts::counts_vs_data_size(*dataset, &scale).to_table()
+            );
         }
     }
 
     // Table 3: matched-subgraph sizes.
     if wants("table3") {
-        println!("{}", match_sizes::render_table3(&match_sizes::table3(&scale)));
+        println!(
+            "{}",
+            match_sizes::render_table3(&match_sizes::table3(&scale))
+        );
     }
 
     // Figures 8(a)-(h): performance.
@@ -96,14 +125,23 @@ fn main() {
     let perf_data_ids = ["fig8e", "fig8f", "fig8g"];
     for (idx, dataset) in DatasetKind::all().iter().enumerate() {
         if wants(perf_pattern_ids[idx]) {
-            println!("{}", performance::time_vs_pattern_size(*dataset, &scale).to_table());
+            println!(
+                "{}",
+                performance::time_vs_pattern_size(*dataset, &scale).to_table()
+            );
         }
         if wants(perf_data_ids[idx]) {
-            println!("{}", performance::time_vs_data_size(*dataset, &scale).to_table());
+            println!(
+                "{}",
+                performance::time_vs_data_size(*dataset, &scale).to_table()
+            );
         }
     }
     if wants("fig8d") {
-        println!("{}", performance::time_vs_pattern_density(&scale).to_table());
+        println!(
+            "{}",
+            performance::time_vs_pattern_density(&scale).to_table()
+        );
     }
     if wants("fig8h") {
         println!("{}", performance::time_vs_data_density(&scale).to_table());
@@ -116,6 +154,9 @@ fn main() {
     }
     if wants("dist") {
         let rows = distributed_exp::traffic_vs_sites(DatasetKind::AmazonLike, &scale);
-        println!("{}", distributed_exp::render(&rows, DatasetKind::AmazonLike));
+        println!(
+            "{}",
+            distributed_exp::render(&rows, DatasetKind::AmazonLike)
+        );
     }
 }

@@ -55,8 +55,11 @@ pub fn closeness_vs_data_size(dataset: DatasetKind, scale: &ExperimentScale) -> 
     for (point, &nodes) in scale.data_sweep.iter().enumerate() {
         let data = dataset.generate(nodes, scale.seed.wrapping_add(point as u64));
         for rep in 0..scale.patterns_per_point {
-            let pattern =
-                experiment_pattern(&data, scale.fixed_pattern_size, scale.point_seed(point, rep));
+            let pattern = experiment_pattern(
+                &data,
+                scale.fixed_pattern_size,
+                scale.point_seed(point, rep),
+            );
             let vf2 = run_algorithm(AlgorithmKind::Vf2, &pattern, &data);
             for kind in AlgorithmKind::quality_set() {
                 let run = if kind == AlgorithmKind::Vf2 {
@@ -83,7 +86,11 @@ mod tests {
         assert_eq!(fig.algorithms().len(), 5);
         assert_eq!(fig.xs().len(), scale.pattern_sizes.len());
         for p in &fig.points {
-            assert!(p.value >= 0.0 && p.value <= 1.0 + 1e-9, "closeness {} out of range", p.value);
+            assert!(
+                p.value >= 0.0 && p.value <= 1.0 + 1e-9,
+                "closeness {} out of range",
+                p.value
+            );
         }
         // VF2's closeness to itself is 1 by definition.
         for x in fig.xs() {
@@ -100,9 +107,10 @@ mod tests {
         let mut sim_total = 0.0;
         let mut n = 0.0;
         for x in fig.xs() {
-            if let (Some(m), Some(s)) =
-                (fig.value_at(x, AlgorithmKind::Match), fig.value_at(x, AlgorithmKind::Sim))
-            {
+            if let (Some(m), Some(s)) = (
+                fig.value_at(x, AlgorithmKind::Match),
+                fig.value_at(x, AlgorithmKind::Sim),
+            ) {
                 match_total += m;
                 sim_total += s;
                 n += 1.0;

@@ -39,7 +39,11 @@ pub fn traffic_vs_sites(dataset: DatasetKind, scale: &ExperimentScale) -> Vec<Di
             let out = distributed_strong_simulation(
                 &pattern,
                 &data,
-                &DistributedConfig { sites, strategy, minimize_query: false },
+                &DistributedConfig {
+                    sites,
+                    strategy,
+                    minimize_query: false,
+                },
             );
             let seconds = start.elapsed().as_secs_f64();
             rows.push(DistributedRow {
@@ -59,7 +63,11 @@ pub fn traffic_vs_sites(dataset: DatasetKind, scale: &ExperimentScale) -> Vec<Di
 pub fn render(rows: &[DistributedRow], dataset: DatasetKind) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "== dist — distributed evaluation ({}) ==", dataset.name());
+    let _ = writeln!(
+        out,
+        "== dist — distributed evaluation ({}) ==",
+        dataset.name()
+    );
     let _ = writeln!(
         out,
         "{:>7}{:>9}{:>15}{:>15}{:>15}{:>10}{:>10}",
@@ -93,7 +101,10 @@ mod tests {
         let scale = ExperimentScale::tiny();
         let rows = traffic_vs_sites(DatasetKind::Synthetic, &scale);
         assert_eq!(rows.len(), 8);
-        assert!(rows.iter().all(|r| r.matches_centralized), "distributed result diverged");
+        assert!(
+            rows.iter().all(|r| r.matches_centralized),
+            "distributed result diverged"
+        );
         // One site ships nothing.
         let single: Vec<_> = rows.iter().filter(|r| r.sites == 1).collect();
         assert!(single.iter().all(|r| r.traffic.shipped_nodes == 0));

@@ -12,7 +12,12 @@ use crate::workloads::{experiment_pattern, DatasetKind};
 /// The algorithms reported in Figures 7(i)–7(n); `Sim` is omitted because it always returns
 /// a single match relation (as the paper notes).
 fn count_set() -> [AlgorithmKind; 4] {
-    [AlgorithmKind::Tale, AlgorithmKind::Mcs, AlgorithmKind::Vf2, AlgorithmKind::Match]
+    [
+        AlgorithmKind::Tale,
+        AlgorithmKind::Mcs,
+        AlgorithmKind::Vf2,
+        AlgorithmKind::Match,
+    ]
 }
 
 /// Figures 7(i)/(j)/(k): matched-subgraph counts while varying `|Vq|`.
@@ -55,8 +60,11 @@ pub fn counts_vs_data_size(dataset: DatasetKind, scale: &ExperimentScale) -> Fig
     for (point, &nodes) in scale.data_sweep.iter().enumerate() {
         let data = dataset.generate(nodes, scale.seed.wrapping_add(point as u64));
         for rep in 0..scale.patterns_per_point {
-            let pattern =
-                experiment_pattern(&data, scale.fixed_pattern_size, scale.point_seed(point, rep));
+            let pattern = experiment_pattern(
+                &data,
+                scale.fixed_pattern_size,
+                scale.point_seed(point, rep),
+            );
             for kind in count_set() {
                 let run = run_algorithm(kind, &pattern, &data);
                 fig.push(nodes as f64, kind, run.subgraph_count as f64);
@@ -100,7 +108,11 @@ mod tests {
         // Proposition 4: at most |V| perfect subgraphs.
         let scale = ExperimentScale::tiny();
         let fig = counts_vs_pattern_size(DatasetKind::AmazonLike, &scale);
-        for p in fig.points.iter().filter(|p| p.algorithm == AlgorithmKind::Match) {
+        for p in fig
+            .points
+            .iter()
+            .filter(|p| p.algorithm == AlgorithmKind::Match)
+        {
             assert!(p.value <= scale.data_nodes as f64);
         }
     }

@@ -52,7 +52,10 @@ pub fn size_distribution(dataset: DatasetKind, scale: &ExperimentScale) -> SizeR
 
 /// Table 3 for all three dataset families.
 pub fn table3(scale: &ExperimentScale) -> Vec<SizeReport> {
-    DatasetKind::all().iter().map(|&d| size_distribution(d, scale)).collect()
+    DatasetKind::all()
+        .iter()
+        .map(|&d| size_distribution(d, scale))
+        .collect()
 }
 
 /// Renders the reports in the layout of Table 3.

@@ -82,8 +82,11 @@ pub fn time_vs_data_size(dataset: DatasetKind, scale: &ExperimentScale) -> Figur
     for (point, &nodes) in scale.data_sweep.iter().enumerate() {
         let data = dataset.generate(nodes, scale.seed.wrapping_add(point as u64));
         for rep in 0..scale.patterns_per_point {
-            let pattern =
-                experiment_pattern(&data, scale.fixed_pattern_size, scale.point_seed(point, rep));
+            let pattern = experiment_pattern(
+                &data,
+                scale.fixed_pattern_size,
+                scale.point_seed(point, rep),
+            );
             for &kind in &algorithms {
                 let run = run_algorithm(kind, &pattern, &data);
                 fig.push(nodes as f64, kind, run.elapsed.as_secs_f64());
@@ -109,8 +112,11 @@ pub fn time_vs_data_density(scale: &ExperimentScale) -> Figure {
             scale.seed.wrapping_add(point as u64),
         );
         for rep in 0..scale.patterns_per_point {
-            let pattern =
-                experiment_pattern(&data, scale.fixed_pattern_size, scale.point_seed(point, rep));
+            let pattern = experiment_pattern(
+                &data,
+                scale.fixed_pattern_size,
+                scale.point_seed(point, rep),
+            );
             for &kind in &algorithms {
                 let run = run_algorithm(kind, &pattern, &data);
                 fig.push(alpha, kind, run.elapsed.as_secs_f64());

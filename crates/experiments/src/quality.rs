@@ -28,7 +28,10 @@ pub struct QualityCase {
 impl QualityCase {
     /// The run of a given algorithm.
     pub fn run_of(&self, kind: AlgorithmKind) -> &AlgoRun {
-        self.runs.iter().find(|r| r.algorithm == kind).expect("algorithm was executed")
+        self.runs
+            .iter()
+            .find(|r| r.algorithm == kind)
+            .expect("algorithm was executed")
     }
 }
 
@@ -54,7 +57,13 @@ fn plant_pattern(mut labels: Vec<Label>, edges: Vec<(u32, u32)>, pattern: &Patte
     b.build()
 }
 
-fn case(id: &'static str, dataset: DatasetKind, pattern: Pattern, nodes: usize, seed: u64) -> QualityCase {
+fn case(
+    id: &'static str,
+    dataset: DatasetKind,
+    pattern: Pattern,
+    nodes: usize,
+    seed: u64,
+) -> QualityCase {
     let base = dataset.generate(nodes, seed);
     let labels: Vec<Label> = base.nodes().map(|v| base.label(v)).collect();
     let edges: Vec<(u32, u32)> = base.edges().map(|(a, b)| (a.0, b.0)).collect();
@@ -63,7 +72,12 @@ fn case(id: &'static str, dataset: DatasetKind, pattern: Pattern, nodes: usize, 
         .iter()
         .map(|&k| run_algorithm(k, &pattern, &data))
         .collect();
-    QualityCase { id, dataset, pattern, runs }
+    QualityCase {
+        id,
+        dataset,
+        pattern,
+        runs,
+    }
 }
 
 /// Figure 7(a): the Amazon case study with pattern `QA`.
@@ -82,7 +96,12 @@ pub fn youtube_case(nodes: usize, seed: u64) -> QualityCase {
 pub fn render(case: &QualityCase) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "== {} — qualitative case study ({}) ==", case.id, case.dataset.name());
+    let _ = writeln!(
+        out,
+        "== {} — qualitative case study ({}) ==",
+        case.id,
+        case.dataset.name()
+    );
     let _ = writeln!(
         out,
         "   pattern: {} nodes, {} edges, diameter {}",

@@ -44,7 +44,11 @@ impl Figure {
 
     /// Adds a measurement.
     pub fn push(&mut self, x: f64, algorithm: AlgorithmKind, value: f64) {
-        self.points.push(SeriesPoint { x, algorithm, value });
+        self.points.push(SeriesPoint {
+            x,
+            algorithm,
+            value,
+        });
     }
 
     /// The sorted, deduplicated x coordinates.
@@ -123,7 +127,10 @@ mod tests {
         fig.push(4.0, AlgorithmKind::Match, 0.8);
         fig.push(6.0, AlgorithmKind::Match, 0.7);
         assert_eq!(fig.xs(), vec![4.0, 6.0]);
-        assert_eq!(fig.algorithms(), vec![AlgorithmKind::Sim, AlgorithmKind::Match]);
+        assert_eq!(
+            fig.algorithms(),
+            vec![AlgorithmKind::Sim, AlgorithmKind::Match]
+        );
         assert!((fig.value_at(4.0, AlgorithmKind::Sim).unwrap() - 0.4).abs() < 1e-12);
         assert_eq!(fig.value_at(6.0, AlgorithmKind::Sim), None);
     }

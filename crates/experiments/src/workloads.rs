@@ -31,9 +31,11 @@ impl DatasetKind {
         match self {
             DatasetKind::AmazonLike => amazon_like(nodes, seed),
             DatasetKind::YouTubeLike => youtube_like(nodes, seed),
-            DatasetKind::Synthetic => {
-                synthetic(&SyntheticConfig { nodes, seed, ..SyntheticConfig::default() })
-            }
+            DatasetKind::Synthetic => synthetic(&SyntheticConfig {
+                nodes,
+                seed,
+                ..SyntheticConfig::default()
+            }),
         }
     }
 
@@ -53,7 +55,11 @@ impl DatasetKind {
 
     /// All dataset families, in the order the paper's figures list them.
     pub fn all() -> [DatasetKind; 3] {
-        [DatasetKind::AmazonLike, DatasetKind::YouTubeLike, DatasetKind::Synthetic]
+        [
+            DatasetKind::AmazonLike,
+            DatasetKind::YouTubeLike,
+            DatasetKind::Synthetic,
+        ]
     }
 }
 

@@ -15,7 +15,11 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty bitset able to hold indices `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity, len: 0 }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
     }
 
     /// Creates a bitset with every index in `0..capacity` set.
@@ -60,7 +64,11 @@ impl BitSet {
     /// Panics when `index >= capacity`.
     #[inline]
     pub fn insert(&mut self, index: usize) -> bool {
-        assert!(index < self.capacity, "bitset index {index} out of capacity {}", self.capacity);
+        assert!(
+            index < self.capacity,
+            "bitset index {index} out of capacity {}",
+            self.capacity
+        );
         let word = &mut self.words[index / 64];
         let mask = 1u64 << (index % 64);
         if *word & mask == 0 {
@@ -97,7 +105,11 @@ impl BitSet {
 
     /// Iterates over the set indices in increasing order.
     pub fn iter(&self) -> BitSetIter<'_> {
-        BitSetIter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        BitSetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Keeps only the bits that are also present in `other`.
@@ -135,7 +147,10 @@ impl BitSet {
 
     /// Returns `true` if every bit of `self` is also set in `other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Collects the set indices into a vector (ascending).

@@ -62,7 +62,8 @@ impl GraphBuilder {
     /// Panics when either endpoint has not been added yet; use [`GraphBuilder::try_add_edge`]
     /// for a fallible variant.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
-        self.try_add_edge(from, to).expect("edge endpoint out of range");
+        self.try_add_edge(from, to)
+            .expect("edge endpoint out of range");
     }
 
     /// Adds the directed edge `(from, to)`, reporting invalid endpoints as errors.
@@ -70,7 +71,10 @@ impl GraphBuilder {
         let n = self.labels.len();
         for endpoint in [from, to] {
             if endpoint.index() >= n {
-                return Err(GraphError::InvalidNode { node: endpoint.0, node_count: n });
+                return Err(GraphError::InvalidNode {
+                    node: endpoint.0,
+                    node_count: n,
+                });
             }
         }
         self.out_edges[from.index()].push(to);
@@ -138,7 +142,13 @@ impl GraphBuilder {
         }
         // Sources within each reverse bucket are already in ascending order because we iterate
         // sources in ascending order, so binary search in `has_edge` stays valid.
-        let graph = Graph::from_csr(self.labels, fwd_offsets, fwd_targets, rev_offsets, rev_targets);
+        let graph = Graph::from_csr(
+            self.labels,
+            fwd_offsets,
+            fwd_targets,
+            rev_offsets,
+            rev_targets,
+        );
         (graph, self.interner)
     }
 }
@@ -196,7 +206,10 @@ mod tests {
         for (s, t) in g.edges() {
             assert!(g.in_neighbors(t).any(|p| p == s));
         }
-        assert_eq!(g.in_neighbors(NodeId(1)).collect::<Vec<_>>(), vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            g.in_neighbors(NodeId(1)).collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
         assert_eq!(g.in_degree(NodeId(4)), 2);
     }
 

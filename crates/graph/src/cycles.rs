@@ -15,7 +15,9 @@ pub fn has_directed_cycle(graph: &Graph) -> bool {
     if graph.nodes().any(|v| graph.has_edge(v, v)) {
         return true;
     }
-    strongly_connected_components(graph).iter().any(|scc| scc.len() > 1)
+    strongly_connected_components(graph)
+        .iter()
+        .any(|scc| scc.len() > 1)
 }
 
 /// Returns `true` when the graph contains an undirected cycle.
@@ -77,8 +79,10 @@ pub fn directed_cycle_lengths(graph: &Graph, max_cycles: usize) -> Vec<usize> {
         let mut on_path = vec![false; n];
         on_path[start.index()] = true;
         // stack of neighbour iterators by position
-        let mut iters: Vec<Vec<NodeId>> =
-            vec![graph.out_neighbors(start).filter(|v| v.index() >= start.index()).collect()];
+        let mut iters: Vec<Vec<NodeId>> = vec![graph
+            .out_neighbors(start)
+            .filter(|v| v.index() >= start.index())
+            .collect()];
         let mut pos = vec![0usize];
         while !path.is_empty() && lengths.len() < max_cycles {
             let depth = path.len() - 1;
@@ -91,7 +95,10 @@ pub fn directed_cycle_lengths(graph: &Graph, max_cycles: usize) -> Vec<usize> {
                     on_path[next.index()] = true;
                     path.push(next);
                     iters.push(
-                        graph.out_neighbors(next).filter(|v| v.index() >= start.index()).collect(),
+                        graph
+                            .out_neighbors(next)
+                            .filter(|v| v.index() >= start.index())
+                            .collect(),
                     );
                     pos.push(0);
                 }

@@ -32,7 +32,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::InvalidNode { node, node_count } => {
-                write!(f, "node id {node} out of range (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node id {node} out of range (graph has {node_count} nodes)"
+                )
             }
             GraphError::DisconnectedPattern { components } => {
                 write!(
@@ -41,7 +44,9 @@ impl fmt::Display for GraphError {
                 )
             }
             GraphError::EmptyPattern => write!(f, "pattern graphs must contain at least one node"),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -54,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_invalid_node() {
-        let e = GraphError::InvalidNode { node: 7, node_count: 3 };
+        let e = GraphError::InvalidNode {
+            node: 7,
+            node_count: 3,
+        };
         assert_eq!(e.to_string(), "node id 7 out of range (graph has 3 nodes)");
     }
 
@@ -66,12 +74,17 @@ mod tests {
 
     #[test]
     fn display_parse() {
-        let e = GraphError::Parse { line: 4, message: "bad edge".into() };
+        let e = GraphError::Parse {
+            line: 4,
+            message: "bad edge".into(),
+        };
         assert_eq!(e.to_string(), "parse error at line 4: bad edge");
     }
 
     #[test]
     fn display_empty_pattern() {
-        assert!(GraphError::EmptyPattern.to_string().contains("at least one node"));
+        assert!(GraphError::EmptyPattern
+            .to_string()
+            .contains("at least one node"));
     }
 }

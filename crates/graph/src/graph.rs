@@ -8,7 +8,6 @@
 use crate::bitset::BitSet;
 use crate::error::GraphError;
 use crate::labels::Label;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a node inside a [`Graph`]: a dense index in `0..node_count`.
@@ -48,7 +47,10 @@ pub struct Graph {
     rev_offsets: Vec<usize>,
     rev_targets: Vec<NodeId>,
     /// Nodes grouped by label, used to seed candidate sets in the matchers.
-    label_index: HashMap<Label, Vec<NodeId>>,
+    ///
+    /// Entries are sorted by label so lookups are binary searches and iteration order is
+    /// deterministic (a `HashMap` here made candidate seeding order run-dependent).
+    label_index: Vec<(Label, Vec<NodeId>)>,
 }
 
 impl Graph {
@@ -59,11 +61,29 @@ impl Graph {
         rev_offsets: Vec<usize>,
         rev_targets: Vec<NodeId>,
     ) -> Self {
-        let mut label_index: HashMap<Label, Vec<NodeId>> = HashMap::new();
-        for (i, &l) in labels.iter().enumerate() {
-            label_index.entry(l).or_default().push(NodeId::from_index(i));
+        // Bucket nodes by label deterministically: sort (label, node) pairs — node ids are
+        // already ascending within a label because we scan them in id order.
+        let mut by_label: Vec<(Label, NodeId)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, NodeId::from_index(i)))
+            .collect();
+        by_label.sort_by_key(|&(l, n)| (l, n));
+        let mut label_index: Vec<(Label, Vec<NodeId>)> = Vec::new();
+        for (l, n) in by_label {
+            match label_index.last_mut() {
+                Some((last, nodes)) if *last == l => nodes.push(n),
+                _ => label_index.push((l, vec![n])),
+            }
         }
-        Graph { labels, fwd_offsets, fwd_targets, rev_offsets, rev_targets, label_index }
+        Graph {
+            labels,
+            fwd_offsets,
+            fwd_targets,
+            rev_offsets,
+            rev_targets,
+            label_index,
+        }
     }
 
     /// Builds a graph directly from a label vector and an edge list.
@@ -121,7 +141,10 @@ impl Graph {
 
     /// All nodes carrying `label` (possibly empty), in ascending id order.
     pub fn nodes_with_label(&self, label: Label) -> &[NodeId] {
-        self.label_index.get(&label).map(Vec::as_slice).unwrap_or(&[])
+        self.label_index
+            .binary_search_by_key(&label, |&(l, _)| l)
+            .map(|i| self.label_index[i].1.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of distinct labels present in the graph.
@@ -133,14 +156,18 @@ impl Graph {
     #[inline]
     pub fn out_neighbors(&self, node: NodeId) -> std::iter::Copied<std::slice::Iter<'_, NodeId>> {
         let i = node.index();
-        self.fwd_targets[self.fwd_offsets[i]..self.fwd_offsets[i + 1]].iter().copied()
+        self.fwd_targets[self.fwd_offsets[i]..self.fwd_offsets[i + 1]]
+            .iter()
+            .copied()
     }
 
     /// In-neighbours (parents) of `node`.
     #[inline]
     pub fn in_neighbors(&self, node: NodeId) -> std::iter::Copied<std::slice::Iter<'_, NodeId>> {
         let i = node.index();
-        self.rev_targets[self.rev_offsets[i]..self.rev_offsets[i + 1]].iter().copied()
+        self.rev_targets[self.rev_offsets[i]..self.rev_offsets[i + 1]]
+            .iter()
+            .copied()
     }
 
     /// Out-degree of `node`.
@@ -173,16 +200,21 @@ impl Graph {
         }
         if self.out_degree(from) <= self.in_degree(to) {
             let i = from.index();
-            self.fwd_targets[self.fwd_offsets[i]..self.fwd_offsets[i + 1]].binary_search(&to).is_ok()
+            self.fwd_targets[self.fwd_offsets[i]..self.fwd_offsets[i + 1]]
+                .binary_search(&to)
+                .is_ok()
         } else {
             let i = to.index();
-            self.rev_targets[self.rev_offsets[i]..self.rev_offsets[i + 1]].binary_search(&from).is_ok()
+            self.rev_targets[self.rev_offsets[i]..self.rev_offsets[i + 1]]
+                .binary_search(&from)
+                .is_ok()
         }
     }
 
     /// Iterates over every directed edge `(source, target)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |u| self.out_neighbors(u).map(move |v| (u, v)))
+        self.nodes()
+            .flat_map(move |u| self.out_neighbors(u).map(move |v| (u, v)))
     }
 
     /// Returns `true` when `node` is a valid id of this graph.
@@ -201,7 +233,10 @@ impl Graph {
         sorted.dedup();
         let mut membership = BitSet::new(self.node_count());
         for &n in &sorted {
-            assert!(self.contains_node(n), "induced_subgraph: node {n} out of range");
+            assert!(
+                self.contains_node(n),
+                "induced_subgraph: node {n} out of range"
+            );
             membership.insert(n.index());
         }
         let mut to_new: Vec<u32> = vec![u32::MAX; self.node_count()];
@@ -239,8 +274,7 @@ impl Graph {
         for (new, &orig) in sorted.iter().enumerate() {
             to_new[orig.index()] = new as u32;
         }
-        let mut builder =
-            crate::builder::GraphBuilder::with_capacity(sorted.len(), edges.len());
+        let mut builder = crate::builder::GraphBuilder::with_capacity(sorted.len(), edges.len());
         for &orig in &sorted {
             builder.add_labeled_node(self.label(orig));
         }
@@ -274,8 +308,14 @@ mod tests {
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 4);
         assert_eq!(g.size(), 8);
-        assert_eq!(g.out_neighbors(NodeId(0)).collect::<Vec<_>>(), vec![NodeId(1), NodeId(2)]);
-        assert_eq!(g.in_neighbors(NodeId(3)).collect::<Vec<_>>(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            g.out_neighbors(NodeId(0)).collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2)]
+        );
+        assert_eq!(
+            g.in_neighbors(NodeId(3)).collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2)]
+        );
         assert_eq!(g.out_degree(NodeId(0)), 2);
         assert_eq!(g.in_degree(NodeId(0)), 0);
         assert_eq!(g.degree(NodeId(3)), 2);
@@ -325,14 +365,26 @@ mod tests {
         let g = Graph::from_edges(vec![Label(0)], &[(0, 0)]).unwrap();
         assert_eq!(g.edge_count(), 1);
         assert!(g.has_edge(NodeId(0), NodeId(0)));
-        assert_eq!(g.out_neighbors(NodeId(0)).collect::<Vec<_>>(), vec![NodeId(0)]);
-        assert_eq!(g.in_neighbors(NodeId(0)).collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert_eq!(
+            g.out_neighbors(NodeId(0)).collect::<Vec<_>>(),
+            vec![NodeId(0)]
+        );
+        assert_eq!(
+            g.in_neighbors(NodeId(0)).collect::<Vec<_>>(),
+            vec![NodeId(0)]
+        );
     }
 
     #[test]
     fn from_edges_rejects_invalid_node() {
         let err = Graph::from_edges(vec![Label(0)], &[(0, 3)]).unwrap_err();
-        assert_eq!(err, GraphError::InvalidNode { node: 3, node_count: 1 });
+        assert_eq!(
+            err,
+            GraphError::InvalidNode {
+                node: 3,
+                node_count: 1
+            }
+        );
     }
 
     #[test]
@@ -359,7 +411,11 @@ mod tests {
         let g = diamond();
         let (sub, _) = g.subgraph_with_edges(
             &[NodeId(0), NodeId(1), NodeId(3)],
-            &[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(3)), (NodeId(1), NodeId(3))],
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(3)),
+                (NodeId(1), NodeId(3)),
+            ],
         );
         // (0,3) is not an edge of g, so it is dropped.
         assert_eq!(sub.edge_count(), 2);

@@ -33,9 +33,10 @@ pub fn parse_edge_list(text: &str) -> Result<(Graph, LabelInterner), GraphError>
         match parts.next() {
             Some("v") => {
                 let id = parse_u32(parts.next(), lineno, "node id")?;
-                let label = parts
-                    .next()
-                    .ok_or_else(|| GraphError::Parse { line: lineno, message: "missing node label".into() })?;
+                let label = parts.next().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    message: "missing node label".into(),
+                })?;
                 nodes.push((id, label.to_string()));
             }
             Some("e") => {
@@ -72,7 +73,10 @@ pub fn parse_edge_list(text: &str) -> Result<(Graph, LabelInterner), GraphError>
 }
 
 fn parse_u32(tok: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
-    let tok = tok.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
     tok.parse::<u32>().map_err(|_| GraphError::Parse {
         line,
         message: format!("invalid {what} {tok:?} (expected unsigned integer)"),
@@ -82,7 +86,12 @@ fn parse_u32(tok: Option<&str>, line: usize, what: &str) -> Result<u32, GraphErr
 /// Serialises a graph to the labelled edge-list format.
 pub fn to_edge_list(graph: &Graph, interner: &LabelInterner) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    let _ = writeln!(
+        out,
+        "# {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     for v in graph.nodes() {
         let _ = writeln!(out, "v {} {}", v.0, interner.display(graph.label(v)));
     }
@@ -97,7 +106,13 @@ pub fn to_dot(graph: &Graph, interner: &LabelInterner, name: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph {name} {{");
     for v in graph.nodes() {
-        let _ = writeln!(out, "  n{} [label=\"{}:{}\"];", v.0, v.0, interner.display(graph.label(v)));
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}:{}\"];",
+            v.0,
+            v.0,
+            interner.display(graph.label(v))
+        );
     }
     for (s, t) in graph.edges() {
         let _ = writeln!(out, "  n{} -> n{};", s.0, t.0);
@@ -141,10 +156,22 @@ e 1 2
 
     #[test]
     fn parse_rejects_bad_records() {
-        assert!(matches!(parse_edge_list("x 1 2\n"), Err(GraphError::Parse { line: 1, .. })));
-        assert!(matches!(parse_edge_list("v abc L\n"), Err(GraphError::Parse { line: 1, .. })));
-        assert!(matches!(parse_edge_list("v 0\n"), Err(GraphError::Parse { line: 1, .. })));
-        assert!(matches!(parse_edge_list("e 0\n"), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(
+            parse_edge_list("x 1 2\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("v abc L\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("v 0\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("e 0\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl LabelInterner {
     /// Returns the name of `label`, or a synthetic `L<id>` string for labels that were never
     /// interned (e.g. labels of synthetic graphs).
     pub fn display(&self, label: Label) -> String {
-        self.name(label).map(str::to_string).unwrap_or_else(|| label.to_string())
+        self.name(label)
+            .map(str::to_string)
+            .unwrap_or_else(|| label.to_string())
     }
 
     /// Number of distinct interned labels.
@@ -89,7 +91,10 @@ impl LabelInterner {
 
     /// Iterates over all interned `(label, name)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (Label(i as u32), n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
     }
 }
 

@@ -52,11 +52,11 @@ pub mod pattern;
 pub mod traversal;
 pub mod view;
 
-pub use ball::Ball;
+pub use ball::{Ball, BallScratch, CompactBall, CompactBallView};
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{Graph, NodeId};
 pub use labels::{Label, LabelInterner};
 pub use pattern::Pattern;
-pub use view::GraphView;
+pub use view::{AdjView, GraphView};

@@ -25,7 +25,11 @@ pub fn eccentricity(graph: &Graph, node: NodeId) -> usize {
 /// used when treating each component independently); the paper only ever takes diameters of
 /// connected pattern graphs, where the two notions coincide. The empty graph has diameter 0.
 pub fn diameter(graph: &Graph) -> usize {
-    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+    graph
+        .nodes()
+        .map(|v| eccentricity(graph, v))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Diameter of the subgraph induced by `nodes` (undirected distances measured inside that
@@ -52,7 +56,12 @@ pub struct DegreeStats {
 pub fn degree_stats(graph: &Graph) -> DegreeStats {
     let n = graph.node_count();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, mean_out: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            mean_out: 0.0,
+        };
     }
     let mut min = usize::MAX;
     let mut max = 0usize;
@@ -128,6 +137,14 @@ mod tests {
         assert!((stats.mean - 2.0).abs() < 1e-9);
         assert!((stats.mean_out - 1.0).abs() < 1e-9);
         let empty = Graph::from_edges(vec![], &[]).unwrap();
-        assert_eq!(degree_stats(&empty), DegreeStats { min: 0, max: 0, mean: 0.0, mean_out: 0.0 });
+        assert_eq!(
+            degree_stats(&empty),
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                mean_out: 0.0
+            }
+        );
     }
 }

@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn reachable_sets() {
         let g = Graph::from_edges(vec![Label(0); 5], &[(0, 1), (1, 2), (3, 2), (3, 4)]).unwrap();
-        assert_eq!(reachable(&g, NodeId(0), Direction::Forward), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            reachable(&g, NodeId(0), Direction::Forward),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
         assert_eq!(reachable(&g, NodeId(2), Direction::Backward).len(), 4);
         assert_eq!(reachable(&g, NodeId(0), Direction::Undirected).len(), 5);
     }

@@ -11,6 +11,34 @@ use crate::bitset::BitSet;
 use crate::graph::{Graph, NodeId};
 use crate::labels::Label;
 
+/// Node-addressed adjacency that the matching algorithms run over.
+///
+/// Two implementations exist: [`GraphView`] (the whole graph, or a membership-filtered
+/// subset of it, addressed by **global** node ids) and
+/// [`crate::ball::CompactBallView`] (a ball addressed by dense **local** ids `0..|ball|`,
+/// translating to the underlying graph lazily). Matching code is generic over this trait,
+/// so relations and scratch bitsets are sized by [`AdjView::id_space`] — `|V|` for graph
+/// views, `|ball|` for compact balls.
+pub trait AdjView {
+    /// Size of the id space: every node id handled by this view is `< id_space()`.
+    /// Relations and bitsets over the view's nodes use this as their capacity.
+    fn id_space(&self) -> usize;
+
+    /// Label of `node`.
+    fn label(&self, node: NodeId) -> Label;
+
+    /// Out-neighbours (children) of `node` inside the view.
+    fn out_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_;
+
+    /// In-neighbours (parents) of `node` inside the view.
+    fn in_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_;
+
+    /// Nodes of the view carrying `label`. The iteration order is implementation-defined:
+    /// [`GraphView`] yields ascending ids, while a compact ball yields its BFS-position
+    /// local ids in ascending *global* order — callers must not rely on sortedness.
+    fn nodes_with_label(&self, label: Label) -> impl Iterator<Item = NodeId> + '_;
+}
+
 /// A (possibly restricted) view of a graph.
 #[derive(Clone, Copy)]
 pub struct GraphView<'a> {
@@ -21,7 +49,10 @@ pub struct GraphView<'a> {
 impl<'a> GraphView<'a> {
     /// A view over the whole graph.
     pub fn full(graph: &'a Graph) -> Self {
-        GraphView { graph, restriction: None }
+        GraphView {
+            graph,
+            restriction: None,
+        }
     }
 
     /// A view restricted to the nodes whose indices are set in `members`.
@@ -35,7 +66,10 @@ impl<'a> GraphView<'a> {
             members.capacity(),
             graph.node_count()
         );
-        GraphView { graph, restriction: Some(members) }
+        GraphView {
+            graph,
+            restriction: Some(members),
+        }
     }
 
     /// The underlying graph.
@@ -112,12 +146,45 @@ impl<'a> GraphView<'a> {
         self.contains(from) && self.contains(to) && self.graph.has_edge(from, to)
     }
 
+    /// The number of ids the view's nodes are drawn from (the underlying graph's `|V|`).
+    #[inline]
+    pub fn id_space(&self) -> usize {
+        self.graph.node_count()
+    }
+
     /// Number of edges with both endpoints inside the view. `O(|E|)` for restricted views.
     pub fn edge_count(&self) -> usize {
         match self.restriction {
             None => self.graph.edge_count(),
             Some(_) => self.nodes().map(|u| self.out_neighbors(u).count()).sum(),
         }
+    }
+}
+
+impl AdjView for GraphView<'_> {
+    #[inline]
+    fn id_space(&self) -> usize {
+        GraphView::id_space(self)
+    }
+
+    #[inline]
+    fn label(&self, node: NodeId) -> Label {
+        GraphView::label(self, node)
+    }
+
+    #[inline]
+    fn out_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        GraphView::out_neighbors(self, node)
+    }
+
+    #[inline]
+    fn in_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        GraphView::in_neighbors(self, node)
+    }
+
+    #[inline]
+    fn nodes_with_label(&self, label: Label) -> impl Iterator<Item = NodeId> + '_ {
+        GraphView::nodes_with_label(self, label)
     }
 }
 
@@ -128,8 +195,11 @@ mod tests {
 
     fn chain() -> Graph {
         // 0 -> 1 -> 2 -> 3 with labels 0,1,0,1
-        Graph::from_edges(vec![Label(0), Label(1), Label(0), Label(1)], &[(0, 1), (1, 2), (2, 3)])
-            .unwrap()
+        Graph::from_edges(
+            vec![Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -143,7 +213,10 @@ mod tests {
         assert!(v.contains(NodeId(3)));
         assert!(!v.contains(NodeId(4)));
         assert!(v.has_edge(NodeId(0), NodeId(1)));
-        assert_eq!(v.nodes_with_label(Label(0)).collect::<Vec<_>>(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(
+            v.nodes_with_label(Label(0)).collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(2)]
+        );
     }
 
     #[test]
@@ -163,7 +236,10 @@ mod tests {
         assert!(!v.has_edge(NodeId(0), NodeId(1)));
         assert_eq!(v.out_neighbors(NodeId(2)).count(), 0);
         assert_eq!(v.in_neighbors(NodeId(1)).count(), 0);
-        assert_eq!(v.nodes_with_label(Label(0)).collect::<Vec<_>>(), vec![NodeId(2)]);
+        assert_eq!(
+            v.nodes_with_label(Label(0)).collect::<Vec<_>>(),
+            vec![NodeId(2)]
+        );
     }
 
     #[test]

@@ -34,11 +34,18 @@ fn main() {
         "sites", "part.", "border balls", "shipped balls", "shipped nodes", "correct"
     );
     for sites in [2usize, 4, 8] {
-        for (name, strategy) in [("range", PartitionStrategy::Range), ("hash", PartitionStrategy::Hash)] {
+        for (name, strategy) in [
+            ("range", PartitionStrategy::Range),
+            ("hash", PartitionStrategy::Hash),
+        ] {
             let out = distributed_strong_simulation(
                 &pattern,
                 &data,
-                &DistributedConfig { sites, strategy, minimize_query: true },
+                &DistributedConfig {
+                    sites,
+                    strategy,
+                    minimize_query: true,
+                },
             );
             let correct = out.matched_nodes() == centralized.matched_nodes();
             println!(
@@ -50,7 +57,10 @@ fn main() {
                 out.traffic.shipped_nodes,
                 correct
             );
-            assert!(correct, "distributed evaluation must agree with the centralized result");
+            assert!(
+                correct,
+                "distributed evaluation must agree with the centralized result"
+            );
         }
     }
     println!("\nEvery configuration reproduces the centralized result; the shipped data is");

@@ -45,7 +45,12 @@ fn main() {
     println!("equivalence classes: {:?}\n", minimized.class_of);
 
     // Same result on a data graph, with and without minimization.
-    let data = synthetic(&SyntheticConfig { nodes: 2_000, alpha: 1.2, labels: 5, seed: 1 });
+    let data = synthetic(&SyntheticConfig {
+        nodes: 2_000,
+        alpha: 1.2,
+        labels: 5,
+        seed: 1,
+    });
     let start = Instant::now();
     let plain = strong_simulation(&pattern, &data, &MatchConfig::basic());
     let plain_time = start.elapsed();
@@ -53,13 +58,26 @@ fn main() {
     let with_minq = strong_simulation(
         &pattern,
         &data,
-        &MatchConfig { minimize_query: true, ..MatchConfig::basic() },
+        &MatchConfig {
+            minimize_query: true,
+            ..MatchConfig::basic()
+        },
     );
     let minq_time = start.elapsed();
 
-    println!("plain Match   : {} perfect subgraphs in {plain_time:?}", plain.subgraphs.len());
-    println!("Match + minQ  : {} perfect subgraphs in {minq_time:?}", with_minq.subgraphs.len());
-    assert_eq!(plain.matched_nodes(), with_minq.matched_nodes(), "minQ must preserve the result");
+    println!(
+        "plain Match   : {} perfect subgraphs in {plain_time:?}",
+        plain.subgraphs.len()
+    );
+    println!(
+        "Match + minQ  : {} perfect subgraphs in {minq_time:?}",
+        with_minq.subgraphs.len()
+    );
+    assert_eq!(
+        plain.matched_nodes(),
+        with_minq.matched_nodes(),
+        "minQ must preserve the result"
+    );
     println!("\nresults identical: true (Theorem 6 / Lemmas 2-3)");
     if let Some((original, reduced)) = with_minq.stats.pattern_sizes {
         println!("pattern size used by the matcher: {original} -> {reduced}");

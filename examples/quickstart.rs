@@ -37,21 +37,39 @@ fn main() {
     gb.add_edge(pm2, qa2); // qa2 -> dev2 edge is missing
     let data = gb.build();
 
-    println!("pattern: {} nodes, {} edges, diameter {}", pattern.node_count(), pattern.edge_count(), pattern.diameter());
-    println!("data:    {} nodes, {} edges\n", data.node_count(), data.edge_count());
+    println!(
+        "pattern: {} nodes, {} edges, diameter {}",
+        pattern.node_count(),
+        pattern.edge_count(),
+        pattern.diameter()
+    );
+    println!(
+        "data:    {} nodes, {} edges\n",
+        data.node_count(),
+        data.edge_count()
+    );
 
     // Graph simulation: keeps both teams (it only checks children).
     let sim = graph_simulation(&pattern, &data).expect("simulation match exists");
-    println!("graph simulation matched nodes:  {:?}", sim.matched_data_nodes().to_vec());
+    println!(
+        "graph simulation matched nodes:  {:?}",
+        sim.matched_data_nodes().to_vec()
+    );
 
     // Dual simulation: still both teams' PM/DEV but drops qa2 (no parent check fails here —
     // the missing edge hurts the child side of qa2).
     let dual = dual_simulation(&pattern, &data).expect("dual simulation match exists");
-    println!("dual simulation matched nodes:   {:?}", dual.matched_data_nodes().to_vec());
+    println!(
+        "dual simulation matched nodes:   {:?}",
+        dual.matched_data_nodes().to_vec()
+    );
 
     // Strong simulation: perfect subgraphs inside balls of radius d_Q.
     let strong = strong_simulation(&pattern, &data, &MatchConfig::optimized());
-    println!("strong simulation perfect subgraphs: {}", strong.subgraphs.len());
+    println!(
+        "strong simulation perfect subgraphs: {}",
+        strong.subgraphs.len()
+    );
     for s in &strong.subgraphs {
         let names: Vec<String> = s
             .nodes
@@ -61,13 +79,26 @@ fn main() {
         println!("  ball center {} -> {{{}}}", s.center, names.join(", "));
     }
     println!();
-    println!("team 1 tester (qa1 = {}) matched: {}", qa1, strong.matched_nodes().contains(&qa1));
-    println!("team 2 tester (qa2 = {}) matched: {}", qa2, strong.matched_nodes().contains(&qa2));
+    println!(
+        "team 1 tester (qa1 = {}) matched: {}",
+        qa1,
+        strong.matched_nodes().contains(&qa1)
+    );
+    println!(
+        "team 2 tester (qa2 = {}) matched: {}",
+        qa2,
+        strong.matched_nodes().contains(&qa2)
+    );
     println!("pattern bisimilar to data: {}", bisimilar(&pattern, &data));
 
     // The matches of each pattern node across all perfect subgraphs.
     for u in pattern.nodes() {
         let matches: Vec<NodeId> = strong.matches_of(u).into_iter().collect();
-        println!("pattern node {} ({}) matches {:?}", u, labels.display(pattern.label(u)), matches);
+        println!(
+            "pattern node {} ({}) matches {:?}",
+            u,
+            labels.display(pattern.label(u)),
+            matches
+        );
     }
 }

@@ -15,12 +15,24 @@ use ssim_graph::NodeId;
 fn main() {
     let fig = figure1();
     let bio = NodeId(2); // the Bio node of pattern Q1
-    println!("pattern Q1: {} nodes, {} edges, diameter {}", fig.pattern.node_count(), fig.pattern.edge_count(), fig.pattern.diameter());
-    println!("data G1:    {} nodes, {} edges\n", fig.data.node_count(), fig.data.edge_count());
+    println!(
+        "pattern Q1: {} nodes, {} edges, diameter {}",
+        fig.pattern.node_count(),
+        fig.pattern.edge_count(),
+        fig.pattern.diameter()
+    );
+    println!(
+        "data G1:    {} nodes, {} edges\n",
+        fig.data.node_count(),
+        fig.data.edge_count()
+    );
 
     // Subgraph isomorphism: no match (the DM/AI 2-cycle has no isomorphic image).
     let vf2 = find_embeddings(&fig.pattern, &fig.data, Vf2Limits::default());
-    println!("VF2 embeddings: {}  (the paper: none — too strict)", vf2.embeddings.len());
+    println!(
+        "VF2 embeddings: {}  (the paper: none — too strict)",
+        vf2.embeddings.len()
+    );
 
     // Graph simulation: every biologist matches.
     let sim = graph_simulation(&fig.pattern, &fig.data).expect("Q1 ≺ G1 holds");
@@ -29,14 +41,21 @@ fn main() {
         .iter()
         .map(|i| format!("node {i}"))
         .collect();
-    println!("graph simulation matches for Bio: {} ({})", sim_bios.len(), sim_bios.join(", "));
+    println!(
+        "graph simulation matches for Bio: {} ({})",
+        sim_bios.len(),
+        sim_bios.join(", ")
+    );
 
     // Strong simulation: only Bio4.
     let strong = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::optimized());
     let strong_bios: Vec<NodeId> = strong.matches_of(bio).into_iter().collect();
     println!("strong simulation matches for Bio: {:?}", strong_bios);
     println!("expected (paper): {:?}", fig.expected_matches);
-    assert_eq!(strong_bios, fig.expected_matches, "strong simulation must single out Bio4");
+    assert_eq!(
+        strong_bios, fig.expected_matches,
+        "strong simulation must single out Bio4"
+    );
 
     println!("\nperfect subgraphs found: {}", strong.subgraphs.len());
     for s in strong.distinct_subgraphs() {

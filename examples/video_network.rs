@@ -20,7 +20,9 @@ fn main() {
     let sim = case.run_of(AlgorithmKind::Sim);
 
     println!("pattern QY: an Entertainment video related to Film&Animation and Music videos,");
-    println!("            with a Sports video related to the same Film&Animation and Music videos.\n");
+    println!(
+        "            with a Sports video related to the same Film&Animation and Music videos.\n"
+    );
 
     println!(
         "VF2    : {:>5} matched nodes in {:>5} matched subgraphs ({:?})",
@@ -44,8 +46,7 @@ fn main() {
     // simulation, but strong simulation groups them into far fewer, smaller subgraphs.
     let vf2_subset = vf2.matched_nodes.is_subset(&strong.matched_nodes);
     println!("\nVF2 matches ⊆ strong-simulation matches: {vf2_subset}");
-    let closeness_match =
-        ssim_experiments::closeness_metric(vf2, strong);
+    let closeness_match = ssim_experiments::closeness_metric(vf2, strong);
     let closeness_sim = ssim_experiments::closeness_metric(vf2, sim);
     println!("closeness(Match) = {closeness_match:.3}   closeness(Sim) = {closeness_sim:.3}");
 }

@@ -1,0 +1,19 @@
+//! Umbrella crate for the strong-simulation workspace.
+//!
+//! Re-exports the workspace crates under one roof so examples, integration tests and
+//! downstream users can depend on a single package. The implementation lives in the
+//! `crates/` members:
+//!
+//! * [`graph`](ssim_graph) — graph substrate (CSR graphs, patterns, balls, bitsets),
+//! * [`core`](ssim_core) — the simulation family and the `Match`/`Match+` engine,
+//! * [`datasets`](ssim_datasets) — synthetic and real-world-like generators,
+//! * [`baselines`](ssim_baselines) — VF2 / TALE-like / MCS baselines,
+//! * [`distributed`](ssim_distributed) — the simulated coordinator/site runtime,
+//! * [`experiments`](ssim_experiments) — the paper's experiment drivers.
+
+pub use ssim_baselines as baselines;
+pub use ssim_core as core;
+pub use ssim_datasets as datasets;
+pub use ssim_distributed as distributed;
+pub use ssim_experiments as experiments;
+pub use ssim_graph as graph;

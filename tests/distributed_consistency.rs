@@ -22,7 +22,11 @@ fn distributed_matches_centralized_across_sites_and_strategies() {
                 let out = distributed_strong_simulation(
                     &fig.pattern,
                     &fig.data,
-                    &DistributedConfig { sites, strategy, minimize_query },
+                    &DistributedConfig {
+                        sites,
+                        strategy,
+                        minimize_query,
+                    },
                 );
                 assert_eq!(
                     central.matched_nodes(),
@@ -38,13 +42,24 @@ fn distributed_matches_centralized_across_sites_and_strategies() {
 #[test]
 fn distributed_matches_centralized_on_generated_workloads() {
     for seed in 0..4u64 {
-        let data = synthetic(&SyntheticConfig { nodes: 150, alpha: 1.15, labels: 8, seed });
-        let Some(pattern) = extract_pattern(&data, 4, seed.wrapping_add(5)) else { continue };
+        let data = synthetic(&SyntheticConfig {
+            nodes: 150,
+            alpha: 1.15,
+            labels: 8,
+            seed,
+        });
+        let Some(pattern) = extract_pattern(&data, 4, seed.wrapping_add(5)) else {
+            continue;
+        };
         let central = strong_simulation(&pattern, &data, &MatchConfig::basic());
         let out = distributed_strong_simulation(
             &pattern,
             &data,
-            &DistributedConfig { sites: 5, strategy: PartitionStrategy::Hash, minimize_query: true },
+            &DistributedConfig {
+                sites: 5,
+                strategy: PartitionStrategy::Hash,
+                minimize_query: true,
+            },
         );
         assert_eq!(central.matched_nodes(), out.matched_nodes(), "seed={seed}");
     }
@@ -57,10 +72,17 @@ fn traffic_accounting_is_consistent() {
     let out = distributed_strong_simulation(
         &pattern,
         &data,
-        &DistributedConfig { sites: 4, strategy: PartitionStrategy::Range, minimize_query: false },
+        &DistributedConfig {
+            sites: 4,
+            strategy: PartitionStrategy::Range,
+            minimize_query: false,
+        },
     );
     // Every node is the center of exactly one ball, evaluated at its home site.
-    assert_eq!(out.traffic.balls_per_site.iter().sum::<usize>(), data.node_count());
+    assert_eq!(
+        out.traffic.balls_per_site.iter().sum::<usize>(),
+        data.node_count()
+    );
     assert_eq!(out.traffic.balls_per_site.len(), 4);
     // Shipped balls are a subset of all balls; shipping implies a non-zero node count.
     assert!(out.traffic.shipped_balls <= data.node_count());
@@ -69,12 +91,20 @@ fn traffic_accounting_is_consistent() {
     }
     assert_eq!(out.traffic.result_subgraphs, out.subgraphs.len());
     // The fragments partition the node set.
-    assert_eq!(out.partition.fragment_sizes().iter().sum::<usize>(), data.node_count());
+    assert_eq!(
+        out.partition.fragment_sizes().iter().sum::<usize>(),
+        data.node_count()
+    );
 }
 
 #[test]
 fn partition_invariants() {
-    let data = synthetic(&SyntheticConfig { nodes: 97, alpha: 1.2, labels: 5, seed: 9 });
+    let data = synthetic(&SyntheticConfig {
+        nodes: 97,
+        alpha: 1.2,
+        labels: 5,
+        seed: 9,
+    });
     for sites in [2usize, 3, 10] {
         for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range] {
             let p = GraphPartition::new(&data, sites, strategy);

@@ -1,0 +1,138 @@
+//! Property-based equivalence of the engine's performance layers.
+//!
+//! The matching engine has three layers that must be *observationally invisible*: worklist
+//! refinement vs the seed's naive fixpoint, ball-local compact indexing vs `|V|`-sized
+//! relations, and parallel vs sequential ball processing. Each property pits the fast path
+//! against its seed-compatible oracle on random graph/pattern pairs.
+
+use proptest::prelude::*;
+use ssim_core::dual::dual_simulation_with;
+use ssim_core::simulation::graph_simulation_with;
+use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
+use ssim_core::RefineStrategy;
+use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
+use ssim_graph::{Graph, Label, Pattern};
+
+/// Strategy: a random data graph with `n ∈ [3, 28]` nodes, up to `3n` random edges and
+/// labels drawn from a 4-symbol alphabet.
+fn data_graph() -> impl Strategy<Value = Graph> {
+    (3usize..28).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
+                .expect("endpoints are in range by construction")
+        })
+    })
+}
+
+/// Strategy: a random connected pattern with 2–6 nodes over the same 4-symbol alphabet.
+fn pattern() -> impl Strategy<Value = Pattern> {
+    (2usize..7, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
+        random_pattern(&PatternGenConfig {
+            nodes,
+            alpha,
+            labels: 4,
+            seed,
+        })
+    })
+}
+
+/// Asserts two match outputs carry identical subgraph sets (centers, nodes, edges and
+/// relations) and consistent top-level stats.
+fn assert_same_output(a: &MatchOutput, b: &MatchOutput, context: &str) -> Result<(), String> {
+    prop_assert_eq!(a.subgraphs.len(), b.subgraphs.len());
+    for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
+        prop_assert!(
+            x.center == y.center,
+            "{context}: centers {} vs {}",
+            x.center,
+            y.center
+        );
+        prop_assert_eq!(&x.nodes, &y.nodes);
+        prop_assert_eq!(&x.edges, &y.edges);
+        prop_assert_eq!(&x.relation, &y.relation);
+        prop_assert!(x.radius == y.radius, "{context}: radii differ");
+    }
+    prop_assert_eq!(a.stats.balls_considered, b.stats.balls_considered);
+    prop_assert_eq!(a.stats.balls_processed, b.stats.balls_processed);
+    prop_assert_eq!(a.stats.balls_skipped, b.stats.balls_skipped);
+    prop_assert_eq!(a.stats.perfect_subgraphs, b.stats.perfect_subgraphs);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The worklist engine and the naive fixpoint compute the same maximum
+    /// dual-simulation relation (and the same maximum plain-simulation relation).
+    #[test]
+    fn worklist_and_naive_refinement_agree(data in data_graph(), q in pattern()) {
+        let fast = dual_simulation_with(&q, &data, RefineStrategy::Worklist);
+        let naive = dual_simulation_with(&q, &data, RefineStrategy::NaiveFixpoint);
+        match (fast, naive) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert_eq!(a.to_sorted_pairs(), b.to_sorted_pairs()),
+            (a, b) => prop_assert!(
+                false,
+                "worklist and naive disagree on matchability: {:?} vs {:?}",
+                a.is_some(), b.is_some()
+            ),
+        }
+        let fast_sim = graph_simulation_with(&q, &data, RefineStrategy::Worklist);
+        let naive_sim = graph_simulation_with(&q, &data, RefineStrategy::NaiveFixpoint);
+        match (fast_sim, naive_sim) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert_eq!(a.to_sorted_pairs(), b.to_sorted_pairs()),
+            (a, b) => prop_assert!(
+                false,
+                "worklist and naive disagree on plain simulation: {:?} vs {:?}",
+                a.is_some(), b.is_some()
+            ),
+        }
+    }
+
+    /// Parallel and sequential strong simulation return identical `MatchOutput`s, for both
+    /// the plain and the fully optimised configuration. `with_thread_limit` forces a real
+    /// multi-worker fan-out even on small inputs (and on single-core machines), so the
+    /// striped split + deterministic merge path is genuinely exercised.
+    #[test]
+    fn parallel_and_sequential_strong_simulation_agree(data in data_graph(), q in pattern()) {
+        for base in [MatchConfig::basic(), MatchConfig::optimized()] {
+            let sequential = strong_simulation(&q, &data, &base.sequential());
+            for workers in [2usize, 5] {
+                let parallel =
+                    strong_simulation(&q, &data, &base.with_thread_limit(workers));
+                assert_same_output(&parallel, &sequential, "parallel vs sequential")?;
+            }
+            let auto = strong_simulation(&q, &data, &base);
+            assert_same_output(&auto, &sequential, "auto vs sequential")?;
+        }
+    }
+
+    /// The compact (ball-local ids) engine agrees with the seed's `|V|`-sized path, and the
+    /// full fast engine agrees with the full seed-reference engine.
+    #[test]
+    fn compact_and_seed_engines_agree(data in data_graph(), q in pattern()) {
+        for base in [MatchConfig::basic(), MatchConfig::optimized()] {
+            let compact = strong_simulation(&q, &data, &base);
+            let legacy = strong_simulation(
+                &q,
+                &data,
+                &MatchConfig { compact_balls: false, ..base },
+            );
+            assert_same_output(&compact, &legacy, "compact vs legacy")?;
+            let seed = strong_simulation(
+                &q,
+                &data,
+                &MatchConfig {
+                    refine_strategy: RefineStrategy::NaiveFixpoint,
+                    parallel: false,
+                    compact_balls: false,
+                    ..base
+                },
+            );
+            assert_same_output(&compact, &seed, "fast engine vs seed engine")?;
+        }
+    }
+}

@@ -31,7 +31,12 @@ fn data_graph() -> impl Strategy<Value = Graph> {
 /// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
 fn pattern() -> impl Strategy<Value = Pattern> {
     (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
-        random_pattern(&PatternGenConfig { nodes, alpha, labels: 4, seed })
+        random_pattern(&PatternGenConfig {
+            nodes,
+            alpha,
+            labels: 4,
+            seed,
+        })
     })
 }
 

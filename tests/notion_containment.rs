@@ -8,24 +8,37 @@ use ssim_baselines::vf2::{find_embeddings, Vf2Limits};
 use ssim_core::dual::dual_simulation;
 use ssim_core::simulation::graph_simulation;
 use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_datasets::paper;
 use ssim_datasets::patterns::extract_pattern;
 use ssim_datasets::reallike::amazon_like;
 use ssim_datasets::synthetic::{synthetic, SyntheticConfig};
-use ssim_datasets::paper;
 use ssim_graph::{Graph, NodeId, Pattern};
 use std::collections::BTreeSet;
 
 fn matched_nodes_by_notion(pattern: &Pattern, data: &Graph) -> [BTreeSet<NodeId>; 4] {
     let vf2 = find_embeddings(pattern, data, Vf2Limits::default());
-    let vf2_nodes: BTreeSet<NodeId> =
-        vf2.embeddings.iter().flat_map(|e| e.iter().copied()).collect();
+    let vf2_nodes: BTreeSet<NodeId> = vf2
+        .embeddings
+        .iter()
+        .flat_map(|e| e.iter().copied())
+        .collect();
     let strong = strong_simulation(pattern, data, &MatchConfig::basic());
     let strong_nodes = strong.matched_nodes();
     let dual_nodes: BTreeSet<NodeId> = dual_simulation(pattern, data)
-        .map(|r| r.matched_data_nodes().iter().map(NodeId::from_index).collect())
+        .map(|r| {
+            r.matched_data_nodes()
+                .iter()
+                .map(NodeId::from_index)
+                .collect()
+        })
         .unwrap_or_default();
     let sim_nodes: BTreeSet<NodeId> = graph_simulation(pattern, data)
-        .map(|r| r.matched_data_nodes().iter().map(NodeId::from_index).collect())
+        .map(|r| {
+            r.matched_data_nodes()
+                .iter()
+                .map(NodeId::from_index)
+                .collect()
+        })
         .unwrap_or_default();
     [vf2_nodes, strong_nodes, dual_nodes, sim_nodes]
 }
@@ -33,7 +46,10 @@ fn matched_nodes_by_notion(pattern: &Pattern, data: &Graph) -> [BTreeSet<NodeId>
 fn assert_hierarchy(pattern: &Pattern, data: &Graph, context: &str) {
     let [vf2, strong, dual, sim] = matched_nodes_by_notion(pattern, data);
     assert!(vf2.is_subset(&strong), "{context}: VF2 ⊄ strong simulation");
-    assert!(strong.is_subset(&dual), "{context}: strong ⊄ dual simulation");
+    assert!(
+        strong.is_subset(&dual),
+        "{context}: strong ⊄ dual simulation"
+    );
     assert!(dual.is_subset(&sim), "{context}: dual ⊄ simulation");
     // Boolean implications of Proposition 1.
     if !vf2.is_empty() {
@@ -57,10 +73,19 @@ fn hierarchy_holds_on_the_paper_figures() {
 #[test]
 fn hierarchy_holds_on_synthetic_graphs() {
     for seed in 0..6u64 {
-        let data = synthetic(&SyntheticConfig { nodes: 150, alpha: 1.2, labels: 8, seed });
+        let data = synthetic(&SyntheticConfig {
+            nodes: 150,
+            alpha: 1.2,
+            labels: 8,
+            seed,
+        });
         for size in [2usize, 3, 4] {
             if let Some(pattern) = extract_pattern(&data, size, seed.wrapping_add(17)) {
-                assert_hierarchy(&pattern, &data, &format!("synthetic seed={seed} |Vq|={size}"));
+                assert_hierarchy(
+                    &pattern,
+                    &data,
+                    &format!("synthetic seed={seed} |Vq|={size}"),
+                );
             }
         }
     }

@@ -12,19 +12,22 @@ use ssim_datasets::reallike::{amazon_like, youtube_like};
 use ssim_datasets::synthetic::{synthetic, SyntheticConfig};
 use ssim_graph::{Graph, Pattern};
 
-/// All eight on/off combinations of the three optimisations.
+/// All eight on/off combinations of the three optimisations, each crossed with the fast
+/// engine (worklist + compact balls + parallel) and the seed-reference engine (naive
+/// fixpoint, sequential, `|V|`-sized ball relations).
 fn all_configs() -> Vec<MatchConfig> {
     let mut configs = Vec::new();
     for minimize_query in [false, true] {
         for dual_filter in [false, true] {
             for connectivity_pruning in [false, true] {
-                configs.push(MatchConfig {
-                    minimize_query,
-                    dual_filter,
-                    connectivity_pruning,
-                    radius_override: None,
-                    deduplicate: false,
-                });
+                for engine in [MatchConfig::basic(), MatchConfig::seed_reference()] {
+                    configs.push(MatchConfig {
+                        minimize_query,
+                        dual_filter,
+                        connectivity_pruning,
+                        ..engine
+                    });
+                }
             }
         }
     }
@@ -72,10 +75,19 @@ fn optimisations_preserve_results_on_the_paper_figures() {
 #[test]
 fn optimisations_preserve_results_on_synthetic_graphs() {
     for seed in 0..5u64 {
-        let data = synthetic(&SyntheticConfig { nodes: 120, alpha: 1.2, labels: 6, seed });
+        let data = synthetic(&SyntheticConfig {
+            nodes: 120,
+            alpha: 1.2,
+            labels: 6,
+            seed,
+        });
         for size in [3usize, 5] {
             if let Some(pattern) = extract_pattern(&data, size, seed.wrapping_add(31)) {
-                assert_all_configs_agree(&pattern, &data, &format!("synthetic seed={seed} size={size}"));
+                assert_all_configs_agree(
+                    &pattern,
+                    &data,
+                    &format!("synthetic seed={seed} size={size}"),
+                );
             }
         }
     }
@@ -101,7 +113,10 @@ fn dual_filter_never_processes_more_balls_than_basic_match() {
     let filtered = strong_simulation(
         &pattern,
         &data,
-        &MatchConfig { dual_filter: true, ..MatchConfig::basic() },
+        &MatchConfig {
+            dual_filter: true,
+            ..MatchConfig::basic()
+        },
     );
     assert!(filtered.stats.balls_processed <= basic.stats.balls_processed);
     assert_eq!(basic.matched_nodes(), filtered.matched_nodes());
@@ -111,8 +126,11 @@ fn dual_filter_never_processes_more_balls_than_basic_match() {
 fn deduplication_only_removes_structural_duplicates() {
     let fig = paper::figure1();
     let plain = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
-    let deduped =
-        strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic().with_deduplication());
+    let deduped = strong_simulation(
+        &fig.pattern,
+        &fig.data,
+        &MatchConfig::basic().with_deduplication(),
+    );
     assert!(deduped.subgraphs.len() <= plain.subgraphs.len());
     assert_eq!(plain.matched_nodes(), deduped.matched_nodes());
     assert_eq!(deduped.subgraphs.len(), plain.distinct_subgraphs().len());

@@ -25,13 +25,12 @@ fn figure1_only_bio4_is_a_strong_match() {
     // (2) Graph simulation matches every biologist.
     let sim = graph_simulation(&fig.pattern, &fig.data).expect("Q1 ≺ G1");
     let bio_label = fig.pattern.label(bio);
-    let sim_bios: BTreeSet<NodeId> = sim
-        .candidates(bio)
-        .iter()
-        .map(NodeId::from_index)
+    let sim_bios: BTreeSet<NodeId> = sim.candidates(bio).iter().map(NodeId::from_index).collect();
+    let all_bios: BTreeSet<NodeId> = fig
+        .data
+        .nodes()
+        .filter(|&v| fig.data.label(v) == bio_label)
         .collect();
-    let all_bios: BTreeSet<NodeId> =
-        fig.data.nodes().filter(|&v| fig.data.label(v) == bio_label).collect();
     assert_eq!(sim_bios, all_bios, "simulation keeps all four biologists");
     assert_eq!(all_bios.len(), 4);
 
@@ -43,7 +42,10 @@ fn figure1_only_bio4_is_a_strong_match() {
     // The long AI/DM cycle is not part of any perfect subgraph (Example 2(3)).
     let cycle_nodes: Vec<NodeId> = (5..=10).map(NodeId).collect();
     let matched = strong.matched_nodes();
-    assert!(cycle_nodes.iter().all(|v| !matched.contains(v)), "the k-cycle must be excluded");
+    assert!(
+        cycle_nodes.iter().all(|v| !matched.contains(v)),
+        "the k-cycle must be excluded"
+    );
 
     // Strong simulation satisfies every Table 2 criterion on this instance.
     assert!(TopologyReport::evaluate(&fig.pattern, &fig.data, &strong).all_preserved());
@@ -74,7 +76,10 @@ fn figure2_books_dualiy_filters_book1() {
     // Subgraph isomorphism also finds book2 (in separate match graphs, per the paper).
     let vf2 = find_embeddings(&fig.pattern, &fig.data, Vf2Limits::default());
     assert!(vf2.is_match());
-    assert!(vf2.embeddings.iter().all(|e| e[book_pattern.index()] == book2));
+    assert!(vf2
+        .embeddings
+        .iter()
+        .all(|e| e[book_pattern.index()] == book2));
 }
 
 /// Example 2(5): people who recommend each other; P4 only recommends and is excluded.
@@ -84,7 +89,10 @@ fn figure3_mutual_recommendation_excludes_p4() {
     let strong = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
     let matched = strong.matched_nodes();
     let expected: BTreeSet<NodeId> = fig.expected_matches.iter().copied().collect();
-    assert_eq!(matched, expected, "P1, P2, P3 are the only strong-simulation matches");
+    assert_eq!(
+        matched, expected,
+        "P1, P2, P3 are the only strong-simulation matches"
+    );
 
     // Plain simulation still matches P4 (node 3): it has a child to mimic but no parent is
     // required.
@@ -105,9 +113,15 @@ fn figure4_citations_filters_excessive_sn_matches() {
     let sn_pattern = NodeId(1);
 
     let sim = graph_simulation(&fig.pattern, &fig.data).unwrap();
-    let sim_sns: BTreeSet<NodeId> =
-        sim.candidates(sn_pattern).iter().map(NodeId::from_index).collect();
-    assert!(sim_sns.contains(&NodeId(7)) && sim_sns.contains(&NodeId(8)), "Sim over-matches");
+    let sim_sns: BTreeSet<NodeId> = sim
+        .candidates(sn_pattern)
+        .iter()
+        .map(NodeId::from_index)
+        .collect();
+    assert!(
+        sim_sns.contains(&NodeId(7)) && sim_sns.contains(&NodeId(8)),
+        "Sim over-matches"
+    );
 
     let strong = strong_simulation(&fig.pattern, &fig.data, &MatchConfig::basic());
     let strong_sns: Vec<NodeId> = strong.matches_of(sn_pattern).into_iter().collect();
@@ -115,9 +129,15 @@ fn figure4_citations_filters_excessive_sn_matches() {
 
     // VF2 finds the same SN papers, spread across several match graphs.
     let vf2 = find_embeddings(&fig.pattern, &fig.data, Vf2Limits::default());
-    let vf2_sns: BTreeSet<NodeId> =
-        vf2.embeddings.iter().map(|e| e[sn_pattern.index()]).collect();
-    assert_eq!(vf2_sns.into_iter().collect::<Vec<_>>(), fig.expected_matches);
+    let vf2_sns: BTreeSet<NodeId> = vf2
+        .embeddings
+        .iter()
+        .map(|e| e[sn_pattern.index()])
+        .collect();
+    assert_eq!(
+        vf2_sns.into_iter().collect::<Vec<_>>(),
+        fig.expected_matches
+    );
     assert!(vf2.matched_subgraphs().len() >= strong.distinct_subgraphs().len());
 }
 
