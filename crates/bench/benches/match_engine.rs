@@ -7,14 +7,23 @@
 //! * `seed/match` — the seed's engine (naive fixpoint, sequential, `|V|`-sized ball
 //!   relations) running plain `Match`,
 //! * `seed/match_plus` — the seed's engine running `Match+`,
-//! * `engine/match` — worklist + compact balls + parallel running plain `Match`,
-//! * `engine/match_plus` — the full fast engine running `Match+`.
+//! * `engine/match` — worklist + compact balls + sliding `BallForest` + parallel running
+//!   plain `Match`,
+//! * `engine/match_plus` — the full fast engine running `Match+`,
+//! * `engine/match_freshballs` — the fast engine with `BallStrategy::FreshBfs`, isolating
+//!   the ball-reuse layer: `ball_reuse` records its time over `engine/match`'s plus the
+//!   fraction of balls the forest reused.
+//!
+//! Two high-overlap rows (`overlap-chain`, `overlap-cluster`) stress the sliding forest
+//! where adjacent centers share most of their balls — the workloads the incremental
+//! strategy exists for.
 //!
 //! For each configuration the JSON records mean seconds per run, processed balls per
 //! second and data nodes per second, plus the speedup of the fast engine over the seed
 //! engine. Run with `cargo bench --bench match_engine`.
 
 use ssim_bench::{workload, BenchWorkload, BENCH_NODES, BENCH_PATTERN_NODES};
+use ssim_core::ball::BallStrategy;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
 use ssim_experiments::workloads::DatasetKind;
 use std::time::Instant;
@@ -27,6 +36,8 @@ struct ConfigResult {
     nodes_per_sec: f64,
     subgraphs: usize,
     matched_nodes: usize,
+    balls_built: usize,
+    balls_reused: usize,
 }
 
 /// Times `runs` executions after one warm-up and returns the mean seconds plus the output.
@@ -63,11 +74,72 @@ fn measure(
         nodes_per_sec: w.data.node_count() as f64 / seconds,
         subgraphs: out.subgraphs.len(),
         matched_nodes: out.matched_node_count(),
+        balls_built: out.stats.balls_built,
+        balls_reused: out.stats.balls_reused,
+    }
+}
+
+/// Fraction of processed balls the forest reused (0 for fresh strategies).
+fn reused_fraction(built: usize, reused: usize) -> f64 {
+    let total = built + reused;
+    if total == 0 {
+        0.0
+    } else {
+        reused as f64 / total as f64
     }
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A long thick chain (each node linked to the next two) with a diameter-2 path pattern:
+/// every radius-2 ball shares all but a couple of nodes with its neighbour's, so the
+/// forest slides along the whole chain repairing a handful of distances per center.
+fn overlap_chain() -> (&'static str, ssim_graph::Graph, ssim_graph::Pattern) {
+    use ssim_graph::{Graph, Label, Pattern};
+    let n = 3000u32;
+    // One matchable 0/1 prefix; the long tail is ball-construction-bound: its labels
+    // never seed a candidate, so per-ball cost there is the ball build itself.
+    let labels: Vec<Label> = (0..n)
+        .map(|i| Label(if i < 64 { i % 2 } else { 2 }))
+        .collect();
+    let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.extend((0..n - 2).map(|i| (i, i + 2)));
+    let data = Graph::from_edges(labels, &edges).unwrap();
+    let pattern =
+        Pattern::from_edges(vec![Label(0), Label(1), Label(0)], &[(0, 1), (1, 2)]).unwrap();
+    ("overlap-chain", data, pattern)
+}
+
+/// Dense communities chained in a ring: centers inside one community see nearly identical
+/// balls, so slides repair a handful of distances instead of re-visiting the community.
+fn overlap_cluster() -> (&'static str, ssim_graph::Graph, ssim_graph::Pattern) {
+    use ssim_graph::{Graph, Label, Pattern};
+    let communities = 40u32;
+    let size = 24u32;
+    let n = communities * size;
+    // Pattern labels live in the first few communities; the rest carry a filler label,
+    // so their balls are construction-bound like the unlabelled bulk of a real graph.
+    let labels: Vec<Label> = (0..n)
+        .map(|i| Label(if i < 4 * size { i % 3 } else { 3 }))
+        .collect();
+    let mut edges = Vec::new();
+    for c in 0..communities {
+        let base = c * size;
+        for i in 0..size {
+            // Ring plus two chords per node keeps the community diameter tiny.
+            edges.push((base + i, base + (i + 1) % size));
+            edges.push((base + i, base + (i + 5) % size));
+            edges.push((base + i, base + (i + 11) % size));
+        }
+        // One bridge to the next community.
+        edges.push((base + size - 1, ((c + 1) % communities) * size));
+    }
+    let data = Graph::from_edges(labels, &edges).unwrap();
+    let pattern =
+        Pattern::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
+    ("overlap-cluster", data, pattern)
 }
 
 fn main() {
@@ -76,9 +148,9 @@ fn main() {
     if std::env::args().any(|a| a == "--test") {
         return;
     }
-    let runs = 3usize;
+    let runs = 9usize;
     let threads = ssim_core::parallel::available_threads();
-    let configs: [(&'static str, MatchConfig); 4] = [
+    let configs: [(&'static str, MatchConfig); 5] = [
         ("seed/match", MatchConfig::seed_reference()),
         (
             "seed/match_plus",
@@ -91,6 +163,10 @@ fn main() {
         ),
         ("engine/match", MatchConfig::basic()),
         ("engine/match_plus", MatchConfig::optimized()),
+        (
+            "engine/match_freshballs",
+            MatchConfig::basic().with_ball_strategy(BallStrategy::FreshBfs),
+        ),
     ];
 
     let mut dataset_blobs = Vec::new();
@@ -114,9 +190,13 @@ fn main() {
         let headline = results[0].seconds / results[3].seconds;
         let speedup_plus = results[1].seconds / results[3].seconds;
         let speedup_basic = results[0].seconds / results[2].seconds;
+        // Ball-reuse layer in isolation: the fast engine with fresh balls vs the same
+        // engine with the sliding forest (same config otherwise).
+        let ball_reuse_speedup = results[4].seconds / results[2].seconds;
+        let ball_reused_fraction = reused_fraction(results[2].balls_built, results[2].balls_reused);
         for r in &results {
             eprintln!(
-                "  {:<18} {:>10.4} ms/run  {:>12.0} balls/s  {:>12.0} nodes/s  ({} subgraphs)",
+                "  {:<22} {:>10.4} ms/run  {:>12.0} balls/s  {:>12.0} nodes/s  ({} subgraphs)",
                 r.name,
                 r.seconds * 1e3,
                 r.balls_per_sec,
@@ -127,6 +207,10 @@ fn main() {
         eprintln!(
             "  speedup: Match+ vs seed engine {headline:.2}x (same-config: Match {speedup_basic:.2}x, Match+ {speedup_plus:.2}x)"
         );
+        eprintln!(
+            "  ball reuse: {:.0}% of balls reused, {ball_reuse_speedup:.2}x vs fresh balls",
+            ball_reused_fraction * 100.0
+        );
         let config_json: Vec<String> = results
             .iter()
             .map(|r| {
@@ -134,14 +218,17 @@ fn main() {
                     concat!(
                         "      {{\"name\": \"{}\", \"seconds_per_run\": {:.6}, ",
                         "\"balls_per_sec\": {:.1}, \"nodes_per_sec\": {:.1}, ",
-                        "\"subgraphs\": {}, \"matched_nodes\": {}}}"
+                        "\"subgraphs\": {}, \"matched_nodes\": {}, ",
+                        "\"balls_built\": {}, \"balls_reused\": {}}}"
                     ),
                     json_escape(r.name),
                     r.seconds,
                     r.balls_per_sec,
                     r.nodes_per_sec,
                     r.subgraphs,
-                    r.matched_nodes
+                    r.matched_nodes,
+                    r.balls_built,
+                    r.balls_reused
                 )
             })
             .collect();
@@ -152,6 +239,8 @@ fn main() {
                 "     \"speedup_match_plus_vs_seed_engine\": {:.3},\n",
                 "     \"speedup_match_same_config\": {:.3}, ",
                 "\"speedup_match_plus_same_config\": {:.3},\n",
+                "     \"ball_reuse\": {{\"reused_fraction\": {:.4}, ",
+                "\"speedup_vs_fresh\": {:.3}}},\n",
                 "     \"configs\": [\n{}\n    ]}}"
             ),
             json_escape(dataset.name()),
@@ -162,6 +251,8 @@ fn main() {
             headline,
             speedup_basic,
             speedup_plus,
+            ball_reused_fraction,
+            ball_reuse_speedup,
             config_json.join(",\n")
         ));
     }
@@ -212,6 +303,53 @@ fn main() {
             cascade_speedup,
             seed_secs,
             engine_secs
+        ));
+    }
+
+    // High-overlap workloads: adjacent centers share most of their balls, the case the
+    // sliding BallForest exists for. Both rows compare the fast engine's plain `Match`
+    // with incremental vs fresh balls (same configuration otherwise).
+    for (name, data, pattern) in [overlap_chain(), overlap_cluster()] {
+        let incr_cfg = MatchConfig::basic();
+        let fresh_cfg = MatchConfig::basic().with_ball_strategy(BallStrategy::FreshBfs);
+        let (incr_secs, incr_out) = time_config(&pattern, &data, &incr_cfg, runs);
+        let (fresh_secs, fresh_out) = time_config(&pattern, &data, &fresh_cfg, runs);
+        assert_eq!(incr_out.subgraphs.len(), fresh_out.subgraphs.len());
+        let speedup = fresh_secs / incr_secs;
+        let fraction = reused_fraction(incr_out.stats.balls_built, incr_out.stats.balls_reused);
+        eprintln!(
+            "{name} |V|={}: fresh {:.3} ms, incremental {:.3} ms — {speedup:.2}x, {:.0}% balls reused",
+            data.node_count(),
+            fresh_secs * 1e3,
+            incr_secs * 1e3,
+            fraction * 100.0
+        );
+        dataset_blobs.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"nodes\": {}, \"edges\": {}, ",
+                "\"pattern_nodes\": {}, \"pattern_diameter\": {},\n",
+                "     \"ball_reuse\": {{\"reused_fraction\": {:.4}, ",
+                "\"speedup_vs_fresh\": {:.3}}},\n",
+                "     \"configs\": [\n",
+                "      {{\"name\": \"engine/match\", \"seconds_per_run\": {:.6}, ",
+                "\"balls_built\": {}, \"balls_reused\": {}}},\n",
+                "      {{\"name\": \"engine/match_freshballs\", \"seconds_per_run\": {:.6}, ",
+                "\"balls_built\": {}, \"balls_reused\": {}}}\n",
+                "    ]}}"
+            ),
+            json_escape(name),
+            data.node_count(),
+            data.edge_count(),
+            pattern.node_count(),
+            pattern.diameter(),
+            fraction,
+            speedup,
+            incr_secs,
+            incr_out.stats.balls_built,
+            incr_out.stats.balls_reused,
+            fresh_secs,
+            fresh_out.stats.balls_built,
+            fresh_out.stats.balls_reused
         ));
     }
 

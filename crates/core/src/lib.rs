@@ -51,6 +51,7 @@
 //! assert!(result.subgraphs.iter().all(|s| !s.nodes.contains(&book1)));
 //! ```
 
+pub mod ball;
 pub mod bisimulation;
 pub mod bounded;
 pub mod dual;
@@ -64,6 +65,7 @@ pub mod simulation;
 pub mod strong;
 pub mod topology;
 
+pub use ball::{locality_center_order, BallForest, BallStrategy};
 pub use dual::{dual_simulates, dual_simulation, dual_simulation_with};
 pub use match_graph::{MatchGraph, PerfectSubgraph};
 pub use minimize::minimize_pattern;

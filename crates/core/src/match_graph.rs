@@ -94,13 +94,56 @@ impl MatchGraph {
     }
 
     /// The connected component containing `node`, or `None` when the node is absent.
+    ///
+    /// Unlike [`MatchGraph::connected_components`], which partitions the *whole* match
+    /// graph with union-find and groups every component, this builds an undirected CSR
+    /// over the match edges in one counting pass and runs a single BFS from `node` —
+    /// `ExtractMaxPG` only ever needs the center's component, and on balls whose match
+    /// graph splinters into many components the difference is the dominant extraction
+    /// cost.
     pub fn component_containing(&self, node: NodeId) -> Option<Vec<NodeId>> {
-        if !self.contains_node(node) {
-            return None;
+        let start = self.nodes.binary_search(&node).ok()?;
+        let n = self.nodes.len();
+        let index_of = |v: NodeId| {
+            self.nodes
+                .binary_search(&v)
+                .expect("edge endpoint not in node set")
+        };
+        // Undirected CSR over node positions: counting pass, prefix sums, fill.
+        let mut offsets = vec![0u32; n + 1];
+        for &(s, t) in &self.edges {
+            offsets[index_of(s) + 1] += 1;
+            offsets[index_of(t) + 1] += 1;
         }
-        self.connected_components()
-            .into_iter()
-            .find(|c| c.binary_search(&node).is_ok())
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adjacency = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for &(s, t) in &self.edges {
+            let (a, b) = (index_of(s), index_of(t));
+            adjacency[cursor[a] as usize] = b as u32;
+            cursor[a] += 1;
+            adjacency[cursor[b] as usize] = a as u32;
+            cursor[b] += 1;
+        }
+        // BFS over only the component containing `start`.
+        let mut seen = BitSet::new(n);
+        seen.insert(start);
+        let mut component = vec![start];
+        let mut head = 0;
+        while head < component.len() {
+            let u = component[head];
+            head += 1;
+            for &w in &adjacency[offsets[u] as usize..offsets[u + 1] as usize] {
+                if !seen.contains(w as usize) {
+                    seen.insert(w as usize);
+                    component.push(w as usize);
+                }
+            }
+        }
+        component.sort_unstable();
+        Some(component.into_iter().map(|i| self.nodes[i]).collect())
     }
 
     /// Materialises the match graph as a standalone [`Graph`] (plus new-id → original-id map).
@@ -295,6 +338,86 @@ mod tests {
         assert_eq!(mapping, vec![NodeId(2), NodeId(3)]);
         let key = ps.structural_key();
         assert_eq!(key.0, ps.nodes);
+    }
+
+    #[test]
+    fn component_containing_isolated_center() {
+        // A center that appears in the relation but has no incident match edge forms a
+        // singleton component — the radius-0 ball case of `ExtractMaxPG`.
+        let pattern = Pattern::from_edges(vec![Label(0)], &[]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(0)], &[(0, 1)]).unwrap();
+        let relation = dual_simulation(&pattern, &data).unwrap();
+        let view = GraphView::full(&data);
+        let mg = MatchGraph::build(&pattern, &view, &relation);
+        assert!(mg.edges.is_empty(), "edgeless pattern covers no data edge");
+        assert_eq!(mg.component_containing(NodeId(0)).unwrap(), vec![NodeId(0)]);
+        assert_eq!(mg.component_containing(NodeId(1)).unwrap(), vec![NodeId(1)]);
+        // Extraction around each isolated center returns the singleton subgraph.
+        let ps = extract_max_perfect_subgraph(&pattern, &view, &relation, NodeId(1), 0).unwrap();
+        assert_eq!(ps.nodes, vec![NodeId(1)]);
+        assert!(ps.edges.is_empty());
+    }
+
+    #[test]
+    fn component_containing_agrees_with_full_partition() {
+        // The targeted BFS must return exactly the group the union-find partition puts
+        // the node in, for every node of a multi-component match graph.
+        let (pattern, data) = two_components();
+        let relation = dual_simulation(&pattern, &data).unwrap();
+        let mg = MatchGraph::build(&pattern, &GraphView::full(&data), &relation);
+        let components = mg.connected_components();
+        for &node in &mg.nodes {
+            let expected = components
+                .iter()
+                .find(|c| c.binary_search(&node).is_ok())
+                .unwrap();
+            assert_eq!(&mg.component_containing(node).unwrap(), expected, "{node}");
+        }
+    }
+
+    #[test]
+    fn structural_key_ignores_center_and_radius() {
+        // The same node/edge set discovered from different centers (or radii) must
+        // produce equal keys, else deduplication would keep structural duplicates.
+        let base = PerfectSubgraph {
+            center: NodeId(0),
+            radius: 1,
+            nodes: vec![NodeId(0), NodeId(1)],
+            edges: vec![(NodeId(0), NodeId(1))],
+            relation: vec![(NodeId(0), NodeId(0)), (NodeId(1), NodeId(1))],
+        };
+        let other_center = PerfectSubgraph {
+            center: NodeId(1),
+            radius: 2,
+            relation: vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))],
+            ..base.clone()
+        };
+        assert_eq!(base.structural_key(), other_center.structural_key());
+    }
+
+    #[test]
+    fn structural_key_distinguishes_permuted_node_ids() {
+        // Node-id permutations that change the node/edge sets change the key: the key is
+        // the literal (sorted) sets, stable across discovery order but not isomorphism.
+        let a = PerfectSubgraph {
+            center: NodeId(0),
+            radius: 1,
+            nodes: vec![NodeId(0), NodeId(1)],
+            edges: vec![(NodeId(0), NodeId(1))],
+            relation: Vec::new(),
+        };
+        let permuted = PerfectSubgraph {
+            nodes: vec![NodeId(1), NodeId(2)],
+            edges: vec![(NodeId(1), NodeId(2))],
+            ..a.clone()
+        };
+        assert_ne!(a.structural_key(), permuted.structural_key());
+        // A reversed edge is a different structure too.
+        let reversed = PerfectSubgraph {
+            edges: vec![(NodeId(1), NodeId(0))],
+            ..a.clone()
+        };
+        assert_ne!(a.structural_key(), reversed.structural_key());
     }
 
     #[test]

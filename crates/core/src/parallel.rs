@@ -49,6 +49,22 @@ pub fn stripe(len: usize, threads: usize, t: usize) -> impl Iterator<Item = usiz
     (t..len).step_by(threads.max(1))
 }
 
+/// The contiguous slice of `0..len` assigned to worker `t` of `threads`, balanced to
+/// within one element.
+///
+/// Contiguity is what the sliding-ball engine needs: worker `t` walks a locality-ordered
+/// center sequence, and only *consecutive* centers let its [`crate::ball::BallForest`]
+/// reuse the previous ball. Striping would interleave the workers and destroy every
+/// adjacency, so the incremental strategy trades stripe's smooth load balance for reuse.
+pub fn contiguous(len: usize, threads: usize, t: usize) -> std::ops::Range<usize> {
+    let threads = threads.max(1);
+    let base = len / threads;
+    let extra = len % threads;
+    let start = t * base + t.min(extra);
+    let end = start + base + usize::from(t < extra);
+    start.min(len)..end.min(len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +95,29 @@ mod tests {
         assert_eq!(all, (0..10).collect::<Vec<_>>());
         assert_eq!(stripe(10, 4, 1).collect::<Vec<_>>(), vec![1, 5, 9]);
         assert_eq!(stripe(3, 8, 5).count(), 0);
+    }
+
+    #[test]
+    fn contiguous_ranges_partition_the_range() {
+        for (len, threads) in [(10, 4), (3, 8), (0, 3), (7, 1), (12, 12)] {
+            let mut all: Vec<usize> = (0..threads)
+                .flat_map(|t| contiguous(len, threads, t))
+                .collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (0..len).collect::<Vec<_>>(),
+                "len={len} threads={threads}"
+            );
+            // Balanced to within one element.
+            let sizes: Vec<usize> = (0..threads)
+                .map(|t| contiguous(len, threads, t).len())
+                .collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced: {sizes:?}");
+        }
+        assert_eq!(contiguous(10, 4, 0), 0..3);
+        assert_eq!(contiguous(10, 4, 3), 8..10);
     }
 
     #[test]

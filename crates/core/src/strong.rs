@@ -13,7 +13,7 @@
 //!
 //! # Engine
 //!
-//! Independent of the paper-level optimisations, the engine has three performance layers,
+//! Independent of the paper-level optimisations, the engine has four performance layers,
 //! each with a seed-compatible fallback kept for ablation and as an equivalence oracle:
 //!
 //! * **worklist refinement** ([`RefineStrategy::Worklist`]) — counter-based incremental
@@ -21,15 +21,21 @@
 //! * **ball-local compact indexing** (`compact_balls`) — each ball is remapped to dense ids
 //!   `0..|ball|` ([`CompactBall`]) so relations, counters and adjacency are ball-sized
 //!   instead of `|V|`-sized,
-//! * **parallel ball processing** (`parallel`) — ball centers are striped over scoped worker
-//!   threads ([`crate::parallel`]); subgraphs are re-sorted by center id and stats merged by
+//! * **incremental ball construction** ([`BallStrategy::Incremental`]) — candidate centers
+//!   are walked in locality order and each worker slides one [`crate::ball::BallForest`]
+//!   ball along its range, repairing distances between adjacent centers instead of
+//!   re-running a BFS per center ([`BallStrategy::FreshBfs`] is the oracle),
+//! * **parallel ball processing** (`parallel`) — ball centers are fanned out over scoped
+//!   worker threads ([`crate::parallel`]): striped for fresh balls, contiguous locality
+//!   ranges for sliding balls; subgraphs are re-sorted by center id and stats merged by
 //!   summation, so the output is identical to the sequential run.
 
+use crate::ball::{locality_center_order, BallForest, BallStrategy};
 use crate::dual::{dual_simulation_with, refine_dual_with};
 use crate::dual_filter::refine_projected;
 use crate::match_graph::{extract_max_perfect_subgraph, PerfectSubgraph};
 use crate::minimize::minimize_pattern;
-use crate::parallel::{available_threads, par_workers, stripe};
+use crate::parallel::{available_threads, contiguous, par_workers, stripe};
 use crate::pruning::prune_by_connectivity;
 use crate::relation::MatchRelation;
 use crate::simulation::{initial_candidates, RefineStrategy};
@@ -63,6 +69,11 @@ pub struct MatchConfig {
     /// Remap each ball to dense local ids and match over ball-sized bitsets. Disabling
     /// falls back to the seed's `|V|`-sized relations over membership-filtered views.
     pub compact_balls: bool,
+    /// How ball membership is produced: a sliding incremental [`BallForest`] per worker
+    /// (the default) or a fresh BFS per center (the seed's behaviour, kept as the
+    /// equivalence oracle). Only effective together with `compact_balls`; the legacy
+    /// `|V|`-sized path always builds fresh balls.
+    pub ball_strategy: BallStrategy,
 }
 
 impl Default for MatchConfig {
@@ -79,6 +90,7 @@ impl Default for MatchConfig {
             parallel: true,
             thread_limit: None,
             compact_balls: true,
+            ball_strategy: BallStrategy::Incremental,
         }
     }
 }
@@ -106,6 +118,7 @@ impl MatchConfig {
             refine_strategy: RefineStrategy::NaiveFixpoint,
             parallel: false,
             compact_balls: false,
+            ball_strategy: BallStrategy::FreshBfs,
             ..Self::default()
         }
     }
@@ -141,6 +154,12 @@ impl MatchConfig {
         self.refine_strategy = strategy;
         self
     }
+
+    /// Selects how balls are constructed.
+    pub fn with_ball_strategy(mut self, strategy: BallStrategy) -> Self {
+        self.ball_strategy = strategy;
+        self
+    }
 }
 
 /// Counters describing the work performed by a strong-simulation run.
@@ -156,6 +175,12 @@ pub struct MatchStats {
     pub balls_with_invalid_matches: usize,
     /// Total `(u, v)` pairs removed by the per-ball dual filter.
     pub filter_removed_pairs: usize,
+    /// Balls constructed by a fresh bounded BFS.
+    pub balls_built: usize,
+    /// Balls derived incrementally from the previous center's ball
+    /// ([`BallStrategy::Incremental`] only; `balls_built + balls_reused ==
+    /// balls_processed`).
+    pub balls_reused: usize,
     /// Perfect subgraphs found (before deduplication).
     pub perfect_subgraphs: usize,
     /// `(original, minimised)` pattern sizes when query minimization ran.
@@ -250,6 +275,8 @@ struct WorkerResult {
     subgraphs: Vec<PerfectSubgraph>,
     balls_with_invalid_matches: usize,
     filter_removed_pairs: usize,
+    balls_built: usize,
+    balls_reused: usize,
 }
 
 /// Runs strong simulation of `pattern` over `data` with the given configuration.
@@ -317,11 +344,24 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
     stats.balls_skipped = data.node_count() - centers.len();
     stats.balls_processed = centers.len();
 
-    // Fan the per-ball work out over worker threads; worker `t` takes the centers at
-    // striped positions `t, t + T, …`, which balances ball sizes along the id range.
-    // Below the cutoff, thread spawn/join costs more than the matching itself, so small
-    // inputs run inline even when `parallel` is requested — unless an explicit
-    // `thread_limit` asks for real fan-out.
+    // The sliding-ball strategy wants consecutive centers to be adjacent, so it reorders
+    // the candidates along an undirected BFS of the data graph. The merge re-sorts
+    // subgraphs by center and all other stats are order-independent sums, so the
+    // reordering is invisible in the output.
+    let use_forest = config.compact_balls && config.ball_strategy == BallStrategy::Incremental;
+    let centers = if use_forest {
+        locality_center_order(data, &centers)
+    } else {
+        centers
+    };
+
+    // Fan the per-ball work out over worker threads. Fresh-ball workers take striped
+    // positions `t, t + T, …`, which balances ball sizes along the id range; sliding-ball
+    // workers take one contiguous range of the locality order each, because only
+    // consecutive centers let a worker's forest reuse its ball. Below the cutoff, thread
+    // spawn/join costs more than the matching itself, so small inputs run inline even
+    // when `parallel` is requested — unless an explicit `thread_limit` asks for real
+    // fan-out.
     const PARALLEL_CUTOFF: usize = 128;
     let threads = match (config.parallel, config.thread_limit) {
         (false, _) => 1,
@@ -334,9 +374,28 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
     let worker = |t: usize| -> WorkerResult {
         let mut result = WorkerResult::default();
         let mut scratch = BallScratch::new();
-        for i in stripe(centers.len(), threads, t) {
+        let mut forest = use_forest.then(|| BallForest::new(data, radius));
+        let indices: Box<dyn Iterator<Item = usize>> = if use_forest {
+            Box::new(contiguous(centers.len(), threads, t))
+        } else {
+            Box::new(stripe(centers.len(), threads, t))
+        };
+        for i in indices {
             let center = centers[i];
-            let (subgraph, removed) = if config.compact_balls {
+            let (subgraph, removed) = if let Some(forest) = forest.as_mut() {
+                forest.advance(center);
+                let ball = forest.compact(&mut scratch);
+                let out = match_prepared_ball(
+                    effective_pattern,
+                    data,
+                    &ball,
+                    config,
+                    global_relation.as_ref(),
+                );
+                ball.recycle(&mut scratch);
+                out
+            } else if config.compact_balls {
+                result.balls_built += 1;
                 match_ball_compact(
                     effective_pattern,
                     data,
@@ -347,6 +406,7 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
                     &mut scratch,
                 )
             } else {
+                result.balls_built += 1;
                 match_ball_legacy(
                     effective_pattern,
                     data,
@@ -376,6 +436,11 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
                 result.subgraphs.push(subgraph);
             }
         }
+        // The forest is the single source of truth for the built/reused split.
+        if let Some(forest) = &forest {
+            result.balls_built += forest.built_fresh;
+            result.balls_reused += forest.reused;
+        }
         result
     };
     let results = par_workers(threads, worker);
@@ -386,6 +451,8 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
     for r in results {
         stats.balls_with_invalid_matches += r.balls_with_invalid_matches;
         stats.filter_removed_pairs += r.filter_removed_pairs;
+        stats.balls_built += r.balls_built;
+        stats.balls_reused += r.balls_reused;
         subgraphs.extend(r.subgraphs);
     }
     subgraphs.sort_by_key(|s| s.center);
@@ -407,8 +474,9 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
     MatchOutput { subgraphs, stats }
 }
 
-/// Matches one ball using the compact (ball-local ids) engine. Returns the translated
-/// perfect subgraph, if any, plus the number of pairs the dual filter removed.
+/// Matches one ball using the compact (ball-local ids) engine, building the ball with a
+/// fresh BFS. Returns the translated perfect subgraph, if any, plus the number of pairs
+/// the dual filter removed.
 fn match_ball_compact(
     pattern: &Pattern,
     data: &Graph,
@@ -419,12 +487,29 @@ fn match_ball_compact(
     scratch: &mut BallScratch,
 ) -> (Option<PerfectSubgraph>, usize) {
     let ball = CompactBall::build(data, center, radius, scratch);
+    let result = match_prepared_ball(pattern, data, &ball, config, global_relation);
+    ball.recycle(scratch);
+    result
+}
+
+/// Matches one prebuilt compact ball — the shared back half of both ball strategies. The
+/// ball may come from a fresh BFS ([`CompactBall::build`]) or a [`BallForest`] slide; the
+/// member *order* (and hence the local id assignment) differs between the two, but every
+/// downstream step works on id sets and re-sorts at extraction, so the output is
+/// bit-identical either way.
+fn match_prepared_ball(
+    pattern: &Pattern,
+    data: &Graph,
+    ball: &CompactBall,
+    config: &MatchConfig,
+    global_relation: Option<&MatchRelation>,
+) -> (Option<PerfectSubgraph>, usize) {
     let view = ball.view(data);
 
     // Starting relation (ball-local ids): either the projected global relation or fresh
     // label candidates.
     let start = match global_relation {
-        Some(global) => global.project_compact(&ball),
+        Some(global) => global.project_compact(ball),
         None => initial_candidates(pattern, &view),
     };
 
@@ -432,11 +517,8 @@ fn match_ball_compact(
     let start = if config.connectivity_pruning {
         match prune_by_connectivity(pattern, &view, ball.center(), &start) {
             Some(pruned) => pruned,
-            None => {
-                // Center cannot match: no perfect subgraph in this ball.
-                ball.recycle(scratch);
-                return (None, 0);
-            }
+            // Center cannot match: no perfect subgraph in this ball.
+            None => return (None, 0),
         }
     } else {
         start
@@ -451,10 +533,9 @@ fn match_ball_compact(
         refine_dual_with(pattern, &view, start, config.refine_strategy)
     };
     let result = relation.and_then(|relation| {
-        extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), radius)
-            .map(|s| translate_subgraph(s, &ball))
+        extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
+            .map(|s| translate_subgraph(s, ball))
     });
-    ball.recycle(scratch);
     (result, removed)
 }
 
@@ -706,6 +787,12 @@ mod tests {
                 ..MatchConfig::optimized()
             },
             MatchConfig::optimized().sequential(),
+            // Ball-construction ablations.
+            MatchConfig::basic().with_ball_strategy(BallStrategy::FreshBfs),
+            MatchConfig::optimized().with_ball_strategy(BallStrategy::FreshBfs),
+            MatchConfig::basic()
+                .with_ball_strategy(BallStrategy::FreshBfs)
+                .with_thread_limit(3),
         ] {
             let out = strong_simulation(&pattern, &data, &config);
             assert_eq!(
@@ -809,6 +896,58 @@ mod tests {
         // Deduplicated output has no structurally identical subgraphs.
         let distinct = out.distinct_subgraphs().len();
         assert_eq!(distinct, out.subgraphs.len());
+    }
+
+    #[test]
+    fn identical_subgraphs_from_different_centers_deduplicate() {
+        // Pattern A -> B over data A -> B: both centers see the same radius-1 ball and
+        // extract the identical perfect subgraph {0, 1}.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let plain = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        assert_eq!(plain.subgraphs.len(), 2, "one subgraph per center");
+        assert_eq!(
+            plain.subgraphs[0].structural_key(),
+            plain.subgraphs[1].structural_key()
+        );
+        let deduped =
+            strong_simulation(&pattern, &data, &MatchConfig::basic().with_deduplication());
+        assert_eq!(deduped.subgraphs.len(), 1);
+        // Dedup keeps the first occurrence in center order.
+        assert_eq!(deduped.subgraphs[0].center, NodeId(0));
+        assert_eq!(deduped.stats.perfect_subgraphs, 1);
+    }
+
+    #[test]
+    fn ball_stats_split_built_and_reused() {
+        let (pattern, data, _) = figure1();
+        let incremental = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        assert_eq!(
+            incremental.stats.balls_built + incremental.stats.balls_reused,
+            incremental.stats.balls_processed,
+            "every processed ball is either built or reused"
+        );
+        assert!(
+            incremental.stats.balls_reused > 0,
+            "figure 1 has adjacent centers to slide across"
+        );
+        let fresh = strong_simulation(
+            &pattern,
+            &data,
+            &MatchConfig::basic().with_ball_strategy(BallStrategy::FreshBfs),
+        );
+        assert_eq!(fresh.stats.balls_reused, 0);
+        assert_eq!(fresh.stats.balls_built, fresh.stats.balls_processed);
+        // The legacy |V|-sized path never reuses either.
+        let legacy = strong_simulation(
+            &pattern,
+            &data,
+            &MatchConfig {
+                compact_balls: false,
+                ..MatchConfig::basic()
+            },
+        );
+        assert_eq!(legacy.stats.balls_reused, 0);
     }
 
     #[test]

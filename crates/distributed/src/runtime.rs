@@ -8,14 +8,18 @@
 //! The fan-out reuses the matching engine's parallel driver
 //! ([`ssim_core::parallel::par_workers`]) and each site matches its balls with the same
 //! ball-local compact engine ([`ssim_core::strong::match_compact_ball`]) the centralized
-//! `Match` runs, so engine improvements land on both runtimes at once.
+//! `Match` runs, so engine improvements land on both runtimes at once. Each site also
+//! keeps one sliding [`BallForest`] over its locality-ordered centers, so balls of
+//! adjacent same-site centers are repaired incrementally instead of rebuilt — a ball is
+//! charged to exactly one site, either as built or as reused, never both.
 
 use crate::partition::{GraphPartition, PartitionStrategy};
+use ssim_core::ball::{locality_center_order, BallForest};
 use ssim_core::match_graph::PerfectSubgraph;
 use ssim_core::minimize::minimize_pattern;
 use ssim_core::parallel::par_workers;
 use ssim_core::strong::match_compact_ball;
-use ssim_graph::{BallScratch, CompactBall, Graph, Pattern};
+use ssim_graph::{BallScratch, Graph, Pattern};
 
 /// Configuration of a distributed run.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +55,13 @@ pub struct TrafficStats {
     pub shipped_edges: usize,
     /// Perfect subgraphs shipped back to the coordinator.
     pub result_subgraphs: usize,
+    /// Balls constructed by a fresh BFS, summed over sites. Every ball is evaluated at
+    /// exactly one site (the owner of its center), so `built_balls + reused_balls` equals
+    /// the total ball count — a reused ball is never also counted as built, and no ball
+    /// is counted at two sites.
+    pub built_balls: usize,
+    /// Balls derived incrementally from the owning site's previous ball.
+    pub reused_balls: usize,
     /// Number of balls evaluated by each site.
     pub balls_per_site: Vec<usize>,
 }
@@ -84,6 +95,8 @@ struct SiteReport {
     shipped_balls: usize,
     shipped_nodes: usize,
     shipped_edges: usize,
+    built_balls: usize,
+    reused_balls: usize,
     balls: usize,
 }
 
@@ -105,10 +118,27 @@ pub fn distributed_strong_simulation(
         pattern.clone()
     };
 
+    // One locality order over the whole graph, split by owner: site workers walk their
+    // own centers in this order so their forests can slide between adjacent ones, and the
+    // O(|V| + |E|) ordering BFS is paid once instead of once per site.
+    let all_nodes: Vec<_> = data.nodes().collect();
+    let mut site_centers: Vec<Vec<ssim_graph::NodeId>> = vec![Vec::new(); partition.sites()];
+    for center in locality_center_order(data, &all_nodes) {
+        site_centers[partition.site_of(center)].push(center);
+    }
+
     // Coordinator step 2: every site evaluates its own balls; one worker per site, via the
     // engine's shared parallel driver. Results come back in site order.
+    let site_centers = &site_centers;
     let reports: Vec<SiteReport> = par_workers(partition.sites(), |site| {
-        evaluate_site(site, &effective_pattern, radius, data, &partition)
+        evaluate_site(
+            site,
+            &effective_pattern,
+            radius,
+            data,
+            &partition,
+            &site_centers[site],
+        )
     });
 
     // Assemble the union, deterministically ordered by ball center.
@@ -122,6 +152,8 @@ pub fn distributed_strong_simulation(
         traffic.shipped_balls += report.shipped_balls;
         traffic.shipped_nodes += report.shipped_nodes;
         traffic.shipped_edges += report.shipped_edges;
+        traffic.built_balls += report.built_balls;
+        traffic.reused_balls += report.reused_balls;
         traffic.result_subgraphs += report.subgraphs.len();
         traffic.balls_per_site[report.site] = report.balls;
         subgraphs.extend(report.subgraphs);
@@ -134,13 +166,15 @@ pub fn distributed_strong_simulation(
     }
 }
 
-/// Site worker: evaluate every ball whose center is owned by `site`.
+/// Site worker: evaluate every ball whose center is owned by `site`. `centers` is the
+/// site's slice of the coordinator's locality order.
 fn evaluate_site(
     site: usize,
     pattern: &Pattern,
     radius: usize,
     data: &Graph,
     partition: &GraphPartition,
+    centers: &[ssim_graph::NodeId],
 ) -> SiteReport {
     let mut report = SiteReport {
         site,
@@ -149,15 +183,21 @@ fn evaluate_site(
         shipped_balls: 0,
         shipped_nodes: 0,
         shipped_edges: 0,
+        built_balls: 0,
+        reused_balls: 0,
         balls: 0,
     };
     let mut scratch = BallScratch::new();
-    for center in partition.nodes_of(site) {
+    // A center is owned by exactly one site, so each ball is evaluated — and charged as
+    // built or reused — exactly once across the whole run.
+    let mut forest = BallForest::new(data, radius);
+    for &center in centers {
         report.balls += 1;
         if partition.is_border_node(data, center) {
             report.border_balls += 1;
         }
-        let ball = CompactBall::build(data, center, radius, &mut scratch);
+        forest.advance(center);
+        let ball = forest.compact(&mut scratch);
         // Traffic accounting: every ball member stored on a different site would have to be
         // shipped to this site, together with its incident ball edges.
         let foreign: Vec<_> = ball
@@ -182,6 +222,9 @@ fn evaluate_site(
         }
         ball.recycle(&mut scratch);
     }
+    // The forest is the single source of truth for the built/reused split.
+    report.built_balls = forest.built_fresh;
+    report.reused_balls = forest.reused;
     report
 }
 
@@ -281,6 +324,54 @@ mod tests {
         assert!(out.traffic.shipped_balls <= total_balls);
         assert!(out.traffic.shipped_nodes <= out.traffic.shipped_balls * data.node_count());
         assert_eq!(out.traffic.result_subgraphs, out.subgraphs.len());
+    }
+
+    #[test]
+    fn ball_reuse_is_counted_once_per_ball_across_sites() {
+        let data = synthetic(&SyntheticConfig {
+            nodes: 180,
+            alpha: 1.12,
+            labels: 10,
+            seed: 9,
+        });
+        let pattern = extract_pattern(&data, 3, 5).unwrap();
+        for sites in [1, 3, 6] {
+            for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range] {
+                let out = distributed_strong_simulation(
+                    &pattern,
+                    &data,
+                    &DistributedConfig {
+                        sites,
+                        strategy,
+                        minimize_query: false,
+                    },
+                );
+                let total: usize = out.traffic.balls_per_site.iter().sum();
+                assert_eq!(total, data.node_count());
+                // Every ball is charged exactly once: built or reused, at one site.
+                assert_eq!(
+                    out.traffic.built_balls + out.traffic.reused_balls,
+                    total,
+                    "sites={sites} strategy={strategy:?}"
+                );
+                assert!(out.traffic.built_balls >= sites.min(data.node_count()).min(1));
+            }
+        }
+        // On a contiguous range partition of a connected-ish graph most same-site
+        // neighbours stay adjacent, so some reuse must materialise.
+        let range = distributed_strong_simulation(
+            &pattern,
+            &data,
+            &DistributedConfig {
+                sites: 3,
+                strategy: PartitionStrategy::Range,
+                minimize_query: false,
+            },
+        );
+        assert!(
+            range.traffic.reused_balls > 0,
+            "range partition never slides"
+        );
     }
 
     #[test]

@@ -229,6 +229,39 @@ impl CompactBall {
         Self::from_members(graph, center, radius, &members, &member_dist, map)
     }
 
+    /// Builds a compact ball from an externally maintained member list with per-member
+    /// distances, reusing `scratch` like [`CompactBall::build`].
+    ///
+    /// This is the constructor used by incremental ball producers (`ssim_core`'s
+    /// `BallForest`): they track membership and center distances across adjacent centers
+    /// themselves and only need the dense re-indexing here. `members` may be in any order;
+    /// local ids are the positions in `members`. `distances[i]` must be the undirected
+    /// distance of `members[i]` from `center`, and `center` must appear in `members`.
+    ///
+    /// # Panics
+    /// Panics when `center` is not listed in `members` or the slices disagree in length.
+    pub fn from_parts(
+        graph: &Graph,
+        center: NodeId,
+        radius: usize,
+        members: &[NodeId],
+        distances: &[u32],
+        scratch: &mut BallScratch,
+    ) -> Self {
+        assert_eq!(
+            members.len(),
+            distances.len(),
+            "one distance per ball member"
+        );
+        let map = std::mem::take(&mut scratch.map);
+        let ball = Self::from_members(graph, center, radius, members, distances, map);
+        assert!(
+            ball.center.index() < members.len() && members[ball.center.index()] == center,
+            "ball center {center} must be a member"
+        );
+        ball
+    }
+
     /// Returns the ball's global→local map to `scratch` for the next build, clearing only
     /// the entries this ball set. Optional — a dropped ball simply costs the next build a
     /// fresh allocation — but the engine's per-ball loop always recycles.

@@ -1,0 +1,203 @@
+//! Differential properties of the incremental ball pipeline.
+//!
+//! The [`ssim_core::BallForest`] replaces a fresh BFS per ball center with an incremental
+//! distance repair between nearby centers; these properties pin it to the fresh-BFS
+//! oracle at both layers:
+//!
+//! * **ball layer** — after every `advance`, the forest's member set *and* per-member
+//!   center distances equal a freshly built [`Ball`], for random graphs, radii and center
+//!   sequences (locality walks and adversarial random jumps alike), and the materialised
+//!   [`CompactBall`] carries the same border set;
+//! * **match layer** — `strong_simulation` returns bit-identical [`MatchOutput`]s under
+//!   [`BallStrategy::Incremental`] and [`BallStrategy::FreshBfs`], sequential and
+//!   parallel, plain `Match` and `Match+`.
+
+use proptest::prelude::*;
+use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
+use ssim_core::{locality_center_order, BallForest, BallStrategy};
+use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
+use ssim_graph::{Ball, BallScratch, Graph, Label, NodeId, Pattern};
+
+/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
+/// labels drawn from a 4-symbol alphabet.
+fn data_graph() -> impl Strategy<Value = Graph> {
+    (3usize..24).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
+                .expect("endpoints are in range by construction")
+        })
+    })
+}
+
+/// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
+fn pattern() -> impl Strategy<Value = Pattern> {
+    (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
+        random_pattern(&PatternGenConfig {
+            nodes,
+            alpha,
+            labels: 4,
+            seed,
+        })
+    })
+}
+
+/// A center sequence for a graph: one locality-ordered sweep (maximising slides) followed
+/// by random jumps (maximising rebuild/slide boundary crossings).
+fn center_sequence(graph: &Graph, jumps: &[usize]) -> Vec<NodeId> {
+    let all: Vec<NodeId> = graph.nodes().collect();
+    let mut seq = locality_center_order(graph, &all);
+    seq.extend(
+        jumps
+            .iter()
+            .map(|&j| NodeId((j % graph.node_count()) as u32)),
+    );
+    seq
+}
+
+/// Asserts the forest's current ball equals the fresh-BFS oracle for `center`, members,
+/// distances and compact-ball border included.
+fn assert_ball_matches_oracle(
+    forest: &BallForest<'_>,
+    graph: &Graph,
+    center: NodeId,
+    radius: usize,
+    scratch: &mut BallScratch,
+) -> Result<(), String> {
+    let oracle = Ball::new(graph, center, radius);
+    let mut got: Vec<NodeId> = forest.members().to_vec();
+    got.sort_unstable();
+    let mut want: Vec<NodeId> = oracle.members().to_vec();
+    want.sort_unstable();
+    prop_assert!(
+        got == want,
+        "members of ball({center}, {radius}): {got:?} vs {want:?}"
+    );
+    for &v in oracle.members() {
+        prop_assert!(
+            forest.distance(v) == oracle.distance(v),
+            "distance of {v} in ball({center}, {radius}): {:?} vs {:?}",
+            forest.distance(v),
+            oracle.distance(v)
+        );
+    }
+    let compact = forest.compact(scratch);
+    prop_assert_eq!(compact.center_global(), center);
+    prop_assert_eq!(compact.global_of(compact.center()), center);
+    prop_assert_eq!(compact.node_count(), oracle.node_count());
+    let mut got_border: Vec<NodeId> = compact
+        .border()
+        .iter()
+        .map(|&l| compact.global_of(l))
+        .collect();
+    got_border.sort_unstable();
+    let mut want_border = oracle.border_nodes();
+    want_border.sort_unstable();
+    prop_assert!(
+        got_border == want_border,
+        "border of ball({center}, {radius}): {got_border:?} vs {want_border:?}"
+    );
+    compact.recycle(scratch);
+    Ok(())
+}
+
+/// Asserts two match outputs are bit-identical: every subgraph field and every
+/// strategy-independent stat. (`balls_built`/`balls_reused` are the strategies'
+/// instrumentation and differ by design.)
+fn assert_same_output(a: &MatchOutput, b: &MatchOutput, context: &str) -> Result<(), String> {
+    prop_assert!(
+        a.subgraphs.len() == b.subgraphs.len(),
+        "{context}: {} vs {} subgraphs",
+        a.subgraphs.len(),
+        b.subgraphs.len()
+    );
+    for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
+        prop_assert!(x.center == y.center, "{context}: centers differ");
+        prop_assert!(x.radius == y.radius, "{context}: radii differ");
+        prop_assert_eq!(&x.nodes, &y.nodes);
+        prop_assert_eq!(&x.edges, &y.edges);
+        prop_assert_eq!(&x.relation, &y.relation);
+    }
+    prop_assert_eq!(a.stats.balls_considered, b.stats.balls_considered);
+    prop_assert_eq!(a.stats.balls_processed, b.stats.balls_processed);
+    prop_assert_eq!(a.stats.balls_skipped, b.stats.balls_skipped);
+    prop_assert_eq!(
+        a.stats.balls_with_invalid_matches,
+        b.stats.balls_with_invalid_matches
+    );
+    prop_assert_eq!(a.stats.filter_removed_pairs, b.stats.filter_removed_pairs);
+    prop_assert_eq!(a.stats.perfect_subgraphs, b.stats.perfect_subgraphs);
+    prop_assert_eq!(a.stats.radius, b.stats.radius);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ball layer: sliding/rebuilding along any center sequence reproduces the fresh-BFS
+    /// ball exactly — members, distances and compact border.
+    #[test]
+    fn incremental_balls_equal_fresh_bfs_balls(
+        data in data_graph(),
+        radius in 0usize..4,
+        jumps in proptest::collection::vec(0usize..1000, 0..24),
+    ) {
+        let centers = center_sequence(&data, &jumps);
+        let mut forest = BallForest::new(&data, radius);
+        let mut scratch = BallScratch::new();
+        for center in centers {
+            forest.advance(center);
+            assert_ball_matches_oracle(&forest, &data, center, radius, &mut scratch)?;
+        }
+        // Every advance was charged exactly once.
+        prop_assert_eq!(forest.built_fresh + forest.reused, data.node_count() + jumps.len());
+    }
+
+    /// Match layer: `BallStrategy::Incremental` and `BallStrategy::FreshBfs` produce
+    /// bit-identical outputs, sequential and parallel, plain and optimised.
+    #[test]
+    fn ball_strategies_agree_on_match_output(data in data_graph(), q in pattern()) {
+        for base in [MatchConfig::basic(), MatchConfig::optimized()] {
+            let fresh = strong_simulation(
+                &q,
+                &data,
+                &base.sequential().with_ball_strategy(BallStrategy::FreshBfs),
+            );
+            for config in [
+                base.sequential(),
+                base.with_thread_limit(2),
+                base.with_thread_limit(5),
+            ] {
+                let incremental = strong_simulation(
+                    &q,
+                    &data,
+                    &config.with_ball_strategy(BallStrategy::Incremental),
+                );
+                prop_assert_eq!(
+                    incremental.stats.balls_built + incremental.stats.balls_reused,
+                    incremental.stats.balls_processed
+                );
+                assert_same_output(&incremental, &fresh, "incremental vs fresh")?;
+            }
+        }
+    }
+
+    /// Radius overrides (radius 0 and 1 balls hit the rebuild-only and slide-heavy edges
+    /// of the forest) preserve the equivalence too.
+    #[test]
+    fn ball_strategies_agree_under_radius_override(
+        data in data_graph(),
+        q in pattern(),
+        radius in 0usize..3,
+    ) {
+        let base = MatchConfig::basic().with_radius(radius).with_deduplication();
+        let fresh = strong_simulation(
+            &q,
+            &data,
+            &base.sequential().with_ball_strategy(BallStrategy::FreshBfs),
+        );
+        let incremental = strong_simulation(&q, &data, &base.sequential());
+        assert_same_output(&incremental, &fresh, "radius override")?;
+    }
+}

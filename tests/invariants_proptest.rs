@@ -13,6 +13,7 @@ use ssim_core::simulation::{graph_simulation, is_valid_simulation};
 use ssim_core::strong::{strong_simulation, MatchConfig};
 use ssim_core::topology::TopologyReport;
 use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
+use ssim_experiments::workloads::{experiment_pattern, DatasetKind};
 use ssim_graph::{metrics, Graph, GraphView, Label, NodeId, Pattern};
 
 /// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
@@ -129,6 +130,36 @@ proptest! {
         let twice = minimize_pattern(&once.pattern);
         prop_assert_eq!(once.pattern.node_count(), twice.pattern.node_count());
         prop_assert_eq!(once.pattern.edge_count(), twice.pattern.edge_count());
+    }
+
+    /// Every `Match+` output over the standard workload generators (amazon-like,
+    /// youtube-like, synthetic) preserves all Table 2 topology criteria — the paper's
+    /// headline claim, checked on the realistic generators rather than arbitrary edge
+    /// lists, with the full optimisation stack (and deduplication) enabled.
+    #[test]
+    fn match_plus_preserves_topology_on_workload_generators(
+        seed in any::<u64>(),
+        nodes in 30usize..80,
+        kind in 0usize..3,
+        pattern_nodes in 3usize..6,
+    ) {
+        let kind = DatasetKind::all()[kind];
+        let data = kind.generate(nodes, seed);
+        let q = experiment_pattern(&data, pattern_nodes, seed ^ 0x9e3779b97f4a7c15);
+        let output = strong_simulation(&q, &data, &MatchConfig::optimized().with_deduplication());
+        let report = TopologyReport::evaluate(&q, &data, &output);
+        prop_assert!(
+            report.all_preserved(),
+            "{} |V|={} seed={}: {report:?}",
+            kind.name(),
+            nodes,
+            seed
+        );
+        // The stats invariants hold on realistic workloads too.
+        prop_assert_eq!(
+            output.stats.balls_built + output.stats.balls_reused,
+            output.stats.balls_processed
+        );
     }
 
     /// Self-matching: every connected pattern strongly simulates itself, and the identity

@@ -39,6 +39,25 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             Config { cases }
         }
+
+        /// The case count to actually run: the `PROPTEST_CASES` environment variable when
+        /// set (so CI can raise every property to nightly scale without touching the
+        /// per-test configuration), the configured `cases` otherwise.
+        ///
+        /// Divergence from the real crate, where the env var only feeds
+        /// `Config::default()`: here it overrides explicit `with_cases` values too, which
+        /// is what an offline nightly job needs.
+        pub fn effective_cases(&self) -> u32 {
+            self.cases_with_override(std::env::var("PROPTEST_CASES").ok().as_deref())
+        }
+
+        /// [`Config::effective_cases`] with the override value injected, so the parsing
+        /// rules are testable without mutating the process environment.
+        pub(crate) fn cases_with_override(&self, env: Option<&str>) -> u32 {
+            env.and_then(|v| v.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(self.cases)
+        }
     }
 
     impl Default for Config {
@@ -334,7 +353,7 @@ macro_rules! __proptest_cases {
                 use $crate::strategy::Strategy as _;
                 let config: $crate::test_runner::Config = $cfg;
                 let mut rng = $crate::test_runner::seeded_rng(::std::stringify!($name));
-                for case in 0..config.cases {
+                for case in 0..config.effective_cases() {
                     $(let $arg = ($strat).generate(&mut rng);)*
                     let outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
                         $body
@@ -375,6 +394,31 @@ mod tests {
             prop_assert!(s % 2 == 0);
             prop_assert_eq!(s % 2, 0);
         }
+    }
+
+    #[test]
+    fn effective_cases_prefers_valid_env_override() {
+        // The parsing rules are tested through the injected-value form: mutating the real
+        // process environment would race the parallel proptest-macro tests in this binary
+        // (and concurrent setenv/getenv is undefined behaviour on glibc).
+        let config = crate::test_runner::Config::with_cases(7);
+        assert_eq!(config.cases_with_override(None), 7);
+        assert_eq!(config.cases_with_override(Some("3")), 3);
+        assert_eq!(
+            config.cases_with_override(Some(" 12 ")),
+            12,
+            "whitespace trimmed"
+        );
+        assert_eq!(
+            config.cases_with_override(Some("zero")),
+            7,
+            "garbage env values are ignored"
+        );
+        assert_eq!(
+            config.cases_with_override(Some("0")),
+            7,
+            "zero cases would skip the test"
+        );
     }
 
     #[test]
