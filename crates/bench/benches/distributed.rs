@@ -32,6 +32,7 @@ fn bench_distributed(c: &mut Criterion) {
                 sites,
                 strategy,
                 minimize_query: false,
+                ..DistributedConfig::default()
             };
             group.bench_with_input(
                 BenchmarkId::new(format!("distributed_{name}"), format!("sites={sites}")),

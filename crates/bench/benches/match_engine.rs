@@ -7,16 +7,20 @@
 //! * `seed/match` — the seed's engine (naive fixpoint, sequential, `|V|`-sized ball
 //!   relations) running plain `Match`,
 //! * `seed/match_plus` — the seed's engine running `Match+`,
-//! * `engine/match` — worklist + compact balls + sliding `BallForest` + parallel running
-//!   plain `Match`,
+//! * `engine/match` — worklist + compact balls + sliding `BallForest` + warm-started
+//!   refinement + parallel running plain `Match`,
 //! * `engine/match_plus` — the full fast engine running `Match+`,
 //! * `engine/match_freshballs` — the fast engine with `BallStrategy::FreshBfs`, isolating
 //!   the ball-reuse layer: `ball_reuse` records its time over `engine/match`'s plus the
-//!   fraction of balls the forest reused.
+//!   fraction of balls the forest reused,
+//! * `engine/match_scratch` — the fast engine with `RefineSeed::FromScratch`, isolating
+//!   the warm-start layer: `refine_warm` records its time over `engine/match`'s, the
+//!   fraction of balls warm-started, and the seeded-worklist size ratio (delta suspects
+//!   vs full start relations).
 //!
 //! Two high-overlap rows (`overlap-chain`, `overlap-cluster`) stress the sliding forest
 //! where adjacent centers share most of their balls — the workloads the incremental
-//! strategy exists for.
+//! strategy and the warm-start layer exist for.
 //!
 //! For each configuration the JSON records mean seconds per run, processed balls per
 //! second and data nodes per second, plus the speedup of the fast engine over the seed
@@ -24,6 +28,7 @@
 
 use ssim_bench::{workload, BenchWorkload, BENCH_NODES, BENCH_PATTERN_NODES};
 use ssim_core::ball::BallStrategy;
+use ssim_core::simulation::RefineSeed;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
 use ssim_experiments::workloads::DatasetKind;
 use std::time::Instant;
@@ -38,35 +43,48 @@ struct ConfigResult {
     matched_nodes: usize,
     balls_built: usize,
     balls_reused: usize,
+    balls_warm_started: usize,
+    seeded_pairs: usize,
 }
 
-/// Times `runs` executions after one warm-up and returns the mean seconds plus the output.
-fn time_config(
+/// Times each configuration over `runs` interleaved rounds (after one warm-up each) and
+/// returns the per-config **median** seconds plus outputs. Round-robin interleaving plus
+/// medians keeps slow machine-level drift (frequency scaling, noisy neighbours) from
+/// biasing the cross-config ratios the way back-to-back means did.
+fn time_configs(
     pattern: &ssim_graph::Pattern,
     data: &ssim_graph::Graph,
-    config: &MatchConfig,
+    configs: &[&MatchConfig],
     runs: usize,
-) -> (f64, MatchOutput) {
-    let warmup = strong_simulation(pattern, data, config);
-    let start = Instant::now();
+) -> Vec<(f64, MatchOutput)> {
+    let warmups: Vec<MatchOutput> = configs
+        .iter()
+        .map(|c| strong_simulation(pattern, data, c))
+        .collect();
+    let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); configs.len()];
     for _ in 0..runs {
-        let out = strong_simulation(pattern, data, config);
-        assert_eq!(
-            out.subgraphs.len(),
-            warmup.subgraphs.len(),
-            "nondeterministic output"
-        );
+        for (i, config) in configs.iter().enumerate() {
+            let start = Instant::now();
+            let out = strong_simulation(pattern, data, config);
+            times[i].push(start.elapsed().as_secs_f64());
+            assert_eq!(
+                out.subgraphs.len(),
+                warmups[i].subgraphs.len(),
+                "nondeterministic output"
+            );
+        }
     }
-    (start.elapsed().as_secs_f64() / runs as f64, warmup)
+    times
+        .into_iter()
+        .zip(warmups)
+        .map(|(mut t, out)| {
+            t.sort_by(f64::total_cmp);
+            (t[t.len() / 2], out)
+        })
+        .collect()
 }
 
-fn measure(
-    name: &'static str,
-    w: &BenchWorkload,
-    config: &MatchConfig,
-    runs: usize,
-) -> ConfigResult {
-    let (seconds, out) = time_config(&w.pattern, &w.data, config, runs);
+fn measure(name: &'static str, w: &BenchWorkload, seconds: f64, out: &MatchOutput) -> ConfigResult {
     ConfigResult {
         name,
         seconds,
@@ -76,6 +94,28 @@ fn measure(
         matched_nodes: out.matched_node_count(),
         balls_built: out.stats.balls_built,
         balls_reused: out.stats.balls_reused,
+        balls_warm_started: out.stats.balls_warm_started,
+        seeded_pairs: out.stats.seeded_pairs,
+    }
+}
+
+/// Fraction of processed balls that warm-started (0 for scratch configurations).
+fn warm_fraction(warm_started: usize, built: usize, reused: usize) -> f64 {
+    let total = built + reused;
+    if total == 0 {
+        0.0
+    } else {
+        warm_started as f64 / total as f64
+    }
+}
+
+/// Ratio of seeded-worklist sizes: warm delta suspects over scratch full starts.
+fn seeded_ratio(warm_seeded: usize, scratch_seeded: usize) -> f64 {
+    if scratch_seeded == 0 {
+        // Nothing was ever seeded (no candidates anywhere): the layers are equal.
+        1.0
+    } else {
+        warm_seeded as f64 / scratch_seeded as f64
     }
 }
 
@@ -112,29 +152,60 @@ fn overlap_chain() -> (&'static str, ssim_graph::Graph, ssim_graph::Pattern) {
     ("overlap-chain", data, pattern)
 }
 
-/// Dense communities chained in a ring: centers inside one community see nearly identical
-/// balls, so slides repair a handful of distances instead of re-visiting the community.
+/// Ring communities chained in a ring: centers inside one community see nearly identical
+/// balls, so the forest slides along each community repairing a handful of distances per
+/// center, and the warm layer carries the community's relation with it.
+///
+/// PR 3 re-parameterised this row so it exercises the *reuse* layers it reports on: the
+/// PR 2 variant's dense chords made every slide degenerate, so the adaptive back-off
+/// (correctly) turned the whole row into fresh rebuilds and both `ball_reuse` and
+/// `refine_warm` measured little beyond ball construction. The communities now use short
+/// chords (sliding-friendly, like real near-1D community chains), the first communities
+/// keep the matchable labelling, and the filler communities carry isolated *near-miss*
+/// candidates — pattern-labelled nodes that are never wired into a match, the classic
+/// selective-query case where scratch seeding pays label-index scans plus dead-candidate
+/// cascades in every ball while the warm carry pays only for the membership delta. The
+/// dense back-off behaviour itself stays pinned by the `ball`/warm back-off tests.
 fn overlap_cluster() -> (&'static str, ssim_graph::Graph, ssim_graph::Pattern) {
     use ssim_graph::{Graph, Label, Pattern};
     let communities = 40u32;
     let size = 24u32;
     let n = communities * size;
-    // Pattern labels live in the first few communities; the rest carry a filler label,
-    // so their balls are construction-bound like the unlabelled bulk of a real graph.
     let labels: Vec<Label> = (0..n)
-        .map(|i| Label(if i < 4 * size { i % 3 } else { 3 }))
+        .map(|i| {
+            if i < 4 * size {
+                // Matchable prefix: consecutive ring labels realise the path pattern.
+                Label(i % 3)
+            } else {
+                // Near-miss candidates at ring positions 0/8/16: with chords {1, 2} they
+                // are never adjacent to each other, so their candidacy always refines
+                // away — per ball, from scratch; once per delta, warm.
+                match i % size {
+                    0 => Label(0),
+                    8 => Label(1),
+                    16 => Label(2),
+                    _ => Label(3),
+                }
+            }
+        })
         .collect();
     let mut edges = Vec::new();
     for c in 0..communities {
         let base = c * size;
-        for i in 0..size {
-            // Ring plus two chords per node keeps the community diameter tiny.
-            edges.push((base + i, base + (i + 1) % size));
-            edges.push((base + i, base + (i + 5) % size));
-            edges.push((base + i, base + (i + 11) % size));
+        for i in 0..size - 1 {
+            // Path plus one short chord per node: adjacent centers' balls overlap
+            // almost entirely and the locality walk stays single-fronted, so slides
+            // remain productive (rings would make the BFS alternate between two fronts
+            // and every slide degenerate into the back-off).
+            edges.push((base + i, base + i + 1));
+            if i < size - 2 {
+                edges.push((base + i, base + i + 2));
+            }
         }
-        // One bridge to the next community.
-        edges.push((base + size - 1, ((c + 1) % communities) * size));
+        // One bridge to the next community (linear chain of communities).
+        if c + 1 < communities {
+            edges.push((base + size - 1, base + size));
+        }
     }
     let data = Graph::from_edges(labels, &edges).unwrap();
     let pattern =
@@ -150,7 +221,7 @@ fn main() {
     }
     let runs = 9usize;
     let threads = ssim_core::parallel::available_threads();
-    let configs: [(&'static str, MatchConfig); 5] = [
+    let configs: [(&'static str, MatchConfig); 6] = [
         ("seed/match", MatchConfig::seed_reference()),
         (
             "seed/match_plus",
@@ -167,6 +238,10 @@ fn main() {
             "engine/match_freshballs",
             MatchConfig::basic().with_ball_strategy(BallStrategy::FreshBfs),
         ),
+        (
+            "engine/match_scratch",
+            MatchConfig::basic().with_refine_seed(RefineSeed::FromScratch),
+        ),
     ];
 
     let mut dataset_blobs = Vec::new();
@@ -180,9 +255,12 @@ fn main() {
             w.pattern.node_count(),
             w.pattern.diameter()
         );
+        let config_refs: Vec<&MatchConfig> = configs.iter().map(|(_, c)| c).collect();
+        let timed = time_configs(&w.pattern, &w.data, &config_refs, runs);
         let results: Vec<ConfigResult> = configs
             .iter()
-            .map(|(name, config)| measure(name, &w, config, runs))
+            .zip(&timed)
+            .map(|((name, _), (seconds, out))| measure(name, &w, *seconds, out))
             .collect();
         // Headline: the optimised matcher on the new engine vs the seed's naive
         // sequential engine (its shipped `Match`). Same-configuration ratios are also
@@ -194,6 +272,15 @@ fn main() {
         // engine with the sliding forest (same config otherwise).
         let ball_reuse_speedup = results[4].seconds / results[2].seconds;
         let ball_reused_fraction = reused_fraction(results[2].balls_built, results[2].balls_reused);
+        // Warm-start layer in isolation: the fast engine seeded from scratch vs the same
+        // engine carrying the relation across slides (same config otherwise).
+        let refine_warm_speedup = results[5].seconds / results[2].seconds;
+        let refine_warm_fraction = warm_fraction(
+            results[2].balls_warm_started,
+            results[2].balls_built,
+            results[2].balls_reused,
+        );
+        let refine_warm_seeded = seeded_ratio(results[2].seeded_pairs, results[5].seeded_pairs);
         for r in &results {
             eprintln!(
                 "  {:<22} {:>10.4} ms/run  {:>12.0} balls/s  {:>12.0} nodes/s  ({} subgraphs)",
@@ -211,6 +298,10 @@ fn main() {
             "  ball reuse: {:.0}% of balls reused, {ball_reuse_speedup:.2}x vs fresh balls",
             ball_reused_fraction * 100.0
         );
+        eprintln!(
+            "  refine warm: {:.0}% of balls warm-started, {refine_warm_speedup:.2}x vs scratch seeding, seeded ratio {refine_warm_seeded:.3}",
+            refine_warm_fraction * 100.0
+        );
         let config_json: Vec<String> = results
             .iter()
             .map(|r| {
@@ -219,7 +310,8 @@ fn main() {
                         "      {{\"name\": \"{}\", \"seconds_per_run\": {:.6}, ",
                         "\"balls_per_sec\": {:.1}, \"nodes_per_sec\": {:.1}, ",
                         "\"subgraphs\": {}, \"matched_nodes\": {}, ",
-                        "\"balls_built\": {}, \"balls_reused\": {}}}"
+                        "\"balls_built\": {}, \"balls_reused\": {}, ",
+                        "\"balls_warm_started\": {}, \"seeded_pairs\": {}}}"
                     ),
                     json_escape(r.name),
                     r.seconds,
@@ -228,7 +320,9 @@ fn main() {
                     r.subgraphs,
                     r.matched_nodes,
                     r.balls_built,
-                    r.balls_reused
+                    r.balls_reused,
+                    r.balls_warm_started,
+                    r.seeded_pairs
                 )
             })
             .collect();
@@ -241,6 +335,8 @@ fn main() {
                 "\"speedup_match_plus_same_config\": {:.3},\n",
                 "     \"ball_reuse\": {{\"reused_fraction\": {:.4}, ",
                 "\"speedup_vs_fresh\": {:.3}}},\n",
+                "     \"refine_warm\": {{\"warm_fraction\": {:.4}, ",
+                "\"speedup_vs_scratch\": {:.3}, \"seeded_ratio\": {:.4}}},\n",
                 "     \"configs\": [\n{}\n    ]}}"
             ),
             json_escape(dataset.name()),
@@ -253,6 +349,9 @@ fn main() {
             speedup_plus,
             ball_reused_fraction,
             ball_reuse_speedup,
+            refine_warm_fraction,
+            refine_warm_speedup,
+            refine_warm_seeded,
             config_json.join(",\n")
         ));
     }
@@ -276,9 +375,10 @@ fn main() {
             connectivity_pruning: true,
             ..MatchConfig::seed_reference()
         };
-        let (seed_secs, seed_out) = time_config(&pattern, &chain, &seed_cfg, runs);
-        let (engine_secs, engine_out) =
-            time_config(&pattern, &chain, &MatchConfig::optimized(), runs);
+        let engine_cfg = MatchConfig::optimized();
+        let mut timed = time_configs(&pattern, &chain, &[&seed_cfg, &engine_cfg], runs);
+        let (engine_secs, engine_out) = timed.pop().expect("engine timing");
+        let (seed_secs, seed_out) = timed.pop().expect("seed timing");
         assert_eq!(seed_out.subgraphs.len(), engine_out.subgraphs.len());
         // Unlike the dataset rows' cross-config headline, this is a *same-config*
         // comparison (Match+ on both engines), isolating the refinement algorithm.
@@ -307,22 +407,41 @@ fn main() {
     }
 
     // High-overlap workloads: adjacent centers share most of their balls, the case the
-    // sliding BallForest exists for. Both rows compare the fast engine's plain `Match`
-    // with incremental vs fresh balls (same configuration otherwise).
+    // sliding BallForest and the warm-start layer exist for. Each row compares the fast
+    // engine's plain `Match` (warm by default) with fresh balls (isolating ball reuse)
+    // and with scratch seeding on sliding balls (isolating relation warm-starting).
     for (name, data, pattern) in [overlap_chain(), overlap_cluster()] {
         let incr_cfg = MatchConfig::basic();
         let fresh_cfg = MatchConfig::basic().with_ball_strategy(BallStrategy::FreshBfs);
-        let (incr_secs, incr_out) = time_config(&pattern, &data, &incr_cfg, runs);
-        let (fresh_secs, fresh_out) = time_config(&pattern, &data, &fresh_cfg, runs);
+        let scratch_cfg = MatchConfig::basic().with_refine_seed(RefineSeed::FromScratch);
+        let mut timed = time_configs(
+            &pattern,
+            &data,
+            &[&incr_cfg, &fresh_cfg, &scratch_cfg],
+            runs,
+        );
+        let (scratch_secs, scratch_out) = timed.pop().expect("scratch timing");
+        let (fresh_secs, fresh_out) = timed.pop().expect("fresh timing");
+        let (incr_secs, incr_out) = timed.pop().expect("incremental timing");
         assert_eq!(incr_out.subgraphs.len(), fresh_out.subgraphs.len());
+        assert_eq!(incr_out.subgraphs.len(), scratch_out.subgraphs.len());
         let speedup = fresh_secs / incr_secs;
         let fraction = reused_fraction(incr_out.stats.balls_built, incr_out.stats.balls_reused);
+        let warm_speedup = scratch_secs / incr_secs;
+        let warm_frac = warm_fraction(
+            incr_out.stats.balls_warm_started,
+            incr_out.stats.balls_built,
+            incr_out.stats.balls_reused,
+        );
+        let warm_seeded = seeded_ratio(incr_out.stats.seeded_pairs, scratch_out.stats.seeded_pairs);
         eprintln!(
-            "{name} |V|={}: fresh {:.3} ms, incremental {:.3} ms — {speedup:.2}x, {:.0}% balls reused",
+            "{name} |V|={}: fresh {:.3} ms, scratch {:.3} ms, warm {:.3} ms — ball reuse {speedup:.2}x ({:.0}% reused), refine warm {warm_speedup:.2}x ({:.0}% warm, seeded ratio {warm_seeded:.3})",
             data.node_count(),
             fresh_secs * 1e3,
+            scratch_secs * 1e3,
             incr_secs * 1e3,
-            fraction * 100.0
+            fraction * 100.0,
+            warm_frac * 100.0
         );
         dataset_blobs.push(format!(
             concat!(
@@ -330,11 +449,16 @@ fn main() {
                 "\"pattern_nodes\": {}, \"pattern_diameter\": {},\n",
                 "     \"ball_reuse\": {{\"reused_fraction\": {:.4}, ",
                 "\"speedup_vs_fresh\": {:.3}}},\n",
+                "     \"refine_warm\": {{\"warm_fraction\": {:.4}, ",
+                "\"speedup_vs_scratch\": {:.3}, \"seeded_ratio\": {:.4}}},\n",
                 "     \"configs\": [\n",
                 "      {{\"name\": \"engine/match\", \"seconds_per_run\": {:.6}, ",
-                "\"balls_built\": {}, \"balls_reused\": {}}},\n",
+                "\"balls_built\": {}, \"balls_reused\": {}, ",
+                "\"balls_warm_started\": {}, \"seeded_pairs\": {}}},\n",
                 "      {{\"name\": \"engine/match_freshballs\", \"seconds_per_run\": {:.6}, ",
-                "\"balls_built\": {}, \"balls_reused\": {}}}\n",
+                "\"balls_built\": {}, \"balls_reused\": {}}},\n",
+                "      {{\"name\": \"engine/match_scratch\", \"seconds_per_run\": {:.6}, ",
+                "\"balls_built\": {}, \"balls_reused\": {}, \"seeded_pairs\": {}}}\n",
                 "    ]}}"
             ),
             json_escape(name),
@@ -344,12 +468,21 @@ fn main() {
             pattern.diameter(),
             fraction,
             speedup,
+            warm_frac,
+            warm_speedup,
+            warm_seeded,
             incr_secs,
             incr_out.stats.balls_built,
             incr_out.stats.balls_reused,
+            incr_out.stats.balls_warm_started,
+            incr_out.stats.seeded_pairs,
             fresh_secs,
             fresh_out.stats.balls_built,
-            fresh_out.stats.balls_reused
+            fresh_out.stats.balls_reused,
+            scratch_secs,
+            scratch_out.stats.balls_built,
+            scratch_out.stats.balls_reused,
+            scratch_out.stats.seeded_pairs
         ));
     }
 

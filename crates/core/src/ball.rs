@@ -41,6 +41,22 @@ pub enum BallStrategy {
     FreshBfs,
 }
 
+/// How the forest's last [`BallForest::advance`] moved the ball, with the membership delta
+/// when it is known exactly. Consumers carrying per-ball state across advances (the
+/// warm-started refinement of [`crate::warm`]) key their reuse off this record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BallMove {
+    /// The requested center was already the current one: membership is unchanged.
+    Same,
+    /// The ball slid from an adjacent center; [`BallForest::entered`] and
+    /// [`BallForest::left`] hold the exact membership delta.
+    Slid,
+    /// The ball was rebuilt by a fresh BFS (first ball, far jump, or adaptive back-off).
+    /// Any slide-delta state is stale and has been invalidated — consumers must diff
+    /// memberships themselves or drop their carried state.
+    Rebuilt,
+}
+
 /// Centers farther than this from the current one trigger a fresh rebuild: a shift of `k`
 /// widens every distance bound by `k`, so for `k > 2` the repair pass re-expands most of
 /// the ball and loses to a plain BFS.
@@ -84,6 +100,13 @@ pub struct BallForest<'g> {
     fresh_penalty: u32,
     /// Length of the next back-off window.
     backoff: u32,
+    /// How the last `advance` moved the ball (delta validity signal for carried state).
+    last_move: BallMove,
+    /// Nodes that entered the ball during the last slide (exact only when
+    /// `last_move == Slid`; cleared on rebuilds so stale deltas cannot leak).
+    entered: Vec<NodeId>,
+    /// Nodes that left the ball during the last slide (same validity rule).
+    left: Vec<NodeId>,
     /// Balls built by a fresh bounded BFS.
     pub built_fresh: usize,
     /// Balls derived incrementally from the previous center's ball.
@@ -103,6 +126,9 @@ impl<'g> BallForest<'g> {
             degenerate_streak: 0,
             fresh_penalty: 0,
             backoff: BACKOFF_START,
+            last_move: BallMove::Rebuilt,
+            entered: Vec::new(),
+            left: Vec::new(),
             built_fresh: 0,
             reused: 0,
         }
@@ -134,6 +160,27 @@ impl<'g> BallForest<'g> {
         }
     }
 
+    /// How the last [`BallForest::advance`] moved the ball.
+    #[inline]
+    pub fn last_move(&self) -> BallMove {
+        self.last_move
+    }
+
+    /// Nodes that entered the ball during the last advance. Exact only when
+    /// [`BallForest::last_move`] is [`BallMove::Slid`] (empty for `Same`, invalidated —
+    /// cleared — for `Rebuilt`).
+    #[inline]
+    pub fn entered(&self) -> &[NodeId] {
+        &self.entered
+    }
+
+    /// Nodes that left the ball during the last advance, under the same validity rule as
+    /// [`BallForest::entered`].
+    #[inline]
+    pub fn left(&self) -> &[NodeId] {
+        &self.left
+    }
+
     /// Moves the ball to `center`, incrementally when the new center lies within
     /// [`MAX_SLIDE`] of the current one and freshly otherwise. Returns `true` when the
     /// move reused the previous ball.
@@ -148,6 +195,9 @@ impl<'g> BallForest<'g> {
         let slide = match self.center {
             Some(prev) if prev == center => {
                 self.reused += 1; // already there: built_fresh + reused == advances
+                self.entered.clear();
+                self.left.clear();
+                self.last_move = BallMove::Same;
                 return true;
             }
             Some(_) if self.fresh_penalty > 0 => {
@@ -183,19 +233,27 @@ impl<'g> BallForest<'g> {
     /// Panics when no ball has been built yet.
     pub fn compact(&self, scratch: &mut BallScratch) -> CompactBall {
         let center = self.center.expect("advance before compact");
-        let distances: Vec<u32> = self.members.iter().map(|&v| self.dist[v.index()]).collect();
-        CompactBall::from_parts(
+        CompactBall::from_parts_by(
             self.graph,
             center,
             self.radius,
             &self.members,
-            &distances,
+            |v, _| self.dist[v.index()],
             scratch,
         )
     }
 
     /// Fresh bounded BFS from `center`, wiping the previous ball's touched entries first.
+    ///
+    /// Also invalidates the slide-delta tracking (`entered`/`left`): a rebuild — whether
+    /// forced by a far jump or by the adaptive back-off — discards the incremental
+    /// relationship to the previous ball, so any relation state carried against the old
+    /// delta must not be translated through it. Carried-state consumers observe
+    /// [`BallMove::Rebuilt`] and fall back to a full membership diff (or a reset).
     fn rebuild(&mut self, center: NodeId) {
+        self.entered.clear();
+        self.left.clear();
+        self.last_move = BallMove::Rebuilt;
         let graph = self.graph;
         for &v in &self.members {
             self.dist[v.index()] = UNREACHABLE;
@@ -237,6 +295,9 @@ impl<'g> BallForest<'g> {
         debug_assert!(k > 0 && self.dist[center.index()] == k);
         let graph = self.graph;
         let radius = self.radius as u32;
+        self.entered.clear();
+        self.left.clear();
+        self.last_move = BallMove::Slid;
         for &v in &self.members {
             self.dist[v.index()] += k;
         }
@@ -258,6 +319,7 @@ impl<'g> BallForest<'g> {
                     if dw > cand {
                         if dw == UNREACHABLE {
                             self.members.push(w); // entering the ball
+                            self.entered.push(w);
                         }
                         self.dist[w.index()] = cand;
                         self.buckets[level + 1].push(w);
@@ -267,6 +329,7 @@ impl<'g> BallForest<'g> {
         }
         let mut members = std::mem::take(&mut self.members);
         let mut interior = 0usize;
+        let left = &mut self.left;
         members.retain(|&v| {
             let d = self.dist[v.index()];
             if d <= radius {
@@ -274,6 +337,7 @@ impl<'g> BallForest<'g> {
                 true
             } else {
                 self.dist[v.index()] = UNREACHABLE; // left the ball
+                left.push(v);
                 false
             }
         });
@@ -446,6 +510,91 @@ mod tests {
             let (a, b) = (pair[0].0 as i64, pair[1].0 as i64);
             assert_eq!((a - b).abs(), 1, "consecutive centers {a},{b}");
         }
+    }
+
+    #[test]
+    fn slide_delta_tracks_entered_and_left_exactly() {
+        let g = line(30);
+        let mut forest = BallForest::new(&g, 3);
+        forest.advance(NodeId(10));
+        assert_eq!(forest.last_move(), BallMove::Rebuilt);
+        assert!(forest.entered().is_empty() && forest.left().is_empty());
+        // Slide 10 -> 11 on a line with radius 3: node 7 leaves, node 14 enters.
+        forest.advance(NodeId(11));
+        assert_eq!(forest.last_move(), BallMove::Slid);
+        assert_eq!(forest.entered(), &[NodeId(14)]);
+        assert_eq!(forest.left(), &[NodeId(7)]);
+        // Same center again: delta is empty but valid.
+        forest.advance(NodeId(11));
+        assert_eq!(forest.last_move(), BallMove::Same);
+        assert!(forest.entered().is_empty() && forest.left().is_empty());
+        // The delta always reconciles the previous member set with the current one.
+        let before: Vec<NodeId> = {
+            let mut m = forest.members().to_vec();
+            m.sort_unstable();
+            m
+        };
+        forest.advance(NodeId(13));
+        let mut expect: Vec<NodeId> = before
+            .iter()
+            .copied()
+            .filter(|v| !forest.left().contains(v))
+            .chain(forest.entered().iter().copied())
+            .collect();
+        expect.sort_unstable();
+        let mut got = forest.members().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn rebuild_invalidates_slide_delta() {
+        let g = line(40);
+        let mut forest = BallForest::new(&g, 2);
+        forest.advance(NodeId(0));
+        forest.advance(NodeId(1));
+        assert_eq!(forest.last_move(), BallMove::Slid);
+        assert!(!forest.entered().is_empty());
+        // A far jump rebuilds and must clear the stale slide delta.
+        forest.advance(NodeId(30));
+        assert_eq!(forest.last_move(), BallMove::Rebuilt);
+        assert!(
+            forest.entered().is_empty() && forest.left().is_empty(),
+            "rebuild left a stale slide delta behind"
+        );
+    }
+
+    #[test]
+    fn backoff_rebuilds_report_rebuilt_moves() {
+        // A complete-ish dense graph makes every slide degenerate: after
+        // DEGENERATE_STREAK slides the forest backs off and the forced rebuilds must
+        // report Rebuilt (carried relation state hinges on this signal).
+        let n = 12u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Graph::from_edges(vec![Label(0); n as usize], &edges).unwrap();
+        let mut forest = BallForest::new(&g, 1);
+        let mut saw_backoff_rebuild = false;
+        let mut prev_contained_next = false;
+        for i in 0..n {
+            let reused = forest.advance(NodeId(i));
+            if !reused && i > 0 && prev_contained_next {
+                // The center was inside the previous ball yet the forest rebuilt:
+                // that is the back-off, and the move must say so.
+                assert_eq!(forest.last_move(), BallMove::Rebuilt);
+                assert!(forest.entered().is_empty() && forest.left().is_empty());
+                saw_backoff_rebuild = true;
+            }
+            prev_contained_next = forest.distance(NodeId((i + 1) % n)).is_some();
+            assert_matches_fresh(&forest, &g, NodeId(i));
+        }
+        assert!(saw_backoff_rebuild, "dense graph never triggered back-off");
     }
 
     #[test]

@@ -26,28 +26,59 @@ pub fn refine_projected<V: AdjView>(
     pattern: &Pattern,
     view: &V,
     border: &[NodeId],
-    mut projected: MatchRelation,
-    mut removed_pairs: Option<&mut usize>,
+    projected: MatchRelation,
+    removed_pairs: Option<&mut usize>,
 ) -> Option<MatchRelation> {
+    // Seed: pairs whose data node is a border node (lines 2-5 of Fig. 5); the shared
+    // drain verifies their support and cascades the removals.
+    let suspects: Vec<(NodeId, NodeId)> = border
+        .iter()
+        .flat_map(|&v| {
+            projected
+                .pattern_nodes_matching(v)
+                .into_iter()
+                .map(move |u| (u, v))
+        })
+        .collect();
+    let projected = refine_suspects(pattern, view, projected, suspects, removed_pairs);
+    if projected.is_total() {
+        Some(projected)
+    } else {
+        None
+    }
+}
+
+/// The removal-propagation core shared by [`refine_projected`] and the warm-started
+/// per-ball refinement ([`crate::warm`]): verifies every *suspect* pair against the
+/// current relation, removes the unsupported ones and cascades each removal to the
+/// neighbouring pairs whose support it carried, until a fixpoint.
+///
+/// Computes the maximum dual-simulation relation contained in `relation` **provided**
+/// `suspects` covers every pair that is unsupported w.r.t. the starting relation — pairs
+/// whose support is intact at the start can only become invalid through a removal, and
+/// the cascade re-checks exactly those. Unlike the worklist engine this never exits early
+/// on an emptied candidate set: callers that carry the result across balls need the true
+/// fixpoint, not a partially drained relation.
+pub(crate) fn refine_suspects<V: AdjView>(
+    pattern: &Pattern,
+    view: &V,
+    mut relation: MatchRelation,
+    suspects: impl IntoIterator<Item = (NodeId, NodeId)>,
+    mut removed_pairs: Option<&mut usize>,
+) -> MatchRelation {
     let q = pattern.graph();
     // Work queue of invalid (pattern node, data node) pairs.
     let mut queue: VecDeque<(NodeId, NodeId)> = VecDeque::new();
-
-    // Seed: pairs whose data node is a border node and whose support is already broken
-    // (lines 2-5 of Fig. 5).
-    for &v in border {
-        for u in projected.pattern_nodes_matching(v) {
-            if !pair_supported(pattern, view, &projected, u, v) {
-                queue.push_back((u, v));
-            }
+    for (u, v) in suspects {
+        if relation.contains(u, v) && !pair_supported(pattern, view, &relation, u, v) {
+            queue.push_back((u, v));
         }
     }
 
     while let Some((u, v)) = queue.pop_front() {
-        if !projected.contains(u, v) {
+        if !relation.remove(u, v) {
             continue; // already removed through another path
         }
-        projected.remove(u, v);
         if let Some(count) = removed_pairs.as_deref_mut() {
             *count += 1;
         }
@@ -55,8 +86,8 @@ pub fn refine_projected<V: AdjView>(
         // (lines 8-11).
         for u2 in q.in_neighbors(u) {
             for v2 in view.in_neighbors(v) {
-                if projected.contains(u2, v2)
-                    && !view.out_neighbors(v2).any(|w| projected.contains(u, w))
+                if relation.contains(u2, v2)
+                    && !view.out_neighbors(v2).any(|w| relation.contains(u, w))
                 {
                     queue.push_back((u2, v2));
                 }
@@ -66,20 +97,15 @@ pub fn refine_projected<V: AdjView>(
         // (lines 12-15).
         for u1 in q.out_neighbors(u) {
             for v1 in view.out_neighbors(v) {
-                if projected.contains(u1, v1)
-                    && !view.in_neighbors(v1).any(|w| projected.contains(u, w))
+                if relation.contains(u1, v1)
+                    && !view.in_neighbors(v1).any(|w| relation.contains(u, w))
                 {
                     queue.push_back((u1, v1));
                 }
             }
         }
     }
-
-    if projected.is_total() {
-        Some(projected)
-    } else {
-        None
-    }
+    relation
 }
 
 /// Returns `true` when the pair `(u, v)` has both child and parent support inside the view.

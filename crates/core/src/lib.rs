@@ -64,11 +64,15 @@ pub mod relation;
 pub mod simulation;
 pub mod strong;
 pub mod topology;
+pub mod warm;
 
-pub use ball::{locality_center_order, BallForest, BallStrategy};
+pub use ball::{locality_center_order, BallForest, BallMove, BallStrategy};
 pub use dual::{dual_simulates, dual_simulation, dual_simulation_with};
 pub use match_graph::{MatchGraph, PerfectSubgraph};
 pub use minimize::minimize_pattern;
 pub use relation::MatchRelation;
-pub use simulation::{graph_simulation, graph_simulation_with, simulates, RefineStrategy};
+pub use simulation::{
+    graph_simulation, graph_simulation_with, simulates, RefineSeed, RefineStrategy,
+};
 pub use strong::{strong_simulation, MatchConfig, MatchOutput, MatchStats};
+pub use warm::{WarmMatcher, WarmStats};

@@ -32,6 +32,16 @@ impl MatchRelation {
         self.sim.len()
     }
 
+    /// Empties the relation and re-sizes its data side to `data_nodes`, reusing the
+    /// bitset storage — the allocation-free equivalent of `MatchRelation::empty` for
+    /// per-ball relations recycled across a sliding-ball run.
+    pub fn reset(&mut self, data_nodes: usize) {
+        for set in &mut self.sim {
+            set.reset(data_nodes);
+        }
+        self.data_nodes = data_nodes;
+    }
+
     /// Node capacity of the data graph side.
     #[inline]
     pub fn data_node_capacity(&self) -> usize {

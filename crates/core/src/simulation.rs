@@ -90,6 +90,30 @@ pub enum RefineStrategy {
     NaiveFixpoint,
 }
 
+/// How the per-ball refinement of the sliding-ball engine is *seeded* — the third oracle
+/// axis next to [`RefineStrategy`] (which fixpoint algorithm) and
+/// [`crate::ball::BallStrategy`] (how ball membership is produced).
+///
+/// The maximum dual-simulation relation inside a ball is unique, so both variants converge
+/// to bit-identical per-node candidate sets; the differential suite in
+/// `tests/refine_warm_equivalence.rs` pins them against each other. The axis only takes
+/// effect on the compact sliding-ball path (`compact_balls` with
+/// [`crate::ball::BallStrategy::Incremental`]) — every other engine shape refines from
+/// scratch by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineSeed {
+    /// Carry the previous ball's converged relation across the slide, translate it
+    /// through the compact-index remap, re-open candidates only where the membership
+    /// delta can have created support, and re-verify only the delta-seeded pairs
+    /// ([`crate::warm`]).
+    #[default]
+    WarmStart,
+    /// Refine every ball from its full label-based (or dual-filter-projected) candidate
+    /// sets, ignoring the previous ball. Kept as the equivalence oracle and as the
+    /// baseline the `refine_warm` bench ratios are measured against.
+    FromScratch,
+}
+
 /// Iteratively removes candidates that violate the simulation conditions until a fixpoint is
 /// reached. Returns the refined relation (which may have empty candidate sets).
 ///
@@ -148,11 +172,14 @@ fn refine_worklist<V: AdjView>(
 /// after two witnesses (the same early-exit the naive pass enjoys via `any`). A decrement
 /// that reaches zero therefore only *suspects* a lost pair and triggers an exact (still
 /// capped) recount before removal — removals stay exact, scans stay short.
-const COUNT_CAP: u32 = 2;
+pub(crate) const COUNT_CAP: u32 = 2;
 
 /// Counts elements of `iter` satisfying `pred`, stopping at [`COUNT_CAP`].
 #[inline]
-fn count_capped<I: Iterator<Item = NodeId>>(iter: I, mut pred: impl FnMut(NodeId) -> bool) -> u32 {
+pub(crate) fn count_capped<I: Iterator<Item = NodeId>>(
+    iter: I,
+    mut pred: impl FnMut(NodeId) -> bool,
+) -> u32 {
     let mut c = 0u32;
     for w in iter {
         if pred(w) {

@@ -13,7 +13,7 @@
 //!
 //! # Engine
 //!
-//! Independent of the paper-level optimisations, the engine has four performance layers,
+//! Independent of the paper-level optimisations, the engine has five performance layers,
 //! each with a seed-compatible fallback kept for ablation and as an equivalence oracle:
 //!
 //! * **worklist refinement** ([`RefineStrategy::Worklist`]) — counter-based incremental
@@ -25,6 +25,11 @@
 //!   are walked in locality order and each worker slides one [`crate::ball::BallForest`]
 //!   ball along its range, repairing distances between adjacent centers instead of
 //!   re-running a BFS per center ([`BallStrategy::FreshBfs`] is the oracle),
+//! * **warm-started refinement** ([`RefineSeed::WarmStart`]) — on the sliding path each
+//!   worker also carries the previous ball's converged relation and incrementally
+//!   maintained match graph across the slide ([`crate::warm`]), re-verifying only the
+//!   membership delta instead of refining from scratch ([`RefineSeed::FromScratch`] is
+//!   the oracle),
 //! * **parallel ball processing** (`parallel`) — ball centers are fanned out over scoped
 //!   worker threads ([`crate::parallel`]): striped for fresh balls, contiguous locality
 //!   ranges for sliding balls; subgraphs are re-sorted by center id and stats merged by
@@ -38,7 +43,8 @@ use crate::minimize::minimize_pattern;
 use crate::parallel::{available_threads, contiguous, par_workers, stripe};
 use crate::pruning::prune_by_connectivity;
 use crate::relation::MatchRelation;
-use crate::simulation::{initial_candidates, RefineStrategy};
+use crate::simulation::{initial_candidates, RefineSeed, RefineStrategy};
+use crate::warm::WarmMatcher;
 use ssim_graph::{Ball, BallScratch, CompactBall, Graph, NodeId, Pattern};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
@@ -74,6 +80,10 @@ pub struct MatchConfig {
     /// equivalence oracle). Only effective together with `compact_balls`; the legacy
     /// `|V|`-sized path always builds fresh balls.
     pub ball_strategy: BallStrategy,
+    /// How the per-ball refinement is seeded on the sliding-ball path: warm-started from
+    /// the previous ball's converged relation (the default) or from scratch (the
+    /// equivalence oracle, and the only behaviour of every non-sliding engine shape).
+    pub refine_seed: RefineSeed,
 }
 
 impl Default for MatchConfig {
@@ -91,6 +101,7 @@ impl Default for MatchConfig {
             thread_limit: None,
             compact_balls: true,
             ball_strategy: BallStrategy::Incremental,
+            refine_seed: RefineSeed::WarmStart,
         }
     }
 }
@@ -119,6 +130,7 @@ impl MatchConfig {
             parallel: false,
             compact_balls: false,
             ball_strategy: BallStrategy::FreshBfs,
+            refine_seed: RefineSeed::FromScratch,
             ..Self::default()
         }
     }
@@ -160,6 +172,12 @@ impl MatchConfig {
         self.ball_strategy = strategy;
         self
     }
+
+    /// Selects how the per-ball refinement is seeded on the sliding-ball path.
+    pub fn with_refine_seed(mut self, seed: RefineSeed) -> Self {
+        self.refine_seed = seed;
+        self
+    }
 }
 
 /// Counters describing the work performed by a strong-simulation run.
@@ -181,6 +199,16 @@ pub struct MatchStats {
     /// ([`BallStrategy::Incremental`] only; `balls_built + balls_reused ==
     /// balls_processed`).
     pub balls_reused: usize,
+    /// Balls whose refinement was warm-started from the previous ball's converged
+    /// relation ([`RefineSeed::WarmStart`] on the sliding path only).
+    pub balls_warm_started: usize,
+    /// Pairs fed to the per-ball refinement: the delta suspects on warm-started balls,
+    /// the full start relation otherwise. Seed-dependent instrumentation by design —
+    /// the warm/scratch ratio is the `refine_warm` bench's `seeded_ratio`.
+    pub seeded_pairs: usize,
+    /// Balls whose match graph was updated incrementally from the previous ball's
+    /// instead of rebuilt (warm path with connectivity pruning off).
+    pub match_graphs_reused: usize,
     /// Perfect subgraphs found (before deduplication).
     pub perfect_subgraphs: usize,
     /// `(original, minimised)` pattern sizes when query minimization ran.
@@ -277,6 +305,9 @@ struct WorkerResult {
     filter_removed_pairs: usize,
     balls_built: usize,
     balls_reused: usize,
+    balls_warm_started: usize,
+    seeded_pairs: usize,
+    match_graphs_reused: usize,
 }
 
 /// Runs strong simulation of `pattern` over `data` with the given configuration.
@@ -371,10 +402,12 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
         }
         (true, None) => 1,
     };
+    let use_warm = use_forest && config.refine_seed == RefineSeed::WarmStart;
     let worker = |t: usize| -> WorkerResult {
         let mut result = WorkerResult::default();
         let mut scratch = BallScratch::new();
         let mut forest = use_forest.then(|| BallForest::new(data, radius));
+        let mut warm = use_warm.then(|| WarmMatcher::new(effective_pattern));
         let indices: Box<dyn Iterator<Item = usize>> = if use_forest {
             Box::new(contiguous(centers.len(), threads, t))
         } else {
@@ -385,18 +418,40 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
             let (subgraph, removed) = if let Some(forest) = forest.as_mut() {
                 forest.advance(center);
                 let ball = forest.compact(&mut scratch);
-                let out = match_prepared_ball(
-                    effective_pattern,
-                    data,
-                    &ball,
-                    config,
-                    global_relation.as_ref(),
-                );
+                // Warm-starting rides slides; rebuilt balls take the byte-identical
+                // scratch path (`WarmMatcher::wants` invalidates the carry, and the
+                // next slide re-seeds the chain from its own scratch refinement).
+                let ball_move = forest.last_move();
+                let use_warm_ball = warm.as_mut().is_some_and(|w| w.wants(ball_move));
+                let out = if use_warm_ball {
+                    let warm = warm.as_mut().expect("gate implies matcher");
+                    warm.match_ball(
+                        effective_pattern,
+                        data,
+                        &ball,
+                        ball_move,
+                        forest.entered(),
+                        forest.left(),
+                        global_relation.as_ref(),
+                        config.connectivity_pruning,
+                        config.refine_strategy,
+                    )
+                } else {
+                    let (subgraph, removed, seeded) = match_prepared_ball(
+                        effective_pattern,
+                        data,
+                        &ball,
+                        config,
+                        global_relation.as_ref(),
+                    );
+                    result.seeded_pairs += seeded;
+                    (subgraph, removed)
+                };
                 ball.recycle(&mut scratch);
                 out
             } else if config.compact_balls {
                 result.balls_built += 1;
-                match_ball_compact(
+                let (subgraph, removed, seeded) = match_ball_compact(
                     effective_pattern,
                     data,
                     center,
@@ -404,17 +459,21 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
                     config,
                     global_relation.as_ref(),
                     &mut scratch,
-                )
+                );
+                result.seeded_pairs += seeded;
+                (subgraph, removed)
             } else {
                 result.balls_built += 1;
-                match_ball_legacy(
+                let (subgraph, removed, seeded) = match_ball_legacy(
                     effective_pattern,
                     data,
                     center,
                     radius,
                     config,
                     global_relation.as_ref(),
-                )
+                );
+                result.seeded_pairs += seeded;
+                (subgraph, removed)
             };
             if removed > 0 {
                 result.balls_with_invalid_matches += 1;
@@ -436,10 +495,16 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
                 result.subgraphs.push(subgraph);
             }
         }
-        // The forest is the single source of truth for the built/reused split.
+        // The forest is the single source of truth for the built/reused split, the warm
+        // matcher for the seeding split.
         if let Some(forest) = &forest {
             result.balls_built += forest.built_fresh;
             result.balls_reused += forest.reused;
+        }
+        if let Some(warm) = &warm {
+            result.balls_warm_started += warm.stats.warm_balls;
+            result.seeded_pairs += warm.stats.seeded_pairs;
+            result.match_graphs_reused += warm.stats.match_graphs_reused;
         }
         result
     };
@@ -453,6 +518,9 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
         stats.filter_removed_pairs += r.filter_removed_pairs;
         stats.balls_built += r.balls_built;
         stats.balls_reused += r.balls_reused;
+        stats.balls_warm_started += r.balls_warm_started;
+        stats.seeded_pairs += r.seeded_pairs;
+        stats.match_graphs_reused += r.match_graphs_reused;
         subgraphs.extend(r.subgraphs);
     }
     subgraphs.sort_by_key(|s| s.center);
@@ -485,7 +553,7 @@ fn match_ball_compact(
     config: &MatchConfig,
     global_relation: Option<&MatchRelation>,
     scratch: &mut BallScratch,
-) -> (Option<PerfectSubgraph>, usize) {
+) -> (Option<PerfectSubgraph>, usize, usize) {
     let ball = CompactBall::build(data, center, radius, scratch);
     let result = match_prepared_ball(pattern, data, &ball, config, global_relation);
     ball.recycle(scratch);
@@ -503,7 +571,7 @@ fn match_prepared_ball(
     ball: &CompactBall,
     config: &MatchConfig,
     global_relation: Option<&MatchRelation>,
-) -> (Option<PerfectSubgraph>, usize) {
+) -> (Option<PerfectSubgraph>, usize, usize) {
     let view = ball.view(data);
 
     // Starting relation (ball-local ids): either the projected global relation or fresh
@@ -518,11 +586,12 @@ fn match_prepared_ball(
         match prune_by_connectivity(pattern, &view, ball.center(), &start) {
             Some(pruned) => pruned,
             // Center cannot match: no perfect subgraph in this ball.
-            None => return (None, 0),
+            None => return (None, 0, 0),
         }
     } else {
         start
     };
+    let seeded = start.pair_count();
 
     // Refinement: border-seeded work queue when starting from the projected global
     // relation, full (worklist) fixpoint otherwise.
@@ -536,7 +605,7 @@ fn match_prepared_ball(
         extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
             .map(|s| translate_subgraph(s, ball))
     });
-    (result, removed)
+    (result, removed, seeded)
 }
 
 /// Translates a perfect subgraph expressed in ball-local ids back to global ids.
@@ -544,7 +613,7 @@ fn match_prepared_ball(
 /// Local ids follow BFS order, so the mapped vectors are re-sorted to restore the
 /// ascending-global-id invariants of [`PerfectSubgraph`]. This runs once per *extracted*
 /// subgraph — a tiny fraction of the per-ball work.
-fn translate_subgraph(local: PerfectSubgraph, ball: &CompactBall) -> PerfectSubgraph {
+pub(crate) fn translate_subgraph(local: PerfectSubgraph, ball: &CompactBall) -> PerfectSubgraph {
     let mut nodes: Vec<NodeId> = local.nodes.into_iter().map(|n| ball.global_of(n)).collect();
     nodes.sort_unstable();
     let mut edges: Vec<(NodeId, NodeId)> = local
@@ -577,7 +646,7 @@ fn match_ball_legacy(
     radius: usize,
     config: &MatchConfig,
     global_relation: Option<&MatchRelation>,
-) -> (Option<PerfectSubgraph>, usize) {
+) -> (Option<PerfectSubgraph>, usize, usize) {
     let ball = Ball::new(data, center, radius);
     let view = ball.view(data);
     let start = match global_relation {
@@ -587,11 +656,12 @@ fn match_ball_legacy(
     let start = if config.connectivity_pruning {
         match prune_by_connectivity(pattern, &view, center, &start) {
             Some(pruned) => pruned,
-            None => return (None, 0),
+            None => return (None, 0, 0),
         }
     } else {
         start
     };
+    let seeded = start.pair_count();
     let mut removed = 0usize;
     let relation = if config.dual_filter {
         refine_projected(
@@ -605,11 +675,12 @@ fn match_ball_legacy(
         refine_dual_with(pattern, &view, start, config.refine_strategy)
     };
     let Some(relation) = relation else {
-        return (None, removed);
+        return (None, removed, seeded);
     };
     (
         extract_max_perfect_subgraph(pattern, &view, &relation, center, radius),
         removed,
+        seeded,
     )
 }
 
@@ -793,6 +864,12 @@ mod tests {
             MatchConfig::basic()
                 .with_ball_strategy(BallStrategy::FreshBfs)
                 .with_thread_limit(3),
+            // Refinement-seed ablations.
+            MatchConfig::basic().with_refine_seed(RefineSeed::FromScratch),
+            MatchConfig::optimized().with_refine_seed(RefineSeed::FromScratch),
+            MatchConfig::basic()
+                .with_refine_seed(RefineSeed::FromScratch)
+                .with_thread_limit(3),
         ] {
             let out = strong_simulation(&pattern, &data, &config);
             assert_eq!(
@@ -948,6 +1025,38 @@ mod tests {
             },
         );
         assert_eq!(legacy.stats.balls_reused, 0);
+    }
+
+    #[test]
+    fn warm_stats_split_is_consistent() {
+        let (pattern, data, _) = figure1();
+        let warm = strong_simulation(&pattern, &data, &MatchConfig::basic());
+        assert!(
+            warm.stats.balls_warm_started > 0,
+            "figure 1's locality chains never warm-started"
+        );
+        assert!(warm.stats.balls_warm_started <= warm.stats.balls_processed);
+        assert!(warm.stats.seeded_pairs > 0);
+        let scratch = strong_simulation(
+            &pattern,
+            &data,
+            &MatchConfig::basic().with_refine_seed(RefineSeed::FromScratch),
+        );
+        assert_eq!(scratch.stats.balls_warm_started, 0);
+        assert_eq!(scratch.stats.match_graphs_reused, 0);
+        assert!(
+            warm.stats.seeded_pairs <= scratch.stats.seeded_pairs,
+            "warm seeding ({}) re-verified more pairs than scratch seeding started ({})",
+            warm.stats.seeded_pairs,
+            scratch.stats.seeded_pairs
+        );
+        // The non-sliding engine shapes ignore the seed axis entirely.
+        let fresh = strong_simulation(
+            &pattern,
+            &data,
+            &MatchConfig::basic().with_ball_strategy(BallStrategy::FreshBfs),
+        );
+        assert_eq!(fresh.stats.balls_warm_started, 0);
     }
 
     #[test]

@@ -18,7 +18,9 @@ use ssim_core::ball::{locality_center_order, BallForest};
 use ssim_core::match_graph::PerfectSubgraph;
 use ssim_core::minimize::minimize_pattern;
 use ssim_core::parallel::par_workers;
+use ssim_core::simulation::{RefineSeed, RefineStrategy};
 use ssim_core::strong::match_compact_ball;
+use ssim_core::warm::WarmMatcher;
 use ssim_graph::{BallScratch, Graph, Pattern};
 
 /// Configuration of a distributed run.
@@ -30,6 +32,10 @@ pub struct DistributedConfig {
     pub strategy: PartitionStrategy,
     /// Minimise the query at the coordinator before broadcasting it.
     pub minimize_query: bool,
+    /// How each site's per-ball refinement is seeded: warm-started from the site's
+    /// previous ball (the default) or from scratch (the equivalence oracle), mirroring
+    /// the centralized engine's [`RefineSeed`] axis.
+    pub refine_seed: RefineSeed,
 }
 
 impl Default for DistributedConfig {
@@ -38,6 +44,7 @@ impl Default for DistributedConfig {
             sites: 4,
             strategy: PartitionStrategy::Range,
             minimize_query: true,
+            refine_seed: RefineSeed::WarmStart,
         }
     }
 }
@@ -62,6 +69,13 @@ pub struct TrafficStats {
     pub built_balls: usize,
     /// Balls derived incrementally from the owning site's previous ball.
     pub reused_balls: usize,
+    /// Balls whose refinement was warm-started from the owning site's previous ball
+    /// ([`RefineSeed::WarmStart`] only).
+    pub warm_started_balls: usize,
+    /// Pairs fed to per-ball refinement across all sites: the delta suspects on
+    /// warm-started balls, the full start relation otherwise (seed-dependent
+    /// instrumentation, like the centralized `MatchStats::seeded_pairs`).
+    pub warm_seeded_pairs: usize,
     /// Number of balls evaluated by each site.
     pub balls_per_site: Vec<usize>,
 }
@@ -97,6 +111,8 @@ struct SiteReport {
     shipped_edges: usize,
     built_balls: usize,
     reused_balls: usize,
+    warm_started_balls: usize,
+    warm_seeded_pairs: usize,
     balls: usize,
 }
 
@@ -138,6 +154,7 @@ pub fn distributed_strong_simulation(
             data,
             &partition,
             &site_centers[site],
+            config.refine_seed,
         )
     });
 
@@ -154,6 +171,8 @@ pub fn distributed_strong_simulation(
         traffic.shipped_edges += report.shipped_edges;
         traffic.built_balls += report.built_balls;
         traffic.reused_balls += report.reused_balls;
+        traffic.warm_started_balls += report.warm_started_balls;
+        traffic.warm_seeded_pairs += report.warm_seeded_pairs;
         traffic.result_subgraphs += report.subgraphs.len();
         traffic.balls_per_site[report.site] = report.balls;
         subgraphs.extend(report.subgraphs);
@@ -175,6 +194,7 @@ fn evaluate_site(
     data: &Graph,
     partition: &GraphPartition,
     centers: &[ssim_graph::NodeId],
+    refine_seed: RefineSeed,
 ) -> SiteReport {
     let mut report = SiteReport {
         site,
@@ -185,12 +205,16 @@ fn evaluate_site(
         shipped_edges: 0,
         built_balls: 0,
         reused_balls: 0,
+        warm_started_balls: 0,
+        warm_seeded_pairs: 0,
         balls: 0,
     };
     let mut scratch = BallScratch::new();
     // A center is owned by exactly one site, so each ball is evaluated — and charged as
-    // built or reused — exactly once across the whole run.
+    // built or reused — exactly once across the whole run. The warm matcher carries the
+    // site's previous converged relation between its locality-adjacent balls.
     let mut forest = BallForest::new(data, radius);
+    let mut warm = (refine_seed == RefineSeed::WarmStart).then(|| WarmMatcher::new(pattern));
     for &center in centers {
         report.balls += 1;
         if partition.is_border_node(data, center) {
@@ -217,14 +241,42 @@ fn evaluate_site(
                     .count();
             }
         }
-        if let Some(subgraph) = match_compact_ball(pattern, &ball, data) {
+        // Warm-starting rides slides; rebuilt balls take the plain scratch unit of
+        // work (`WarmMatcher::wants` invalidates the site's carried relation).
+        let ball_move = forest.last_move();
+        let use_warm_ball = warm.as_mut().is_some_and(|w| w.wants(ball_move));
+        let subgraph = if use_warm_ball {
+            let warm = warm.as_mut().expect("gate implies matcher");
+            // Same unit of work as `match_compact_ball` (fresh candidates, no paper
+            // optimisations), but seeded from the site's previous ball.
+            warm.match_ball(
+                pattern,
+                data,
+                &ball,
+                ball_move,
+                forest.entered(),
+                forest.left(),
+                None,
+                false,
+                RefineStrategy::Worklist,
+            )
+            .0
+        } else {
+            match_compact_ball(pattern, &ball, data)
+        };
+        if let Some(subgraph) = subgraph {
             report.subgraphs.push(subgraph);
         }
         ball.recycle(&mut scratch);
     }
-    // The forest is the single source of truth for the built/reused split.
+    // The forest is the single source of truth for the built/reused split, the warm
+    // matcher for the seeding split.
     report.built_balls = forest.built_fresh;
     report.reused_balls = forest.reused;
+    if let Some(warm) = &warm {
+        report.warm_started_balls = warm.stats.warm_balls;
+        report.warm_seeded_pairs = warm.stats.seeded_pairs;
+    }
     report
 }
 
@@ -246,6 +298,7 @@ mod tests {
                     sites,
                     strategy,
                     minimize_query: false,
+                    ..DistributedConfig::default()
                 };
                 let out = distributed_strong_simulation(&fig.pattern, &fig.data, &config);
                 assert_eq!(
@@ -275,6 +328,7 @@ mod tests {
                 sites: 4,
                 strategy: PartitionStrategy::Hash,
                 minimize_query: true,
+                ..DistributedConfig::default()
             },
         );
         assert_eq!(central.matched_nodes(), out.matched_nodes());
@@ -291,6 +345,7 @@ mod tests {
                 sites: 1,
                 strategy: PartitionStrategy::Hash,
                 minimize_query: false,
+                ..DistributedConfig::default()
             },
         );
         assert_eq!(out.traffic.shipped_balls, 0);
@@ -315,6 +370,7 @@ mod tests {
                 sites: 3,
                 strategy: PartitionStrategy::Range,
                 minimize_query: false,
+                ..DistributedConfig::default()
             },
         );
         // Shipped balls can never exceed the total number of balls, and every shipped ball
@@ -344,6 +400,7 @@ mod tests {
                         sites,
                         strategy,
                         minimize_query: false,
+                        ..DistributedConfig::default()
                     },
                 );
                 let total: usize = out.traffic.balls_per_site.iter().sum();
@@ -366,11 +423,88 @@ mod tests {
                 sites: 3,
                 strategy: PartitionStrategy::Range,
                 minimize_query: false,
+                ..DistributedConfig::default()
             },
         );
         assert!(
             range.traffic.reused_balls > 0,
             "range partition never slides"
+        );
+    }
+
+    #[test]
+    fn warm_and_scratch_sites_return_identical_results() {
+        let data = synthetic(&SyntheticConfig {
+            nodes: 200,
+            alpha: 1.15,
+            labels: 9,
+            seed: 17,
+        });
+        let pattern = extract_pattern(&data, 4, 2).expect("pattern extraction succeeds");
+        for sites in [1, 3, 5] {
+            for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range] {
+                let base = DistributedConfig {
+                    sites,
+                    strategy,
+                    minimize_query: false,
+                    ..DistributedConfig::default()
+                };
+                let warm = distributed_strong_simulation(&pattern, &data, &base);
+                let scratch = distributed_strong_simulation(
+                    &pattern,
+                    &data,
+                    &DistributedConfig {
+                        refine_seed: RefineSeed::FromScratch,
+                        ..base
+                    },
+                );
+                assert_eq!(
+                    warm.subgraphs.len(),
+                    scratch.subgraphs.len(),
+                    "sites={sites} strategy={strategy:?}"
+                );
+                for (a, b) in warm.subgraphs.iter().zip(&scratch.subgraphs) {
+                    assert_eq!(a.center, b.center);
+                    assert_eq!(a.nodes, b.nodes);
+                    assert_eq!(a.edges, b.edges);
+                    assert_eq!(a.relation, b.relation);
+                }
+                // The oracle never warm-starts, and warm starts are bounded by the
+                // balls actually evaluated.
+                assert_eq!(scratch.traffic.warm_started_balls, 0);
+                assert!(
+                    warm.traffic.warm_started_balls
+                        <= warm.traffic.built_balls + warm.traffic.reused_balls,
+                    "more warm starts than balls"
+                );
+                // The scratch sites bypass the warm matcher entirely.
+                assert_eq!(scratch.traffic.warm_seeded_pairs, 0);
+            }
+        }
+        // On a range-partitioned chain every site slides along its own stretch, so the
+        // sites' warm chains must actually engage.
+        let n = 120u32;
+        let labels: Vec<ssim_graph::Label> = (0..n).map(|i| ssim_graph::Label(i % 2)).collect();
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let chain = ssim_graph::Graph::from_edges(labels, &edges).unwrap();
+        let chain_pattern = ssim_graph::Pattern::from_edges(
+            vec![ssim_graph::Label(0), ssim_graph::Label(1)],
+            &[(0, 1)],
+        )
+        .unwrap();
+        let warm = distributed_strong_simulation(
+            &chain_pattern,
+            &chain,
+            &DistributedConfig {
+                sites: 3,
+                strategy: PartitionStrategy::Range,
+                minimize_query: false,
+                ..DistributedConfig::default()
+            },
+        );
+        assert!(
+            warm.traffic.warm_started_balls > 0,
+            "range-partitioned chain never warm-started a ball"
         );
     }
 
@@ -394,6 +528,7 @@ mod tests {
                 sites: 4,
                 strategy: PartitionStrategy::Hash,
                 minimize_query: false,
+                ..DistributedConfig::default()
             },
         );
         let range = distributed_strong_simulation(
@@ -403,6 +538,7 @@ mod tests {
                 sites: 4,
                 strategy: PartitionStrategy::Range,
                 minimize_query: false,
+                ..DistributedConfig::default()
             },
         );
         assert_eq!(hash.matched_nodes(), range.matched_nodes());

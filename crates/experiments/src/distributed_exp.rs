@@ -43,6 +43,7 @@ pub fn traffic_vs_sites(dataset: DatasetKind, scale: &ExperimentScale) -> Vec<Di
                     sites,
                     strategy,
                     minimize_query: false,
+                    ..DistributedConfig::default()
                 },
             );
             let seconds = start.elapsed().as_secs_f64();

@@ -253,8 +253,29 @@ impl CompactBall {
             distances.len(),
             "one distance per ball member"
         );
+        Self::from_parts_by(graph, center, radius, members, |_, i| distances[i], scratch)
+    }
+
+    /// [`CompactBall::from_parts`] with the distances supplied by a lookup instead of a
+    /// slice: `dist_of(member, position)` returns the undirected center distance of
+    /// `members[position]`.
+    ///
+    /// Incremental ball producers keep one `|V|`-sized distance array alive across
+    /// centers; this constructor lets them remap straight out of it without collecting a
+    /// per-ball distance vector first.
+    ///
+    /// # Panics
+    /// Panics when `center` is not listed in `members`.
+    pub fn from_parts_by(
+        graph: &Graph,
+        center: NodeId,
+        radius: usize,
+        members: &[NodeId],
+        dist_of: impl Fn(NodeId, usize) -> u32,
+        scratch: &mut BallScratch,
+    ) -> Self {
         let map = std::mem::take(&mut scratch.map);
-        let ball = Self::from_members(graph, center, radius, members, distances, map);
+        let ball = Self::from_members_by(graph, center, radius, members, dist_of, map);
         assert!(
             ball.center.index() < members.len() && members[ball.center.index()] == center,
             "ball center {center} must be a member"
@@ -284,6 +305,19 @@ impl CompactBall {
         radius: usize,
         members: &[NodeId],
         distances: &[u32],
+        map: Vec<u32>,
+    ) -> Self {
+        Self::from_members_by(graph, center, radius, members, |_, i| distances[i], map)
+    }
+
+    /// [`CompactBall::from_members`] with looked-up distances (see
+    /// [`CompactBall::from_parts_by`]).
+    fn from_members_by(
+        graph: &Graph,
+        center: NodeId,
+        radius: usize,
+        members: &[NodeId],
+        dist_of: impl Fn(NodeId, usize) -> u32,
         mut map: Vec<u32>,
     ) -> Self {
         let to_global: Vec<NodeId> = members.to_vec();
@@ -295,10 +329,10 @@ impl CompactBall {
         }
         // Members are listed in BFS order, so the border (distance == radius) occupies
         // ascending local positions already.
-        let border: Vec<NodeId> = distances
+        let border: Vec<NodeId> = to_global
             .iter()
             .enumerate()
-            .filter(|(_, &d)| d as usize == radius)
+            .filter(|&(local, &g)| dist_of(g, local) as usize == radius)
             .map(|(local, _)| NodeId(local as u32))
             .collect();
         let center_local = NodeId(map[center.index()]);

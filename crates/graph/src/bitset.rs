@@ -37,6 +37,16 @@ impl BitSet {
         self.capacity
     }
 
+    /// Clears the set and re-sizes it to a new capacity, reusing the word storage.
+    /// Equivalent to `*self = BitSet::new(capacity)` without the allocation when the
+    /// capacity shrinks or stays within the existing storage.
+    pub fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(64), 0);
+        self.capacity = capacity;
+        self.len = 0;
+    }
+
     /// Number of set bits.
     #[inline]
     pub fn len(&self) -> usize {

@@ -45,6 +45,7 @@ fn main() {
                     sites,
                     strategy,
                     minimize_query: true,
+                    ..DistributedConfig::default()
                 },
             );
             let correct = out.matched_nodes() == centralized.matched_nodes();

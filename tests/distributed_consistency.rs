@@ -26,6 +26,7 @@ fn distributed_matches_centralized_across_sites_and_strategies() {
                         sites,
                         strategy,
                         minimize_query,
+                        ..DistributedConfig::default()
                     },
                 );
                 assert_eq!(
@@ -59,6 +60,7 @@ fn distributed_matches_centralized_on_generated_workloads() {
                 sites: 5,
                 strategy: PartitionStrategy::Hash,
                 minimize_query: true,
+                ..DistributedConfig::default()
             },
         );
         assert_eq!(central.matched_nodes(), out.matched_nodes(), "seed={seed}");
@@ -76,6 +78,7 @@ fn traffic_accounting_is_consistent() {
             sites: 4,
             strategy: PartitionStrategy::Range,
             minimize_query: false,
+            ..DistributedConfig::default()
         },
     );
     // Every node is the center of exactly one ball, evaluated at its home site.

@@ -1,0 +1,411 @@
+//! Differential properties of warm-started refinement ([`ssim_core::warm`]).
+//!
+//! [`RefineSeed::WarmStart`] carries the previous ball's converged dual-simulation
+//! relation across a [`ssim_core::BallForest`] slide instead of refining every ball from
+//! scratch. The maximum relation inside a ball is unique, so the warm engine must be
+//! *bit-identical* to the [`RefineSeed::FromScratch`] oracle; these properties pin it at
+//! both layers:
+//!
+//! * **relation layer** — after every ball, the warm matcher's converged per-node
+//!   candidate bitsets equal a from-scratch refinement of the same ball, with and
+//!   without the dual-filter base, across locality walks and adversarial jumps;
+//! * **match layer** — `strong_simulation` returns identical `MatchOutput`s under both
+//!   seeds, for plain `Match` and `Match+`, both `RefineStrategy` variants, sequential
+//!   and parallel, and through the distributed runtime.
+//!
+//! Seed-*dependent* instrumentation (`seeded_pairs`, `balls_warm_started`,
+//! `match_graphs_reused`, and the dual-filter removal counters, which count removals
+//! against differently sized starts) is excluded from the comparison by design; the
+//! three-axis oracle matrix is documented in the README.
+
+use proptest::prelude::*;
+use ssim_core::dual::{dual_simulation, refine_dual_with};
+use ssim_core::simulation::initial_candidates;
+use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
+use ssim_core::{locality_center_order, BallForest, RefineSeed, RefineStrategy, WarmMatcher};
+use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
+use ssim_distributed::{distributed_strong_simulation, DistributedConfig, PartitionStrategy};
+use ssim_graph::{BallScratch, Graph, Label, NodeId, Pattern};
+
+/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
+/// labels drawn from a 4-symbol alphabet.
+fn data_graph() -> impl Strategy<Value = Graph> {
+    (3usize..24).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
+                .expect("endpoints are in range by construction")
+        })
+    })
+}
+
+/// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
+fn pattern() -> impl Strategy<Value = Pattern> {
+    (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
+        random_pattern(&PatternGenConfig {
+            nodes,
+            alpha,
+            labels: 4,
+            seed,
+        })
+    })
+}
+
+/// A center sequence: one locality sweep (maximising slides and warm chains) followed by
+/// random jumps (maximising rebuilds, membership diffs and degenerate-delta bailouts).
+fn center_sequence(graph: &Graph, jumps: &[usize]) -> Vec<NodeId> {
+    let all: Vec<NodeId> = graph.nodes().collect();
+    let mut seq = locality_center_order(graph, &all);
+    seq.extend(
+        jumps
+            .iter()
+            .map(|&j| NodeId((j % graph.node_count()) as u32)),
+    );
+    seq
+}
+
+/// Asserts two match outputs agree on every subgraph bit and every seed-independent
+/// stat. The ball strategy is identical on both sides, so the built/reused split must
+/// agree too whenever both runs are sequential (`compare_ball_split`).
+fn assert_same_output(
+    a: &MatchOutput,
+    b: &MatchOutput,
+    compare_ball_split: bool,
+    context: &str,
+) -> Result<(), String> {
+    prop_assert!(
+        a.subgraphs.len() == b.subgraphs.len(),
+        "{context}: {} vs {} subgraphs",
+        a.subgraphs.len(),
+        b.subgraphs.len()
+    );
+    for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
+        prop_assert!(x.center == y.center, "{context}: centers differ");
+        prop_assert!(x.radius == y.radius, "{context}: radii differ");
+        prop_assert_eq!(&x.nodes, &y.nodes);
+        prop_assert_eq!(&x.edges, &y.edges);
+        prop_assert_eq!(&x.relation, &y.relation);
+    }
+    prop_assert_eq!(a.stats.balls_considered, b.stats.balls_considered);
+    prop_assert_eq!(a.stats.balls_processed, b.stats.balls_processed);
+    prop_assert_eq!(a.stats.balls_skipped, b.stats.balls_skipped);
+    prop_assert_eq!(a.stats.perfect_subgraphs, b.stats.perfect_subgraphs);
+    prop_assert_eq!(a.stats.radius, b.stats.radius);
+    if compare_ball_split {
+        prop_assert_eq!(a.stats.balls_built, b.stats.balls_built);
+        prop_assert_eq!(a.stats.balls_reused, b.stats.balls_reused);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Relation layer: after every ball of a slide/jump sequence, the warm matcher's
+    /// carried candidate bitsets equal a from-scratch refinement of the same ball —
+    /// with the label-candidate base and with the dual-filter-projected base.
+    #[test]
+    fn warm_relations_equal_scratch_relations_per_ball(
+        data in data_graph(),
+        q in pattern(),
+        radius in 0usize..4,
+        jumps in proptest::collection::vec(0usize..1000, 0..16),
+    ) {
+        let centers = center_sequence(&data, &jumps);
+        // The label-candidate base always runs; the projected base only when the whole
+        // graph dual-simulates the pattern (otherwise every ball is skipped upstream).
+        let global = dual_simulation(&q, &data);
+        let mut bases = vec![None];
+        bases.extend(global.as_ref().map(Some));
+        for global_base in bases {
+            let mut forest = BallForest::new(&data, radius);
+            let mut warm = WarmMatcher::new(&q);
+            let mut scratch = BallScratch::new();
+            let mut fresh_checked = 0usize;
+            for &center in &centers {
+                forest.advance(center);
+                let ball = forest.compact(&mut scratch);
+                warm.match_ball(
+                    &q,
+                    &data,
+                    &ball,
+                    forest.last_move(),
+                    forest.entered(),
+                    forest.left(),
+                    global_base,
+                    false,
+                    RefineStrategy::Worklist,
+                );
+                if !warm.carry_is_fresh() {
+                    // Inside a bail back-off window the matcher legitimately leaves the
+                    // carry stale (nothing will consume it before the next probe); the
+                    // exactness contract only covers maintained carries.
+                    ball.recycle(&mut scratch);
+                    continue;
+                }
+                let (members, got) = warm.carried_relation().expect("carry set after a ball");
+                fresh_checked += 1;
+                let view = ball.view(&data);
+                let start = match global_base {
+                    Some(g) => g.project_compact(&ball),
+                    None => initial_candidates(&q, &view),
+                };
+                let oracle = refine_dual_with(&q, &view, start, RefineStrategy::NaiveFixpoint);
+                // `None` and `Some(empty)` both record the exact empty fixpoint (the
+                // drain clears on an emptied row; an all-empty translate never drains).
+                let got_pairs = got.map(|r| r.to_sorted_pairs()).unwrap_or_default();
+                match oracle {
+                    Some(oracle) => {
+                        // A fresh non-empty carry is keyed on this very ball.
+                        prop_assert!(members == ball.to_global(), "carry on the wrong ball");
+                        prop_assert!(
+                            got_pairs == oracle.to_sorted_pairs(),
+                            "ball({center}, {radius}) relation diverged"
+                        );
+                    }
+                    // Connected patterns: a non-total fixpoint cascades to empty, and
+                    // the warm drain must have converged all the way there (an empty
+                    // carry may keep stale members by design — nothing translates it).
+                    None => prop_assert!(
+                        got_pairs.is_empty(),
+                        "ball({center}, {radius}): warm kept pairs in an unmatchable ball"
+                    ),
+                }
+                ball.recycle(&mut scratch);
+            }
+            prop_assert!(
+                fresh_checked > 0,
+                "the matcher never maintained a fresh carry to verify"
+            );
+        }
+    }
+
+    /// Match layer: `RefineSeed::WarmStart` and `RefineSeed::FromScratch` produce
+    /// identical outputs — plain and optimised, both refinement strategies, sequential
+    /// and parallel.
+    #[test]
+    fn refine_seeds_agree_on_match_output(data in data_graph(), q in pattern()) {
+        for base in [MatchConfig::basic(), MatchConfig::optimized()] {
+            for strategy in [RefineStrategy::Worklist, RefineStrategy::NaiveFixpoint] {
+                let base = base.with_refine_strategy(strategy);
+                let scratch = strong_simulation(
+                    &q,
+                    &data,
+                    &base.sequential().with_refine_seed(RefineSeed::FromScratch),
+                );
+                let warm_seq = strong_simulation(&q, &data, &base.sequential());
+                assert_same_output(&warm_seq, &scratch, true, "warm seq vs scratch")?;
+                prop_assert!(
+                    warm_seq.stats.balls_warm_started <= warm_seq.stats.balls_processed
+                );
+                prop_assert_eq!(scratch.stats.balls_warm_started, 0);
+                for workers in [2usize, 5] {
+                    let warm_par =
+                        strong_simulation(&q, &data, &base.with_thread_limit(workers));
+                    assert_same_output(&warm_par, &scratch, false, "warm par vs scratch")?;
+                }
+            }
+        }
+    }
+
+    /// Radius overrides (rebuild-only radius-0 and slide-heavy radius-1 forests) and
+    /// deduplication preserve the seed equivalence too.
+    #[test]
+    fn refine_seeds_agree_under_radius_override(
+        data in data_graph(),
+        q in pattern(),
+        radius in 0usize..3,
+    ) {
+        let base = MatchConfig::basic().with_radius(radius).with_deduplication();
+        let scratch = strong_simulation(
+            &q,
+            &data,
+            &base.sequential().with_refine_seed(RefineSeed::FromScratch),
+        );
+        let warm = strong_simulation(&q, &data, &base.sequential());
+        assert_same_output(&warm, &scratch, true, "radius override")?;
+    }
+
+    /// The distributed runtime returns bit-identical subgraphs under both seeds, for
+    /// every partition strategy and site count.
+    #[test]
+    fn refine_seeds_agree_through_the_distributed_runtime(
+        data in data_graph(),
+        q in pattern(),
+        sites in 1usize..5,
+    ) {
+        for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range] {
+            let base = DistributedConfig {
+                sites,
+                strategy,
+                minimize_query: false,
+                ..DistributedConfig::default()
+            };
+            let warm = distributed_strong_simulation(&q, &data, &base);
+            let scratch = distributed_strong_simulation(
+                &q,
+                &data,
+                &DistributedConfig {
+                    refine_seed: RefineSeed::FromScratch,
+                    ..base
+                },
+            );
+            prop_assert_eq!(warm.subgraphs.len(), scratch.subgraphs.len());
+            for (a, b) in warm.subgraphs.iter().zip(&scratch.subgraphs) {
+                prop_assert!(a.center == b.center, "distributed centers differ");
+                prop_assert_eq!(&a.nodes, &b.nodes);
+                prop_assert_eq!(&a.edges, &b.edges);
+                prop_assert_eq!(&a.relation, &b.relation);
+            }
+            prop_assert_eq!(scratch.traffic.warm_started_balls, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental match-graph edge cases (deterministic regressions).
+// ---------------------------------------------------------------------------
+
+/// Runs warm and scratch sequentially on the same workload and asserts bit-identical
+/// outputs; returns the warm output for extra stat assertions.
+fn warm_equals_scratch(pattern: &Pattern, data: &Graph, config: MatchConfig) -> MatchOutput {
+    let warm = strong_simulation(pattern, data, &config.sequential());
+    let scratch = strong_simulation(
+        pattern,
+        data,
+        &config
+            .sequential()
+            .with_refine_seed(RefineSeed::FromScratch),
+    );
+    assert_eq!(warm.subgraphs.len(), scratch.subgraphs.len(), "{config:?}");
+    for (a, b) in warm.subgraphs.iter().zip(&scratch.subgraphs) {
+        assert_eq!(a.center, b.center);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.relation, b.relation);
+    }
+    assert_eq!(scratch.stats.balls_warm_started, 0);
+    warm
+}
+
+/// A delta node entering with zero base candidates (filler label) must neither open
+/// gains nor disturb the carried rows.
+#[test]
+fn entered_delta_node_with_zero_candidates() {
+    // A(0) -> B(1) pattern over a chain whose tail is unmatchable filler.
+    let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+    let labels = vec![
+        Label(0),
+        Label(1),
+        Label(0),
+        Label(9), // filler: enters the sliding ball with no candidates
+        Label(9),
+        Label(0),
+        Label(1),
+    ];
+    let edges: Vec<(u32, u32)> = (0..6).map(|i| (i, i + 1)).collect();
+    let data = Graph::from_edges(labels, &edges).unwrap();
+    let out = warm_equals_scratch(&pattern, &data, MatchConfig::basic().with_radius(1));
+    assert!(out.stats.balls_warm_started > 0, "chain never warm-started");
+}
+
+/// A departing delta node that was the last support of the carried matches: the
+/// left-seeded suspects must cascade the carried pairs (and match-graph rows) away.
+#[test]
+fn departing_delta_node_removes_last_match() {
+    // Pattern A -> B. Data: B(0) <- A(1), A(2) -> B(3), then filler; sliding right
+    // first gains support through entering nodes, then loses it as the A/B prefix
+    // leaves the ball.
+    let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+    let labels = vec![
+        Label(1), // 0: B
+        Label(0), // 1: A
+        Label(0), // 2: A
+        Label(1), // 3: B
+        Label(9), // 4: filler
+        Label(9), // 5: filler
+    ];
+    // Matching edges 1->0 and 2->3 plus plain chain links for ball membership.
+    let data = Graph::from_edges(labels, &[(1, 0), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+    let out = warm_equals_scratch(&pattern, &data, MatchConfig::basic().with_radius(1));
+    // The filler centers at the end must not match: their balls lost the A support.
+    assert!(out.subgraphs.iter().all(|s| s.center.0 <= 3));
+    assert!(out.stats.balls_warm_started > 0);
+}
+
+/// Sliding from a hub to a leaf shrinks the ball to (nearly) the center alone; the
+/// carried relation and match graph must shrink with it.
+#[test]
+fn ball_shrinks_towards_center_only() {
+    // Star: hub 0 (A) with leaves 1..=5 (B), plus an isolated node 6 the engine jumps
+    // to (radius-1 ball of a loner is center-only).
+    let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+    let labels = vec![
+        Label(0),
+        Label(1),
+        Label(1),
+        Label(1),
+        Label(1),
+        Label(1),
+        Label(1), // 6: isolated B — a center-only ball, reached by a rebuild
+    ];
+    let edges: Vec<(u32, u32)> = (1..=5).map(|l| (0, l)).collect();
+    let data = Graph::from_edges(labels, &edges).unwrap();
+    let out = warm_equals_scratch(&pattern, &data, MatchConfig::basic().with_radius(1));
+    // The isolated B alone cannot match A -> B.
+    assert!(out.subgraphs.iter().all(|s| s.center.0 != 6));
+}
+
+/// Forces the adaptive back-off between overlapping centers: the rebuilt forest
+/// invalidates its slide delta, and the warm matcher must fall back to the membership
+/// diff (or scratch) instead of translating through stale state — the regression the
+/// back-off fix guards.
+#[test]
+fn backoff_between_overlapping_centers_stays_exact() {
+    // A dense complete graph over alternating labels makes every slide degenerate, so
+    // the forest backs off to rebuilds while consecutive balls still overlap almost
+    // entirely.
+    let n = 12u32;
+    let labels: Vec<Label> = (0..n).map(|i| Label(i % 2)).collect();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                edges.push((i, j));
+            }
+        }
+    }
+    let data = Graph::from_edges(labels, &edges).unwrap();
+    let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+    let out = warm_equals_scratch(&pattern, &data, MatchConfig::basic().with_radius(1));
+    assert!(
+        out.stats.balls_built > 1,
+        "dense graph never backed off to rebuilds"
+    );
+    // Despite the rebuilds, overlapping memberships keep the carry alive via the diff.
+    assert!(
+        out.stats.balls_warm_started > 0,
+        "back-off permanently killed the warm chain"
+    );
+}
+
+/// A long fully matchable thick chain with wide balls: every ball extracts and the
+/// membership delta stays a small fraction of the ball, so the incremental match graph
+/// is exercised on the slides (rows spliced, not rebuilt).
+#[test]
+fn matchable_chain_reuses_match_graphs() {
+    let n = 80u32;
+    let labels: Vec<Label> = (0..n).map(|i| Label(i % 2)).collect();
+    let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.extend((0..n - 2).map(|i| (i, i + 2)));
+    let data = Graph::from_edges(labels, &edges).unwrap();
+    let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+    let out = warm_equals_scratch(&pattern, &data, MatchConfig::basic().with_radius(8));
+    assert!(out.is_match());
+    assert!(
+        out.stats.match_graphs_reused > 0,
+        "matchable chain never reused a match graph"
+    );
+    assert!(out.stats.balls_warm_started > out.stats.balls_processed / 2);
+}
