@@ -16,18 +16,23 @@
 //! * `engine/match_scratch` — the fast engine with `RefineSeed::FromScratch`, isolating
 //!   the warm-start layer: `refine_warm` records its time over `engine/match`'s, the
 //!   fraction of balls warm-started, and the seeded-worklist size ratio (delta suspects
-//!   vs full start relations).
+//!   vs full start relations),
+//! * `engine/match_plus_fullballs` — `Match+` with `BallSubstrate::FullGraph`, isolating
+//!   the match-graph ball substrate: `gm_substrate` records its time over
+//!   `engine/match_plus`'s plus the fraction of `|V|` the extracted `Gm` holds.
 //!
 //! Two high-overlap rows (`overlap-chain`, `overlap-cluster`) stress the sliding forest
 //! where adjacent centers share most of their balls — the workloads the incremental
-//! strategy and the warm-start layer exist for.
+//! strategy and the warm-start layer exist for. A `selective-labels` row (match-graph
+//! fraction below 10 % of `|V|`) stresses the `Gm` substrate, whose ball cost tracks the
+//! candidate density instead of the mesh degree.
 //!
 //! For each configuration the JSON records mean seconds per run, processed balls per
 //! second and data nodes per second, plus the speedup of the fast engine over the seed
 //! engine. Run with `cargo bench --bench match_engine`.
 
 use ssim_bench::{workload, BenchWorkload, BENCH_NODES, BENCH_PATTERN_NODES};
-use ssim_core::ball::BallStrategy;
+use ssim_core::ball::{BallStrategy, BallSubstrate};
 use ssim_core::simulation::RefineSeed;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
 use ssim_experiments::workloads::DatasetKind;
@@ -45,6 +50,7 @@ struct ConfigResult {
     balls_reused: usize,
     balls_warm_started: usize,
     seeded_pairs: usize,
+    gm_nodes: usize,
 }
 
 /// Times each configuration over `runs` interleaved rounds (after one warm-up each) and
@@ -96,6 +102,16 @@ fn measure(name: &'static str, w: &BenchWorkload, seconds: f64, out: &MatchOutpu
         balls_reused: out.stats.balls_reused,
         balls_warm_started: out.stats.balls_warm_started,
         seeded_pairs: out.stats.seeded_pairs,
+        gm_nodes: out.stats.gm_nodes,
+    }
+}
+
+/// Fraction of the data graph surviving the `Gm` extraction (0 when none ran).
+fn gm_fraction(gm_nodes: usize, data_nodes: usize) -> f64 {
+    if data_nodes == 0 {
+        0.0
+    } else {
+        gm_nodes as f64 / data_nodes as f64
     }
 }
 
@@ -221,7 +237,7 @@ fn main() {
     }
     let runs = 9usize;
     let threads = ssim_core::parallel::available_threads();
-    let configs: [(&'static str, MatchConfig); 6] = [
+    let configs: [(&'static str, MatchConfig); 7] = [
         ("seed/match", MatchConfig::seed_reference()),
         (
             "seed/match_plus",
@@ -241,6 +257,10 @@ fn main() {
         (
             "engine/match_scratch",
             MatchConfig::basic().with_refine_seed(RefineSeed::FromScratch),
+        ),
+        (
+            "engine/match_plus_fullballs",
+            MatchConfig::optimized().with_ball_substrate(BallSubstrate::FullGraph),
         ),
     ];
 
@@ -281,6 +301,10 @@ fn main() {
             results[2].balls_reused,
         );
         let refine_warm_seeded = seeded_ratio(results[2].seeded_pairs, results[5].seeded_pairs);
+        // Ball-substrate layer in isolation: Match+ with full-graph balls vs the same
+        // configuration building its balls inside the extracted Gm.
+        let gm_speedup = results[6].seconds / results[3].seconds;
+        let gm_frac = gm_fraction(results[3].gm_nodes, w.data.node_count());
         for r in &results {
             eprintln!(
                 "  {:<22} {:>10.4} ms/run  {:>12.0} balls/s  {:>12.0} nodes/s  ({} subgraphs)",
@@ -301,6 +325,10 @@ fn main() {
         eprintln!(
             "  refine warm: {:.0}% of balls warm-started, {refine_warm_speedup:.2}x vs scratch seeding, seeded ratio {refine_warm_seeded:.3}",
             refine_warm_fraction * 100.0
+        );
+        eprintln!(
+            "  gm substrate: Gm holds {:.0}% of |V|, {gm_speedup:.2}x vs full-graph balls",
+            gm_frac * 100.0
         );
         let config_json: Vec<String> = results
             .iter()
@@ -337,6 +365,8 @@ fn main() {
                 "\"speedup_vs_fresh\": {:.3}}},\n",
                 "     \"refine_warm\": {{\"warm_fraction\": {:.4}, ",
                 "\"speedup_vs_scratch\": {:.3}, \"seeded_ratio\": {:.4}}},\n",
+                "     \"gm_substrate\": {{\"gm_fraction\": {:.4}, ",
+                "\"speedup_vs_full\": {:.3}}},\n",
                 "     \"configs\": [\n{}\n    ]}}"
             ),
             json_escape(dataset.name()),
@@ -352,6 +382,8 @@ fn main() {
             refine_warm_fraction,
             refine_warm_speedup,
             refine_warm_seeded,
+            gm_frac,
+            gm_speedup,
             config_json.join(",\n")
         ));
     }
@@ -483,6 +515,71 @@ fn main() {
             scratch_out.stats.balls_built,
             scratch_out.stats.balls_reused,
             scratch_out.stats.seeded_pairs
+        ));
+    }
+
+    // Selective workload: a sparse matchable chain (every `stride`-th node, linked to
+    // the next matchable node) woven through a thick unmatchable mesh. The global dual
+    // filter keeps only the chain, so `Gm` holds under 10 % of |V| — and the Gm-substrate
+    // balls are chain-sized while full-graph balls pay the mesh degree. Ball membership
+    // is identical on both substrates here (consecutive matchable nodes are directly
+    // linked, so Gm distances equal data-graph distances) and the bench asserts the
+    // outputs agree bit for bit.
+    {
+        let (data, pattern) = ssim_datasets::synthetic::selective_labels(6000, 12, 4);
+        let gm_cfg = MatchConfig::optimized();
+        let full_cfg = MatchConfig::optimized().with_ball_substrate(BallSubstrate::FullGraph);
+        let mut timed = time_configs(&pattern, &data, &[&gm_cfg, &full_cfg], runs);
+        let (full_secs, full_out) = timed.pop().expect("full-substrate timing");
+        let (gm_secs, gm_out) = timed.pop().expect("gm-substrate timing");
+        assert_eq!(gm_out.subgraphs.len(), full_out.subgraphs.len());
+        for (a, b) in gm_out.subgraphs.iter().zip(&full_out.subgraphs) {
+            assert_eq!(
+                a.center, b.center,
+                "substrates diverged on selective-labels"
+            );
+            assert_eq!(a.nodes, b.nodes, "substrates diverged on selective-labels");
+        }
+        let speedup = full_secs / gm_secs;
+        let fraction = gm_fraction(gm_out.stats.gm_nodes, data.node_count());
+        eprintln!(
+            "selective-labels |V|={}: full {:.3} ms, gm {:.3} ms — gm substrate {speedup:.2}x (Gm holds {:.1}% of |V|, {} subgraphs)",
+            data.node_count(),
+            full_secs * 1e3,
+            gm_secs * 1e3,
+            fraction * 100.0,
+            gm_out.subgraphs.len()
+        );
+        dataset_blobs.push(format!(
+            concat!(
+                "    {{\"dataset\": \"selective-labels\", \"nodes\": {}, \"edges\": {}, ",
+                "\"pattern_nodes\": {}, \"pattern_diameter\": {},\n",
+                "     \"gm_substrate\": {{\"gm_fraction\": {:.4}, ",
+                "\"speedup_vs_full\": {:.3}}},\n",
+                "     \"configs\": [\n",
+                "      {{\"name\": \"engine/match_plus\", \"seconds_per_run\": {:.6}, ",
+                "\"gm_nodes\": {}, \"gm_edges\": {}, ",
+                "\"balls_built\": {}, \"balls_reused\": {}, \"subgraphs\": {}}},\n",
+                "      {{\"name\": \"engine/match_plus_fullballs\", \"seconds_per_run\": {:.6}, ",
+                "\"balls_built\": {}, \"balls_reused\": {}, \"subgraphs\": {}}}\n",
+                "    ]}}"
+            ),
+            data.node_count(),
+            data.edge_count(),
+            pattern.node_count(),
+            pattern.diameter(),
+            fraction,
+            speedup,
+            gm_secs,
+            gm_out.stats.gm_nodes,
+            gm_out.stats.gm_edges,
+            gm_out.stats.balls_built,
+            gm_out.stats.balls_reused,
+            gm_out.subgraphs.len(),
+            full_secs,
+            full_out.stats.balls_built,
+            full_out.stats.balls_reused,
+            full_out.subgraphs.len()
         ));
     }
 

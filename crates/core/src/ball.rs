@@ -41,6 +41,32 @@ pub enum BallStrategy {
     FreshBfs,
 }
 
+/// Which graph the ball pipeline traverses when the global dual-simulation filter is on —
+/// the fourth oracle axis, next to [`crate::simulation::RefineStrategy`],
+/// [`BallStrategy`] and [`crate::simulation::RefineSeed`].
+///
+/// With dual filtering, only *matched* nodes can ever be candidates, support an in-ball
+/// pair or appear in an extracted subgraph. The optimised `Match` of the paper (Fig. 5,
+/// Proposition 5) therefore extracts the match graph `Gm` once and builds its balls
+/// **inside `Gm`** — membership, distances and borders are all taken w.r.t. `Gm`, and on
+/// selective patterns each ball's size tracks the candidate density instead of the raw
+/// degree. Everything below `strong_simulation` then speaks `Gm` ids; results are
+/// translated back at `PerfectSubgraph` emission.
+///
+/// The axis only takes effect when `dual_filter` is enabled (without the global relation
+/// there is no `Gm`); every other configuration traverses the full graph regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BallSubstrate {
+    /// Build balls inside the extracted match graph `Gm` (Fig. 5 semantics: ball
+    /// membership and borders use `Gm` distances).
+    #[default]
+    MatchGraph,
+    /// Build balls in the full data graph and only prune *centers* to matched nodes —
+    /// the pre-extraction behaviour, kept as the equivalence oracle and as the baseline
+    /// the `gm_substrate` bench ratios are measured against.
+    FullGraph,
+}
+
 /// How the forest's last [`BallForest::advance`] moved the ball, with the membership delta
 /// when it is known exactly. Consumers carrying per-ball state across advances (the
 /// warm-started refinement of [`crate::warm`]) key their reuse off this record.

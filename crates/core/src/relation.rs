@@ -5,7 +5,7 @@
 //! pattern node, which makes the refinement loops of (dual) simulation cheap: membership is
 //! a bit test and removal is a bit clear.
 
-use ssim_graph::{BitSet, CompactBall, NodeId, Pattern};
+use ssim_graph::{BitSet, CompactBall, ExtractedSubgraph, NodeId, Pattern};
 
 /// A binary relation between the nodes of a pattern and the nodes of a data graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,8 +106,36 @@ impl MatchRelation {
     /// graph).
     pub fn matched_data_nodes(&self) -> BitSet {
         let mut out = BitSet::new(self.data_nodes);
+        self.matched_data_nodes_into(&mut out);
+        out
+    }
+
+    /// [`MatchRelation::matched_data_nodes`] into a caller-owned bitset, resetting it to
+    /// this relation's data capacity first — the allocation-free variant for drivers that
+    /// keep one matched-set buffer per run and consult it more than once.
+    pub fn matched_data_nodes_into(&self, out: &mut BitSet) {
+        out.reset(self.data_nodes);
         for set in &self.sim {
             out.union_with(set);
+        }
+    }
+
+    /// Renumbers the relation's data side through an [`ExtractedSubgraph`]: every data
+    /// node becomes its inner id, and the result's capacity is the subgraph's node count.
+    ///
+    /// This is the one-time id-space hand-over of the match-graph ball substrate: the
+    /// global dual-simulation relation (outer ids) becomes the projection base for balls
+    /// built inside the extraction. Pairs on non-member data nodes are dropped — when the
+    /// extraction covers [`MatchRelation::matched_data_nodes`], nothing is.
+    pub fn renumber_through(&self, sub: &ExtractedSubgraph) -> MatchRelation {
+        let mut out = MatchRelation::empty(self.sim.len(), sub.node_count());
+        for (u, set) in self.sim.iter().enumerate() {
+            let u = NodeId::from_index(u);
+            for outer in set.iter() {
+                if let Some(inner) = sub.inner_of(NodeId::from_index(outer)) {
+                    out.insert(u, inner);
+                }
+            }
         }
         out
     }
@@ -150,6 +178,21 @@ impl MatchRelation {
             }
         }
         out
+    }
+
+    /// Extracts the induced subgraph of `data` on this relation's matched nodes and
+    /// renumbers the relation into it — the match-graph substrate hand-over shared by
+    /// the centralized driver and the distributed coordinator. `matched_buf` is the
+    /// caller's reusable matched-set buffer ([`MatchRelation::matched_data_nodes_into`]).
+    pub fn extract_matched_subgraph(
+        &self,
+        data: &ssim_graph::Graph,
+        matched_buf: &mut BitSet,
+    ) -> (ExtractedSubgraph, MatchRelation) {
+        self.matched_data_nodes_into(matched_buf);
+        let sub = ExtractedSubgraph::induced(data, matched_buf);
+        let inner = self.renumber_through(&sub);
+        (sub, inner)
     }
 
     /// Returns `true` when `self` is pair-wise contained in `other`.

@@ -33,9 +33,15 @@
 //! * **parallel ball processing** (`parallel`) — ball centers are fanned out over scoped
 //!   worker threads ([`crate::parallel`]): striped for fresh balls, contiguous locality
 //!   ranges for sliding balls; subgraphs are re-sorted by center id and stats merged by
-//!   summation, so the output is identical to the sequential run.
+//!   summation, so the output is identical to the sequential run,
+//! * **match-graph ball substrate** ([`BallSubstrate::MatchGraph`]) — with `dual_filter`
+//!   on, the matched-node set is extracted once as a dense renumbered subgraph `Gm`
+//!   ([`ssim_graph::ExtractedSubgraph`]) and the entire ball pipeline — locality order,
+//!   forest slides, compact balls, warm carries, pruning, extraction — runs inside it,
+//!   translating ids back only at [`PerfectSubgraph`] emission
+//!   ([`BallSubstrate::FullGraph`] is the oracle).
 
-use crate::ball::{locality_center_order, BallForest, BallStrategy};
+use crate::ball::{locality_center_order, BallForest, BallStrategy, BallSubstrate};
 use crate::dual::{dual_simulation_with, refine_dual_with};
 use crate::dual_filter::refine_projected;
 use crate::match_graph::{extract_max_perfect_subgraph, PerfectSubgraph};
@@ -45,7 +51,9 @@ use crate::pruning::prune_by_connectivity;
 use crate::relation::MatchRelation;
 use crate::simulation::{initial_candidates, RefineSeed, RefineStrategy};
 use crate::warm::WarmMatcher;
-use ssim_graph::{Ball, BallScratch, CompactBall, Graph, NodeId, Pattern};
+use ssim_graph::{
+    Ball, BallScratch, BitSet, CompactBall, ExtractedSubgraph, Graph, NodeId, Pattern,
+};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
@@ -84,6 +92,11 @@ pub struct MatchConfig {
     /// the previous ball's converged relation (the default) or from scratch (the
     /// equivalence oracle, and the only behaviour of every non-sliding engine shape).
     pub refine_seed: RefineSeed,
+    /// Which graph the ball pipeline traverses when `dual_filter` is on: the extracted
+    /// match graph `Gm` (the default — Fig. 5's ball substrate) or the full data graph
+    /// (the pre-extraction behaviour, kept as the equivalence oracle). Ignored without
+    /// `dual_filter` — there is no `Gm` to extract.
+    pub ball_substrate: BallSubstrate,
 }
 
 impl Default for MatchConfig {
@@ -102,6 +115,7 @@ impl Default for MatchConfig {
             compact_balls: true,
             ball_strategy: BallStrategy::Incremental,
             refine_seed: RefineSeed::WarmStart,
+            ball_substrate: BallSubstrate::MatchGraph,
         }
     }
 }
@@ -131,6 +145,7 @@ impl MatchConfig {
             compact_balls: false,
             ball_strategy: BallStrategy::FreshBfs,
             refine_seed: RefineSeed::FromScratch,
+            ball_substrate: BallSubstrate::FullGraph,
             ..Self::default()
         }
     }
@@ -178,6 +193,12 @@ impl MatchConfig {
         self.refine_seed = seed;
         self
     }
+
+    /// Selects which graph the ball pipeline traverses under `dual_filter`.
+    pub fn with_ball_substrate(mut self, substrate: BallSubstrate) -> Self {
+        self.ball_substrate = substrate;
+        self
+    }
 }
 
 /// Counters describing the work performed by a strong-simulation run.
@@ -209,6 +230,12 @@ pub struct MatchStats {
     /// Balls whose match graph was updated incrementally from the previous ball's
     /// instead of rebuilt (warm path with connectivity pruning off).
     pub match_graphs_reused: usize,
+    /// Nodes of the extracted match graph `Gm` ([`BallSubstrate::MatchGraph`] with
+    /// `dual_filter` only; 0 when no extraction ran). `gm_nodes / balls_considered` is
+    /// the extraction selectivity the experiment reports print.
+    pub gm_nodes: usize,
+    /// Edges of the extracted match graph `Gm` (same validity rule as `gm_nodes`).
+    pub gm_edges: usize,
     /// Perfect subgraphs found (before deduplication).
     pub perfect_subgraphs: usize,
     /// `(original, minimised)` pattern sizes when query minimization ran.
@@ -359,29 +386,51 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
     } else {
         None
     };
-    let global_matched = global_relation
-        .as_ref()
-        .map(MatchRelation::matched_data_nodes);
-
-    // Balls whose center cannot match any pattern node are skipped outright.
+    // Ball substrate: with the dual filter on, only matched nodes can ever be candidates,
+    // support an in-ball pair or appear in an extracted subgraph, so the default substrate
+    // materialises the match graph `Gm` once and runs the entire ball pipeline inside it
+    // (Fig. 5). One matched-set buffer serves both the extraction and the center filter.
     stats.balls_considered = data.node_count();
-    let centers: Vec<NodeId> = match &global_matched {
-        Some(matched) => data
-            .nodes()
-            .filter(|c| matched.contains(c.index()))
-            .collect(),
-        None => data.nodes().collect(),
+    let mut matched_buf = BitSet::new(0);
+    let gm: Option<(ExtractedSubgraph, MatchRelation)> = match &global_relation {
+        Some(global) if config.ball_substrate == BallSubstrate::MatchGraph => {
+            let (sub, inner) = global.extract_matched_subgraph(data, &mut matched_buf);
+            stats.gm_nodes = sub.node_count();
+            stats.gm_edges = sub.edge_count();
+            Some((sub, inner))
+        }
+        _ => None,
+    };
+    // Everything below speaks `match_data` ids: `Gm` ids on the match-graph substrate,
+    // data-graph ids otherwise. Results are translated back at emission.
+    let (match_data, local_relation): (&Graph, Option<&MatchRelation>) = match &gm {
+        Some((sub, inner)) => (sub.graph(), Some(inner)),
+        None => (data, global_relation.as_ref()),
+    };
+
+    // Balls whose center cannot match any pattern node are skipped outright; on the
+    // match-graph substrate the extraction already performed exactly that filter, so the
+    // skipped/considered accounting is identical on both substrates.
+    let centers: Vec<NodeId> = match (&gm, &global_relation) {
+        (Some((sub, _)), _) => sub.graph().nodes().collect(),
+        (None, Some(global)) => {
+            global.matched_data_nodes_into(&mut matched_buf);
+            data.nodes()
+                .filter(|c| matched_buf.contains(c.index()))
+                .collect()
+        }
+        (None, None) => data.nodes().collect(),
     };
     stats.balls_skipped = data.node_count() - centers.len();
     stats.balls_processed = centers.len();
 
     // The sliding-ball strategy wants consecutive centers to be adjacent, so it reorders
-    // the candidates along an undirected BFS of the data graph. The merge re-sorts
+    // the candidates along an undirected BFS of the substrate graph. The merge re-sorts
     // subgraphs by center and all other stats are order-independent sums, so the
     // reordering is invisible in the output.
     let use_forest = config.compact_balls && config.ball_strategy == BallStrategy::Incremental;
     let centers = if use_forest {
-        locality_center_order(data, &centers)
+        locality_center_order(match_data, &centers)
     } else {
         centers
     };
@@ -403,10 +452,11 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
         (true, None) => 1,
     };
     let use_warm = use_forest && config.refine_seed == RefineSeed::WarmStart;
+    let gm = &gm;
     let worker = |t: usize| -> WorkerResult {
         let mut result = WorkerResult::default();
         let mut scratch = BallScratch::new();
-        let mut forest = use_forest.then(|| BallForest::new(data, radius));
+        let mut forest = use_forest.then(|| BallForest::new(match_data, radius));
         let mut warm = use_warm.then(|| WarmMatcher::new(effective_pattern));
         let indices: Box<dyn Iterator<Item = usize>> = if use_forest {
             Box::new(contiguous(centers.len(), threads, t))
@@ -427,22 +477,22 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
                     let warm = warm.as_mut().expect("gate implies matcher");
                     warm.match_ball(
                         effective_pattern,
-                        data,
+                        match_data,
                         &ball,
                         ball_move,
                         forest.entered(),
                         forest.left(),
-                        global_relation.as_ref(),
+                        local_relation,
                         config.connectivity_pruning,
                         config.refine_strategy,
                     )
                 } else {
                     let (subgraph, removed, seeded) = match_prepared_ball(
                         effective_pattern,
-                        data,
+                        match_data,
                         &ball,
                         config,
-                        global_relation.as_ref(),
+                        local_relation,
                     );
                     result.seeded_pairs += seeded;
                     (subgraph, removed)
@@ -453,11 +503,11 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
                 result.balls_built += 1;
                 let (subgraph, removed, seeded) = match_ball_compact(
                     effective_pattern,
-                    data,
+                    match_data,
                     center,
                     radius,
                     config,
-                    global_relation.as_ref(),
+                    local_relation,
                     &mut scratch,
                 );
                 result.seeded_pairs += seeded;
@@ -466,11 +516,11 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
                 result.balls_built += 1;
                 let (subgraph, removed, seeded) = match_ball_legacy(
                     effective_pattern,
-                    data,
+                    match_data,
                     center,
                     radius,
                     config,
-                    global_relation.as_ref(),
+                    local_relation,
                 );
                 result.seeded_pairs += seeded;
                 (subgraph, removed)
@@ -480,6 +530,11 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
                 result.filter_removed_pairs += removed;
             }
             if let Some(mut subgraph) = subgraph {
+                // Cross the id-translation boundary: everything above spoke substrate
+                // ids; emitted subgraphs speak the caller's data-graph ids.
+                if let Some((sub, _)) = gm {
+                    subgraph = translate_to_outer(subgraph, sub);
+                }
                 // Express the relation in terms of the caller's pattern nodes when the
                 // matcher ran on the minimised pattern.
                 if config.minimize_query {
@@ -637,6 +692,31 @@ pub(crate) fn translate_subgraph(local: PerfectSubgraph, ball: &CompactBall) -> 
     }
 }
 
+/// Translates a perfect subgraph expressed in `Gm` (extraction-inner) ids back to the
+/// outer data-graph ids — the emission side of the match-graph ball substrate.
+///
+/// Inner ids ascend with outer ids ([`ExtractedSubgraph`] assigns them in ascending
+/// member order), so the map is monotone and the sorted-vector invariants of
+/// [`PerfectSubgraph`] survive without re-sorting. Shared with the distributed runtime,
+/// whose sites emit in the same boundary position.
+pub fn translate_to_outer(local: PerfectSubgraph, sub: &ExtractedSubgraph) -> PerfectSubgraph {
+    PerfectSubgraph {
+        center: sub.outer_of(local.center),
+        radius: local.radius,
+        nodes: local.nodes.into_iter().map(|n| sub.outer_of(n)).collect(),
+        edges: local
+            .edges
+            .into_iter()
+            .map(|(a, b)| (sub.outer_of(a), sub.outer_of(b)))
+            .collect(),
+        relation: local
+            .relation
+            .into_iter()
+            .map(|(u, v)| (u, sub.outer_of(v)))
+            .collect(),
+    }
+}
+
 /// Matches one ball the seed way: `|V|`-sized relation bitsets over a membership-filtered
 /// view of the original graph. Kept for ablation benches and as the engine oracle.
 fn match_ball_legacy(
@@ -694,6 +774,22 @@ pub fn match_compact_ball(
     let view = ball.view(data);
     let start = initial_candidates(pattern, &view);
     let relation = refine_dual_with(pattern, &view, start, RefineStrategy::Worklist)?;
+    extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
+        .map(|s| translate_subgraph(s, ball))
+}
+
+/// [`match_compact_ball`] under the dual filter: the per-ball start is the projection of
+/// the global dual-simulation relation (in `data`'s id space — `Gm` ids when the ball was
+/// built inside an extraction) and refinement is border-seeded (`dualFilter`, Fig. 5).
+pub fn match_compact_ball_filtered(
+    pattern: &Pattern,
+    ball: &CompactBall,
+    data: &Graph,
+    global_relation: &MatchRelation,
+) -> Option<PerfectSubgraph> {
+    let view = ball.view(data);
+    let start = global_relation.project_compact(ball);
+    let relation = refine_projected(pattern, &view, ball.border(), start, None)?;
     extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
         .map(|s| translate_subgraph(s, ball))
 }

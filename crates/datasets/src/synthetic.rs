@@ -87,6 +87,60 @@ pub fn synthetic(config: &SyntheticConfig) -> Graph {
     builder.build()
 }
 
+/// A *selective* workload: a sparse matchable chain woven through a thick unmatchable
+/// mesh, shared by the `selective-labels` bench row and the `gm_substrate_equivalence`
+/// regressions so the benched shape and the tested shape stay the same construction.
+///
+/// Every `stride`-th node carries one of `chain_labels` labels in cyclic order and is
+/// linked to the next matchable node; everything else is an unmatchable filler (label 9,
+/// outside the chain alphabet) meshed with edges to the next three nodes. The returned
+/// pattern is the `chain_labels`-long label path, so after global dual filtering `Gm`
+/// holds only the chain — `1/stride` of `|V|` — and, because consecutive matchable nodes
+/// are directly linked, the chain's `Gm` distances equal its data-graph distances (the
+/// match-graph ball substrate is bit-identical to full-graph balls here, not just faster).
+///
+/// # Panics
+/// Panics when `chain_labels` is 0 or not below the filler label 9.
+pub fn selective_labels(
+    nodes: u32,
+    stride: u32,
+    chain_labels: u32,
+) -> (Graph, ssim_graph::Pattern) {
+    assert!(
+        (1..9).contains(&chain_labels),
+        "chain labels must be 1..9 (9 is the filler label)"
+    );
+    let stride = stride.max(1);
+    let labels: Vec<Label> = (0..nodes)
+        .map(|i| {
+            if i % stride == 0 {
+                Label((i / stride) % chain_labels)
+            } else {
+                Label(9)
+            }
+        })
+        .collect();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for i in 0..nodes {
+        for d in 1..=3u32 {
+            if i + d < nodes {
+                edges.push((i, i + d));
+            }
+        }
+        if i % stride == 0 && i + stride < nodes {
+            edges.push((i, i + stride));
+        }
+    }
+    let data = Graph::from_edges(labels, &edges).expect("endpoints in range by construction");
+    let pattern_labels: Vec<Label> = (0..chain_labels).map(Label).collect();
+    let pattern_edges: Vec<(u32, u32)> = (0..chain_labels.saturating_sub(1))
+        .map(|i| (i, i + 1))
+        .collect();
+    let pattern = ssim_graph::Pattern::from_edges(pattern_labels, &pattern_edges)
+        .expect("a label path is a valid connected pattern");
+    (data, pattern)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

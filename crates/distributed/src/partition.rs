@@ -65,11 +65,24 @@ impl GraphPartition {
     /// Returns `true` when `node` has at least one neighbour stored on a different site —
     /// exactly the nodes whose balls may have to be shipped.
     pub fn is_border_node(&self, graph: &Graph, node: NodeId) -> bool {
-        let home = self.site_of(node);
+        self.is_border_node_translated(graph, node, |v| v)
+    }
+
+    /// [`GraphPartition::is_border_node`] with node ids translated through `owner_id`
+    /// before the ownership lookup. This is the form the match-graph ball substrate
+    /// needs: `graph` is then the extracted `Gm`, whose inner ids translate back to the
+    /// partitioned graph's ids for `site_of`.
+    pub fn is_border_node_translated(
+        &self,
+        graph: &Graph,
+        node: NodeId,
+        owner_id: impl Fn(NodeId) -> NodeId,
+    ) -> bool {
+        let home = self.site_of(owner_id(node));
         graph
             .out_neighbors(node)
             .chain(graph.in_neighbors(node))
-            .any(|w| self.site_of(w) != home)
+            .any(|w| self.site_of(owner_id(w)) != home)
     }
 
     /// Number of edges whose endpoints live on different sites (the edge cut).

@@ -14,14 +14,16 @@
 //! charged to exactly one site, either as built or as reused, never both.
 
 use crate::partition::{GraphPartition, PartitionStrategy};
-use ssim_core::ball::{locality_center_order, BallForest};
+use ssim_core::ball::{locality_center_order, BallForest, BallSubstrate};
+use ssim_core::dual::dual_simulation_with;
 use ssim_core::match_graph::PerfectSubgraph;
 use ssim_core::minimize::minimize_pattern;
 use ssim_core::parallel::par_workers;
+use ssim_core::relation::MatchRelation;
 use ssim_core::simulation::{RefineSeed, RefineStrategy};
-use ssim_core::strong::match_compact_ball;
+use ssim_core::strong::{match_compact_ball, match_compact_ball_filtered, translate_to_outer};
 use ssim_core::warm::WarmMatcher;
-use ssim_graph::{BallScratch, Graph, Pattern};
+use ssim_graph::{BallScratch, BitSet, ExtractedSubgraph, Graph, NodeId, Pattern};
 
 /// Configuration of a distributed run.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +38,15 @@ pub struct DistributedConfig {
     /// previous ball (the default) or from scratch (the equivalence oracle), mirroring
     /// the centralized engine's [`RefineSeed`] axis.
     pub refine_seed: RefineSeed,
+    /// Compute the global dual-simulation relation once at the coordinator, restrict the
+    /// sites to matched ball centers and seed every per-ball refinement from the
+    /// projected relation (`dualFilter`, Fig. 5) — the distributed mirror of
+    /// `MatchConfig::dual_filter`.
+    pub dual_filter: bool,
+    /// Which graph the sites' ball pipelines traverse under [`Self::dual_filter`]: the
+    /// coordinator-extracted match graph `Gm` (each site walks its own slice of `Gm`'s
+    /// locality order) or the full data graph. Ignored without `dual_filter`.
+    pub ball_substrate: BallSubstrate,
 }
 
 impl Default for DistributedConfig {
@@ -45,6 +56,8 @@ impl Default for DistributedConfig {
             strategy: PartitionStrategy::Range,
             minimize_query: true,
             refine_seed: RefineSeed::WarmStart,
+            dual_filter: false,
+            ball_substrate: BallSubstrate::MatchGraph,
         }
     }
 }
@@ -52,6 +65,12 @@ impl Default for DistributedConfig {
 /// Network-traffic accounting for one distributed run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficStats {
+    /// Candidate ball centers considered by the coordinator: every data node, on both
+    /// ball substrates (`considered_balls == skipped_balls + Σ balls_per_site`).
+    pub considered_balls: usize,
+    /// Centers excluded before any site saw them — the global dual filter's unmatched
+    /// nodes (equivalently: nodes outside `Gm` on the match-graph substrate).
+    pub skipped_balls: usize,
     /// Balls whose center sits next to a fragment boundary (candidates for shipping).
     pub border_balls: usize,
     /// Balls that actually contained at least one foreign node and thus required shipping.
@@ -134,24 +153,74 @@ pub fn distributed_strong_simulation(
         pattern.clone()
     };
 
-    // One locality order over the whole graph, split by owner: site workers walk their
-    // own centers in this order so their forests can slide between adjacent ones, and the
-    // O(|V| + |E|) ordering BFS is paid once instead of once per site.
-    let all_nodes: Vec<_> = data.nodes().collect();
-    let mut site_centers: Vec<Vec<ssim_graph::NodeId>> = vec![Vec::new(); partition.sites()];
-    for center in locality_center_order(data, &all_nodes) {
-        site_centers[partition.site_of(center)].push(center);
+    // Coordinator step 1b (dual filter): the global dual-simulation relation, computed
+    // once; on the match-graph substrate it is immediately compacted into `Gm` and
+    // renumbered, so the sites' entire ball pipelines speak `Gm` ids.
+    let global_relation: Option<MatchRelation> = if config.dual_filter {
+        match dual_simulation_with(&effective_pattern, data, RefineStrategy::Worklist) {
+            Some(rel) => Some(rel),
+            None => {
+                // No ball anywhere can match: skip every center at the coordinator.
+                return DistributedOutput {
+                    subgraphs: Vec::new(),
+                    traffic: TrafficStats {
+                        considered_balls: data.node_count(),
+                        skipped_balls: data.node_count(),
+                        balls_per_site: vec![0; partition.sites()],
+                        ..Default::default()
+                    },
+                    partition,
+                };
+            }
+        }
+    } else {
+        None
+    };
+    let gm: Option<(ExtractedSubgraph, MatchRelation)> = match &global_relation {
+        Some(global) if config.ball_substrate == BallSubstrate::MatchGraph => {
+            let mut matched = BitSet::new(0);
+            Some(global.extract_matched_subgraph(data, &mut matched))
+        }
+        _ => None,
+    };
+    let (match_data, local_relation): (&Graph, Option<&MatchRelation>) = match &gm {
+        Some((sub, inner)) => (sub.graph(), Some(inner)),
+        None => (data, global_relation.as_ref()),
+    };
+
+    // One locality order over the whole substrate, split by owner (the site owning the
+    // *original* node — `Gm` ids translate back for the ownership lookup): site workers
+    // walk their own centers in this order so their forests can slide between adjacent
+    // ones, and the O(|V| + |E|) ordering BFS is paid once instead of once per site.
+    let centers: Vec<NodeId> = match (&gm, &global_relation) {
+        (Some((sub, _)), _) => sub.graph().nodes().collect(),
+        (None, Some(global)) => {
+            let matched = global.matched_data_nodes();
+            data.nodes()
+                .filter(|c| matched.contains(c.index()))
+                .collect()
+        }
+        (None, None) => data.nodes().collect(),
+    };
+    let skipped_balls = data.node_count() - centers.len();
+    let mut site_centers: Vec<Vec<NodeId>> = vec![Vec::new(); partition.sites()];
+    for center in locality_center_order(match_data, &centers) {
+        let owner = gm.as_ref().map_or(center, |(sub, _)| sub.outer_of(center));
+        site_centers[partition.site_of(owner)].push(center);
     }
 
     // Coordinator step 2: every site evaluates its own balls; one worker per site, via the
     // engine's shared parallel driver. Results come back in site order.
     let site_centers = &site_centers;
+    let gm_ref = &gm;
     let reports: Vec<SiteReport> = par_workers(partition.sites(), |site| {
         evaluate_site(
             site,
             &effective_pattern,
             radius,
-            data,
+            match_data,
+            gm_ref.as_ref().map(|(sub, _)| sub),
+            local_relation,
             &partition,
             &site_centers[site],
             config.refine_seed,
@@ -160,6 +229,8 @@ pub fn distributed_strong_simulation(
 
     // Assemble the union, deterministically ordered by ball center.
     let mut traffic = TrafficStats {
+        considered_balls: data.node_count(),
+        skipped_balls,
         balls_per_site: vec![0; partition.sites()],
         ..Default::default()
     };
@@ -186,14 +257,19 @@ pub fn distributed_strong_simulation(
 }
 
 /// Site worker: evaluate every ball whose center is owned by `site`. `centers` is the
-/// site's slice of the coordinator's locality order.
+/// site's slice of the coordinator's locality order, in `data`'s id space — which is the
+/// coordinator's `Gm` slice when `gm` is present (`data` is then the extracted graph, and
+/// ownership/traffic lookups translate through it).
+#[allow(clippy::too_many_arguments)]
 fn evaluate_site(
     site: usize,
     pattern: &Pattern,
     radius: usize,
     data: &Graph,
+    gm: Option<&ExtractedSubgraph>,
+    global_relation: Option<&MatchRelation>,
     partition: &GraphPartition,
-    centers: &[ssim_graph::NodeId],
+    centers: &[NodeId],
     refine_seed: RefineSeed,
 ) -> SiteReport {
     let mut report = SiteReport {
@@ -215,20 +291,26 @@ fn evaluate_site(
     // site's previous converged relation between its locality-adjacent balls.
     let mut forest = BallForest::new(data, radius);
     let mut warm = (refine_seed == RefineSeed::WarmStart).then(|| WarmMatcher::new(pattern));
+    // Ownership and the border metric live on the *original* graph's ids.
+    let outer_of = |v: NodeId| gm.map_or(v, |sub| sub.outer_of(v));
     for &center in centers {
         report.balls += 1;
-        if partition.is_border_node(data, center) {
+        // Border centers: a substrate neighbour stored on a different site. On the
+        // match-graph substrate this is `Gm` adjacency — only edges a ball could ship.
+        if partition.is_border_node_translated(data, center, outer_of) {
             report.border_balls += 1;
         }
         forest.advance(center);
         let ball = forest.compact(&mut scratch);
         // Traffic accounting: every ball member stored on a different site would have to be
-        // shipped to this site, together with its incident ball edges.
-        let foreign: Vec<_> = ball
+        // shipped to this site, together with its incident ball edges. On the match-graph
+        // substrate the members and edges *are* `Gm`'s — exactly the data a site would
+        // fetch — so the counts are taken over the substrate adjacency.
+        let foreign: Vec<NodeId> = ball
             .to_global()
             .iter()
             .copied()
-            .filter(|&v| partition.site_of(v) != site)
+            .filter(|&v| partition.site_of(outer_of(v)) != site)
             .collect();
         if !foreign.is_empty() {
             report.shipped_balls += 1;
@@ -247,8 +329,8 @@ fn evaluate_site(
         let use_warm_ball = warm.as_mut().is_some_and(|w| w.wants(ball_move));
         let subgraph = if use_warm_ball {
             let warm = warm.as_mut().expect("gate implies matcher");
-            // Same unit of work as `match_compact_ball` (fresh candidates, no paper
-            // optimisations), but seeded from the site's previous ball.
+            // Same unit of work as the scratch arm below, but seeded from the site's
+            // previous ball.
             warm.match_ball(
                 pattern,
                 data,
@@ -256,16 +338,23 @@ fn evaluate_site(
                 ball_move,
                 forest.entered(),
                 forest.left(),
-                None,
+                global_relation,
                 false,
                 RefineStrategy::Worklist,
             )
             .0
+        } else if let Some(global) = global_relation {
+            match_compact_ball_filtered(pattern, &ball, data, global)
         } else {
             match_compact_ball(pattern, &ball, data)
         };
         if let Some(subgraph) = subgraph {
-            report.subgraphs.push(subgraph);
+            // The id-translation boundary: sites speak substrate ids, reports speak the
+            // caller's data-graph ids.
+            report.subgraphs.push(match gm {
+                Some(sub) => translate_to_outer(subgraph, sub),
+                None => subgraph,
+            });
         }
         ball.recycle(&mut scratch);
     }
@@ -506,6 +595,113 @@ mod tests {
             warm.traffic.warm_started_balls > 0,
             "range-partitioned chain never warm-started a ball"
         );
+    }
+
+    #[test]
+    fn dual_filter_skips_unmatched_centers_and_matches_centralized() {
+        use ssim_core::ball::BallSubstrate;
+        let data = synthetic(&SyntheticConfig {
+            nodes: 220,
+            alpha: 1.15,
+            labels: 10,
+            seed: 5,
+        });
+        let pattern = extract_pattern(&data, 4, 7).expect("pattern extraction succeeds");
+        // The centralized reference: dual filter on, no minimization/pruning (the
+        // distributed sites run the plain per-ball unit of work).
+        let central = strong_simulation(
+            &pattern,
+            &data,
+            &MatchConfig {
+                dual_filter: true,
+                ..MatchConfig::basic()
+            },
+        );
+        for substrate in [BallSubstrate::MatchGraph, BallSubstrate::FullGraph] {
+            for sites in [1, 3, 5] {
+                for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range] {
+                    let out = distributed_strong_simulation(
+                        &pattern,
+                        &data,
+                        &DistributedConfig {
+                            sites,
+                            strategy,
+                            minimize_query: false,
+                            dual_filter: true,
+                            ball_substrate: substrate,
+                            ..DistributedConfig::default()
+                        },
+                    );
+                    let ctx = format!("substrate={substrate:?} sites={sites} {strategy:?}");
+                    assert_eq!(central.subgraphs.len(), out.subgraphs.len(), "{ctx}");
+                    for (a, b) in central.subgraphs.iter().zip(&out.subgraphs) {
+                        assert_eq!(a.center, b.center, "{ctx}");
+                        assert_eq!(a.nodes, b.nodes, "{ctx}");
+                        assert_eq!(a.edges, b.edges, "{ctx}");
+                        assert_eq!(a.relation, b.relation, "{ctx}");
+                    }
+                    // Skipped-vs-considered sums to |V| on both substrates.
+                    let evaluated: usize = out.traffic.balls_per_site.iter().sum();
+                    assert_eq!(out.traffic.considered_balls, data.node_count(), "{ctx}");
+                    assert_eq!(
+                        out.traffic.skipped_balls + evaluated,
+                        out.traffic.considered_balls,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        out.traffic.skipped_balls, central.stats.balls_skipped,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        out.traffic.built_balls + out.traffic.reused_balls,
+                        evaluated,
+                        "{ctx}"
+                    );
+                }
+            }
+        }
+        // Without the filter nothing is skipped and every node is evaluated.
+        let unfiltered = distributed_strong_simulation(
+            &pattern,
+            &data,
+            &DistributedConfig {
+                sites: 3,
+                minimize_query: false,
+                ..DistributedConfig::default()
+            },
+        );
+        assert_eq!(unfiltered.traffic.considered_balls, data.node_count());
+        assert_eq!(unfiltered.traffic.skipped_balls, 0);
+    }
+
+    #[test]
+    fn dual_filter_rejecting_graph_skips_every_center() {
+        // A pattern whose label is absent: the coordinator's global relation is empty.
+        let data = synthetic(&SyntheticConfig {
+            nodes: 60,
+            alpha: 1.2,
+            labels: 4,
+            seed: 2,
+        });
+        let pattern = ssim_graph::Pattern::from_edges(
+            vec![ssim_graph::Label(77), ssim_graph::Label(78)],
+            &[(0, 1)],
+        )
+        .unwrap();
+        let out = distributed_strong_simulation(
+            &pattern,
+            &data,
+            &DistributedConfig {
+                sites: 3,
+                minimize_query: false,
+                dual_filter: true,
+                ..DistributedConfig::default()
+            },
+        );
+        assert!(out.subgraphs.is_empty());
+        assert_eq!(out.traffic.considered_balls, data.node_count());
+        assert_eq!(out.traffic.skipped_balls, data.node_count());
+        assert_eq!(out.traffic.balls_per_site, vec![0, 0, 0]);
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct AblationRow {
     pub balls_skipped: f64,
     /// Average number of perfect subgraphs (identical across variants — a sanity check).
     pub subgraphs: f64,
+    /// Engine-layer summary of the last repetition (ball reuse, warm starts, `Gm`
+    /// extraction selectivity) — see [`crate::report::engine_stats_line`].
+    pub engine: String,
 }
 
 /// Runs the ablation on one dataset family.
@@ -79,6 +82,7 @@ pub fn optimization_ablation(dataset: DatasetKind, scale: &ExperimentScale) -> V
         let mut processed = 0usize;
         let mut skipped = 0usize;
         let mut subgraphs = 0usize;
+        let mut engine = String::new();
         let reps = scale.patterns_per_point.max(1);
         for rep in 0..reps {
             let pattern =
@@ -89,6 +93,7 @@ pub fn optimization_ablation(dataset: DatasetKind, scale: &ExperimentScale) -> V
             processed += output.stats.balls_processed;
             skipped += output.stats.balls_skipped;
             subgraphs += output.subgraphs.len();
+            engine = crate::report::engine_stats_line(&output.stats);
         }
         rows.push(AblationRow {
             variant: variant.name,
@@ -96,6 +101,7 @@ pub fn optimization_ablation(dataset: DatasetKind, scale: &ExperimentScale) -> V
             balls_processed: processed as f64 / reps as f64,
             balls_skipped: skipped as f64 / reps as f64,
             subgraphs: subgraphs as f64 / reps as f64,
+            engine,
         });
     }
     rows
@@ -121,6 +127,7 @@ pub fn render(rows: &[AblationRow], dataset: DatasetKind) -> String {
             "{:>14}{:>12.4}{:>16.1}{:>14.1}{:>12.1}",
             r.variant, r.seconds, r.balls_processed, r.balls_skipped, r.subgraphs
         );
+        let _ = writeln!(out, "{:>14}  {}", "", r.engine);
     }
     out
 }

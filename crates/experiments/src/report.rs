@@ -1,8 +1,34 @@
 //! Text-table rendering of experiment results.
 
 use crate::algorithms::AlgorithmKind;
+use ssim_core::strong::MatchStats;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+
+/// One-line summary of a run's engine-layer counters: ball reuse, warm-start rate and —
+/// when the match-graph ball substrate ran — the `Gm` extraction selectivity. Rendered
+/// under the experiment tables so the engine's reuse layers stay visible next to the
+/// paper-level numbers.
+pub fn engine_stats_line(stats: &MatchStats) -> String {
+    let processed = stats.balls_processed.max(1) as f64;
+    let mut line = format!(
+        "balls {}/{} · reuse {:.0}% · warm {:.0}%",
+        stats.balls_processed,
+        stats.balls_considered,
+        100.0 * stats.balls_reused as f64 / processed,
+        100.0 * stats.balls_warm_started as f64 / processed,
+    );
+    if stats.gm_nodes > 0 {
+        let _ = write!(
+            line,
+            " · Gm {:.1}% of |V| ({} nodes, {} edges)",
+            100.0 * stats.gm_nodes as f64 / stats.balls_considered.max(1) as f64,
+            stats.gm_nodes,
+            stats.gm_edges
+        );
+    }
+    line
+}
 
 /// A single measurement: algorithm `algorithm` measured value `value` at sweep position `x`.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +172,30 @@ mod tests {
         assert!(table.contains("Match+"));
         assert!(table.contains("0.0100"));
         assert!(table.contains("0.0050"));
+    }
+
+    #[test]
+    fn engine_stats_line_includes_gm_selectivity_only_when_extracted() {
+        let mut stats = MatchStats {
+            balls_considered: 400,
+            balls_processed: 40,
+            balls_skipped: 360,
+            balls_reused: 30,
+            balls_warm_started: 20,
+            ..MatchStats::default()
+        };
+        let without = engine_stats_line(&stats);
+        assert!(without.contains("balls 40/400"));
+        assert!(without.contains("reuse 75%"));
+        assert!(without.contains("warm 50%"));
+        assert!(!without.contains("Gm"));
+        stats.gm_nodes = 40;
+        stats.gm_edges = 120;
+        let with = engine_stats_line(&stats);
+        assert!(
+            with.contains("Gm 10.0% of |V| (40 nodes, 120 edges)"),
+            "{with}"
+        );
     }
 
     #[test]

@@ -61,21 +61,7 @@ impl Graph {
         rev_offsets: Vec<usize>,
         rev_targets: Vec<NodeId>,
     ) -> Self {
-        // Bucket nodes by label deterministically: sort (label, node) pairs — node ids are
-        // already ascending within a label because we scan them in id order.
-        let mut by_label: Vec<(Label, NodeId)> = labels
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| (l, NodeId::from_index(i)))
-            .collect();
-        by_label.sort_by_key(|&(l, n)| (l, n));
-        let mut label_index: Vec<(Label, Vec<NodeId>)> = Vec::new();
-        for (l, n) in by_label {
-            match label_index.last_mut() {
-                Some((last, nodes)) if *last == l => nodes.push(n),
-                _ => label_index.push((l, vec![n])),
-            }
-        }
+        let label_index = build_label_index(&labels);
         Graph {
             labels,
             fwd_offsets,
@@ -288,10 +274,87 @@ impl Graph {
     }
 }
 
+/// Buckets nodes by label, sorted by label with ascending node ids inside each bucket.
+///
+/// Dense label alphabets (the overwhelmingly common case: generators and extractions use
+/// small numeric labels) take a counting pass — one histogram over label ids, one scan in
+/// node-id order — instead of an `O(V log V)` sort. Sparse alphabets (a huge label id on
+/// a small graph) would waste the histogram, so they keep the sort-based path; both
+/// produce the identical index.
+fn build_label_index(labels: &[Label]) -> Vec<(Label, Vec<NodeId>)> {
+    let Some(max_label) = labels.iter().map(|l| l.0 as usize).max() else {
+        return Vec::new();
+    };
+    if max_label <= 4 * labels.len() + 64 {
+        // Counting pass: per-label bucket sizes, then distinct labels in ascending order
+        // (slots reuses the histogram as a label → index map), then one id-order fill.
+        let mut counts = vec![0u32; max_label + 1];
+        for l in labels {
+            counts[l.0 as usize] += 1;
+        }
+        let mut label_index: Vec<(Label, Vec<NodeId>)> = Vec::new();
+        let mut slots = counts;
+        for (id, slot) in slots.iter_mut().enumerate() {
+            let count = *slot;
+            if count > 0 {
+                *slot = label_index.len() as u32;
+                label_index.push((Label(id as u32), Vec::with_capacity(count as usize)));
+            }
+        }
+        for (i, l) in labels.iter().enumerate() {
+            label_index[slots[l.0 as usize] as usize]
+                .1
+                .push(NodeId::from_index(i));
+        }
+        label_index
+    } else {
+        let mut by_label: Vec<(Label, NodeId)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, NodeId::from_index(i)))
+            .collect();
+        by_label.sort_by_key(|&(l, n)| (l, n));
+        let mut label_index: Vec<(Label, Vec<NodeId>)> = Vec::new();
+        for (l, n) in by_label {
+            match label_index.last_mut() {
+                Some((last, nodes)) if *last == l => nodes.push(n),
+                _ => label_index.push((l, vec![n])),
+            }
+        }
+        label_index
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+
+    #[test]
+    fn bucket_and_sort_label_index_paths_agree() {
+        // Dense alphabet (bucket path) vs a sparse huge label (sort path): both orders
+        // must be (label ascending, node ascending).
+        let dense = vec![Label(2), Label(0), Label(2), Label(1), Label(0)];
+        let got = build_label_index(&dense);
+        assert_eq!(
+            got,
+            vec![
+                (Label(0), vec![NodeId(1), NodeId(4)]),
+                (Label(1), vec![NodeId(3)]),
+                (Label(2), vec![NodeId(0), NodeId(2)]),
+            ]
+        );
+        let sparse = vec![Label(u32::MAX - 1), Label(3), Label(u32::MAX - 1)];
+        let got = build_label_index(&sparse);
+        assert_eq!(
+            got,
+            vec![
+                (Label(3), vec![NodeId(1)]),
+                (Label(u32::MAX - 1), vec![NodeId(0), NodeId(2)]),
+            ]
+        );
+        assert!(build_label_index(&[]).is_empty());
+    }
 
     fn diamond() -> Graph {
         // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3

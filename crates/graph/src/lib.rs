@@ -49,6 +49,7 @@ pub mod io;
 pub mod labels;
 pub mod metrics;
 pub mod pattern;
+pub mod subgraph;
 pub mod traversal;
 pub mod view;
 
@@ -59,4 +60,5 @@ pub use error::GraphError;
 pub use graph::{Graph, NodeId};
 pub use labels::{Label, LabelInterner};
 pub use pattern::Pattern;
+pub use subgraph::ExtractedSubgraph;
 pub use view::{AdjView, GraphView};

@@ -1,0 +1,247 @@
+//! Dense subgraph extraction: materialising an induced subgraph as its own CSR graph.
+//!
+//! The optimised matcher (`Match+`, Fig. 5) computes the global dual-simulation relation
+//! once and then only ever works with the *matched* data nodes — the node set of the match
+//! graph `Gm`. Running the downstream ball pipeline over the original graph makes every
+//! ball BFS pay for the unmatched neighbourhood it traverses and discards; extracting `Gm`
+//! once as a dense, renumbered graph shrinks the traversal substrate to the candidate
+//! density instead of the raw degree.
+//!
+//! [`ExtractedSubgraph`] is that extraction: a membership bitset over the outer graph is
+//! compacted into a fresh [`Graph`] (forward and reverse CSR plus label index, exactly
+//! like any other graph — everything downstream works unchanged) together with the
+//! id-translation table back to the outer graph. Inner ids are assigned in ascending
+//! outer-id order, so the translation is **monotone**: sorted inner-id sequences stay
+//! sorted after translation, which lets result emission skip re-sorts.
+//!
+//! Unlike [`Graph::induced_subgraph`] — which routes through [`crate::builder::GraphBuilder`]
+//! and re-sorts every adjacency list — the extraction here copies straight CSR-to-CSR:
+//! outer adjacency lists are already sorted, and a monotone remap preserves that, so the
+//! cost is one counting pass plus one fill pass over the members' incident edges.
+
+use crate::bitset::BitSet;
+use crate::graph::{Graph, NodeId};
+use crate::labels::Label;
+
+/// An induced subgraph materialised as a dense CSR [`Graph`], with the id translation
+/// back to the graph it was extracted from.
+///
+/// Inner node ids are `0..member_count`, in ascending order of the outer ids, so
+/// [`ExtractedSubgraph::outer_of`] is a monotone map.
+#[derive(Debug, Clone)]
+pub struct ExtractedSubgraph {
+    /// The extracted subgraph: members only, all outer edges between them.
+    graph: Graph,
+    /// Inner id → outer id (ascending).
+    to_outer: Vec<NodeId>,
+    /// Outer id → inner id (`u32::MAX` = not a member).
+    inner: Vec<u32>,
+}
+
+impl ExtractedSubgraph {
+    /// Extracts the subgraph of `outer` induced by `members` (all edges of `outer` with
+    /// both endpoints in the set).
+    ///
+    /// # Panics
+    /// Panics when the bitset capacity does not match the graph's node count.
+    pub fn induced(outer: &Graph, members: &BitSet) -> Self {
+        assert_eq!(
+            members.capacity(),
+            outer.node_count(),
+            "membership bitset must cover the outer graph"
+        );
+        let n = members.len();
+        let mut to_outer: Vec<NodeId> = Vec::with_capacity(n);
+        let mut inner: Vec<u32> = vec![u32::MAX; outer.node_count()];
+        for (i, m) in members.iter().enumerate() {
+            inner[m] = i as u32;
+            to_outer.push(NodeId::from_index(m));
+        }
+        let mut labels: Vec<Label> = Vec::with_capacity(n);
+        // Counting pass: surviving out-/in-degrees per member.
+        let mut fwd_offsets: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut rev_offsets: Vec<usize> = Vec::with_capacity(n + 1);
+        fwd_offsets.push(0);
+        rev_offsets.push(0);
+        let (mut fwd_total, mut rev_total) = (0usize, 0usize);
+        for &o in &to_outer {
+            labels.push(outer.label(o));
+            fwd_total += outer
+                .out_neighbors(o)
+                .filter(|t| inner[t.index()] != u32::MAX)
+                .count();
+            rev_total += outer
+                .in_neighbors(o)
+                .filter(|s| inner[s.index()] != u32::MAX)
+                .count();
+            fwd_offsets.push(fwd_total);
+            rev_offsets.push(rev_total);
+        }
+        // Fill pass: outer adjacency lists are sorted and the remap is monotone, so the
+        // inner lists come out sorted without any per-node sort.
+        let mut fwd_targets: Vec<NodeId> = Vec::with_capacity(fwd_total);
+        let mut rev_targets: Vec<NodeId> = Vec::with_capacity(rev_total);
+        for &o in &to_outer {
+            for t in outer.out_neighbors(o) {
+                let ti = inner[t.index()];
+                if ti != u32::MAX {
+                    fwd_targets.push(NodeId(ti));
+                }
+            }
+            for s in outer.in_neighbors(o) {
+                let si = inner[s.index()];
+                if si != u32::MAX {
+                    rev_targets.push(NodeId(si));
+                }
+            }
+        }
+        ExtractedSubgraph {
+            graph: Graph::from_csr(labels, fwd_offsets, fwd_targets, rev_offsets, rev_targets),
+            to_outer,
+            inner,
+        }
+    }
+
+    /// The extracted subgraph. Everything that consumes a [`Graph`] — balls, views,
+    /// matchers — works on it unchanged; only its node ids are inner ids.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of member nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.to_outer.len()
+    }
+
+    /// Number of surviving edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Inner id → outer id translation table (ascending in the inner id).
+    #[inline]
+    pub fn to_outer(&self) -> &[NodeId] {
+        &self.to_outer
+    }
+
+    /// Outer id of inner node `inner`.
+    ///
+    /// # Panics
+    /// Panics when `inner` is out of range.
+    #[inline]
+    pub fn outer_of(&self, inner: NodeId) -> NodeId {
+        self.to_outer[inner.index()]
+    }
+
+    /// Inner id of outer node `outer`, when it is a member. `O(1)`.
+    #[inline]
+    pub fn inner_of(&self, outer: NodeId) -> Option<NodeId> {
+        match self.inner.get(outer.index()) {
+            Some(&i) if i != u32::MAX => Some(NodeId(i)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_and_members() -> (Graph, BitSet) {
+        // 0 -> 1 -> 2 -> 3 -> 4, 0 -> 2, 2 -> 0, 1 -> 3, self-loop on 3.
+        let g = Graph::from_edges(
+            vec![Label(0), Label(1), Label(0), Label(2), Label(1)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (0, 2),
+                (2, 0),
+                (1, 3),
+                (3, 3),
+            ],
+        )
+        .unwrap();
+        let mut members = BitSet::new(g.node_count());
+        for i in [0usize, 2, 3] {
+            members.insert(i);
+        }
+        (g, members)
+    }
+
+    #[test]
+    fn extraction_matches_builder_based_induced_subgraph() {
+        let (g, members) = graph_and_members();
+        let sub = ExtractedSubgraph::induced(&g, &members);
+        let outer_members: Vec<NodeId> = members.iter().map(NodeId::from_index).collect();
+        let (oracle, mapping) = g.induced_subgraph(&outer_members);
+        assert_eq!(sub.node_count(), oracle.node_count());
+        assert_eq!(sub.edge_count(), oracle.edge_count());
+        assert_eq!(sub.to_outer(), mapping.as_slice());
+        for v in oracle.nodes() {
+            assert_eq!(sub.graph().label(v), oracle.label(v));
+            let got: Vec<NodeId> = sub.graph().out_neighbors(v).collect();
+            let want: Vec<NodeId> = oracle.out_neighbors(v).collect();
+            assert_eq!(got, want, "out-adjacency of inner node {v}");
+            let got_in: Vec<NodeId> = sub.graph().in_neighbors(v).collect();
+            let want_in: Vec<NodeId> = oracle.in_neighbors(v).collect();
+            assert_eq!(got_in, want_in, "in-adjacency of inner node {v}");
+        }
+    }
+
+    #[test]
+    fn id_translation_roundtrips_and_is_monotone() {
+        let (g, members) = graph_and_members();
+        let sub = ExtractedSubgraph::induced(&g, &members);
+        for v in sub.graph().nodes() {
+            assert_eq!(sub.inner_of(sub.outer_of(v)), Some(v));
+        }
+        assert_eq!(sub.inner_of(NodeId(1)), None);
+        assert_eq!(sub.inner_of(NodeId(99)), None);
+        // Monotone translation: ascending inner ids map to ascending outer ids.
+        for pair in sub.to_outer().windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn label_index_of_extraction_is_queryable() {
+        let (g, members) = graph_and_members();
+        let sub = ExtractedSubgraph::induced(&g, &members);
+        // Members 0 and 2 carry Label(0), member 3 carries Label(2).
+        assert_eq!(
+            sub.graph().nodes_with_label(Label(0)),
+            &[NodeId(0), NodeId(1)]
+        );
+        assert_eq!(sub.graph().nodes_with_label(Label(2)), &[NodeId(2)]);
+        assert_eq!(sub.graph().nodes_with_label(Label(1)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn empty_and_full_memberships() {
+        let (g, _) = graph_and_members();
+        let empty = ExtractedSubgraph::induced(&g, &BitSet::new(g.node_count()));
+        assert_eq!(empty.node_count(), 0);
+        assert_eq!(empty.edge_count(), 0);
+        let full = ExtractedSubgraph::induced(&g, &BitSet::full(g.node_count()));
+        assert_eq!(full.node_count(), g.node_count());
+        assert_eq!(full.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(full.outer_of(v), v);
+            let got: Vec<NodeId> = full.graph().out_neighbors(v).collect();
+            let want: Vec<NodeId> = g.out_neighbors(v).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "membership bitset must cover")]
+    fn capacity_mismatch_panics() {
+        let (g, _) = graph_and_members();
+        let _ = ExtractedSubgraph::induced(&g, &BitSet::new(2));
+    }
+}
