@@ -25,7 +25,11 @@
 //! where adjacent centers share most of their balls — the workloads the incremental
 //! strategy and the warm-start layer exist for. A `selective-labels` row (match-graph
 //! fraction below 10 % of `|V|`) stresses the `Gm` substrate, whose ball cost tracks the
-//! candidate density instead of the mesh degree.
+//! candidate density instead of the mesh degree. Four update-stream rows
+//! (`update-overlap-chain-*`, `update-selective-labels-*` at 1 % / 5 % edge churn)
+//! stress the incremental matcher: each `incremental_update` blob records the
+//! dirty-ball fraction and the speedup of `UpdatePlan::Incremental` over the
+//! `UpdatePlan::Recompute` oracle across a six-delta stream.
 //!
 //! For each configuration the JSON records mean seconds per run, processed balls per
 //! second and data nodes per second, plus the speedup of the fast engine over the seed
@@ -33,9 +37,11 @@
 
 use ssim_bench::{workload, BenchWorkload, BENCH_NODES, BENCH_PATTERN_NODES};
 use ssim_core::ball::{BallStrategy, BallSubstrate};
+use ssim_core::incremental::{IncrementalMatcher, UpdatePlan};
 use ssim_core::simulation::RefineSeed;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
 use ssim_experiments::workloads::DatasetKind;
+use ssim_graph::GraphDelta;
 use std::time::Instant;
 
 /// One measured configuration.
@@ -147,6 +153,67 @@ fn reused_fraction(built: usize, reused: usize) -> f64 {
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A deterministic churn stream: `updates` deltas that alternately delete and re-insert
+/// the same `churn_edges` randomly chosen edges, so the graph (and the matches near the
+/// churned region) oscillates between two versions instead of drifting away from the
+/// workload's intended shape.
+fn delta_stream(
+    data: &ssim_graph::Graph,
+    churn_edges: usize,
+    updates: usize,
+    seed: u64,
+) -> Vec<GraphDelta> {
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    let edges: Vec<(ssim_graph::NodeId, ssim_graph::NodeId)> = data.edges().collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let target = churn_edges.min(edges.len());
+    // Partial Fisher–Yates: a uniform `target`-subset of the edge indices in O(|E|).
+    let mut indices: Vec<usize> = (0..edges.len()).collect();
+    for k in 0..target {
+        let j = rng.gen_range(k..indices.len());
+        indices.swap(k, j);
+    }
+    let mut deletion = GraphDelta::new();
+    for &i in &indices[..target] {
+        let (s, t) = edges[i];
+        deletion.delete_edge(s, t);
+    }
+    let reinsertion = deletion.inverse();
+    (0..updates)
+        .map(|k| {
+            if k % 2 == 0 {
+                deletion.clone()
+            } else {
+                reinsertion.clone()
+            }
+        })
+        .collect()
+}
+
+/// Times one update plan absorbing the whole stream. Session construction (the initial
+/// full match) is untimed — both plans pay it identically; the applies are the measure.
+/// Returns the stream seconds and the mean dirty-ball fraction across the updates.
+fn time_update_stream(
+    pattern: &ssim_graph::Pattern,
+    data: &ssim_graph::Graph,
+    config: &MatchConfig,
+    plan: UpdatePlan,
+    stream: &[GraphDelta],
+) -> (f64, f64) {
+    let mut session = IncrementalMatcher::new(pattern, data.clone(), config.with_update_plan(plan));
+    let mut dirty = 0usize;
+    let start = Instant::now();
+    for delta in stream {
+        session
+            .apply(delta)
+            .expect("stream validates against the session graph");
+        dirty += session.last_update().dirty_balls;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let fraction = dirty as f64 / (stream.len() * data.node_count()).max(1) as f64;
+    (secs, fraction)
 }
 
 /// A long thick chain (each node linked to the next two) with a diameter-2 path pattern:
@@ -581,6 +648,116 @@ fn main() {
             full_out.stats.balls_reused,
             full_out.subgraphs.len()
         ));
+    }
+
+    // Update streams: a matching session absorbs batches of edge churn (1 % / 5 % of
+    // |E|, alternately deleted and re-inserted so the graph oscillates). The
+    // `UpdatePlan::Incremental` session maintains the global relation and re-runs only
+    // the dirty balls (Prop. 3 locality); the `UpdatePlan::Recompute` oracle re-runs
+    // the full matcher per batch. The `incremental_update` blob records the dirty-ball
+    // fraction and the speedup — the continuously-serving engine's headline numbers.
+    {
+        let updates = 6usize;
+        let (_, oc_data, oc_pattern) = overlap_chain();
+        let (sl_data, sl_pattern) = ssim_datasets::synthetic::selective_labels(6000, 12, 4);
+        let update_rows: [(&str, &ssim_graph::Graph, &ssim_graph::Pattern, MatchConfig); 2] = [
+            (
+                "update-overlap-chain",
+                &oc_data,
+                &oc_pattern,
+                MatchConfig::basic(),
+            ),
+            (
+                "update-selective-labels",
+                &sl_data,
+                &sl_pattern,
+                MatchConfig::optimized(),
+            ),
+        ];
+        for (name, data, pattern, config) in update_rows {
+            for (suffix, churn) in [("1pct", 0.01f64), ("5pct", 0.05f64)] {
+                let churn_edges = ((data.edge_count() as f64 * churn).ceil() as usize).max(1);
+                let stream = delta_stream(data, churn_edges, updates, 0x5eed_0001);
+                // Correctness gate + warm-up: both plans step-locked once.
+                {
+                    let mut inc = IncrementalMatcher::new(
+                        pattern,
+                        data.clone(),
+                        config.with_update_plan(UpdatePlan::Incremental),
+                    );
+                    let mut rec = IncrementalMatcher::new(
+                        pattern,
+                        data.clone(),
+                        config.with_update_plan(UpdatePlan::Recompute),
+                    );
+                    for delta in &stream {
+                        inc.apply(delta).expect("stream validates");
+                        rec.apply(delta).expect("stream validates");
+                        assert_eq!(
+                            inc.output().subgraphs,
+                            rec.output().subgraphs,
+                            "update plans diverged"
+                        );
+                    }
+                }
+                let stream_runs = 5usize;
+                let mut inc_times = Vec::with_capacity(stream_runs);
+                let mut rec_times = Vec::with_capacity(stream_runs);
+                let mut dirty_fraction = 0.0f64;
+                for _ in 0..stream_runs {
+                    let (secs, fraction) = time_update_stream(
+                        pattern,
+                        data,
+                        &config,
+                        UpdatePlan::Incremental,
+                        &stream,
+                    );
+                    inc_times.push(secs);
+                    dirty_fraction = fraction; // deterministic, identical every run
+                    let (secs, _) =
+                        time_update_stream(pattern, data, &config, UpdatePlan::Recompute, &stream);
+                    rec_times.push(secs);
+                }
+                inc_times.sort_by(f64::total_cmp);
+                rec_times.sort_by(f64::total_cmp);
+                let inc_secs = inc_times[inc_times.len() / 2];
+                let rec_secs = rec_times[rec_times.len() / 2];
+                let speedup = rec_secs / inc_secs;
+                eprintln!(
+                    "{name}-{suffix} |V|={}: churn {churn_edges} edges x {updates} updates — recompute {:.3} ms, incremental {:.3} ms, {speedup:.2}x (dirty fraction {:.3})",
+                    data.node_count(),
+                    rec_secs * 1e3,
+                    inc_secs * 1e3,
+                    dirty_fraction
+                );
+                dataset_blobs.push(format!(
+                    concat!(
+                        "    {{\"dataset\": \"{}-{}\", \"nodes\": {}, \"edges\": {}, ",
+                        "\"pattern_nodes\": {}, \"pattern_diameter\": {},\n",
+                        "     \"incremental_update\": {{\"churn\": {:.4}, \"churn_edges\": {}, ",
+                        "\"updates\": {}, \"dirty_ball_fraction\": {:.4}, ",
+                        "\"speedup_vs_recompute\": {:.3}}},\n",
+                        "     \"configs\": [\n",
+                        "      {{\"name\": \"engine/update_incremental\", \"seconds_per_stream\": {:.6}}},\n",
+                        "      {{\"name\": \"engine/update_recompute\", \"seconds_per_stream\": {:.6}}}\n",
+                        "    ]}}"
+                    ),
+                    json_escape(name),
+                    suffix,
+                    data.node_count(),
+                    data.edge_count(),
+                    pattern.node_count(),
+                    pattern.diameter(),
+                    churn,
+                    churn_edges,
+                    updates,
+                    dirty_fraction,
+                    speedup,
+                    inc_secs,
+                    rec_secs
+                ));
+            }
+        }
     }
 
     let json = format!(

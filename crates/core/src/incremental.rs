@@ -1,0 +1,871 @@
+//! Incremental matching under graph updates: the continuously-serving engine.
+//!
+//! A one-shot [`crate::strong::strong_simulation`] call answers one query; real traffic
+//! mutates the data graph between queries and today's alternative is a full recompute
+//! per change. The paper's locality results make updates intrinsically local: every
+//! perfect subgraph lives in a ball of radius `dQ` around its center (Proposition 3), so
+//! an edge change can only affect the balls whose members lie within substrate distance
+//! `dQ` of a node the change touched. [`IncrementalMatcher`] exploits exactly that:
+//!
+//! 1. **Global relation maintenance.** Under `dual_filter`, the exact global
+//!    dual-simulation fixpoint is *maintained* across a [`GraphDelta`] instead of
+//!    recomputed: deletions seed the suspect queue of the existing removal-propagation
+//!    engine ([`crate::dual_filter`]'s `refine_suspects` — the same capped-counter
+//!    cascade the per-ball worklist uses), and insertions run a **bounded candidate
+//!    re-admission**: a pair-level closure over `pattern adjacency × data adjacency`
+//!    from the inserted endpoints collects every label-eligible pair the new edges can
+//!    possibly have revived, which is then re-verified by the same suspect cascade.
+//!    The closure is exact — a superset of the true fixpoint gain (see
+//!    [`update_global_fixpoint`] for the argument) — and budgeted: floods fall back to a
+//!    from-scratch fixpoint, mirroring the warm matcher's flood bail.
+//! 2. **`Gm` re-extraction policy.** The match-graph substrate re-extracts `Gm` only
+//!    when the matched-node set changed or a delta edge lands inside it; otherwise the
+//!    cached extraction (and its id translation) is reused and only the renumbered
+//!    relation is refreshed.
+//! 3. **Dirty-ball invalidation.** A dQ-bounded multi-source BFS from the *touched*
+//!    nodes (delta endpoints plus every data node whose candidacy changed) — in the
+//!    pre-update **and** post-update substrate, `Gm` on the match-graph substrate —
+//!    marks exactly the centers whose ball membership, borders or projected relation
+//!    can differ. Everything outside the sweep is provably bit-identical.
+//! 4. **Row splicing.** Only dirty centers re-run through the (unchanged) ball
+//!    pipeline — forest slides, warm carries, pruning, extraction — via
+//!    [`crate::strong::match_with_prepared`]; their rows are spliced into the cached
+//!    pre-deduplication row set, and deduplication is re-applied over the splice, so the
+//!    assembled [`MatchOutput`] is bit-identical to a full recompute.
+//!
+//! [`UpdatePlan::Recompute`] is the oracle (pinned by
+//! [`crate::strong::MatchConfig::seed_reference`]): it applies the delta and re-runs the
+//! full matcher. `tests/incremental_update_equivalence.rs` holds both plans bit-identical
+//! along random delta streams, across the sequential, parallel and distributed runtimes,
+//! with the other four engine axes pinned and composed.
+
+use crate::ball::BallSubstrate;
+use crate::dual_filter::refine_suspects;
+use crate::match_graph::PerfectSubgraph;
+use crate::minimize::minimize_pattern;
+use crate::relation::MatchRelation;
+use crate::simulation::{initial_candidates, refine_with, RefineMode, RefineStrategy};
+use crate::strong::{distinct_indices, match_with_prepared, MatchConfig, MatchOutput, MatchStats};
+use ssim_graph::delta::mark_within_distance;
+use ssim_graph::{
+    BitSet, ExtractedSubgraph, Graph, GraphDelta, GraphError, GraphView, NodeId, Pattern,
+};
+use std::collections::VecDeque;
+
+/// How a cached match result reacts to a graph delta — the fifth oracle axis, next to
+/// `RefineStrategy × BallStrategy × RefineSeed × BallSubstrate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdatePlan {
+    /// Maintain the global relation under the delta, invalidate only the dirty balls
+    /// (Prop. 3 locality) and splice their fresh rows into the cached output.
+    #[default]
+    Incremental,
+    /// Apply the delta and recompute the whole match from scratch. The equivalence
+    /// oracle, and the baseline the `incremental_update` bench ratios are measured
+    /// against.
+    Recompute,
+}
+
+/// The maintained global dual-simulation state handed to
+/// [`crate::strong::match_with_prepared`]: the exact global fixpoint plus, on the
+/// match-graph substrate, the cached `Gm` extraction and the fixpoint renumbered into it.
+#[derive(Clone, Copy)]
+pub struct PreparedGlobal<'a> {
+    /// Exact global fixpoint for the *effective* (minimised) pattern over the data
+    /// graph. Non-total means empty — patterns are connected, so the true non-total
+    /// fixpoint is exactly the empty relation.
+    pub relation: &'a MatchRelation,
+    /// The `Gm` extraction and the renumbered relation; present exactly when the
+    /// consuming configuration runs on [`BallSubstrate::MatchGraph`] and the fixpoint is
+    /// total.
+    pub gm: Option<(&'a ExtractedSubgraph, &'a MatchRelation)>,
+}
+
+/// Computes the exact greatest dual-simulation fixpoint of `pattern` over `data`, with
+/// the non-total case normalised to the literal empty relation.
+///
+/// `dual_simulation_with` discards non-total results, and the worklist engine exits
+/// early on an emptied candidate set with a partially refined relation — either would
+/// poison incremental maintenance, which needs the true fixpoint as its base. Patterns
+/// are connected, so a non-total fixpoint is exactly empty (an empty candidate set makes
+/// every pair on an adjacent pattern node unsupported, and emptiness spreads over the
+/// whole pattern), which makes the normalisation exact.
+pub fn global_fixpoint(pattern: &Pattern, data: &Graph, strategy: RefineStrategy) -> MatchRelation {
+    let view = GraphView::full(data);
+    let start = initial_candidates(pattern, &view);
+    let rel = refine_with(
+        pattern,
+        &view,
+        RefineMode::ChildrenAndParents,
+        start,
+        strategy,
+    )
+    .expect("refinement always yields a relation");
+    if rel.is_total() {
+        rel
+    } else {
+        MatchRelation::empty(pattern.node_count(), data.node_count())
+    }
+}
+
+/// The result of maintaining the global fixpoint across one delta.
+pub struct FixpointUpdate {
+    /// The exact fixpoint over the updated graph (empty when non-total).
+    pub relation: MatchRelation,
+    /// Data nodes whose candidacy changed for at least one pattern node.
+    pub changed_nodes: BitSet,
+    /// Pairs present after the update that were absent before.
+    pub pairs_gained: usize,
+    /// Pairs present before the update that are absent after.
+    pub pairs_lost: usize,
+    /// The re-admission closure flooded and the fixpoint was recomputed from scratch
+    /// (still exact; the budget only bounds the incremental path's work).
+    pub recomputed: bool,
+}
+
+/// Maintains the exact global dual-simulation fixpoint across one [`GraphDelta`].
+///
+/// `old` must be the exact fixpoint of `pattern` over the pre-delta graph and
+/// `new_data` the post-delta graph. Deletions can only *remove* pairs: each deleted data
+/// edge seeds the pairs on its endpoints as suspects of the removal cascade. Insertions
+/// can only *add* pairs: the re-admission closure collects, starting from the
+/// label-eligible pairs on inserted endpoints and propagating through
+/// `pattern adjacency × data adjacency`, every pair the insertions can have revived.
+///
+/// **Exactness.** Let `M` be the true fixpoint over `new_data`, `R` the old fixpoint and
+/// `B` the closure. Every pair of `M \ R` has, for each pattern edge, a support witness
+/// in `M`; if any witness edge is newly inserted the pair is a closure seed, and if a
+/// witness pair is itself in `M \ R` the closure's propagation step reaches the pair
+/// from it — so a pair of `M` outside `R ∪ B` would have all its support on old edges
+/// and `R`-or-likewise-outside pairs, making `R ∪ (M \ (R ∪ B))` a valid pre-fixpoint
+/// over the *old* graph and contradicting `R`'s maximality. Hence `M ⊆ R ∪ B`, and the
+/// suspect cascade (which verifies every admitted pair and every deletion-affected pair,
+/// and re-checks neighbours of each removal) refines `R ∪ B` down to exactly `M`.
+pub fn update_global_fixpoint(
+    pattern: &Pattern,
+    new_data: &Graph,
+    delta: &GraphDelta,
+    old: &MatchRelation,
+    strategy: RefineStrategy,
+) -> FixpointUpdate {
+    let n = new_data.node_count();
+    let q = pattern.graph();
+    let mut rel = old.clone();
+    let mut suspects: Vec<(NodeId, NodeId)> = Vec::new();
+
+    // Deletions: a removed data edge carried child support only for pairs on its source
+    // and parent support only for pairs on its target.
+    for (v, w) in delta.deleted_edges() {
+        for u in rel.pattern_nodes_matching(v) {
+            suspects.push((u, v));
+        }
+        for u in rel.pattern_nodes_matching(w) {
+            suspects.push((u, w));
+        }
+    }
+
+    // Insertions: bounded candidate re-admission. `admitted` doubles as the dedup set
+    // and the record of what to splice in; the budget bounds the closure at roughly the
+    // relation's own size before bailing to a scratch fixpoint — a flood means the
+    // insertions revived a region comparable to the whole relation, where scratch
+    // refinement does the same work with better constants.
+    let mut admitted = MatchRelation::empty(pattern.node_count(), n);
+    let mut admit_count = 0usize;
+    let budget = 2 * old.pair_count() + 16 * delta.op_count() * pattern.node_count() + 256;
+    let mut queue: VecDeque<(NodeId, NodeId)> = VecDeque::new();
+    let mut flooded = false;
+    for (v, w) in delta.inserted_edges() {
+        for (u, u_child) in q.edges() {
+            for (pu, pv) in [(u, v), (u_child, w)] {
+                if pattern.label(pu) == new_data.label(pv)
+                    && !rel.contains(pu, pv)
+                    && admitted.insert(pu, pv)
+                {
+                    admit_count += 1;
+                    queue.push_back((pu, pv));
+                }
+            }
+        }
+    }
+    while let Some((u, w)) = queue.pop_front() {
+        if admit_count > budget {
+            flooded = true;
+            break;
+        }
+        // (u, w)'s presence can revive child support of in-neighbour pairs under
+        // pattern in-edges of u…
+        for u2 in q.in_neighbors(u) {
+            for w2 in new_data.in_neighbors(w) {
+                if pattern.label(u2) == new_data.label(w2)
+                    && !rel.contains(u2, w2)
+                    && admitted.insert(u2, w2)
+                {
+                    admit_count += 1;
+                    queue.push_back((u2, w2));
+                }
+            }
+        }
+        // …and parent support of out-neighbour pairs under pattern out-edges of u.
+        for u3 in q.out_neighbors(u) {
+            for w3 in new_data.out_neighbors(w) {
+                if pattern.label(u3) == new_data.label(w3)
+                    && !rel.contains(u3, w3)
+                    && admitted.insert(u3, w3)
+                {
+                    admit_count += 1;
+                    queue.push_back((u3, w3));
+                }
+            }
+        }
+    }
+
+    let relation = if flooded {
+        global_fixpoint(pattern, new_data, strategy)
+    } else {
+        for (u, w) in admitted.pairs() {
+            rel.insert(u, w);
+            suspects.push((u, w));
+        }
+        let refined = refine_suspects(pattern, &GraphView::full(new_data), rel, suspects, None);
+        debug_assert!(
+            refined.is_total() || refined.is_empty(),
+            "connected patterns have all-or-nothing fixpoints"
+        );
+        if refined.is_total() {
+            refined
+        } else {
+            MatchRelation::empty(pattern.node_count(), n)
+        }
+    };
+
+    let mut changed_nodes = BitSet::new(n);
+    let mut pairs_gained = 0usize;
+    let mut pairs_lost = 0usize;
+    for u in pattern.nodes() {
+        let before = old.candidates(u);
+        let after = relation.candidates(u);
+        changed_nodes.union_symmetric_diff(before, after);
+        pairs_gained += after.iter().filter(|&v| !before.contains(v)).count();
+        pairs_lost += before.iter().filter(|&v| !after.contains(v)).count();
+    }
+    FixpointUpdate {
+        relation,
+        changed_nodes,
+        pairs_gained,
+        pairs_lost,
+        recomputed: flooded,
+    }
+}
+
+/// What one delta did to a maintained [`IncrementalState`].
+pub struct DeltaEffect {
+    /// Ball centers whose cached result can have changed, in data-graph ids: nodes
+    /// within substrate distance `≤ radius` of a touched node in the pre- or post-update
+    /// substrate (Prop. 3 locality).
+    pub dirty: BitSet,
+    /// See [`FixpointUpdate::pairs_gained`] (0 without `dual_filter`).
+    pub pairs_gained: usize,
+    /// See [`FixpointUpdate::pairs_lost`] (0 without `dual_filter`).
+    pub pairs_lost: usize,
+    /// See [`FixpointUpdate::recomputed`].
+    pub relation_recomputed: bool,
+    /// The `Gm` extraction was rebuilt (matched set changed, or a delta edge landed
+    /// inside `Gm`); `false` when the cached extraction was reused or none exists.
+    pub gm_reextracted: bool,
+}
+
+/// The maintained substrate shared by the centralized and distributed incremental
+/// drivers: the current graph, the exact global fixpoint (under `dual_filter`), its
+/// matched-node set and the cached `Gm` extraction.
+///
+/// [`IncrementalState::advance`] moves the whole bundle across one delta and returns
+/// the dirty-center set; the drivers then re-run only those centers and splice.
+pub struct IncrementalState {
+    /// The effective pattern: minimised when the configuration minimises queries.
+    pub effective: Pattern,
+    /// Ball radius (the *original* pattern's diameter unless overridden — Lemma 3).
+    pub radius: usize,
+    /// Whether a global fixpoint is maintained at all.
+    pub dual_filter: bool,
+    /// Which substrate the consuming pipeline localises in.
+    pub substrate: BallSubstrate,
+    /// Refinement engine used for scratch fixpoints.
+    pub refine_strategy: RefineStrategy,
+    /// The current data graph (post all applied deltas).
+    pub data: Graph,
+    /// Exact global fixpoint over [`Self::data`] (`dual_filter` only).
+    pub fixpoint: Option<MatchRelation>,
+    /// Matched-node set of the fixpoint, in data-graph ids.
+    pub matched: BitSet,
+    /// Cached `Gm` extraction plus the fixpoint renumbered into it; present exactly
+    /// when `dual_filter`, the match-graph substrate and a total fixpoint coincide.
+    pub gm_cache: Option<(ExtractedSubgraph, MatchRelation)>,
+}
+
+impl IncrementalState {
+    /// Builds the state for a fresh graph: computes the global fixpoint and the `Gm`
+    /// extraction the configuration calls for.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pattern: &Pattern,
+        data: Graph,
+        minimize: bool,
+        radius_override: Option<usize>,
+        dual_filter: bool,
+        substrate: BallSubstrate,
+        refine_strategy: RefineStrategy,
+    ) -> Self {
+        let (effective, radius) = if minimize {
+            let m = minimize_pattern(pattern);
+            let radius = radius_override.unwrap_or(m.original_diameter);
+            (m.pattern, radius)
+        } else {
+            (
+                pattern.clone(),
+                radius_override.unwrap_or(pattern.diameter()),
+            )
+        };
+        let mut state = IncrementalState {
+            effective,
+            radius,
+            dual_filter,
+            substrate,
+            refine_strategy,
+            matched: BitSet::new(data.node_count()),
+            data,
+            fixpoint: None,
+            gm_cache: None,
+        };
+        if dual_filter {
+            let fix = global_fixpoint(&state.effective, &state.data, refine_strategy);
+            fix.matched_data_nodes_into(&mut state.matched);
+            if state.substrate == BallSubstrate::MatchGraph && fix.is_total() {
+                let sub = ExtractedSubgraph::induced(&state.data, &state.matched);
+                let inner = fix.renumber_through(&sub);
+                state.gm_cache = Some((sub, inner));
+            }
+            state.fixpoint = Some(fix);
+        }
+        state
+    }
+
+    /// The maintained state in the form [`match_with_prepared`] consumes; `None` when no
+    /// fixpoint is maintained (configurations without `dual_filter`).
+    pub fn prepared(&self) -> Option<PreparedGlobal<'_>> {
+        self.fixpoint.as_ref().map(|relation| PreparedGlobal {
+            relation,
+            gm: self.gm_cache.as_ref().map(|(sub, inner)| (sub, inner)),
+        })
+    }
+
+    /// Moves the state across one delta and reports the dirty centers.
+    pub fn advance(&mut self, delta: &GraphDelta) -> Result<DeltaEffect, GraphError> {
+        let new_data = self.data.apply_delta(delta)?;
+        let n = new_data.node_count();
+        let mut touched = BitSet::new(n);
+        let mut effect = DeltaEffect {
+            dirty: BitSet::new(n),
+            pairs_gained: 0,
+            pairs_lost: 0,
+            relation_recomputed: false,
+            gm_reextracted: false,
+        };
+        let use_gm = self.dual_filter && self.substrate == BallSubstrate::MatchGraph;
+
+        let old_data = std::mem::replace(&mut self.data, new_data);
+        let old_matched = std::mem::replace(&mut self.matched, BitSet::new(n));
+        let mut old_gm_sub: Option<ExtractedSubgraph> = self.gm_cache.take().map(|(sub, _)| sub);
+
+        if self.dual_filter {
+            let old_fix = self
+                .fixpoint
+                .take()
+                .expect("dual-filter state carries a fixpoint");
+            let up = update_global_fixpoint(
+                &self.effective,
+                &self.data,
+                delta,
+                &old_fix,
+                self.refine_strategy,
+            );
+            touched.union_with(&up.changed_nodes);
+            effect.pairs_gained = up.pairs_gained;
+            effect.pairs_lost = up.pairs_lost;
+            effect.relation_recomputed = up.recomputed;
+            let fix = up.relation;
+            fix.matched_data_nodes_into(&mut self.matched);
+            if use_gm && fix.is_total() {
+                // Gm re-extraction policy: the induced subgraph on the matched set can
+                // only change when the set itself changed or a delta edge has both
+                // endpoints inside it.
+                let delta_inside_gm =
+                    delta
+                        .inserted_edges()
+                        .chain(delta.deleted_edges())
+                        .any(|(a, b)| {
+                            self.matched.contains(a.index()) && self.matched.contains(b.index())
+                        });
+                let reuse = self.matched == old_matched && !delta_inside_gm && old_gm_sub.is_some();
+                let sub = if reuse {
+                    old_gm_sub
+                        .take()
+                        .expect("reuse implies a cached extraction")
+                } else {
+                    effect.gm_reextracted = true;
+                    ExtractedSubgraph::induced(&self.data, &self.matched)
+                };
+                let inner = fix.renumber_through(&sub);
+                self.gm_cache = Some((sub, inner));
+            }
+            self.fixpoint = Some(fix);
+        }
+
+        // Seed the dirty sweep. On the match-graph substrate only *material* touches
+        // count: nodes whose candidacy changed (already in `touched` via
+        // `changed_nodes` — they move projections and can move `Gm` membership) and
+        // endpoints of delta edges lying inside the old or new `Gm` (they move `Gm`
+        // adjacency). A delta edge with at most one matched endpoint appears in
+        // neither extraction, so — candidacies unchanged — the substrate is untouched
+        // around it and its balls are provably clean. Every other substrate localises
+        // in the full data graph, where every delta edge is material.
+        if use_gm {
+            for (a, b) in delta.inserted_edges().chain(delta.deleted_edges()) {
+                let in_old = old_matched.contains(a.index()) && old_matched.contains(b.index());
+                let in_new = self.matched.contains(a.index()) && self.matched.contains(b.index());
+                if in_old || in_new {
+                    touched.insert(a.index());
+                    touched.insert(b.index());
+                }
+            }
+        } else {
+            for v in delta.touched_nodes() {
+                touched.insert(v.index());
+            }
+        }
+
+        // Dirty sweep: dQ-bounded BFS from the touched nodes in the pre- and post-update
+        // substrates. A clean center's ball has identical membership, borders and
+        // projected relation on both sides of the delta, so its cached row stands.
+        if use_gm {
+            // Reused extractions leave `old_gm_sub` empty — the new-side sweep covers
+            // the identical graph.
+            for sub in old_gm_sub
+                .iter()
+                .chain(self.gm_cache.iter().map(|(sub, _)| sub))
+            {
+                let seeds: Vec<NodeId> = touched
+                    .iter()
+                    .filter_map(|o| sub.inner_of(NodeId::from_index(o)))
+                    .collect();
+                let mut marked = BitSet::new(sub.node_count());
+                mark_within_distance(sub.graph(), seeds, self.radius, &mut marked);
+                for inner in marked.iter() {
+                    effect
+                        .dirty
+                        .insert(sub.outer_of(NodeId::from_index(inner)).index());
+                }
+            }
+        } else {
+            for graph in [&old_data, &self.data] {
+                mark_within_distance(
+                    graph,
+                    touched.iter().map(NodeId::from_index),
+                    self.radius,
+                    &mut effect.dirty,
+                );
+            }
+        }
+        Ok(effect)
+    }
+}
+
+/// Splices freshly computed rows for the dirty centers into a cached row set: cached
+/// rows on dirty centers are dropped (their ball may no longer yield a subgraph), fresh
+/// rows take their place, and the merge keeps the ascending-center order.
+pub fn splice_rows(
+    rows: &mut Vec<PerfectSubgraph>,
+    dirty: &BitSet,
+    new_rows: Vec<PerfectSubgraph>,
+) {
+    let old_rows = std::mem::take(rows);
+    let mut merged: Vec<PerfectSubgraph> = Vec::with_capacity(old_rows.len() + new_rows.len());
+    let mut old_it = old_rows
+        .into_iter()
+        .filter(|r| !dirty.contains(r.center.index()))
+        .peekable();
+    let mut new_it = new_rows.into_iter().peekable();
+    loop {
+        match (old_it.peek(), new_it.peek()) {
+            (Some(a), Some(b)) => {
+                debug_assert_ne!(a.center, b.center, "dirty filter must drop dirty rows");
+                if a.center < b.center {
+                    merged.push(old_it.next().expect("peeked"));
+                } else {
+                    merged.push(new_it.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => merged.push(old_it.next().expect("peeked")),
+            (None, Some(_)) => merged.push(new_it.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    *rows = merged;
+}
+
+/// Work accounting of the most recent [`IncrementalMatcher::apply`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Centers the delta marked dirty (re-evaluated through the ball pipeline).
+    /// `dirty_balls + clean_balls == |V|`.
+    pub dirty_balls: usize,
+    /// Centers whose cached result was reused untouched.
+    pub clean_balls: usize,
+    /// Global-relation pairs the update added (`dual_filter` only).
+    pub pairs_gained: usize,
+    /// Global-relation pairs the update removed (`dual_filter` only).
+    pub pairs_lost: usize,
+    /// The insertion re-admission closure flooded and the global fixpoint was
+    /// recomputed from scratch.
+    pub relation_recomputed: bool,
+    /// The `Gm` extraction was rebuilt rather than reused.
+    pub gm_reextracted: bool,
+}
+
+/// Per-plan state of the matcher: the incremental plan maintains
+/// [`IncrementalState`] + cached rows, the recompute oracle only the graph.
+enum PlanState {
+    Incremental {
+        state: Box<IncrementalState>,
+        /// Pre-deduplication rows (ascending ball center, data-graph ids) — kept
+        /// separately only when the configuration deduplicates, because deduplication
+        /// is a cross-row operation that must be re-applied over every splice. With
+        /// dedup off, `output.subgraphs` itself is the row cache and splices happen in
+        /// place, clone-free.
+        dedup_rows: Option<Vec<PerfectSubgraph>>,
+    },
+    Recompute {
+        data: Graph,
+    },
+}
+
+/// A strong-simulation session over a mutating data graph.
+///
+/// Construct once, then feed [`GraphDelta`]s through [`IncrementalMatcher::apply`]; the
+/// cached [`MatchOutput`] after every apply is bit-identical (subgraph rows) to running
+/// [`crate::strong::strong_simulation`] on the updated graph with the same
+/// configuration. `config.update_plan` picks the maintenance strategy —
+/// [`UpdatePlan::Incremental`] (the default) or the [`UpdatePlan::Recompute`] oracle.
+pub struct IncrementalMatcher {
+    pattern: Pattern,
+    config: MatchConfig,
+    plan: PlanState,
+    output: MatchOutput,
+    last_update: UpdateStats,
+}
+
+impl IncrementalMatcher {
+    /// Runs the initial match over `data` and caches everything the chosen plan needs.
+    pub fn new(pattern: &Pattern, data: Graph, config: MatchConfig) -> Self {
+        let n = data.node_count();
+        let (plan, output) = match config.update_plan {
+            UpdatePlan::Recompute => {
+                let output = crate::strong::strong_simulation(pattern, &data, &config);
+                (PlanState::Recompute { data }, output)
+            }
+            UpdatePlan::Incremental => {
+                let state = Box::new(IncrementalState::new(
+                    pattern,
+                    data,
+                    config.minimize_query,
+                    config.radius_override,
+                    config.dual_filter,
+                    config.ball_substrate,
+                    config.refine_strategy,
+                ));
+                let run_cfg = MatchConfig {
+                    deduplicate: false,
+                    ..config
+                };
+                let out =
+                    match_with_prepared(pattern, &state.data, &run_cfg, state.prepared(), None);
+                let (dedup_rows, subgraphs) = if config.deduplicate {
+                    let subgraphs = deduped_copy(&out.subgraphs);
+                    (Some(out.subgraphs), subgraphs)
+                } else {
+                    (None, out.subgraphs)
+                };
+                let output = MatchOutput {
+                    stats: refreshed_stats(out.stats, &state, subgraphs.len()),
+                    subgraphs,
+                };
+                (PlanState::Incremental { state, dedup_rows }, output)
+            }
+        };
+        IncrementalMatcher {
+            pattern: pattern.clone(),
+            config,
+            plan,
+            output,
+            last_update: UpdateStats {
+                dirty_balls: n,
+                clean_balls: 0,
+                ..UpdateStats::default()
+            },
+        }
+    }
+
+    /// The current data graph (after every applied delta).
+    pub fn data(&self) -> &Graph {
+        match &self.plan {
+            PlanState::Incremental { state, .. } => &state.data,
+            PlanState::Recompute { data } => data,
+        }
+    }
+
+    /// The configuration the session runs under.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// The match result over the current graph.
+    pub fn output(&self) -> &MatchOutput {
+        &self.output
+    }
+
+    /// Work accounting of the most recent [`IncrementalMatcher::apply`] (or of the
+    /// initial run, where every ball is dirty by definition).
+    pub fn last_update(&self) -> &UpdateStats {
+        &self.last_update
+    }
+
+    /// Applies one validated batch of edge updates and refreshes the cached output.
+    ///
+    /// Returns the refreshed output; fails (leaving the session untouched) when the
+    /// delta does not validate against the current graph.
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<&MatchOutput, GraphError> {
+        match &mut self.plan {
+            PlanState::Recompute { data } => {
+                let new_data = data.apply_delta(delta)?;
+                self.output =
+                    crate::strong::strong_simulation(&self.pattern, &new_data, &self.config);
+                self.last_update = UpdateStats {
+                    dirty_balls: new_data.node_count(),
+                    clean_balls: 0,
+                    ..UpdateStats::default()
+                };
+                *data = new_data;
+            }
+            PlanState::Incremental { state, dedup_rows } => {
+                let effect = state.advance(delta)?;
+                let run_cfg = MatchConfig {
+                    deduplicate: false,
+                    ..self.config
+                };
+                let out = match_with_prepared(
+                    &self.pattern,
+                    &state.data,
+                    &run_cfg,
+                    state.prepared(),
+                    Some(&effect.dirty),
+                );
+                match dedup_rows {
+                    Some(rows) => {
+                        splice_rows(rows, &effect.dirty, out.subgraphs);
+                        self.output.subgraphs = deduped_copy(rows);
+                    }
+                    None => splice_rows(&mut self.output.subgraphs, &effect.dirty, out.subgraphs),
+                }
+                self.output.stats = refreshed_stats(out.stats, state, self.output.subgraphs.len());
+                self.last_update = UpdateStats {
+                    dirty_balls: effect.dirty.len(),
+                    clean_balls: state.data.node_count() - effect.dirty.len(),
+                    pairs_gained: effect.pairs_gained,
+                    pairs_lost: effect.pairs_lost,
+                    relation_recomputed: effect.relation_recomputed,
+                    gm_reextracted: effect.gm_reextracted,
+                };
+            }
+        }
+        Ok(&self.output)
+    }
+}
+
+/// Copies the structurally distinct rows, keeping the first occurrence of each
+/// structure — the matcher's dedup, re-applied over every splice (deduplication is a
+/// cross-row operation: a dirty center's new row can legitimise or shadow a clean
+/// center's cached one, so it can never be cached per row). Clones only the kept rows,
+/// so the per-update cost tracks the output size, not the cache size.
+fn deduped_copy(rows: &[PerfectSubgraph]) -> Vec<PerfectSubgraph> {
+    distinct_indices(rows)
+        .into_iter()
+        .map(|i| rows[i].clone())
+        .collect()
+}
+
+/// Describes the session's current state in the stats carried by the cached output
+/// (work counters keep describing the most recent — restricted — run).
+fn refreshed_stats(
+    mut stats: MatchStats,
+    state: &IncrementalState,
+    subgraph_count: usize,
+) -> MatchStats {
+    stats.perfect_subgraphs = subgraph_count;
+    stats.radius = state.radius;
+    stats.balls_considered = state.data.node_count();
+    if let Some((sub, _)) = &state.gm_cache {
+        stats.gm_nodes = sub.node_count();
+        stats.gm_edges = sub.edge_count();
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strong::strong_simulation;
+    use ssim_graph::Label;
+
+    /// Chain data with alternating labels and a path pattern — small enough to reason
+    /// about, rich enough that deltas move matches around.
+    fn chain() -> (Pattern, Graph) {
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let labels: Vec<Label> = (0..10u32).map(|i| Label(i % 2)).collect();
+        let edges: Vec<(u32, u32)> = (0..9u32).map(|i| (i, i + 1)).collect();
+        (pattern, Graph::from_edges(labels, &edges).unwrap())
+    }
+
+    fn assert_rows_equal(a: &MatchOutput, b: &MatchOutput, ctx: &str) {
+        // Derived PartialEq on PerfectSubgraph covers every field.
+        assert_eq!(a.subgraphs, b.subgraphs, "{ctx}");
+    }
+
+    #[test]
+    fn incremental_tracks_recompute_on_a_chain() {
+        let (pattern, data) = chain();
+        for config in [
+            MatchConfig::basic(),
+            MatchConfig::optimized(),
+            MatchConfig {
+                dual_filter: true,
+                ..MatchConfig::basic()
+            },
+        ] {
+            let mut inc = IncrementalMatcher::new(&pattern, data.clone(), config);
+            let mut ora = IncrementalMatcher::new(
+                &pattern,
+                data.clone(),
+                MatchConfig {
+                    update_plan: UpdatePlan::Recompute,
+                    ..config
+                },
+            );
+            assert_rows_equal(inc.output(), ora.output(), "initial");
+            // Break the chain in the middle, then heal it elsewhere.
+            let mut d1 = GraphDelta::new();
+            d1.delete_edge(NodeId(4), NodeId(5));
+            let mut d2 = GraphDelta::new();
+            d2.insert_edge(NodeId(5), NodeId(4));
+            for (i, delta) in [d1, d2].iter().enumerate() {
+                inc.apply(delta).unwrap();
+                ora.apply(delta).unwrap();
+                assert_rows_equal(inc.output(), ora.output(), &format!("step {i} {config:?}"));
+                let oneshot = strong_simulation(&pattern, inc.data(), &config);
+                assert_rows_equal(inc.output(), &oneshot, &format!("vs one-shot {i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let (pattern, data) = chain();
+        let mut inc = IncrementalMatcher::new(&pattern, data, MatchConfig::optimized());
+        let before = inc.output().clone();
+        inc.apply(&GraphDelta::new()).unwrap();
+        assert_rows_equal(&before, inc.output(), "empty delta");
+        assert_eq!(inc.last_update().dirty_balls, 0);
+        assert_eq!(
+            inc.last_update().clean_balls,
+            inc.data().node_count(),
+            "every ball stays clean"
+        );
+    }
+
+    #[test]
+    fn fixpoint_maintenance_matches_scratch() {
+        let (pattern, data) = chain();
+        let old = global_fixpoint(&pattern, &data, RefineStrategy::Worklist);
+        // Drop (0,1), add (2,1).
+        let mut delta = GraphDelta::new();
+        delta.delete_edge(NodeId(0), NodeId(1));
+        delta.insert_edge(NodeId(2), NodeId(1));
+        let new_data = data.apply_delta(&delta).unwrap();
+        let up =
+            update_global_fixpoint(&pattern, &new_data, &delta, &old, RefineStrategy::Worklist);
+        let scratch = global_fixpoint(&pattern, &new_data, RefineStrategy::Worklist);
+        assert_eq!(up.relation.to_sorted_pairs(), scratch.to_sorted_pairs());
+        // Changed nodes cover exactly the symmetric difference of the two relations.
+        for u in pattern.nodes() {
+            for v in new_data.nodes() {
+                if old.contains(u, v) != scratch.contains(u, v) {
+                    assert!(
+                        up.changed_nodes.contains(v.index()),
+                        "missing change at {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_that_empties_the_relation_and_reinsertion_round_trip() {
+        // Pattern A -> B over a single A -> B edge: deleting it empties the fixpoint,
+        // re-adding restores it exactly.
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let original = global_fixpoint(&pattern, &data, RefineStrategy::Worklist);
+        assert!(original.is_total());
+        let mut del = GraphDelta::new();
+        del.delete_edge(NodeId(0), NodeId(1));
+        let without = data.apply_delta(&del).unwrap();
+        let up = update_global_fixpoint(
+            &pattern,
+            &without,
+            &del,
+            &original,
+            RefineStrategy::Worklist,
+        );
+        assert!(up.relation.is_empty(), "non-total fixpoints are empty");
+        assert_eq!(up.pairs_lost, 2);
+        let back = without.apply_delta(&del.inverse()).unwrap();
+        let up2 = update_global_fixpoint(
+            &pattern,
+            &back,
+            &del.inverse(),
+            &up.relation,
+            RefineStrategy::Worklist,
+        );
+        assert_eq!(
+            up2.relation.to_sorted_pairs(),
+            original.to_sorted_pairs(),
+            "round trip"
+        );
+    }
+
+    #[test]
+    fn splice_merges_and_drops_dirty_rows() {
+        let row = |c: u32| PerfectSubgraph {
+            center: NodeId(c),
+            radius: 1,
+            nodes: vec![NodeId(c)],
+            edges: vec![],
+            relation: vec![],
+        };
+        let mut rows = vec![row(1), row(3), row(5)];
+        let mut dirty = BitSet::new(8);
+        dirty.insert(3); // row 3 is dropped and not replaced
+        dirty.insert(4); // a new center appears
+        splice_rows(&mut rows, &dirty, vec![row(4)]);
+        let centers: Vec<u32> = rows.iter().map(|r| r.center.0).collect();
+        assert_eq!(centers, vec![1, 4, 5]);
+    }
+}

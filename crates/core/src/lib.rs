@@ -56,6 +56,7 @@ pub mod bisimulation;
 pub mod bounded;
 pub mod dual;
 pub mod dual_filter;
+pub mod incremental;
 pub mod match_graph;
 pub mod minimize;
 pub mod parallel;
@@ -68,6 +69,7 @@ pub mod warm;
 
 pub use ball::{locality_center_order, BallForest, BallMove, BallStrategy, BallSubstrate};
 pub use dual::{dual_simulates, dual_simulation, dual_simulation_with};
+pub use incremental::{IncrementalMatcher, PreparedGlobal, UpdatePlan, UpdateStats};
 pub use match_graph::{MatchGraph, PerfectSubgraph};
 pub use minimize::minimize_pattern;
 pub use relation::MatchRelation;

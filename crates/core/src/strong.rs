@@ -44,6 +44,7 @@
 use crate::ball::{locality_center_order, BallForest, BallStrategy, BallSubstrate};
 use crate::dual::{dual_simulation_with, refine_dual_with};
 use crate::dual_filter::refine_projected;
+use crate::incremental::{PreparedGlobal, UpdatePlan};
 use crate::match_graph::{extract_max_perfect_subgraph, PerfectSubgraph};
 use crate::minimize::minimize_pattern;
 use crate::parallel::{available_threads, contiguous, par_workers, stripe};
@@ -97,6 +98,11 @@ pub struct MatchConfig {
     /// (the pre-extraction behaviour, kept as the equivalence oracle). Ignored without
     /// `dual_filter` — there is no `Gm` to extract.
     pub ball_substrate: BallSubstrate,
+    /// How [`crate::incremental::IncrementalMatcher`] reacts to graph deltas: maintain
+    /// the cached state under the update and re-run only the dirty balls (the default)
+    /// or recompute the whole match from scratch (the equivalence oracle). One-shot
+    /// [`strong_simulation`] calls ignore the axis — there is no cached state to update.
+    pub update_plan: UpdatePlan,
 }
 
 impl Default for MatchConfig {
@@ -116,6 +122,7 @@ impl Default for MatchConfig {
             ball_strategy: BallStrategy::Incremental,
             refine_seed: RefineSeed::WarmStart,
             ball_substrate: BallSubstrate::MatchGraph,
+            update_plan: UpdatePlan::Incremental,
         }
     }
 }
@@ -146,6 +153,7 @@ impl MatchConfig {
             ball_strategy: BallStrategy::FreshBfs,
             refine_seed: RefineSeed::FromScratch,
             ball_substrate: BallSubstrate::FullGraph,
+            update_plan: UpdatePlan::Recompute,
             ..Self::default()
         }
     }
@@ -197,6 +205,12 @@ impl MatchConfig {
     /// Selects which graph the ball pipeline traverses under `dual_filter`.
     pub fn with_ball_substrate(mut self, substrate: BallSubstrate) -> Self {
         self.ball_substrate = substrate;
+        self
+    }
+
+    /// Selects how the incremental matcher reacts to graph deltas.
+    pub fn with_update_plan(mut self, plan: UpdatePlan) -> Self {
+        self.update_plan = plan;
         self
     }
 }
@@ -308,7 +322,7 @@ fn structural_hash(s: &PerfectSubgraph) -> u64 {
 /// Indices of the structurally distinct subgraphs, keeping the first occurrence of each
 /// structure. Deduplication is hash-based with an equality check on collision, so it does
 /// not clone the node/edge vectors into set keys the way the seed did.
-fn distinct_indices(subgraphs: &[PerfectSubgraph]) -> Vec<usize> {
+pub(crate) fn distinct_indices(subgraphs: &[PerfectSubgraph]) -> Vec<usize> {
     let mut buckets: HashMap<u64, Vec<usize>> = HashMap::with_capacity(subgraphs.len());
     let mut keep = Vec::with_capacity(subgraphs.len());
     for (i, s) in subgraphs.iter().enumerate() {
@@ -343,6 +357,29 @@ struct WorkerResult {
 /// when it is [`MatchConfig::optimized`]; any other combination toggles individual
 /// optimisations for ablation studies.
 pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) -> MatchOutput {
+    match_with_prepared(pattern, data, config, None, None)
+}
+
+/// [`strong_simulation`] with the incremental driver's two hooks:
+///
+/// * `prepared` — a maintained global dual-simulation state ([`PreparedGlobal`]): the
+///   exact global fixpoint plus, on the match-graph substrate, the cached `Gm`
+///   extraction. When given, the global fixpoint and the extraction are *not* recomputed
+///   here — that is the point of maintaining them across updates.
+/// * `dirty` — a center filter in **data-graph** (outer) ids: only balls whose center is
+///   in the set are evaluated. Every per-ball unit of work is independent of which other
+///   centers run (the invariant the PR 2–4 differential suites pin), so the rows
+///   produced here are bit-identical to the same centers' rows in an unrestricted pass —
+///   which is what lets the incremental matcher splice them into a cached result.
+///
+/// One-shot callers pass `None` for both and get exactly [`strong_simulation`].
+pub fn match_with_prepared(
+    pattern: &Pattern,
+    data: &Graph,
+    config: &MatchConfig,
+    prepared: Option<PreparedGlobal<'_>>,
+    dirty: Option<&BitSet>,
+) -> MatchOutput {
     let mut stats = MatchStats::default();
 
     // Optimisation 1: query minimization. The ball radius stays the *original* diameter
@@ -369,19 +406,45 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
     };
     stats.radius = radius;
 
-    // Optimisation 2 (part 1): the global dual-simulation relation, computed once.
-    let global_relation: Option<MatchRelation> = if config.dual_filter {
-        match dual_simulation_with(effective_pattern, data, config.refine_strategy) {
-            Some(rel) => Some(rel),
-            None => {
-                // The whole graph does not even dual-simulate the pattern: no ball can.
-                stats.balls_considered = data.node_count();
-                stats.balls_skipped = data.node_count();
-                return MatchOutput {
-                    subgraphs: Vec::new(),
-                    stats,
-                };
+    // Optimisation 2 (part 1): the global dual-simulation relation — computed once here,
+    // or handed in already maintained by the incremental driver.
+    let computed_global: Option<MatchRelation> = match (config.dual_filter, prepared) {
+        (true, None) => {
+            match dual_simulation_with(effective_pattern, data, config.refine_strategy) {
+                Some(rel) => Some(rel),
+                None => {
+                    // The whole graph does not even dual-simulate the pattern: no ball can.
+                    stats.balls_considered = data.node_count();
+                    stats.balls_skipped = data.node_count();
+                    return MatchOutput {
+                        subgraphs: Vec::new(),
+                        stats,
+                    };
+                }
             }
+        }
+        _ => None,
+    };
+    let global_relation: Option<&MatchRelation> = if config.dual_filter {
+        match prepared {
+            Some(p) => {
+                debug_assert_eq!(
+                    p.relation.pattern_node_count(),
+                    effective_pattern.node_count(),
+                    "prepared relation must be over the effective (minimised) pattern"
+                );
+                if !p.relation.is_total() {
+                    // The maintained fixpoint is empty: no ball can match.
+                    stats.balls_considered = data.node_count();
+                    stats.balls_skipped = data.node_count();
+                    return MatchOutput {
+                        subgraphs: Vec::new(),
+                        stats,
+                    };
+                }
+                Some(p.relation)
+            }
+            None => computed_global.as_ref(),
         }
     } else {
         None
@@ -392,26 +455,36 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
     // (Fig. 5). One matched-set buffer serves both the extraction and the center filter.
     stats.balls_considered = data.node_count();
     let mut matched_buf = BitSet::new(0);
-    let gm: Option<(ExtractedSubgraph, MatchRelation)> = match &global_relation {
-        Some(global) if config.ball_substrate == BallSubstrate::MatchGraph => {
-            let (sub, inner) = global.extract_matched_subgraph(data, &mut matched_buf);
-            stats.gm_nodes = sub.node_count();
-            stats.gm_edges = sub.edge_count();
-            Some((sub, inner))
+    let extracted: Option<(ExtractedSubgraph, MatchRelation)> = match (global_relation, prepared) {
+        (Some(global), None) if config.ball_substrate == BallSubstrate::MatchGraph => {
+            Some(global.extract_matched_subgraph(data, &mut matched_buf))
         }
         _ => None,
     };
+    let gm: Option<(&ExtractedSubgraph, &MatchRelation)> = match (global_relation, prepared) {
+        (Some(_), Some(p)) if config.ball_substrate == BallSubstrate::MatchGraph => {
+            Some(p.gm.expect("prepared state must carry Gm on the match-graph substrate"))
+        }
+        (Some(_), None) if config.ball_substrate == BallSubstrate::MatchGraph => {
+            extracted.as_ref().map(|(sub, inner)| (sub, inner))
+        }
+        _ => None,
+    };
+    if let Some((sub, _)) = gm {
+        stats.gm_nodes = sub.node_count();
+        stats.gm_edges = sub.edge_count();
+    }
     // Everything below speaks `match_data` ids: `Gm` ids on the match-graph substrate,
     // data-graph ids otherwise. Results are translated back at emission.
-    let (match_data, local_relation): (&Graph, Option<&MatchRelation>) = match &gm {
+    let (match_data, local_relation): (&Graph, Option<&MatchRelation>) = match gm {
         Some((sub, inner)) => (sub.graph(), Some(inner)),
-        None => (data, global_relation.as_ref()),
+        None => (data, global_relation),
     };
 
     // Balls whose center cannot match any pattern node are skipped outright; on the
     // match-graph substrate the extraction already performed exactly that filter, so the
     // skipped/considered accounting is identical on both substrates.
-    let centers: Vec<NodeId> = match (&gm, &global_relation) {
+    let centers: Vec<NodeId> = match (gm, global_relation) {
         (Some((sub, _)), _) => sub.graph().nodes().collect(),
         (None, Some(global)) => {
             global.matched_data_nodes_into(&mut matched_buf);
@@ -422,6 +495,19 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
         (None, None) => data.nodes().collect(),
     };
     stats.balls_skipped = data.node_count() - centers.len();
+    // Incremental updates restrict the run to the centers a delta marked dirty;
+    // everything below is center-set agnostic, so the surviving rows are bit-identical
+    // to the same centers' rows in an unrestricted pass.
+    let centers: Vec<NodeId> = match dirty {
+        Some(dirty) => centers
+            .into_iter()
+            .filter(|&c| {
+                let outer = gm.map_or(c, |(sub, _)| sub.outer_of(c));
+                dirty.contains(outer.index())
+            })
+            .collect(),
+        None => centers,
+    };
     stats.balls_processed = centers.len();
 
     // The sliding-ball strategy wants consecutive centers to be adjacent, so it reorders
@@ -452,7 +538,6 @@ pub fn strong_simulation(pattern: &Pattern, data: &Graph, config: &MatchConfig) 
         (true, None) => 1,
     };
     let use_warm = use_forest && config.refine_seed == RefineSeed::WarmStart;
-    let gm = &gm;
     let worker = |t: usize| -> WorkerResult {
         let mut result = WorkerResult::default();
         let mut scratch = BallScratch::new();

@@ -8,7 +8,9 @@
 use crate::match_graph::MatchGraph;
 use crate::relation::MatchRelation;
 use crate::strong::MatchOutput;
-use ssim_graph::cycles::{has_directed_cycle, has_undirected_cycle};
+use ssim_graph::cycles::{
+    has_directed_cycle, has_label_distinct_undirected_cycle, has_undirected_cycle,
+};
 use ssim_graph::metrics::induced_diameter;
 use ssim_graph::{Graph, GraphView, NodeId, Pattern};
 
@@ -68,14 +70,40 @@ pub fn directed_cycles_preserved(
     has_directed_cycle(&sub)
 }
 
-/// Criterion (4b): if the pattern has an undirected cycle, the match graph has one
-/// (Theorem 3 — requires dual simulation).
+/// Whether the undirected-cycle guarantee (Theorem 3) applies to this pattern — the
+/// shapes for which *any* total valid dual-simulation witness provably forces an
+/// undirected cycle into its match graph:
+///
+/// * the pattern has a **directed** cycle (self-loops and anti-parallel pairs
+///   included): Proposition 2's walk already forces a directed — hence undirected —
+///   cycle, for plain simulation upward; or
+/// * the pattern has a simple undirected cycle whose nodes carry **pairwise-distinct
+///   labels**: the cycle-chasing walk steps through pairwise-disjoint candidate sets,
+///   so it can neither fold two cycle positions onto one data node nor immediately
+///   re-traverse the edge it arrived by, and a closed walk without immediate edge
+///   reversal always contains a simple undirected cycle.
+///
+/// When the pattern's only undirected cycles are undirected-only *and* repeat a label,
+/// the guarantee genuinely fails — the walk folds. The minimal shape: a diamond
+/// `a → b, a → c, b → d, c → d` with `l(b) = l(c)` is dual-simulated by the path
+/// `x → y → z` via `a↦x, b↦y, c↦y, d↦z` (that relation is even the *maximum* one on
+/// the path), and a path has no undirected cycle. The nightly generator found exactly
+/// this fold at case 301; `tests/invariants_proptest.rs` pins it as a named regression.
+pub fn undirected_cycle_guarantee_applies(pattern: &Pattern) -> bool {
+    has_directed_cycle(pattern.graph()) || has_label_distinct_undirected_cycle(pattern.graph())
+}
+
+/// Criterion (4b): if the pattern has an undirected cycle that dual simulation can
+/// actually pin — see [`undirected_cycle_guarantee_applies`] — the match graph has an
+/// undirected cycle (Theorem 3). Patterns whose only undirected cycles fold (repeated
+/// labels, no directed cycle) satisfy the criterion trivially: no guarantee exists to
+/// check.
 pub fn undirected_cycles_preserved(
     pattern: &Pattern,
     data: &Graph,
     relation: &MatchRelation,
 ) -> bool {
-    if !has_undirected_cycle(pattern.graph()) {
+    if !undirected_cycle_guarantee_applies(pattern) {
         return true;
     }
     let view = GraphView::full(data);
@@ -262,6 +290,60 @@ mod tests {
         let relation = dual_simulation(&pattern, &data).unwrap();
         assert!(directed_cycles_preserved(&pattern, &data, &relation));
         assert!(undirected_cycles_preserved(&pattern, &data, &relation));
+    }
+
+    #[test]
+    fn repeated_label_cycle_folds_onto_a_path() {
+        // The minimal Theorem 3 boundary: diamond a -> b, a -> c, b -> d, c -> d with
+        // l(b) = l(c). Its only undirected cycle repeats a label, so the cycle-chasing
+        // walk folds b and c onto one data node and the guarantee does not apply.
+        let pattern = Pattern::from_edges(
+            vec![Label(0), Label(1), Label(1), Label(2)],
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        assert!(ssim_graph::cycles::has_undirected_cycle(pattern.graph()));
+        assert!(!undirected_cycle_guarantee_applies(&pattern));
+        // Path data x -> y -> z: the maximum dual-simulation relation folds the
+        // diamond onto it, and the match graph (the path itself) has no undirected
+        // cycle — the criterion must hold trivially rather than report a violation.
+        let path =
+            Graph::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
+        let dual = dual_simulation(&pattern, &path).expect("the fold is a valid dual sim");
+        assert_eq!(
+            dual.to_sorted_pairs(),
+            vec![(0, 0), (1, 1), (2, 1), (3, 2)],
+            "the maximum relation maps both same-labelled pattern nodes to y"
+        );
+        assert!(undirected_cycles_preserved(&pattern, &path, &dual));
+        // Un-folding the labels restores the guarantee — and path data then (rightly)
+        // no longer dual-simulates the pattern at all.
+        let unfolded = Pattern::from_edges(
+            vec![Label(0), Label(1), Label(3), Label(2)],
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        assert!(undirected_cycle_guarantee_applies(&unfolded));
+    }
+
+    #[test]
+    fn guarantee_applies_to_directed_and_label_distinct_cycles() {
+        // Anti-parallel pair (directed cycle) with a repeated label: guaranteed.
+        let anti = Pattern::from_edges(vec![Label(0), Label(0)], &[(0, 1), (1, 0)]).unwrap();
+        assert!(undirected_cycle_guarantee_applies(&anti));
+        // Self-loop: guaranteed.
+        let looped = Pattern::from_edges(vec![Label(0)], &[(0, 0)]).unwrap();
+        assert!(undirected_cycle_guarantee_applies(&looped));
+        // Label-distinct undirected triangle without any directed cycle: guaranteed.
+        let tri = Pattern::from_edges(
+            vec![Label(0), Label(1), Label(2)],
+            &[(0, 1), (0, 2), (1, 2)],
+        )
+        .unwrap();
+        assert!(undirected_cycle_guarantee_applies(&tri));
+        // Acyclic pattern: nothing to guarantee.
+        let chain = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        assert!(!undirected_cycle_guarantee_applies(&chain));
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Incremental distributed matching: coordinator-side delta maintenance with per-site
+//! dirty-ball routing.
+//!
+//! The coordinator owns the mutable state — the data graph, the global dual-simulation
+//! fixpoint and the `Gm` extraction, all maintained by the shared
+//! [`ssim_core::incremental::IncrementalState`] machinery — and, per
+//! [`GraphDelta`], computes the dirty-center set (the dQ-bounded locality sweep of
+//! Prop. 3) exactly like the centralized driver. The *routing* is what distribution
+//! adds: each dirty center is shipped to the site owning it, sites re-evaluate only
+//! their own dirty balls (sliding a forest along their slice of the locality order, as
+//! always), and the coordinator splices the returned rows into its cached result.
+//! [`TrafficStats::dirty_balls`] / [`TrafficStats::clean_balls`] account for the split
+//! and always sum to `|V|`.
+//!
+//! [`UpdatePlan::Recompute`] (on [`DistributedConfig::update_plan`]) is the oracle: it
+//! re-runs the full one-shot [`distributed_strong_simulation`] per delta. The
+//! differential suite holds both plans bit-identical along random delta streams.
+
+use crate::runtime::{
+    distributed_strong_simulation, distributed_with_prepared, DistributedConfig, DistributedOutput,
+};
+use ssim_core::incremental::{splice_rows, IncrementalState, UpdatePlan};
+use ssim_core::simulation::RefineStrategy;
+use ssim_graph::{Graph, GraphDelta, GraphError, Pattern};
+
+/// Per-plan coordinator state. The distributed runtime never deduplicates, so the
+/// cached `output.subgraphs` doubles as the row cache and splices happen in place.
+enum PlanState {
+    Incremental { state: Box<IncrementalState> },
+    Recompute { data: Graph },
+}
+
+/// A distributed strong-simulation session over a mutating data graph.
+///
+/// Construct once, then feed [`GraphDelta`]s through
+/// [`IncrementalDistributed::apply`]; the cached [`DistributedOutput`] after every apply
+/// carries subgraphs bit-identical to a one-shot
+/// [`distributed_strong_simulation`] on the updated graph (whose traffic counters, by
+/// contrast, describe only the update's own work).
+pub struct IncrementalDistributed {
+    pattern: Pattern,
+    config: DistributedConfig,
+    plan: PlanState,
+    output: DistributedOutput,
+}
+
+impl IncrementalDistributed {
+    /// Runs the initial distributed match over `data` and caches the coordinator state.
+    pub fn new(pattern: &Pattern, data: Graph, config: DistributedConfig) -> Self {
+        let (plan, output) = match config.update_plan {
+            UpdatePlan::Recompute => {
+                let output = distributed_strong_simulation(pattern, &data, &config);
+                (PlanState::Recompute { data }, output)
+            }
+            UpdatePlan::Incremental => {
+                let state = Box::new(IncrementalState::new(
+                    pattern,
+                    data,
+                    config.minimize_query,
+                    None,
+                    config.dual_filter,
+                    config.ball_substrate,
+                    RefineStrategy::Worklist,
+                ));
+                let output = distributed_with_prepared(
+                    pattern,
+                    &state.data,
+                    &config,
+                    state.prepared(),
+                    None,
+                );
+                (PlanState::Incremental { state }, output)
+            }
+        };
+        IncrementalDistributed {
+            pattern: pattern.clone(),
+            config,
+            plan,
+            output,
+        }
+    }
+
+    /// The current data graph (after every applied delta).
+    pub fn data(&self) -> &Graph {
+        match &self.plan {
+            PlanState::Incremental { state, .. } => &state.data,
+            PlanState::Recompute { data } => data,
+        }
+    }
+
+    /// The distributed match result over the current graph. On the incremental plan the
+    /// traffic counters describe the most recent update's work (dirty balls routed,
+    /// shipping for those balls), not a full pass.
+    pub fn output(&self) -> &DistributedOutput {
+        &self.output
+    }
+
+    /// Applies one validated batch of edge updates: the coordinator maintains its
+    /// state, routes the dirty centers to their owning sites and splices the returned
+    /// rows. Fails (leaving the session untouched) when the delta does not validate.
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<&DistributedOutput, GraphError> {
+        match &mut self.plan {
+            PlanState::Recompute { data } => {
+                let new_data = data.apply_delta(delta)?;
+                self.output = distributed_strong_simulation(&self.pattern, &new_data, &self.config);
+                *data = new_data;
+            }
+            PlanState::Incremental { state } => {
+                let effect = state.advance(delta)?;
+                let mut out = distributed_with_prepared(
+                    &self.pattern,
+                    &state.data,
+                    &self.config,
+                    state.prepared(),
+                    Some(&effect.dirty),
+                );
+                let fresh = std::mem::replace(
+                    &mut out.subgraphs,
+                    std::mem::take(&mut self.output.subgraphs),
+                );
+                splice_rows(&mut out.subgraphs, &effect.dirty, fresh);
+                out.traffic.result_subgraphs = out.subgraphs.len();
+                self.output = out;
+            }
+        }
+        Ok(&self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionStrategy;
+    use ssim_core::ball::BallSubstrate;
+    use ssim_datasets::patterns::extract_pattern;
+    use ssim_datasets::synthetic::{synthetic, SyntheticConfig};
+    use ssim_graph::NodeId;
+
+    fn assert_same_subgraphs(a: &DistributedOutput, b: &DistributedOutput, ctx: &str) {
+        // Derived PartialEq on PerfectSubgraph covers every field.
+        assert_eq!(a.subgraphs, b.subgraphs, "{ctx}");
+    }
+
+    #[test]
+    fn incremental_distributed_tracks_the_recompute_oracle() {
+        let data = synthetic(&SyntheticConfig {
+            nodes: 160,
+            alpha: 1.15,
+            labels: 8,
+            seed: 11,
+        });
+        let pattern = extract_pattern(&data, 3, 7).expect("pattern extraction succeeds");
+        for dual_filter in [false, true] {
+            for substrate in [BallSubstrate::MatchGraph, BallSubstrate::FullGraph] {
+                let base = DistributedConfig {
+                    sites: 3,
+                    strategy: PartitionStrategy::Range,
+                    minimize_query: false,
+                    dual_filter,
+                    ball_substrate: substrate,
+                    ..DistributedConfig::default()
+                };
+                let mut inc = IncrementalDistributed::new(&pattern, data.clone(), base);
+                let mut ora = IncrementalDistributed::new(
+                    &pattern,
+                    data.clone(),
+                    DistributedConfig {
+                        update_plan: UpdatePlan::Recompute,
+                        ..base
+                    },
+                );
+                assert_same_subgraphs(inc.output(), ora.output(), "initial");
+                // Delete an existing edge, then add a fresh one.
+                let (s, t) = data.edges().next().expect("generator emits edges");
+                let mut d1 = GraphDelta::new();
+                d1.delete_edge(s, t);
+                let fresh = data
+                    .nodes()
+                    .find(|&v| !data.has_edge(v, NodeId(0)) && v != NodeId(0))
+                    .expect("some non-edge exists");
+                let mut d2 = GraphDelta::new();
+                d2.insert_edge(fresh, NodeId(0));
+                for (i, delta) in [d1, d2].iter().enumerate() {
+                    inc.apply(delta).unwrap();
+                    ora.apply(delta).unwrap();
+                    let ctx = format!("step {i} dual_filter={dual_filter} {substrate:?}");
+                    assert_same_subgraphs(inc.output(), ora.output(), &ctx);
+                    // The dirty/clean split always covers the whole graph.
+                    let traffic = &inc.output().traffic;
+                    assert_eq!(
+                        traffic.dirty_balls + traffic.clean_balls,
+                        data.node_count(),
+                        "{ctx}"
+                    );
+                    assert!(
+                        traffic.dirty_balls < data.node_count(),
+                        "{ctx}: a two-edge delta must leave some ball clean"
+                    );
+                }
+            }
+        }
+    }
+}

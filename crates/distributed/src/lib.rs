@@ -16,10 +16,13 @@
 //! deployment would execute, which is all the paper's data-locality claim needs (see the
 //! substitution table in DESIGN.md).
 
+pub mod incremental;
 pub mod partition;
 pub mod runtime;
 
+pub use incremental::IncrementalDistributed;
 pub use partition::{GraphPartition, PartitionStrategy};
 pub use runtime::{
-    distributed_strong_simulation, DistributedConfig, DistributedOutput, TrafficStats,
+    distributed_strong_simulation, distributed_with_prepared, DistributedConfig, DistributedOutput,
+    TrafficStats,
 };

@@ -16,6 +16,7 @@
 use crate::partition::{GraphPartition, PartitionStrategy};
 use ssim_core::ball::{locality_center_order, BallForest, BallSubstrate};
 use ssim_core::dual::dual_simulation_with;
+use ssim_core::incremental::{PreparedGlobal, UpdatePlan};
 use ssim_core::match_graph::PerfectSubgraph;
 use ssim_core::minimize::minimize_pattern;
 use ssim_core::parallel::par_workers;
@@ -47,6 +48,11 @@ pub struct DistributedConfig {
     /// coordinator-extracted match graph `Gm` (each site walks its own slice of `Gm`'s
     /// locality order) or the full data graph. Ignored without `dual_filter`.
     pub ball_substrate: BallSubstrate,
+    /// How [`crate::incremental::IncrementalDistributed`] reacts to graph deltas:
+    /// coordinator-side state maintenance with per-site dirty-ball routing (the
+    /// default) or a full recompute (the equivalence oracle). One-shot
+    /// [`distributed_strong_simulation`] calls ignore the axis.
+    pub update_plan: UpdatePlan,
 }
 
 impl Default for DistributedConfig {
@@ -58,6 +64,7 @@ impl Default for DistributedConfig {
             refine_seed: RefineSeed::WarmStart,
             dual_filter: false,
             ball_substrate: BallSubstrate::MatchGraph,
+            update_plan: UpdatePlan::Incremental,
         }
     }
 }
@@ -95,6 +102,12 @@ pub struct TrafficStats {
     /// warm-started balls, the full start relation otherwise (seed-dependent
     /// instrumentation, like the centralized `MatchStats::seeded_pairs`).
     pub warm_seeded_pairs: usize,
+    /// Centers this run had no cached result for: every center on a one-shot run, only
+    /// the delta-invalidated ones on an incremental update (of which only the matched
+    /// ones are actually routed to sites). `dirty_balls + clean_balls == |V|` always.
+    pub dirty_balls: usize,
+    /// Centers whose cached (or trivially absent) result was reused untouched.
+    pub clean_balls: usize,
     /// Number of balls evaluated by each site.
     pub balls_per_site: Vec<usize>,
 }
@@ -142,6 +155,21 @@ pub fn distributed_strong_simulation(
     data: &Graph,
     config: &DistributedConfig,
 ) -> DistributedOutput {
+    distributed_with_prepared(pattern, data, config, None, None)
+}
+
+/// [`distributed_strong_simulation`] with the incremental driver's hooks, mirroring
+/// [`ssim_core::strong::match_with_prepared`]: a coordinator-maintained global state
+/// (skipping the global fixpoint and `Gm` extraction) and a dirty-center filter in
+/// data-graph ids — only dirty centers are routed to their owning sites, which is how a
+/// delta's work is distributed.
+pub fn distributed_with_prepared(
+    pattern: &Pattern,
+    data: &Graph,
+    config: &DistributedConfig,
+    prepared: Option<PreparedGlobal<'_>>,
+    dirty: Option<&BitSet>,
+) -> DistributedOutput {
     let partition = GraphPartition::new(data, config.sites, config.strategy);
 
     // Coordinator step 1: optionally minimise the query, then "broadcast" it. The ball
@@ -153,46 +181,77 @@ pub fn distributed_strong_simulation(
         pattern.clone()
     };
 
-    // Coordinator step 1b (dual filter): the global dual-simulation relation, computed
-    // once; on the match-graph substrate it is immediately compacted into `Gm` and
-    // renumbered, so the sites' entire ball pipelines speak `Gm` ids.
-    let global_relation: Option<MatchRelation> = if config.dual_filter {
-        match dual_simulation_with(&effective_pattern, data, RefineStrategy::Worklist) {
-            Some(rel) => Some(rel),
-            None => {
-                // No ball anywhere can match: skip every center at the coordinator.
-                return DistributedOutput {
-                    subgraphs: Vec::new(),
-                    traffic: TrafficStats {
-                        considered_balls: data.node_count(),
-                        skipped_balls: data.node_count(),
-                        balls_per_site: vec![0; partition.sites()],
-                        ..Default::default()
-                    },
-                    partition,
-                };
+    // Coordinator step 1b (dual filter): the global dual-simulation relation — computed
+    // once here, or handed in already maintained by the incremental driver.
+    let empty_output = |partition: GraphPartition, dirty_balls: usize| {
+        let node_count = data.node_count();
+        DistributedOutput {
+            subgraphs: Vec::new(),
+            traffic: TrafficStats {
+                considered_balls: node_count,
+                skipped_balls: node_count,
+                dirty_balls,
+                clean_balls: node_count - dirty_balls,
+                balls_per_site: vec![0; partition.sites()],
+                ..Default::default()
+            },
+            partition,
+        }
+    };
+    let computed_global: Option<MatchRelation> = match (config.dual_filter, prepared) {
+        (true, None) => {
+            match dual_simulation_with(&effective_pattern, data, RefineStrategy::Worklist) {
+                Some(rel) => Some(rel),
+                None => {
+                    // No ball anywhere can match: skip every center at the coordinator.
+                    let dirty_balls = dirty.map_or(data.node_count(), BitSet::len);
+                    return empty_output(partition, dirty_balls);
+                }
             }
+        }
+        _ => None,
+    };
+    let global_relation: Option<&MatchRelation> = if config.dual_filter {
+        match prepared {
+            Some(p) => {
+                if !p.relation.is_total() {
+                    // The maintained fixpoint is empty: no ball anywhere can match.
+                    let dirty_balls = dirty.map_or(data.node_count(), BitSet::len);
+                    return empty_output(partition, dirty_balls);
+                }
+                Some(p.relation)
+            }
+            None => computed_global.as_ref(),
         }
     } else {
         None
     };
-    let gm: Option<(ExtractedSubgraph, MatchRelation)> = match &global_relation {
-        Some(global) if config.ball_substrate == BallSubstrate::MatchGraph => {
+    let extracted: Option<(ExtractedSubgraph, MatchRelation)> = match (global_relation, prepared) {
+        (Some(global), None) if config.ball_substrate == BallSubstrate::MatchGraph => {
             let mut matched = BitSet::new(0);
             Some(global.extract_matched_subgraph(data, &mut matched))
         }
         _ => None,
     };
-    let (match_data, local_relation): (&Graph, Option<&MatchRelation>) = match &gm {
+    let gm: Option<(&ExtractedSubgraph, &MatchRelation)> = match (global_relation, prepared) {
+        (Some(_), Some(p)) if config.ball_substrate == BallSubstrate::MatchGraph => {
+            Some(p.gm.expect("prepared state must carry Gm on the match-graph substrate"))
+        }
+        (Some(_), None) if config.ball_substrate == BallSubstrate::MatchGraph => {
+            extracted.as_ref().map(|(sub, inner)| (sub, inner))
+        }
+        _ => None,
+    };
+    let (match_data, local_relation): (&Graph, Option<&MatchRelation>) = match gm {
         Some((sub, inner)) => (sub.graph(), Some(inner)),
-        None => (data, global_relation.as_ref()),
+        None => (data, global_relation),
     };
 
     // One locality order over the whole substrate, split by owner (the site owning the
     // *original* node — `Gm` ids translate back for the ownership lookup): site workers
     // walk their own centers in this order so their forests can slide between adjacent
     // ones, and the O(|V| + |E|) ordering BFS is paid once instead of once per site.
-    let centers: Vec<NodeId> = match (&gm, &global_relation) {
+    let centers: Vec<NodeId> = match (gm, global_relation) {
         (Some((sub, _)), _) => sub.graph().nodes().collect(),
         (None, Some(global)) => {
             let matched = global.matched_data_nodes();
@@ -203,23 +262,33 @@ pub fn distributed_strong_simulation(
         (None, None) => data.nodes().collect(),
     };
     let skipped_balls = data.node_count() - centers.len();
+    // Incremental updates route only the dirty centers to their owning sites.
+    let centers: Vec<NodeId> = match dirty {
+        Some(dirty) => centers
+            .into_iter()
+            .filter(|&c| {
+                let outer = gm.map_or(c, |(sub, _)| sub.outer_of(c));
+                dirty.contains(outer.index())
+            })
+            .collect(),
+        None => centers,
+    };
     let mut site_centers: Vec<Vec<NodeId>> = vec![Vec::new(); partition.sites()];
     for center in locality_center_order(match_data, &centers) {
-        let owner = gm.as_ref().map_or(center, |(sub, _)| sub.outer_of(center));
+        let owner = gm.map_or(center, |(sub, _)| sub.outer_of(center));
         site_centers[partition.site_of(owner)].push(center);
     }
 
     // Coordinator step 2: every site evaluates its own balls; one worker per site, via the
     // engine's shared parallel driver. Results come back in site order.
     let site_centers = &site_centers;
-    let gm_ref = &gm;
     let reports: Vec<SiteReport> = par_workers(partition.sites(), |site| {
         evaluate_site(
             site,
             &effective_pattern,
             radius,
             match_data,
-            gm_ref.as_ref().map(|(sub, _)| sub),
+            gm.map(|(sub, _)| sub),
             local_relation,
             &partition,
             &site_centers[site],
@@ -228,9 +297,12 @@ pub fn distributed_strong_simulation(
     });
 
     // Assemble the union, deterministically ordered by ball center.
+    let dirty_balls = dirty.map_or(data.node_count(), BitSet::len);
     let mut traffic = TrafficStats {
         considered_balls: data.node_count(),
         skipped_balls,
+        dirty_balls,
+        clean_balls: data.node_count() - dirty_balls,
         balls_per_site: vec![0; partition.sites()],
         ..Default::default()
     };

@@ -150,6 +150,23 @@ impl BitSet {
         self.len = len;
     }
 
+    /// Adds every index on which `a` and `b` disagree (their symmetric difference).
+    /// Used by the incremental matcher to accumulate, per pattern node, the data nodes
+    /// whose candidacy an update changed.
+    ///
+    /// # Panics
+    /// Panics when any of the three capacities differ.
+    pub fn union_symmetric_diff(&mut self, a: &BitSet, b: &BitSet) {
+        assert_eq!(a.capacity, b.capacity, "bitset capacity mismatch");
+        assert_eq!(self.capacity, a.capacity, "bitset capacity mismatch");
+        let mut len = 0;
+        for ((w, x), y) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *w |= *x ^ *y;
+            len += w.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
     /// Returns `true` when the two sets share at least one index.
     pub fn intersects(&self, other: &BitSet) -> bool {
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)

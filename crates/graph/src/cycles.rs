@@ -63,6 +63,89 @@ pub fn has_undirected_cycle(graph: &Graph) -> bool {
     false
 }
 
+/// Returns `true` when the graph contains a simple undirected cycle of length ≥ 3 whose
+/// nodes carry **pairwise-distinct labels** (self-loops and anti-parallel pairs are
+/// *directed* cycles — test those with [`has_directed_cycle`]).
+///
+/// This is the shape for which dual simulation provably preserves undirected cycles:
+/// the cycle-chasing walk of Theorem 3 steps from candidate to candidate along the
+/// pattern cycle, and with pairwise-distinct labels the candidate sets are pairwise
+/// disjoint, so the walk can neither fold two cycle positions onto one data node nor
+/// immediately re-traverse the edge it arrived by — a closed walk without immediate
+/// edge reversal always contains a simple cycle. With a repeated label the walk *can*
+/// fold (two same-labelled cycle nodes matched by one data node) and preservation
+/// genuinely fails; see `undirected_cycles_preserved` in `ssim-core` for the worked
+/// counterexample.
+///
+/// Exhaustive DFS over label-distinct simple paths — exponential in the worst case, so
+/// only apply it to pattern-sized graphs (patterns here have a handful of nodes; the
+/// label-distinctness bound additionally caps the path depth at the alphabet size).
+pub fn has_label_distinct_undirected_cycle(graph: &Graph) -> bool {
+    let n = graph.node_count();
+    // Undirected simple adjacency (self-loops dropped, orientations merged).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, v) in graph.edges() {
+        if u == v {
+            continue;
+        }
+        adj[u.index()].push(v.index());
+        adj[v.index()].push(u.index());
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    /// Extends a label-distinct simple path, closing back to `start` when a cycle of
+    /// length ≥ 3 exists. Only nodes with id > `start` extend the path, so every cycle
+    /// is searched exactly once, rooted at its minimum node.
+    fn extend(
+        graph: &Graph,
+        adj: &[Vec<usize>],
+        start: usize,
+        current: usize,
+        depth: usize,
+        on_path: &mut [bool],
+        labels_used: &mut Vec<crate::labels::Label>,
+    ) -> bool {
+        for &next in &adj[current] {
+            if next == start && depth >= 3 {
+                return true;
+            }
+            if next <= start || on_path[next] {
+                continue;
+            }
+            let label = graph.label(NodeId::from_index(next));
+            if labels_used.contains(&label) {
+                continue;
+            }
+            on_path[next] = true;
+            labels_used.push(label);
+            let found = extend(graph, adj, start, next, depth + 1, on_path, labels_used);
+            on_path[next] = false;
+            labels_used.pop();
+            if found {
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut on_path = vec![false; n];
+    let mut labels_used = Vec::new();
+    for start in 0..n {
+        on_path[start] = true;
+        labels_used.push(graph.label(NodeId::from_index(start)));
+        let found = extend(graph, &adj, start, start, 1, &mut on_path, &mut labels_used);
+        on_path[start] = false;
+        labels_used.pop();
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
 /// Lengths of all *simple* directed cycles through edges inside SCCs, capped at `max_cycles`
 /// enumerated cycles. Used by the bounded-cycle discussion (Theorem 4) tests; exponential in
 /// the worst case, so only applied to small graphs.
@@ -195,5 +278,36 @@ mod tests {
     fn no_cycle_returns_none() {
         let graph = g(&[(0, 1)], 2);
         assert_eq!(longest_directed_cycle(&graph, 10), None);
+    }
+
+    fn labeled(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        Graph::from_edges(labels.iter().map(|&l| Label(l)).collect(), edges).unwrap()
+    }
+
+    #[test]
+    fn label_distinct_cycle_detection() {
+        // Triangle with three distinct labels: found.
+        let distinct = labeled(&[0, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        assert!(has_label_distinct_undirected_cycle(&distinct));
+        // Diamond whose only cycle repeats a label (0-1-3-2-0 with labels 0,1,2,1).
+        let folded = labeled(&[0, 1, 1, 2], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(has_undirected_cycle(&folded));
+        assert!(!has_label_distinct_undirected_cycle(&folded));
+        // Same diamond with all-distinct labels: found.
+        let unfolded = labeled(&[0, 1, 3, 2], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(has_label_distinct_undirected_cycle(&unfolded));
+        // Self-loops and anti-parallel pairs are directed cycles, not length-≥3
+        // undirected ones — this detector ignores them by design.
+        let loops = labeled(&[0], &[(0, 0)]);
+        assert!(!has_label_distinct_undirected_cycle(&loops));
+        let anti = labeled(&[0, 1], &[(0, 1), (1, 0)]);
+        assert!(!has_label_distinct_undirected_cycle(&anti));
+        // Trees have no cycle at all.
+        let tree = labeled(&[0, 1, 2], &[(0, 1), (0, 2)]);
+        assert!(!has_label_distinct_undirected_cycle(&tree));
+        // A larger cycle where the repeated label sits off-cycle: still found (the
+        // off-cycle node never joins the path).
+        let chord = labeled(&[0, 1, 2, 3, 1], &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4)]);
+        assert!(has_label_distinct_undirected_cycle(&chord));
     }
 }

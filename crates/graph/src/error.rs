@@ -26,6 +26,38 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A delta tried to delete an edge the graph does not contain.
+    MissingEdge {
+        /// Source node id of the missing edge.
+        from: u32,
+        /// Target node id of the missing edge.
+        to: u32,
+    },
+    /// A delta tried to insert an edge the graph already contains.
+    EdgeExists {
+        /// Source node id of the duplicate edge.
+        from: u32,
+        /// Target node id of the duplicate edge.
+        to: u32,
+    },
+    /// A delta mentions the same directed edge twice (duplicated op, or inserted and
+    /// deleted in the same batch).
+    ConflictingDelta {
+        /// Source node id of the conflicting edge.
+        from: u32,
+        /// Target node id of the conflicting edge.
+        to: u32,
+    },
+    /// A delta's expected endpoint label does not match the graph — the delta was built
+    /// against a different graph version (or the wrong graph entirely).
+    LabelMismatch {
+        /// The node whose label was pinned.
+        node: u32,
+        /// The label the delta expected (raw id).
+        expected: u32,
+        /// The label the graph actually carries (raw id).
+        found: u32,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -46,6 +78,28 @@ impl fmt::Display for GraphError {
             GraphError::EmptyPattern => write!(f, "pattern graphs must contain at least one node"),
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::MissingEdge { from, to } => {
+                write!(
+                    f,
+                    "delta deletes edge ({from}, {to}) which is not in the graph"
+                )
+            }
+            GraphError::EdgeExists { from, to } => {
+                write!(f, "delta inserts edge ({from}, {to}) which already exists")
+            }
+            GraphError::ConflictingDelta { from, to } => {
+                write!(f, "delta mentions edge ({from}, {to}) more than once")
+            }
+            GraphError::LabelMismatch {
+                node,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "delta expected node {node} to carry label {expected}, graph has {found}"
+                )
             }
         }
     }

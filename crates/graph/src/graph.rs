@@ -72,6 +72,48 @@ impl Graph {
         }
     }
 
+    /// [`Graph::from_csr`] with a prebuilt label index — for updates that keep the
+    /// label vector untouched (edge deltas), where the index can be cloned instead of
+    /// recounted.
+    pub(crate) fn from_csr_with_index(
+        labels: Vec<Label>,
+        fwd_offsets: Vec<usize>,
+        fwd_targets: Vec<NodeId>,
+        rev_offsets: Vec<usize>,
+        rev_targets: Vec<NodeId>,
+        label_index: Vec<(Label, Vec<NodeId>)>,
+    ) -> Self {
+        debug_assert_eq!(label_index, build_label_index(&labels));
+        Graph {
+            labels,
+            fwd_offsets,
+            fwd_targets,
+            rev_offsets,
+            rev_targets,
+            label_index,
+        }
+    }
+
+    /// Clone of the label index, for [`Graph::from_csr_with_index`].
+    pub(crate) fn label_index_clone(&self) -> Vec<(Label, Vec<NodeId>)> {
+        self.label_index.clone()
+    }
+
+    /// Out-neighbours of `node` as a raw sorted slice (hot-path form of
+    /// [`Graph::out_neighbors`] for bulk copies).
+    #[inline]
+    pub(crate) fn out_neighbors_slice(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        &self.fwd_targets[self.fwd_offsets[i]..self.fwd_offsets[i + 1]]
+    }
+
+    /// In-neighbours of `node` as a raw sorted slice.
+    #[inline]
+    pub(crate) fn in_neighbors_slice(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        &self.rev_targets[self.rev_offsets[i]..self.rev_offsets[i + 1]]
+    }
+
     /// Builds a graph directly from a label vector and an edge list.
     ///
     /// Convenience for tests and small examples; larger construction sites should prefer

@@ -43,6 +43,7 @@ pub mod bitset;
 pub mod builder;
 pub mod components;
 pub mod cycles;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod io;
@@ -56,6 +57,7 @@ pub mod view;
 pub use ball::{Ball, BallScratch, CompactBall, CompactBallView};
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
+pub use delta::GraphDelta;
 pub use error::GraphError;
 pub use graph::{Graph, NodeId};
 pub use labels::{Label, LabelInterner};

@@ -1,0 +1,460 @@
+//! Differential properties of incremental matching under graph updates
+//! ([`ssim_core::incremental`]).
+//!
+//! [`UpdatePlan::Incremental`] maintains the global dual-simulation fixpoint across a
+//! [`GraphDelta`], invalidates only the balls within substrate distance `dQ` of a
+//! touched node (Prop. 3 locality) and splices their fresh rows into the cached output.
+//! The maximum relation and every per-ball result are unique, so the plan must be
+//! *bit-identical* to the [`UpdatePlan::Recompute`] oracle. These properties pin it at
+//! three layers:
+//!
+//! * **relation layer** — after every delta, the maintained global fixpoint (deletion
+//!   suspect cascades + insertion re-admission closure) equals a from-scratch fixpoint
+//!   over the updated graph, on arbitrary edge-soup graphs;
+//! * **match layer** — along random delta streams over the workload generators, the
+//!   incremental session's `MatchOutput` rows are bit-identical to the recompute
+//!   oracle's and to a one-shot `strong_simulation` on the updated graph, with the
+//!   other four engine axes (`RefineStrategy × BallStrategy × RefineSeed ×
+//!   BallSubstrate`) pinned at their defaults AND composed into every oracle shape;
+//! * **distributed layer** — the coordinator's per-site dirty-ball routing returns the
+//!   same rows as a distributed recompute, and `dirty_balls + clean_balls == |V|`.
+//!
+//! Plus the contractual edge cases: an empty delta is a no-op (zero dirty balls), a
+//! delete-then-reinsert stream round-trips to the original output, and the
+//! `ExtractedSubgraph` boundary shapes (empty, all-matched, single-node, emptied-by-
+//! delta `Gm`) behave.
+
+use proptest::prelude::*;
+use ssim_core::ball::{BallStrategy, BallSubstrate};
+use ssim_core::incremental::{global_fixpoint, update_global_fixpoint, IncrementalMatcher};
+use ssim_core::simulation::{RefineSeed, RefineStrategy};
+use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
+use ssim_core::UpdatePlan;
+use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
+use ssim_distributed::{DistributedConfig, IncrementalDistributed, PartitionStrategy};
+use ssim_experiments::workloads::{experiment_pattern, DatasetKind};
+use ssim_graph::{Graph, GraphDelta, Label, NodeId, Pattern};
+
+/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
+/// labels drawn from a 4-symbol alphabet (the edge-soup generator of the other suites).
+fn data_graph() -> impl Strategy<Value = Graph> {
+    (3usize..24).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
+                .expect("endpoints are in range by construction")
+        })
+    })
+}
+
+/// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
+fn pattern() -> impl Strategy<Value = Pattern> {
+    (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
+        random_pattern(&PatternGenConfig {
+            nodes,
+            alpha,
+            labels: 4,
+            seed,
+        })
+    })
+}
+
+/// Builds a valid random delta against `graph` from raw generator words: odd words try
+/// to delete an existing edge, even words try to insert an absent one; ops that would
+/// conflict with an earlier pick are skipped, so the result always validates.
+fn random_delta(graph: &Graph, picks: &[u64]) -> GraphDelta {
+    let n = graph.node_count() as u64;
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    let mut delta = GraphDelta::new();
+    let mut mentioned: Vec<(NodeId, NodeId)> = Vec::new();
+    for &pick in picks {
+        if n == 0 {
+            break;
+        }
+        if pick % 2 == 1 {
+            if edges.is_empty() {
+                continue;
+            }
+            let (s, t) = edges[((pick / 2) % edges.len() as u64) as usize];
+            if !mentioned.contains(&(s, t)) {
+                mentioned.push((s, t));
+                delta.delete_edge_labeled(s, t, graph.label(s), graph.label(t));
+            }
+        } else {
+            let v = pick / 2;
+            let (s, t) = (NodeId((v % n) as u32), NodeId(((v / n) % n) as u32));
+            if !graph.has_edge(s, t) && !mentioned.contains(&(s, t)) {
+                mentioned.push((s, t));
+                delta.insert_edge(s, t);
+            }
+        }
+    }
+    delta
+}
+
+/// Asserts two match outputs agree on every subgraph bit. Work stats are excluded by
+/// design: the incremental plan processes only dirty balls, so the ball counters differ
+/// from a full pass — that difference is the feature.
+fn assert_same_rows(a: &MatchOutput, b: &MatchOutput, context: &str) -> Result<(), String> {
+    prop_assert!(
+        a.subgraphs.len() == b.subgraphs.len(),
+        "{context}: {} vs {} subgraphs",
+        a.subgraphs.len(),
+        b.subgraphs.len()
+    );
+    for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
+        // Derived PartialEq covers every field (center, radius, nodes, edges, relation).
+        prop_assert!(x == y, "{context}: row {:?} != {:?}", x, y);
+    }
+    Ok(())
+}
+
+/// The oracle-matrix shapes the update axis is composed with: the four other axes
+/// pinned at their defaults, each flipped to its oracle, the full seed shape, and the
+/// paper-level toggles (dedup, radius override) that interact with row splicing.
+fn config_matrix() -> Vec<(&'static str, MatchConfig)> {
+    vec![
+        ("basic", MatchConfig::basic()),
+        ("optimized", MatchConfig::optimized()),
+        (
+            "naive-fixpoint",
+            MatchConfig::basic().with_refine_strategy(RefineStrategy::NaiveFixpoint),
+        ),
+        (
+            "fresh-balls",
+            MatchConfig::basic().with_ball_strategy(BallStrategy::FreshBfs),
+        ),
+        (
+            "scratch-seed",
+            MatchConfig::basic().with_refine_seed(RefineSeed::FromScratch),
+        ),
+        (
+            "full-substrate",
+            MatchConfig::optimized().with_ball_substrate(BallSubstrate::FullGraph),
+        ),
+        (
+            "legacy-balls",
+            MatchConfig {
+                compact_balls: false,
+                ..MatchConfig::optimized()
+            },
+        ),
+        (
+            "seed-shape",
+            MatchConfig {
+                update_plan: UpdatePlan::Incremental,
+                ..MatchConfig::seed_reference()
+            },
+        ),
+        ("sequential", MatchConfig::optimized().sequential()),
+        ("threads-3", MatchConfig::basic().with_thread_limit(3)),
+        ("dedup", MatchConfig::optimized().with_deduplication()),
+        ("radius-1", MatchConfig::basic().with_radius(1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Relation layer: the maintained global fixpoint equals a from-scratch fixpoint
+    /// after every delta of a stream, on arbitrary edge soup (the harshest shapes for
+    /// the re-admission closure and the suspect cascade).
+    #[test]
+    fn maintained_fixpoint_equals_scratch(
+        data in data_graph(),
+        q in pattern(),
+        stream in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 1..8), 1..5),
+    ) {
+        let mut graph = data;
+        let mut fix = global_fixpoint(&q, &graph, RefineStrategy::Worklist);
+        for (i, picks) in stream.iter().enumerate() {
+            let delta = random_delta(&graph, picks);
+            let new_graph = graph.apply_delta(&delta).expect("random_delta validates");
+            let up = update_global_fixpoint(&q, &new_graph, &delta, &fix, RefineStrategy::Worklist);
+            let scratch = global_fixpoint(&q, &new_graph, RefineStrategy::Worklist);
+            prop_assert!(
+                up.relation.to_sorted_pairs() == scratch.to_sorted_pairs(),
+                "step {} ({} ops): maintained {:?} vs scratch {:?}",
+                i,
+                delta.op_count(),
+                up.relation.to_sorted_pairs(),
+                scratch.to_sorted_pairs()
+            );
+            // The changed-node set covers every data node whose candidacy flipped.
+            for u in q.nodes() {
+                for v in new_graph.nodes() {
+                    if fix.contains(u, v) != scratch.contains(u, v) {
+                        prop_assert!(
+                            up.changed_nodes.contains(v.index()),
+                            "step {}: unreported change at {}", i, v
+                        );
+                    }
+                }
+            }
+            fix = scratch;
+            graph = new_graph;
+        }
+    }
+
+    /// Match layer, pinned axes: along a delta stream over the workload generators the
+    /// incremental session equals the recompute oracle and the one-shot matcher, for
+    /// every shape of the engine-oracle matrix.
+    #[test]
+    fn incremental_equals_recompute_across_the_matrix(
+        seed in any::<u64>(),
+        nodes in 24usize..56,
+        kind in 0usize..3,
+        pattern_nodes in 2usize..5,
+        stream in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 1..6), 1..4),
+    ) {
+        let kind = DatasetKind::all()[kind];
+        let data = kind.generate(nodes, seed);
+        let q = experiment_pattern(&data, pattern_nodes, seed ^ 0x9e3779b97f4a7c15);
+        for (name, config) in config_matrix() {
+            let incremental_cfg = config.with_update_plan(UpdatePlan::Incremental);
+            let oracle_cfg = config.with_update_plan(UpdatePlan::Recompute);
+            let mut inc = IncrementalMatcher::new(&q, data.clone(), incremental_cfg);
+            let mut oracle = IncrementalMatcher::new(&q, data.clone(), oracle_cfg);
+            assert_same_rows(inc.output(), oracle.output(), &format!("{name}: initial"))?;
+            for (i, picks) in stream.iter().enumerate() {
+                let delta = random_delta(inc.data(), picks);
+                inc.apply(&delta).expect("delta validates");
+                oracle.apply(&delta).expect("delta validates");
+                assert_same_rows(
+                    inc.output(),
+                    oracle.output(),
+                    &format!("{name}: step {i} ({} ops)", delta.op_count()),
+                )?;
+                // The dirty/clean split covers the graph exactly.
+                let up = inc.last_update();
+                prop_assert!(
+                    up.dirty_balls + up.clean_balls == inc.data().node_count(),
+                    "{}: step {}: dirty {} + clean {} != |V|",
+                    name,
+                    i,
+                    up.dirty_balls,
+                    up.clean_balls
+                );
+            }
+            // One-shot cross-check on the final graph (bit-identical rows again).
+            let oneshot = strong_simulation(&q, inc.data(), &incremental_cfg);
+            assert_same_rows(inc.output(), &oneshot, &format!("{name}: vs one-shot"))?;
+        }
+    }
+
+    /// Distributed layer: coordinator-side maintenance with per-site dirty-ball routing
+    /// equals a distributed recompute, across sites, partition strategies, the dual
+    /// filter and both ball substrates.
+    #[test]
+    fn distributed_incremental_equals_recompute(
+        seed in any::<u64>(),
+        nodes in 24usize..56,
+        kind in 0usize..3,
+        pattern_nodes in 2usize..5,
+        sites in 1usize..5,
+        strategy in 0usize..2,
+        stream in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 1..6), 1..3),
+    ) {
+        let kind = DatasetKind::all()[kind];
+        let data = kind.generate(nodes, seed);
+        let q = experiment_pattern(&data, pattern_nodes, seed ^ 0x9e3779b97f4a7c15);
+        let strategy = [PartitionStrategy::Hash, PartitionStrategy::Range][strategy];
+        for (dual_filter, substrate) in [
+            (false, BallSubstrate::MatchGraph),
+            (true, BallSubstrate::MatchGraph),
+            (true, BallSubstrate::FullGraph),
+        ] {
+            let base = DistributedConfig {
+                sites,
+                strategy,
+                minimize_query: false,
+                dual_filter,
+                ball_substrate: substrate,
+                ..DistributedConfig::default()
+            };
+            let mut inc = IncrementalDistributed::new(&q, data.clone(), base);
+            let mut oracle = IncrementalDistributed::new(
+                &q,
+                data.clone(),
+                DistributedConfig { update_plan: UpdatePlan::Recompute, ..base },
+            );
+            for (i, picks) in stream.iter().enumerate() {
+                let delta = random_delta(inc.data(), picks);
+                inc.apply(&delta).expect("delta validates");
+                oracle.apply(&delta).expect("delta validates");
+                let ctx = format!(
+                    "sites={sites} {strategy:?} dual={dual_filter} {substrate:?} step {i}"
+                );
+                prop_assert!(
+                    inc.output().subgraphs == oracle.output().subgraphs,
+                    "{}: distributed rows diverged", ctx
+                );
+                let traffic = &inc.output().traffic;
+                prop_assert!(
+                    traffic.dirty_balls + traffic.clean_balls == inc.data().node_count(),
+                    "{}: dirty {} + clean {} != |V|",
+                    ctx,
+                    traffic.dirty_balls,
+                    traffic.clean_balls
+                );
+            }
+        }
+    }
+
+    /// An empty delta is a no-op: zero dirty balls, identical rows, untouched graph.
+    #[test]
+    fn empty_delta_is_a_no_op(
+        seed in any::<u64>(),
+        nodes in 24usize..56,
+        kind in 0usize..3,
+        pattern_nodes in 2usize..5,
+    ) {
+        let kind = DatasetKind::all()[kind];
+        let data = kind.generate(nodes, seed);
+        let q = experiment_pattern(&data, pattern_nodes, seed ^ 0x9e3779b97f4a7c15);
+        for config in [MatchConfig::basic(), MatchConfig::optimized()] {
+            let mut inc = IncrementalMatcher::new(&q, data.clone(), config);
+            let before = inc.output().clone();
+            inc.apply(&GraphDelta::new()).expect("empty deltas validate");
+            assert_same_rows(&before, inc.output(), "empty delta")?;
+            prop_assert_eq!(inc.last_update().dirty_balls, 0);
+            prop_assert_eq!(inc.last_update().clean_balls, data.node_count());
+            prop_assert_eq!(inc.last_update().pairs_gained, 0);
+            prop_assert_eq!(inc.last_update().pairs_lost, 0);
+        }
+    }
+
+    /// Delete-then-reinsert round-trips: applying a deletion batch and then its inverse
+    /// restores the graph and the output bit-for-bit.
+    #[test]
+    fn delete_then_reinsert_round_trips(
+        seed in any::<u64>(),
+        nodes in 24usize..56,
+        kind in 0usize..3,
+        pattern_nodes in 2usize..5,
+        picks in proptest::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let kind = DatasetKind::all()[kind];
+        let data = kind.generate(nodes, seed);
+        let q = experiment_pattern(&data, pattern_nodes, seed ^ 0x9e3779b97f4a7c15);
+        // Deletions only: force every pick odd.
+        let dels: Vec<u64> = picks.iter().map(|p| p | 1).collect();
+        for config in [MatchConfig::basic(), MatchConfig::optimized()] {
+            let mut inc = IncrementalMatcher::new(&q, data.clone(), config);
+            let before = inc.output().clone();
+            let delta = random_delta(inc.data(), &dels);
+            inc.apply(&delta).expect("delta validates");
+            inc.apply(&delta.inverse()).expect("inverse validates");
+            prop_assert!(inc.data() == &data, "graph round-trips");
+            assert_same_rows(&before, inc.output(), "delete-then-reinsert")?;
+        }
+    }
+}
+
+/// `ExtractedSubgraph` boundary shapes, exercised through the matcher pipeline rather
+/// than the extraction API alone.
+mod gm_edge_cases {
+    use super::*;
+
+    /// Empty matched set: the pattern's label is absent, the global relation is empty,
+    /// and no `Gm` is ever extracted (the engine returns before extraction).
+    #[test]
+    fn empty_matched_set_skips_extraction() {
+        let pattern = Pattern::from_edges(vec![Label(9), Label(8)], &[(0, 1)]).unwrap();
+        let data = Graph::from_edges(vec![Label(0); 6], &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let out = strong_simulation(&pattern, &data, &MatchConfig::optimized());
+        assert!(!out.is_match());
+        assert_eq!(out.stats.gm_nodes, 0);
+        assert_eq!(out.stats.gm_edges, 0);
+        assert_eq!(out.stats.balls_skipped, data.node_count());
+        // The incremental session agrees and keeps agreeing over a delta.
+        let mut inc = IncrementalMatcher::new(&pattern, data.clone(), MatchConfig::optimized());
+        assert!(inc.output().subgraphs.is_empty());
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(NodeId(2), NodeId(0));
+        inc.apply(&delta).unwrap();
+        assert!(inc.output().subgraphs.is_empty());
+    }
+
+    /// All-matched: every data node survives the dual filter, so `Gm == G` and the
+    /// substrates must agree bit-for-bit.
+    fn all_matched_ring() -> (Pattern, Graph) {
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1), (1, 0)]).unwrap();
+        let n = 8u32;
+        let labels: Vec<Label> = (0..n).map(|i| Label(i % 2)).collect();
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        (pattern, Graph::from_edges(labels, &edges).unwrap())
+    }
+
+    #[test]
+    fn all_matched_gm_equals_g() {
+        let (pattern, data) = all_matched_ring();
+        let gm = strong_simulation(&pattern, &data, &MatchConfig::optimized());
+        assert_eq!(gm.stats.gm_nodes, data.node_count(), "Gm == G");
+        assert_eq!(gm.stats.gm_edges, data.edge_count());
+        assert_eq!(gm.stats.balls_skipped, 0);
+        let full = strong_simulation(
+            &pattern,
+            &data,
+            &MatchConfig::optimized().with_ball_substrate(BallSubstrate::FullGraph),
+        );
+        assert_eq!(gm.subgraphs.len(), full.subgraphs.len());
+        for (a, b) in gm.subgraphs.iter().zip(&full.subgraphs) {
+            assert_eq!(a.center, b.center);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.edges, b.edges);
+            assert_eq!(a.relation, b.relation);
+        }
+    }
+
+    /// Single-node `Gm`: exactly one data node matches a single-node pattern.
+    #[test]
+    fn single_node_gm() {
+        let pattern = Pattern::from_edges(vec![Label(7)], &[]).unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(7), Label(0)], &[(0, 1), (1, 2)]).unwrap();
+        let out = strong_simulation(&pattern, &data, &MatchConfig::optimized());
+        assert_eq!(out.stats.gm_nodes, 1);
+        assert_eq!(out.stats.gm_edges, 0, "a single member induces no edge");
+        assert_eq!(out.subgraphs.len(), 1);
+        assert_eq!(out.subgraphs[0].nodes, vec![NodeId(1)]);
+    }
+
+    /// A delta that empties `Gm` entirely: deleting the supporting edge makes the
+    /// global relation non-total (hence empty), the cached extraction is dropped, and
+    /// re-inserting restores everything bit-for-bit.
+    #[test]
+    fn delta_that_empties_gm() {
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
+        let mut inc = IncrementalMatcher::new(&pattern, data, MatchConfig::optimized());
+        let before = inc.output().clone();
+        assert!(inc.output().is_match());
+        assert_eq!(inc.output().stats.gm_nodes, 2);
+        let mut kill = GraphDelta::new();
+        kill.delete_edge(NodeId(0), NodeId(1));
+        inc.apply(&kill).unwrap();
+        assert!(!inc.output().is_match(), "the only match is gone");
+        assert!(inc.output().subgraphs.is_empty());
+        assert_eq!(inc.output().stats.gm_nodes, 0, "Gm emptied");
+        assert_eq!(inc.last_update().pairs_lost, 2);
+        // The oracle agrees on the emptied graph.
+        let oneshot = strong_simulation(&pattern, inc.data(), &MatchConfig::optimized());
+        assert!(oneshot.subgraphs.is_empty());
+        // Round-trip: reinsertion restores the original output.
+        inc.apply(&kill.inverse()).unwrap();
+        assert_eq!(inc.output().subgraphs.len(), before.subgraphs.len());
+        for (a, b) in inc.output().subgraphs.iter().zip(&before.subgraphs) {
+            assert_eq!(a.center, b.center);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.edges, b.edges);
+            assert_eq!(a.relation, b.relation);
+        }
+        assert_eq!(inc.output().stats.gm_nodes, 2, "Gm restored");
+    }
+}

@@ -11,6 +11,7 @@ use ssim_core::match_graph::MatchGraph;
 use ssim_core::minimize::minimize_pattern;
 use ssim_core::simulation::{graph_simulation, is_valid_simulation};
 use ssim_core::strong::{strong_simulation, MatchConfig};
+use ssim_core::topology::undirected_cycle_guarantee_applies;
 use ssim_core::topology::TopologyReport;
 use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
 use ssim_experiments::workloads::{experiment_pattern, DatasetKind};
@@ -162,6 +163,25 @@ proptest! {
         );
     }
 
+    /// Where Theorem 3's guarantee applies — the pattern has a directed cycle or a
+    /// label-distinct undirected cycle — every perfect subgraph must carry an
+    /// undirected cycle. The complement (undirected-only cycles with repeated labels)
+    /// is exactly the fold case pinned by `case_301_repeated_label_cycle_folds`.
+    #[test]
+    fn guaranteed_cycles_always_appear_in_subgraphs(data in data_graph(), q in pattern()) {
+        if undirected_cycle_guarantee_applies(&q) {
+            let output = strong_simulation(&q, &data, &MatchConfig::basic());
+            for s in &output.subgraphs {
+                let (sub, _) = data.subgraph_with_edges(&s.nodes, &s.edges);
+                prop_assert!(
+                    ssim_graph::cycles::has_undirected_cycle(&sub),
+                    "guaranteed cycle missing from subgraph centred at {}",
+                    s.center
+                );
+            }
+        }
+    }
+
     /// Self-matching: every connected pattern strongly simulates itself, and the identity
     /// pairs appear in its dual-simulation relation with itself.
     #[test]
@@ -174,4 +194,90 @@ proptest! {
         let strong = strong_simulation(&q, &data, &MatchConfig::basic());
         prop_assert!(strong.is_match());
     }
+}
+
+/// Named regression for generator case 301 of
+/// `strong_simulation_output_satisfies_the_topology_criteria` (the pre-existing nightly
+/// failure at `PROPTEST_CASES ≥ 302`): a pattern whose only undirected cycle repeats a
+/// label (`u0` and `u4` both carry label 0 on the cycle `u0–u1–u4–u2`), matched by data
+/// where the cycle folds — both map to data node 3 — so the perfect subgraph is a star,
+/// not a cycle. This is a genuine boundary of Theorem 3, not an engine bug: dual
+/// simulation only guarantees undirected-cycle preservation for patterns with a directed
+/// cycle or a label-distinct undirected cycle, and the criterion now claims exactly that.
+#[test]
+fn case_301_repeated_label_cycle_folds() {
+    let data = Graph::from_edges(
+        [
+            0u32, 0, 1, 0, 3, 1, 0, 2, 2, 0, 3, 0, 3, 2, 3, 0, 0, 0, 2, 2, 3, 3,
+        ]
+        .into_iter()
+        .map(Label)
+        .collect(),
+        &[
+            (0, 1),
+            (0, 13),
+            (0, 19),
+            (3, 5),
+            (3, 19),
+            (4, 8),
+            (4, 11),
+            (5, 0),
+            (5, 3),
+            (5, 19),
+            (6, 2),
+            (6, 21),
+            (7, 16),
+            (8, 15),
+            (9, 16),
+            (10, 1),
+            (10, 3),
+            (10, 5),
+            (10, 7),
+            (10, 12),
+            (10, 18),
+            (11, 5),
+            (12, 10),
+            (12, 11),
+            (13, 1),
+            (14, 5),
+            (15, 8),
+            (15, 11),
+            (15, 14),
+            (15, 15),
+            (15, 19),
+            (16, 19),
+            (18, 8),
+            (19, 10),
+            (20, 15),
+            (21, 13),
+        ],
+    )
+    .unwrap();
+    let q = Pattern::from_edges(
+        vec![Label(0), Label(1), Label(3), Label(2), Label(0)],
+        &[(0, 1), (0, 3), (2, 0), (2, 4), (4, 1)],
+    )
+    .unwrap();
+    // The pattern's one undirected cycle (u0-u1-u4-u2) repeats label 0 on u0/u4 and the
+    // pattern has no directed cycle: Theorem 3's guarantee does not apply.
+    assert!(ssim_graph::cycles::has_undirected_cycle(q.graph()));
+    assert!(!ssim_graph::cycles::has_directed_cycle(q.graph()));
+    assert!(!undirected_cycle_guarantee_applies(&q));
+    // The fold is real: the engine finds subgraphs whose relation maps both u0 and u4
+    // to data node 3, and the subgraphs are trees (star around node 3, no cycle).
+    let output = strong_simulation(&q, &data, &MatchConfig::basic());
+    assert!(output.is_match());
+    for s in &output.subgraphs {
+        assert!(s.relation.contains(&(NodeId(0), NodeId(3))));
+        assert!(s.relation.contains(&(NodeId(4), NodeId(3))));
+        let (sub, _) = data.subgraph_with_edges(&s.nodes, &s.edges);
+        assert!(
+            !ssim_graph::cycles::has_undirected_cycle(&sub),
+            "case 301's perfect subgraphs are cycle-free by construction"
+        );
+    }
+    // The tightened criterion accepts the fold: every Table 2 column holds.
+    let report = TopologyReport::evaluate(&q, &data, &output);
+    assert!(report.undirected_cycles, "fold must not trip the criterion");
+    assert!(report.all_preserved(), "{report:?}");
 }
