@@ -29,7 +29,12 @@
 //! (`update-overlap-chain-*`, `update-selective-labels-*` at 1 % / 5 % edge churn)
 //! stress the incremental matcher: each `incremental_update` blob records the
 //! dirty-ball fraction and the speedup of `UpdatePlan::Incremental` over the
-//! `UpdatePlan::Recompute` oracle across a six-delta stream.
+//! `UpdatePlan::Recompute` oracle across a six-delta stream, and each carries an
+//! `overlay_apply` blob comparing the versioned substrate's `OverlayGraph::apply_delta`
+//! (O(patches), amortised over any compactions) against the flat `Graph::apply_delta`
+//! full-rebuild baseline. Two batched rows (`update-*-batched`, 5 % churn in
+//! three-delta batches through `apply_batch`) measure the overlay's net-delta folding:
+//! one maintenance pass per batch instead of one per delta.
 //!
 //! For each configuration the JSON records mean seconds per run, processed balls per
 //! second and data nodes per second, plus the speedup of the fast engine over the seed
@@ -214,6 +219,78 @@ fn time_update_stream(
     let secs = start.elapsed().as_secs_f64();
     let fraction = dirty as f64 / (stream.len() * data.node_count()).max(1) as f64;
     (secs, fraction)
+}
+
+/// Times one update plan absorbing the stream in `batch`-sized groups via
+/// [`IncrementalMatcher::apply_batch`]: the incremental plan validates the batch on a
+/// cheap overlay clone, folds it into one net delta and pays a single maintenance pass;
+/// the recompute oracle chains the deltas and re-runs the full matcher once per batch.
+fn time_update_stream_batched(
+    pattern: &ssim_graph::Pattern,
+    data: &ssim_graph::Graph,
+    config: &MatchConfig,
+    plan: UpdatePlan,
+    stream: &[GraphDelta],
+    batch: usize,
+) -> f64 {
+    let mut session = IncrementalMatcher::new(pattern, data.clone(), config.with_update_plan(plan));
+    let start = Instant::now();
+    for chunk in stream.chunks(batch) {
+        session
+            .apply_batch(chunk)
+            .expect("stream validates against the session graph");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Substrate-level delta cost: per-delta microseconds for `OverlayGraph::apply_delta`
+/// (patch staging, amortised over any compactions the policy triggers) against the flat
+/// `Graph::apply_delta` full-rebuild baseline absorbing the same stream.
+struct OverlayApplyStats {
+    apply_us_per_delta: f64,
+    rebuild_us_per_delta: f64,
+    ratio: f64,
+    compactions: u64,
+    overlay_fraction: f64,
+}
+
+fn overlay_apply_stats(
+    data: &ssim_graph::Graph,
+    stream: &[GraphDelta],
+    rounds: usize,
+) -> OverlayApplyStats {
+    use ssim_graph::OverlayGraph;
+    let mut overlay = OverlayGraph::new(data.clone());
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for delta in stream {
+            overlay.apply_delta(delta).expect("stream validates");
+        }
+    }
+    let overlay_secs = start.elapsed().as_secs_f64();
+    let mut flat = data.clone();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for delta in stream {
+            flat = flat.apply_delta(delta).expect("stream validates");
+        }
+    }
+    let rebuild_secs = start.elapsed().as_secs_f64();
+    // The alternating stream nets out to the original graph: both substrates must agree.
+    assert!(
+        flat == overlay.to_graph(),
+        "substrates diverged on the stream"
+    );
+    let applies = (rounds * stream.len()).max(1) as f64;
+    let apply_us = overlay_secs * 1e6 / applies;
+    let rebuild_us = rebuild_secs * 1e6 / applies;
+    OverlayApplyStats {
+        apply_us_per_delta: apply_us,
+        rebuild_us_per_delta: rebuild_us,
+        ratio: rebuild_us / apply_us.max(f64::MIN_POSITIVE),
+        compactions: overlay.compactions(),
+        overlay_fraction: overlay.overlay_fraction(),
+    }
 }
 
 /// A long thick chain (each node linked to the next two) with a diameter-2 path pattern:
@@ -723,12 +800,22 @@ fn main() {
                 let inc_secs = inc_times[inc_times.len() / 2];
                 let rec_secs = rec_times[rec_times.len() / 2];
                 let speedup = rec_secs / inc_secs;
+                // Substrate cost alone: overlay patch staging vs flat CSR rebuild.
+                let overlay = overlay_apply_stats(data, &stream, 5);
                 eprintln!(
                     "{name}-{suffix} |V|={}: churn {churn_edges} edges x {updates} updates — recompute {:.3} ms, incremental {:.3} ms, {speedup:.2}x (dirty fraction {:.3})",
                     data.node_count(),
                     rec_secs * 1e3,
                     inc_secs * 1e3,
                     dirty_fraction
+                );
+                eprintln!(
+                    "  overlay apply: {:.1} us/delta vs {:.1} us rebuild — {:.1}x ({} compactions, overlay fraction {:.4})",
+                    overlay.apply_us_per_delta,
+                    overlay.rebuild_us_per_delta,
+                    overlay.ratio,
+                    overlay.compactions,
+                    overlay.overlay_fraction
                 );
                 dataset_blobs.push(format!(
                     concat!(
@@ -737,6 +824,9 @@ fn main() {
                         "     \"incremental_update\": {{\"churn\": {:.4}, \"churn_edges\": {}, ",
                         "\"updates\": {}, \"dirty_ball_fraction\": {:.4}, ",
                         "\"speedup_vs_recompute\": {:.3}}},\n",
+                        "     \"overlay_apply\": {{\"apply_us_per_delta\": {:.3}, ",
+                        "\"rebuild_us_per_delta\": {:.3}, \"ratio\": {:.3}, ",
+                        "\"compactions\": {}, \"overlay_fraction\": {:.4}}},\n",
                         "     \"configs\": [\n",
                         "      {{\"name\": \"engine/update_incremental\", \"seconds_per_stream\": {:.6}}},\n",
                         "      {{\"name\": \"engine/update_recompute\", \"seconds_per_stream\": {:.6}}}\n",
@@ -753,9 +843,98 @@ fn main() {
                     updates,
                     dirty_fraction,
                     speedup,
+                    overlay.apply_us_per_delta,
+                    overlay.rebuild_us_per_delta,
+                    overlay.ratio,
+                    overlay.compactions,
+                    overlay.overlay_fraction,
                     inc_secs,
                     rec_secs
                 ));
+                // Batched variant at the heavy churn level: the stream folds into
+                // three-delta net batches, so the incremental session pays one
+                // maintenance pass per batch instead of one per delta.
+                if suffix == "5pct" {
+                    let batch = 3usize;
+                    // Correctness gate: batched plans step-locked once.
+                    {
+                        let mut inc = IncrementalMatcher::new(
+                            pattern,
+                            data.clone(),
+                            config.with_update_plan(UpdatePlan::Incremental),
+                        );
+                        let mut rec = IncrementalMatcher::new(
+                            pattern,
+                            data.clone(),
+                            config.with_update_plan(UpdatePlan::Recompute),
+                        );
+                        for chunk in stream.chunks(batch) {
+                            inc.apply_batch(chunk).expect("stream validates");
+                            rec.apply_batch(chunk).expect("stream validates");
+                            assert_eq!(
+                                inc.output().subgraphs,
+                                rec.output().subgraphs,
+                                "batched update plans diverged"
+                            );
+                        }
+                    }
+                    let mut inc_times = Vec::with_capacity(stream_runs);
+                    let mut rec_times = Vec::with_capacity(stream_runs);
+                    for _ in 0..stream_runs {
+                        inc_times.push(time_update_stream_batched(
+                            pattern,
+                            data,
+                            &config,
+                            UpdatePlan::Incremental,
+                            &stream,
+                            batch,
+                        ));
+                        rec_times.push(time_update_stream_batched(
+                            pattern,
+                            data,
+                            &config,
+                            UpdatePlan::Recompute,
+                            &stream,
+                            batch,
+                        ));
+                    }
+                    inc_times.sort_by(f64::total_cmp);
+                    rec_times.sort_by(f64::total_cmp);
+                    let inc_secs = inc_times[inc_times.len() / 2];
+                    let rec_secs = rec_times[rec_times.len() / 2];
+                    let batched_speedup = rec_secs / inc_secs;
+                    eprintln!(
+                        "{name}-batched |V|={}: churn {churn_edges} edges x {updates} updates in batches of {batch} — recompute {:.3} ms, incremental {:.3} ms, {batched_speedup:.2}x",
+                        data.node_count(),
+                        rec_secs * 1e3,
+                        inc_secs * 1e3
+                    );
+                    dataset_blobs.push(format!(
+                        concat!(
+                            "    {{\"dataset\": \"{}-batched\", \"nodes\": {}, \"edges\": {}, ",
+                            "\"pattern_nodes\": {}, \"pattern_diameter\": {},\n",
+                            "     \"incremental_update\": {{\"churn\": {:.4}, \"churn_edges\": {}, ",
+                            "\"updates\": {}, \"batch\": {}, ",
+                            "\"speedup_vs_recompute\": {:.3}}},\n",
+                            "     \"configs\": [\n",
+                            "      {{\"name\": \"engine/update_incremental_batched\", \"seconds_per_stream\": {:.6}}},\n",
+                            "      {{\"name\": \"engine/update_recompute_batched\", \"seconds_per_stream\": {:.6}}}\n",
+                            "    ]}}"
+                        ),
+                        json_escape(name),
+                        data.node_count(),
+                        data.edge_count(),
+                        pattern.node_count(),
+                        pattern.diameter(),
+                        churn,
+                        churn_edges,
+                        updates,
+                        batch,
+                        batched_speedup,
+                        inc_secs,
+                        rec_secs
+                    ));
+                }
             }
         }
     }

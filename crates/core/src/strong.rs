@@ -338,6 +338,42 @@ pub(crate) fn distinct_indices(subgraphs: &[PerfectSubgraph]) -> Vec<usize> {
     keep
 }
 
+/// The data argument of the matcher: the flat graph itself, or — on maintained
+/// (`prepared`) paths whose entire ball pipeline runs inside the cached `Gm` extraction —
+/// just its node count. The count-only shape is what lets the incremental driver keep its
+/// serving state as an [`ssim_graph::OverlayGraph`] without materialising a flat CSR per
+/// update: stats accounting needs `|V|`, not adjacency.
+enum DataRef<'a> {
+    Flat(&'a Graph),
+    CountOnly(usize),
+}
+
+impl DataRef<'_> {
+    #[inline]
+    fn node_count(&self) -> usize {
+        match self {
+            DataRef::Flat(g) => g.node_count(),
+            DataRef::CountOnly(n) => *n,
+        }
+    }
+
+    /// The flat graph, on paths that traverse raw data adjacency.
+    ///
+    /// # Panics
+    /// Panics on a count-only reference — the caller picked the counted entry point for a
+    /// configuration whose pipeline does not stay inside the prepared `Gm`.
+    #[inline]
+    fn flat(&self) -> &Graph {
+        match self {
+            DataRef::Flat(g) => g,
+            DataRef::CountOnly(_) => panic!(
+                "this matcher configuration traverses the flat data graph; \
+                 the counted entry point only serves prepared match-graph-substrate runs"
+            ),
+        }
+    }
+}
+
 /// Per-worker partial result of the ball-processing fan-out.
 #[derive(Default)]
 struct WorkerResult {
@@ -380,6 +416,42 @@ pub fn match_with_prepared(
     prepared: Option<PreparedGlobal<'_>>,
     dirty: Option<&BitSet>,
 ) -> MatchOutput {
+    match_impl(pattern, DataRef::Flat(data), config, prepared, dirty)
+}
+
+/// [`match_with_prepared`] without the flat data graph: the prepared state plus the data
+/// node count are everything the match-graph-substrate pipeline reads. This is the entry
+/// point the incremental driver uses when its serving state is an overlay — the whole run
+/// stays inside the cached `Gm` extraction, so no flat CSR ever needs to exist.
+///
+/// # Panics
+/// Panics when the configuration would traverse raw data adjacency after all: `dual_filter`
+/// off, or a total relation on the [`BallSubstrate::FullGraph`] oracle substrate (no `Gm`
+/// to run in). Callers route those shapes through [`match_with_prepared`] with a
+/// materialised graph instead.
+pub fn match_with_prepared_counted(
+    pattern: &Pattern,
+    data_node_count: usize,
+    config: &MatchConfig,
+    prepared: PreparedGlobal<'_>,
+    dirty: Option<&BitSet>,
+) -> MatchOutput {
+    match_impl(
+        pattern,
+        DataRef::CountOnly(data_node_count),
+        config,
+        Some(prepared),
+        dirty,
+    )
+}
+
+fn match_impl(
+    pattern: &Pattern,
+    data: DataRef<'_>,
+    config: &MatchConfig,
+    prepared: Option<PreparedGlobal<'_>>,
+    dirty: Option<&BitSet>,
+) -> MatchOutput {
     let mut stats = MatchStats::default();
 
     // Optimisation 1: query minimization. The ball radius stays the *original* diameter
@@ -410,7 +482,7 @@ pub fn match_with_prepared(
     // or handed in already maintained by the incremental driver.
     let computed_global: Option<MatchRelation> = match (config.dual_filter, prepared) {
         (true, None) => {
-            match dual_simulation_with(effective_pattern, data, config.refine_strategy) {
+            match dual_simulation_with(effective_pattern, data.flat(), config.refine_strategy) {
                 Some(rel) => Some(rel),
                 None => {
                     // The whole graph does not even dual-simulate the pattern: no ball can.
@@ -457,7 +529,7 @@ pub fn match_with_prepared(
     let mut matched_buf = BitSet::new(0);
     let extracted: Option<(ExtractedSubgraph, MatchRelation)> = match (global_relation, prepared) {
         (Some(global), None) if config.ball_substrate == BallSubstrate::MatchGraph => {
-            Some(global.extract_matched_subgraph(data, &mut matched_buf))
+            Some(global.extract_matched_subgraph(data.flat(), &mut matched_buf))
         }
         _ => None,
     };
@@ -478,7 +550,7 @@ pub fn match_with_prepared(
     // data-graph ids otherwise. Results are translated back at emission.
     let (match_data, local_relation): (&Graph, Option<&MatchRelation>) = match gm {
         Some((sub, inner)) => (sub.graph(), Some(inner)),
-        None => (data, global_relation),
+        None => (data.flat(), global_relation),
     };
 
     // Balls whose center cannot match any pattern node are skipped outright; on the
@@ -488,11 +560,12 @@ pub fn match_with_prepared(
         (Some((sub, _)), _) => sub.graph().nodes().collect(),
         (None, Some(global)) => {
             global.matched_data_nodes_into(&mut matched_buf);
-            data.nodes()
+            data.flat()
+                .nodes()
                 .filter(|c| matched_buf.contains(c.index()))
                 .collect()
         }
-        (None, None) => data.nodes().collect(),
+        (None, None) => data.flat().nodes().collect(),
     };
     stats.balls_skipped = data.node_count() - centers.len();
     // Incremental updates restrict the run to the centers a delta marked dirty;

@@ -17,17 +17,25 @@
 //! differential suite holds both plans bit-identical along random delta streams.
 
 use crate::runtime::{
-    distributed_strong_simulation, distributed_with_prepared, DistributedConfig, DistributedOutput,
+    distributed_strong_simulation, distributed_with_prepared_cached,
+    distributed_with_prepared_counted, CoordinatorCache, DistributedConfig, DistributedOutput,
 };
 use ssim_core::incremental::{splice_rows, IncrementalState, UpdatePlan};
 use ssim_core::simulation::RefineStrategy;
-use ssim_graph::{Graph, GraphDelta, GraphError, Pattern};
+use ssim_graph::{Graph, GraphDelta, GraphError, OverlayGraph, Pattern};
 
 /// Per-plan coordinator state. The distributed runtime never deduplicates, so the
 /// cached `output.subgraphs` doubles as the row cache and splices happen in place.
+/// The incremental plan carries a [`CoordinatorCache`] so the partition and the
+/// substrate locality order survive across applies instead of being rebuilt per delta.
 enum PlanState {
-    Incremental { state: Box<IncrementalState> },
-    Recompute { data: Graph },
+    Incremental {
+        state: Box<IncrementalState>,
+        cache: CoordinatorCache,
+    },
+    Recompute {
+        data: Graph,
+    },
 }
 
 /// A distributed strong-simulation session over a mutating data graph.
@@ -62,14 +70,18 @@ impl IncrementalDistributed {
                     config.ball_substrate,
                     RefineStrategy::Worklist,
                 ));
-                let output = distributed_with_prepared(
+                let mut cache = CoordinatorCache::new();
+                // At construction the overlay is flat, so its base CSR *is* the graph.
+                debug_assert!(state.data.is_flat());
+                let output = distributed_with_prepared_cached(
                     pattern,
-                    &state.data,
+                    state.data.base(),
                     &config,
                     state.prepared(),
                     None,
+                    &mut cache,
                 );
-                (PlanState::Incremental { state }, output)
+                (PlanState::Incremental { state, cache }, output)
             }
         };
         IncrementalDistributed {
@@ -80,11 +92,21 @@ impl IncrementalDistributed {
         }
     }
 
-    /// The current data graph (after every applied delta).
-    pub fn data(&self) -> &Graph {
+    /// The current data graph (after every applied delta), materialised flat — an
+    /// `O(|V|+|E|)` merge on the incremental plan, meant for oracles and tests. Use
+    /// [`IncrementalDistributed::overlay`] to inspect the serving substrate directly.
+    pub fn data(&self) -> Graph {
         match &self.plan {
-            PlanState::Incremental { state, .. } => &state.data,
-            PlanState::Recompute { data } => data,
+            PlanState::Incremental { state, .. } => state.data.to_graph(),
+            PlanState::Recompute { data } => data.clone(),
+        }
+    }
+
+    /// The versioned serving substrate; `None` on the recompute oracle plan.
+    pub fn overlay(&self) -> Option<&OverlayGraph> {
+        match &self.plan {
+            PlanState::Incremental { state, .. } => Some(&state.data),
+            PlanState::Recompute { .. } => None,
         }
     }
 
@@ -105,15 +127,39 @@ impl IncrementalDistributed {
                 self.output = distributed_strong_simulation(&self.pattern, &new_data, &self.config);
                 *data = new_data;
             }
-            PlanState::Incremental { state } => {
+            PlanState::Incremental { state, cache } => {
                 let effect = state.advance(delta)?;
-                let mut out = distributed_with_prepared(
-                    &self.pattern,
-                    &state.data,
-                    &self.config,
-                    state.prepared(),
-                    Some(&effect.dirty),
-                );
+                if effect.gm_reextracted {
+                    // The cached locality order ranked the *old* extraction's ids.
+                    cache.invalidate_locality();
+                }
+                let mut out = match state.prepared() {
+                    // The serving path: the whole run stays inside the maintained `Gm`
+                    // (or short-circuits on an empty fixpoint) — no flat graph at all.
+                    Some(p) if p.gm.is_some() || !p.relation.is_total() => {
+                        distributed_with_prepared_counted(
+                            &self.pattern,
+                            state.data.node_count(),
+                            &self.config,
+                            p,
+                            Some(&effect.dirty),
+                            cache,
+                        )
+                    }
+                    // Full-graph-substrate shapes localise in the raw data graph:
+                    // materialise the overlay once per apply (oracle shapes only).
+                    p => {
+                        let flat = state.data.to_graph();
+                        distributed_with_prepared_cached(
+                            &self.pattern,
+                            &flat,
+                            &self.config,
+                            p,
+                            Some(&effect.dirty),
+                            cache,
+                        )
+                    }
+                };
                 let fresh = std::mem::replace(
                     &mut out.subgraphs,
                     std::mem::take(&mut self.output.subgraphs),

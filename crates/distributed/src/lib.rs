@@ -23,6 +23,7 @@ pub mod runtime;
 pub use incremental::IncrementalDistributed;
 pub use partition::{GraphPartition, PartitionStrategy};
 pub use runtime::{
-    distributed_strong_simulation, distributed_with_prepared, DistributedConfig, DistributedOutput,
+    distributed_strong_simulation, distributed_with_prepared, distributed_with_prepared_cached,
+    distributed_with_prepared_counted, CoordinatorCache, DistributedConfig, DistributedOutput,
     TrafficStats,
 };

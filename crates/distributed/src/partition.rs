@@ -30,8 +30,18 @@ impl GraphPartition {
     /// # Panics
     /// Panics when `sites == 0`.
     pub fn new(graph: &Graph, sites: usize, strategy: PartitionStrategy) -> Self {
+        Self::from_node_count(graph.node_count(), sites, strategy)
+    }
+
+    /// [`GraphPartition::new`] from the node count alone. Both strategies assign sites
+    /// by node id, never by adjacency, so the partition is **delta-invariant**: edge
+    /// updates cannot move a node to another site — which is why the incremental
+    /// coordinator caches one partition across a whole delta stream.
+    ///
+    /// # Panics
+    /// Panics when `sites == 0`.
+    pub fn from_node_count(n: usize, sites: usize, strategy: PartitionStrategy) -> Self {
         assert!(sites > 0, "a partition needs at least one site");
-        let n = graph.node_count();
         let site_of = match strategy {
             PartitionStrategy::Hash => (0..n).map(|i| i % sites).collect(),
             PartitionStrategy::Range => {

@@ -133,6 +133,99 @@ impl DistributedOutput {
     }
 }
 
+/// Delta-invariant coordinator state cached across incremental applies.
+///
+/// * The **partition** depends only on `|V|`, the site count and the strategy — both
+///   strategies assign ownership by node id, so edge deltas can never move a node to
+///   another site. One partition serves the whole delta stream (cloned into each
+///   [`DistributedOutput`], a memcpy instead of a rebuild).
+/// * The **locality order** is one undirected BFS order over *all* substrate nodes;
+///   each apply filters it down to its dirty centers (bit-identical to ordering the
+///   filtered set directly — the order is produced by filtering a whole-graph BFS).
+///   The order is a performance hint, not a correctness input: any permutation of the
+///   centers yields the same rows, so it is reused until the substrate itself is
+///   replaced (a `Gm` re-extraction) rather than per delta.
+#[derive(Default)]
+pub struct CoordinatorCache {
+    partition: Option<GraphPartition>,
+    locality: Option<Vec<NodeId>>,
+}
+
+impl CoordinatorCache {
+    /// An empty cache; fills lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached locality order (the substrate it ordered was replaced).
+    pub fn invalidate_locality(&mut self) {
+        self.locality = None;
+    }
+
+    fn partition(&mut self, n: usize, config: &DistributedConfig) -> GraphPartition {
+        let stale = self.partition.as_ref().is_none_or(|p| {
+            p.sites() != config.sites || p.fragment_sizes().iter().sum::<usize>() != n
+        });
+        if stale {
+            self.partition = Some(GraphPartition::from_node_count(
+                n,
+                config.sites,
+                config.strategy,
+            ));
+        }
+        self.partition.clone().expect("filled above")
+    }
+
+    fn locality(&mut self, match_data: &Graph, centers: &[NodeId]) -> Vec<NodeId> {
+        let stale = self
+            .locality
+            .as_ref()
+            .is_none_or(|order| order.len() != match_data.node_count());
+        if stale {
+            let all: Vec<NodeId> = match_data.nodes().collect();
+            self.locality = Some(locality_center_order(match_data, &all));
+        }
+        let order = self.locality.as_ref().expect("filled above");
+        let mut wanted = BitSet::new(match_data.node_count());
+        for &c in centers {
+            wanted.insert(c.index());
+        }
+        order
+            .iter()
+            .copied()
+            .filter(|c| wanted.contains(c.index()))
+            .collect()
+    }
+}
+
+/// The coordinator's data argument: the flat graph, or — when the whole run stays
+/// inside the prepared `Gm` — just its node count (the overlay-serving path).
+enum DistData<'a> {
+    Flat(&'a Graph),
+    CountOnly(usize),
+}
+
+impl DistData<'_> {
+    #[inline]
+    fn node_count(&self) -> usize {
+        match self {
+            DistData::Flat(g) => g.node_count(),
+            DistData::CountOnly(n) => *n,
+        }
+    }
+
+    #[inline]
+    fn flat(&self) -> &Graph {
+        match self {
+            DistData::Flat(g) => g,
+            DistData::CountOnly(_) => panic!(
+                "this coordinator path traverses the flat data graph; \
+                 the counted entry point only serves prepared match-graph-substrate runs"
+            ),
+        }
+    }
+}
+
 /// Partial result produced by one site.
 struct SiteReport {
     site: usize,
@@ -170,7 +263,74 @@ pub fn distributed_with_prepared(
     prepared: Option<PreparedGlobal<'_>>,
     dirty: Option<&BitSet>,
 ) -> DistributedOutput {
-    let partition = GraphPartition::new(data, config.sites, config.strategy);
+    let mut cache = CoordinatorCache::new();
+    distributed_impl(
+        pattern,
+        DistData::Flat(data),
+        config,
+        prepared,
+        dirty,
+        &mut cache,
+    )
+}
+
+/// [`distributed_with_prepared`] with a [`CoordinatorCache`] carried across calls, so
+/// repeated applies against the same node count reuse the partition and the substrate
+/// locality order instead of rebuilding both per delta.
+pub fn distributed_with_prepared_cached(
+    pattern: &Pattern,
+    data: &Graph,
+    config: &DistributedConfig,
+    prepared: Option<PreparedGlobal<'_>>,
+    dirty: Option<&BitSet>,
+    cache: &mut CoordinatorCache,
+) -> DistributedOutput {
+    distributed_impl(
+        pattern,
+        DistData::Flat(data),
+        config,
+        prepared,
+        dirty,
+        cache,
+    )
+}
+
+/// [`distributed_with_prepared`] without the flat data graph, mirroring
+/// [`ssim_core::strong::match_with_prepared_counted`]: on the prepared match-graph
+/// substrate every site runs inside the cached `Gm`, so the coordinator only needs the
+/// data node count (partitions are id-based) — which lets the incremental driver serve
+/// straight from its overlay without materialising a CSR per update.
+///
+/// # Panics
+/// Panics when the configuration would traverse raw data adjacency (`dual_filter` off,
+/// or a total relation on the full-graph oracle substrate).
+pub fn distributed_with_prepared_counted(
+    pattern: &Pattern,
+    data_node_count: usize,
+    config: &DistributedConfig,
+    prepared: PreparedGlobal<'_>,
+    dirty: Option<&BitSet>,
+    cache: &mut CoordinatorCache,
+) -> DistributedOutput {
+    distributed_impl(
+        pattern,
+        DistData::CountOnly(data_node_count),
+        config,
+        Some(prepared),
+        dirty,
+        cache,
+    )
+}
+
+fn distributed_impl(
+    pattern: &Pattern,
+    data: DistData<'_>,
+    config: &DistributedConfig,
+    prepared: Option<PreparedGlobal<'_>>,
+    dirty: Option<&BitSet>,
+    cache: &mut CoordinatorCache,
+) -> DistributedOutput {
+    let partition = cache.partition(data.node_count(), config);
 
     // Coordinator step 1: optionally minimise the query, then "broadcast" it. The ball
     // radius stays the diameter of the original query (Lemma 3).
@@ -200,7 +360,7 @@ pub fn distributed_with_prepared(
     };
     let computed_global: Option<MatchRelation> = match (config.dual_filter, prepared) {
         (true, None) => {
-            match dual_simulation_with(&effective_pattern, data, RefineStrategy::Worklist) {
+            match dual_simulation_with(&effective_pattern, data.flat(), RefineStrategy::Worklist) {
                 Some(rel) => Some(rel),
                 None => {
                     // No ball anywhere can match: skip every center at the coordinator.
@@ -229,7 +389,7 @@ pub fn distributed_with_prepared(
     let extracted: Option<(ExtractedSubgraph, MatchRelation)> = match (global_relation, prepared) {
         (Some(global), None) if config.ball_substrate == BallSubstrate::MatchGraph => {
             let mut matched = BitSet::new(0);
-            Some(global.extract_matched_subgraph(data, &mut matched))
+            Some(global.extract_matched_subgraph(data.flat(), &mut matched))
         }
         _ => None,
     };
@@ -244,7 +404,7 @@ pub fn distributed_with_prepared(
     };
     let (match_data, local_relation): (&Graph, Option<&MatchRelation>) = match gm {
         Some((sub, inner)) => (sub.graph(), Some(inner)),
-        None => (data, global_relation),
+        None => (data.flat(), global_relation),
     };
 
     // One locality order over the whole substrate, split by owner (the site owning the
@@ -255,11 +415,12 @@ pub fn distributed_with_prepared(
         (Some((sub, _)), _) => sub.graph().nodes().collect(),
         (None, Some(global)) => {
             let matched = global.matched_data_nodes();
-            data.nodes()
+            data.flat()
+                .nodes()
                 .filter(|c| matched.contains(c.index()))
                 .collect()
         }
-        (None, None) => data.nodes().collect(),
+        (None, None) => data.flat().nodes().collect(),
     };
     let skipped_balls = data.node_count() - centers.len();
     // Incremental updates route only the dirty centers to their owning sites.
@@ -274,7 +435,7 @@ pub fn distributed_with_prepared(
         None => centers,
     };
     let mut site_centers: Vec<Vec<NodeId>> = vec![Vec::new(); partition.sites()];
-    for center in locality_center_order(match_data, &centers) {
+    for center in cache.locality(match_data, &centers) {
         let owner = gm.map_or(center, |(sub, _)| sub.outer_of(center));
         site_centers[partition.site_of(owner)].push(center);
     }

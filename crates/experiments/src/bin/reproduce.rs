@@ -8,12 +8,13 @@
 //!
 //! With no experiment ids every experiment is run. Valid ids: `fig7a`, `fig7b`,
 //! `fig7c`..`fig7h` (closeness), `fig7i`..`fig7n` (match counts), `table3`,
-//! `fig8a`..`fig8h` (performance), `opt` (optimisation ablation), `dist` (distributed).
+//! `fig8a`..`fig8h` (performance), `opt` (optimisation ablation), `dist` (distributed),
+//! `upd` (update streams on the versioned substrate).
 
 use ssim_experiments::scale::ExperimentScale;
 use ssim_experiments::workloads::DatasetKind;
 use ssim_experiments::{
-    ablation, closeness, distributed_exp, match_counts, match_sizes, performance, quality,
+    ablation, closeness, distributed_exp, match_counts, match_sizes, performance, quality, updates,
 };
 
 fn main() {
@@ -158,5 +159,9 @@ fn main() {
             "{}",
             distributed_exp::render(&rows, DatasetKind::AmazonLike)
         );
+    }
+    if wants("upd") {
+        let rows = updates::update_streams(DatasetKind::Synthetic, &scale);
+        println!("{}", updates::render(&rows, DatasetKind::Synthetic));
     }
 }

@@ -25,6 +25,7 @@ pub mod performance;
 pub mod quality;
 pub mod report;
 pub mod scale;
+pub mod updates;
 pub mod workloads;
 
 pub use algorithms::{run_algorithm, AlgoRun, AlgorithmKind};

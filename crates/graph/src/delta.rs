@@ -10,18 +10,55 @@
 //! against replaying a delta built for one graph version onto a graph where the same ids
 //! mean different nodes.
 //!
-//! Application is a rebuild, not an overlay: [`Graph::apply_delta`] merges each node's
-//! sorted adjacency with its (sorted) patch lists straight into a fresh CSR, in
-//! `O(|V| + |E| + |δ| log |δ|)`. An overlay (side patch tables consulted on every
-//! neighbour scan) was considered and rejected: every downstream consumer — balls,
-//! compact indexes, locality orders, extractions — iterates adjacency in tight loops, and
-//! a branch per neighbour there costs more over one query than the rebuild does once per
-//! batch.
+//! Two application paths exist. [`Graph::apply_delta`] is the flat rebuild: it merges
+//! each node's sorted adjacency with its (sorted) patch lists straight into a fresh CSR,
+//! in `O(|V| + |E| + |δ| log |δ|)` — simple, allocation-friendly, and kept as the oracle
+//! the equivalence suites compare against. [`crate::OverlayGraph`] is the serving path:
+//! per-node patch tables applied in `O(|δ| log |δ|)` and merged lazily on iteration, with
+//! a zero-patch fast path so untouched nodes keep iterating the raw base CSR, and
+//! compaction back to a flat CSR (this module's merge, run once per threshold crossing
+//! instead of once per batch) once the overlay mass grows past a configured fraction of
+//! `|E|`. Validation is shared: [`GraphDelta::validate`] is generic over [`DeltaTarget`],
+//! so the same endpoint/label/presence checks run against a flat graph or a merged
+//! overlay state.
 
 use crate::bitset::BitSet;
 use crate::error::GraphError;
 use crate::graph::{Graph, NodeId};
 use crate::labels::Label;
+use crate::view::AdjView;
+
+/// The graph shape [`GraphDelta::validate`] checks a batch against: anything that can
+/// report its node count, node labels, and directed-edge presence. Implemented by the
+/// flat [`Graph`] and by [`crate::OverlayGraph`] (which answers for its *merged* state,
+/// so staged patches participate in validation).
+pub trait DeltaTarget {
+    /// Number of nodes of the target graph.
+    fn node_count(&self) -> usize;
+
+    /// Label of `node`.
+    fn label(&self, node: NodeId) -> Label;
+
+    /// Returns `true` when the directed edge `(from, to)` exists.
+    fn has_edge(&self, from: NodeId, to: NodeId) -> bool;
+}
+
+impl DeltaTarget for Graph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    #[inline]
+    fn label(&self, node: NodeId) -> Label {
+        Graph::label(self, node)
+    }
+
+    #[inline]
+    fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        Graph::has_edge(self, from, to)
+    }
+}
 
 /// One edge operation: the edge plus optionally pinned endpoint labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +185,38 @@ impl GraphDelta {
         }
     }
 
+    /// Composes two sequential batches into one net batch: applying `self.then(&next)`
+    /// to a graph yields the same graph as applying `self` and then `next`. Opposing
+    /// ops on the same edge cancel — an edge inserted by `self` and deleted by `next`
+    /// (or vice versa) disappears from the composition entirely, mirroring the patch
+    /// cancellation of [`crate::OverlayGraph`].
+    ///
+    /// Assumes the sequence is valid (`self` against the graph, `next` against the
+    /// graph with `self` applied); the composition of an invalid sequence may validate
+    /// even where the sequence would not. Label pins are carried along.
+    pub fn then(&self, next: &GraphDelta) -> GraphDelta {
+        fn sorted_keys(ops: &[EdgeOp]) -> Vec<(NodeId, NodeId)> {
+            let mut keys: Vec<(NodeId, NodeId)> = ops.iter().map(|op| (op.from, op.to)).collect();
+            keys.sort_unstable();
+            keys
+        }
+        fn surviving(ops: &[EdgeOp], cancelled_by: &[(NodeId, NodeId)]) -> Vec<EdgeOp> {
+            ops.iter()
+                .filter(|op| cancelled_by.binary_search(&(op.from, op.to)).is_err())
+                .copied()
+                .collect()
+        }
+        let next_ins = sorted_keys(&next.inserts);
+        let next_del = sorted_keys(&next.deletes);
+        let self_ins = sorted_keys(&self.inserts);
+        let self_del = sorted_keys(&self.deletes);
+        let mut inserts = surviving(&self.inserts, &next_del);
+        inserts.extend(surviving(&next.inserts, &self_del));
+        let mut deletes = surviving(&self.deletes, &next_ins);
+        deletes.extend(surviving(&next.deletes, &self_ins));
+        GraphDelta { inserts, deletes }
+    }
+
     /// Validates the batch against `graph` without applying it:
     ///
     /// * every endpoint is a node of the graph ([`GraphError::InvalidNode`]),
@@ -156,7 +225,7 @@ impl GraphDelta {
     /// * inserted edges do not ([`GraphError::EdgeExists`]),
     /// * no directed edge is mentioned twice across the whole batch
     ///   ([`GraphError::ConflictingDelta`]).
-    pub fn validate(&self, graph: &Graph) -> Result<(), GraphError> {
+    pub fn validate<T: DeltaTarget>(&self, graph: &T) -> Result<(), GraphError> {
         let n = graph.node_count();
         for op in self.inserts.iter().chain(&self.deletes) {
             for endpoint in [op.from, op.to] {
@@ -256,26 +325,37 @@ impl Patches {
     /// validation guarantees deletions ⊆ old and insertions ∩ old = ∅). Nodes without
     /// patches — almost all of them, for a small delta — take a bulk copy.
     fn merge_into(&mut self, node: NodeId, old: &[NodeId], out: &mut Vec<NodeId>) {
-        let ins = &self.ins[Self::run(&self.ins, &mut self.ins_pos, node)];
-        let del = &self.del[Self::run(&self.del, &mut self.del_pos, node)];
-        if ins.is_empty() && del.is_empty() {
+        let ins_run = Self::run(&self.ins, &mut self.ins_pos, node);
+        let del_run = Self::run(&self.del, &mut self.del_pos, node);
+        if ins_run.is_empty() && del_run.is_empty() {
             out.extend_from_slice(old);
             return;
         }
-        let mut ins_it = ins.iter().map(|&(_, t)| t).peekable();
-        let mut del_it = del.iter().map(|&(_, t)| t).peekable();
-        for &t in old {
-            while ins_it.peek().is_some_and(|&i| i < t) {
-                out.push(ins_it.next().expect("peeked"));
-            }
-            if del_it.peek() == Some(&t) {
-                del_it.next();
-                continue;
-            }
-            out.push(t);
-        }
-        out.extend(ins_it);
+        let ins: Vec<NodeId> = self.ins[ins_run].iter().map(|&(_, t)| t).collect();
+        let del: Vec<NodeId> = self.del[del_run].iter().map(|&(_, t)| t).collect();
+        merge_patched(old, &ins, &del, out);
     }
+}
+
+/// Three-way sorted merge of one node's adjacency: `old` with `ins` interleaved and
+/// `del` skipped, appended to `out`. Requires the patch invariants `ins ∩ old = ∅` and
+/// `del ⊆ old` (all three slices ascending). Shared by the flat rebuild above and by
+/// [`crate::OverlayGraph`]'s compactor and merged iteration.
+pub(crate) fn merge_patched(old: &[NodeId], ins: &[NodeId], del: &[NodeId], out: &mut Vec<NodeId>) {
+    let mut ii = 0;
+    let mut di = 0;
+    for &t in old {
+        while ii < ins.len() && ins[ii] < t {
+            out.push(ins[ii]);
+            ii += 1;
+        }
+        if di < del.len() && del[di] == t {
+            di += 1;
+            continue;
+        }
+        out.push(t);
+    }
+    out.extend_from_slice(&ins[ii..]);
 }
 
 impl Graph {
@@ -325,20 +405,22 @@ impl Graph {
 /// Marks into `out` every node of `graph` within undirected distance `depth` of the
 /// `seeds` — the dQ-bounded locality sweep (Proposition 3) the incremental matcher uses
 /// to find the ball centers a delta can have affected. `out` keeps previously set bits,
-/// so sweeps over the pre- and post-update graphs can accumulate into one set.
-pub fn mark_within_distance(
-    graph: &Graph,
+/// so sweeps over the pre- and post-update graphs can accumulate into one set. Generic
+/// over [`AdjView`], so it runs against flat graphs, overlays, and pinned snapshots
+/// alike.
+pub fn mark_within_distance<V: AdjView>(
+    graph: &V,
     seeds: impl IntoIterator<Item = NodeId>,
     depth: usize,
     out: &mut BitSet,
 ) {
     assert_eq!(
         out.capacity(),
-        graph.node_count(),
+        graph.id_space(),
         "dirty bitset must cover the graph"
     );
     let mut frontier: Vec<NodeId> = Vec::new();
-    let mut seen = BitSet::new(graph.node_count());
+    let mut seen = BitSet::new(graph.id_space());
     for s in seeds {
         if seen.insert(s.index()) {
             out.insert(s.index());
@@ -359,6 +441,123 @@ pub fn mark_within_distance(
             }
         }
         std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+}
+
+/// Marks into `out` every node of `graph` whose radius-`depth` undirected ball contains
+/// one of the `edges` — exactly the centers within `depth` of **both** endpoints. This
+/// is the tight form of the dirty sweep for edge churn: a ball is the induced subgraph
+/// on the nodes within `depth` of its center, so edge `(u, v)` sits in `ball(c)` iff
+/// `d(c, u) ≤ depth` and `d(c, v) ≤ depth`, and any ball-membership shift caused by the
+/// edge rides a path through it, which forces the same condition on the side of the
+/// update where the edge exists. Marking the union of the endpoint balls (what
+/// [`mark_within_distance`] over the endpoints computes) is sound but overshoots by the
+/// outer shells — on low-degree graphs that is a third of the sweep.
+///
+/// Cost is `O(ball)` per endpoint, far below one whole-graph sweep while balls are
+/// small. When the bounded walks have visited `~4·|V|` nodes in total (dense graphs,
+/// hub endpoints), the remaining edges fall back to one coarse endpoint sweep — a
+/// superset, so still sound. `out` keeps previously set bits, like
+/// [`mark_within_distance`].
+pub fn mark_edge_ball_centers<V: AdjView>(
+    graph: &V,
+    edges: &[(NodeId, NodeId)],
+    depth: usize,
+    out: &mut BitSet,
+) {
+    assert_eq!(
+        out.capacity(),
+        graph.id_space(),
+        "dirty bitset must cover the graph"
+    );
+    // A depth-0 ball holds only its center, which cannot contain an edge between two
+    // distinct nodes; a self-loop dirties exactly its own node.
+    if depth == 0 {
+        for &(u, v) in edges {
+            if u == v {
+                out.insert(u.index());
+            }
+        }
+        return;
+    }
+    let n = graph.id_space();
+    let mut stamp_u: Vec<u32> = vec![0; n];
+    let mut stamp_v: Vec<u32> = vec![0; n];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    let mut next: Vec<NodeId> = Vec::new();
+    let mut reach: Vec<NodeId> = Vec::new();
+    let mut budget = 4usize.saturating_mul(n);
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if budget == 0 {
+            let seeds = edges[i..].iter().flat_map(|&(a, b)| [a, b]);
+            mark_within_distance(graph, seeds, depth, out);
+            return;
+        }
+        let round = (i + 1) as u32;
+        stamped_walk(
+            graph,
+            u,
+            depth,
+            round,
+            &mut stamp_u,
+            &mut frontier,
+            &mut next,
+            &mut reach,
+        );
+        budget = budget.saturating_sub(reach.len());
+        stamped_walk(
+            graph,
+            v,
+            depth,
+            round,
+            &mut stamp_v,
+            &mut frontier,
+            &mut next,
+            &mut reach,
+        );
+        budget = budget.saturating_sub(reach.len());
+        for &w in &reach {
+            if stamp_u[w.index()] == round {
+                out.insert(w.index());
+            }
+        }
+    }
+}
+
+/// Undirected BFS from `seed` to `depth`, recording reach by writing `round` into
+/// `stamp` (no clearing between rounds) and collecting the visited nodes into `reach`.
+#[allow(clippy::too_many_arguments)]
+fn stamped_walk<V: AdjView>(
+    graph: &V,
+    seed: NodeId,
+    depth: usize,
+    round: u32,
+    stamp: &mut [u32],
+    frontier: &mut Vec<NodeId>,
+    next: &mut Vec<NodeId>,
+    reach: &mut Vec<NodeId>,
+) {
+    frontier.clear();
+    next.clear();
+    reach.clear();
+    stamp[seed.index()] = round;
+    frontier.push(seed);
+    reach.push(seed);
+    for _ in 0..depth {
+        if frontier.is_empty() {
+            break;
+        }
+        for &v in frontier.iter() {
+            for w in graph.out_neighbors(v).chain(graph.in_neighbors(v)) {
+                if stamp[w.index()] != round {
+                    stamp[w.index()] = round;
+                    next.push(w);
+                    reach.push(w);
+                }
+            }
+        }
+        std::mem::swap(frontier, next);
         next.clear();
     }
 }
@@ -487,6 +686,30 @@ mod tests {
     }
 
     #[test]
+    fn composition_matches_sequential_application() {
+        let g = diamond();
+        let mut d1 = GraphDelta::new();
+        d1.delete_edge(NodeId(0), NodeId(2))
+            .insert_edge(NodeId(3), NodeId(0));
+        let g1 = g.apply_delta(&d1).unwrap();
+        let mut d2 = GraphDelta::new();
+        d2.delete_edge(NodeId(3), NodeId(0)) // cancels d1's insert
+            .insert_edge(NodeId(0), NodeId(2)) // cancels d1's delete
+            .insert_edge(NodeId(2), NodeId(1));
+        let sequential = g1.apply_delta(&d2).unwrap();
+        let composed = d1.then(&d2);
+        // Both cancelling pairs vanished; only the genuinely new edge remains.
+        assert_eq!(composed.op_count(), 1);
+        assert_eq!(
+            composed.inserted_edges().collect::<Vec<_>>(),
+            vec![(NodeId(2), NodeId(1))]
+        );
+        assert_eq!(g.apply_delta(&composed).unwrap(), sequential);
+        // A delta composed with its inverse is a no-op batch.
+        assert!(d1.then(&d1.inverse()).is_empty());
+    }
+
+    #[test]
     fn self_loops_can_be_added_and_removed() {
         let g = diamond();
         let mut d = GraphDelta::new();
@@ -511,5 +734,43 @@ mod tests {
         let mut all = BitSet::new(4);
         mark_within_distance(&g, [NodeId(0)], 3, &mut all);
         assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn edge_ball_marking_is_the_endpoint_ball_intersection() {
+        // Chain 0 → 1 → … → 6; the radius-2 balls containing edge (3, 4) are centred on
+        // 2..=5 — node 1 is within 2 of endpoint 3 but not of endpoint 4, so the
+        // endpoint-union sweep would overshoot to 1..=6.
+        let edges: Vec<(u32, u32)> = (0..6u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(vec![Label(0); 7], &edges).unwrap();
+        let mut out = BitSet::new(7);
+        mark_edge_ball_centers(&g, &[(NodeId(3), NodeId(4))], 2, &mut out);
+        assert_eq!(out.to_vec(), vec![2, 3, 4, 5]);
+        let mut coarse = BitSet::new(7);
+        mark_within_distance(&g, [NodeId(3), NodeId(4)], 2, &mut coarse);
+        assert_eq!(coarse.to_vec(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn edge_ball_marking_at_depth_zero_sees_only_self_loops() {
+        let g = Graph::from_edges(vec![Label(0); 3], &[(0, 1), (1, 1)]).unwrap();
+        let mut out = BitSet::new(3);
+        mark_edge_ball_centers(&g, &[(NodeId(0), NodeId(1))], 0, &mut out);
+        assert!(out.is_empty());
+        mark_edge_ball_centers(&g, &[(NodeId(1), NodeId(1))], 0, &mut out);
+        assert_eq!(out.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn edge_ball_marking_budget_fallback_stays_a_superset() {
+        // Star 0 → {1, 2, 3}; the tight set for edge (0, 1) at depth 1 is {0, 1}.
+        // Repeating the edge enough times exhausts the 4·|V| walk budget mid-list, and
+        // the remaining edges must degrade to the coarse (superset) sweep, never lose
+        // centers.
+        let g = Graph::from_edges(vec![Label(0); 4], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let edges: Vec<(NodeId, NodeId)> = (0..16).map(|_| (NodeId(0), NodeId(1))).collect();
+        let mut out = BitSet::new(4);
+        mark_edge_ball_centers(&g, &edges, 1, &mut out);
+        assert!(out.contains(0) && out.contains(1));
     }
 }

@@ -49,6 +49,7 @@ pub mod graph;
 pub mod io;
 pub mod labels;
 pub mod metrics;
+pub mod overlay;
 pub mod pattern;
 pub mod subgraph;
 pub mod traversal;
@@ -57,10 +58,11 @@ pub mod view;
 pub use ball::{Ball, BallScratch, CompactBall, CompactBallView};
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
-pub use delta::GraphDelta;
+pub use delta::{DeltaTarget, GraphDelta};
 pub use error::GraphError;
 pub use graph::{Graph, NodeId};
 pub use labels::{Label, LabelInterner};
+pub use overlay::{CompactionPolicy, GraphEpoch, OverlayGraph, SnapshotHandle, VersionedGraph};
 pub use pattern::Pattern;
 pub use subgraph::ExtractedSubgraph;
 pub use view::{AdjView, GraphView};

@@ -22,6 +22,7 @@
 use crate::bitset::BitSet;
 use crate::graph::{Graph, NodeId};
 use crate::labels::Label;
+use crate::view::AdjView;
 
 /// An induced subgraph materialised as a dense CSR [`Graph`], with the id translation
 /// back to the graph it was extracted from.
@@ -42,17 +43,23 @@ impl ExtractedSubgraph {
     /// Extracts the subgraph of `outer` induced by `members` (all edges of `outer` with
     /// both endpoints in the set).
     ///
+    /// Generic over [`AdjView`] so the same straight-to-CSR copy works from a flat
+    /// [`Graph`], an overlay ([`crate::OverlayGraph`] merges patches during iteration),
+    /// or a restricted view. The view's adjacency must iterate in ascending id order —
+    /// true for all of those — because the monotone remap relies on it to produce
+    /// sorted inner lists without a per-node re-sort.
+    ///
     /// # Panics
-    /// Panics when the bitset capacity does not match the graph's node count.
-    pub fn induced(outer: &Graph, members: &BitSet) -> Self {
+    /// Panics when the bitset capacity does not match the view's id space.
+    pub fn induced<V: AdjView>(outer: &V, members: &BitSet) -> Self {
         assert_eq!(
             members.capacity(),
-            outer.node_count(),
+            outer.id_space(),
             "membership bitset must cover the outer graph"
         );
         let n = members.len();
         let mut to_outer: Vec<NodeId> = Vec::with_capacity(n);
-        let mut inner: Vec<u32> = vec![u32::MAX; outer.node_count()];
+        let mut inner: Vec<u32> = vec![u32::MAX; outer.id_space()];
         for (i, m) in members.iter().enumerate() {
             inner[m] = i as u32;
             to_outer.push(NodeId::from_index(m));

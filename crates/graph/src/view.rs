@@ -39,6 +39,37 @@ pub trait AdjView {
     fn nodes_with_label(&self, label: Label) -> impl Iterator<Item = NodeId> + '_;
 }
 
+/// A flat [`Graph`] is itself an unrestricted adjacency view — equivalent to
+/// [`GraphView::full`] without the wrapper. This lets code that is generic over
+/// [`AdjView`] (locality sweeps, subgraph extraction, fixpoint maintenance) accept flat
+/// graphs, [`crate::OverlayGraph`]s, and restricted views uniformly.
+impl AdjView for Graph {
+    #[inline]
+    fn id_space(&self) -> usize {
+        self.node_count()
+    }
+
+    #[inline]
+    fn label(&self, node: NodeId) -> Label {
+        Graph::label(self, node)
+    }
+
+    #[inline]
+    fn out_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        Graph::out_neighbors(self, node)
+    }
+
+    #[inline]
+    fn in_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        Graph::in_neighbors(self, node)
+    }
+
+    #[inline]
+    fn nodes_with_label(&self, label: Label) -> impl Iterator<Item = NodeId> + '_ {
+        Graph::nodes_with_label(self, label).iter().copied()
+    }
+}
+
 /// A (possibly restricted) view of a graph.
 #[derive(Clone, Copy)]
 pub struct GraphView<'a> {

@@ -220,7 +220,7 @@ proptest! {
             let mut oracle = IncrementalMatcher::new(&q, data.clone(), oracle_cfg);
             assert_same_rows(inc.output(), oracle.output(), &format!("{name}: initial"))?;
             for (i, picks) in stream.iter().enumerate() {
-                let delta = random_delta(inc.data(), picks);
+                let delta = random_delta(&inc.data(), picks);
                 inc.apply(&delta).expect("delta validates");
                 oracle.apply(&delta).expect("delta validates");
                 assert_same_rows(
@@ -240,7 +240,7 @@ proptest! {
                 );
             }
             // One-shot cross-check on the final graph (bit-identical rows again).
-            let oneshot = strong_simulation(&q, inc.data(), &incremental_cfg);
+            let oneshot = strong_simulation(&q, &inc.data(), &incremental_cfg);
             assert_same_rows(inc.output(), &oneshot, &format!("{name}: vs one-shot"))?;
         }
     }
@@ -283,7 +283,7 @@ proptest! {
                 DistributedConfig { update_plan: UpdatePlan::Recompute, ..base },
             );
             for (i, picks) in stream.iter().enumerate() {
-                let delta = random_delta(inc.data(), picks);
+                let delta = random_delta(&inc.data(), picks);
                 inc.apply(&delta).expect("delta validates");
                 oracle.apply(&delta).expect("delta validates");
                 let ctx = format!(
@@ -346,10 +346,10 @@ proptest! {
         for config in [MatchConfig::basic(), MatchConfig::optimized()] {
             let mut inc = IncrementalMatcher::new(&q, data.clone(), config);
             let before = inc.output().clone();
-            let delta = random_delta(inc.data(), &dels);
+            let delta = random_delta(&inc.data(), &dels);
             inc.apply(&delta).expect("delta validates");
             inc.apply(&delta.inverse()).expect("inverse validates");
-            prop_assert!(inc.data() == &data, "graph round-trips");
+            prop_assert!(inc.data() == data, "graph round-trips");
             assert_same_rows(&before, inc.output(), "delete-then-reinsert")?;
         }
     }
@@ -444,7 +444,7 @@ mod gm_edge_cases {
         assert_eq!(inc.output().stats.gm_nodes, 0, "Gm emptied");
         assert_eq!(inc.last_update().pairs_lost, 2);
         // The oracle agrees on the emptied graph.
-        let oneshot = strong_simulation(&pattern, inc.data(), &MatchConfig::optimized());
+        let oneshot = strong_simulation(&pattern, &inc.data(), &MatchConfig::optimized());
         assert!(oneshot.subgraphs.is_empty());
         // Round-trip: reinsertion restores the original output.
         inc.apply(&kill.inverse()).unwrap();
