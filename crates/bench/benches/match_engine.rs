@@ -610,6 +610,58 @@ fn main() {
             incr_out.stats.balls_reused,
         );
         let warm_seeded = seeded_ratio(incr_out.stats.seeded_pairs, scratch_out.stats.seeded_pairs);
+        // Balls/sec scaling curve: the same plain config at explicit worker counts
+        // 1/2/4/8 through the work-stealing chunk scheduler. `measured_cores` records
+        // the physical parallelism behind the numbers (ignoring the SSIM_THREADS
+        // override): on a single-core box the curve is flat-to-falling and only the
+        // 1-thread point is meaningful; re-run on a multi-core box to commit real
+        // speedups.
+        let measured_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let scaling_threads = [1usize, 2, 4, 8];
+        let thread_cfgs: Vec<MatchConfig> = scaling_threads
+            .iter()
+            .map(|&t| MatchConfig::basic().with_thread_limit(t))
+            .collect();
+        let cfg_refs: Vec<&MatchConfig> = thread_cfgs.iter().collect();
+        let scaled = time_configs(&pattern, &data, &cfg_refs, runs);
+        for (_, out) in &scaled {
+            assert_eq!(
+                out.subgraphs.len(),
+                incr_out.subgraphs.len(),
+                "thread count changed the output"
+            );
+        }
+        let scaling_points: Vec<String> = scaled
+            .iter()
+            .zip(scaling_threads)
+            .map(|((secs, out), t)| {
+                format!(
+                    concat!(
+                        "{{\"threads\": {}, \"seconds_per_run\": {:.6}, ",
+                        "\"balls_per_sec\": {:.1}, \"chunks\": {}, ",
+                        "\"chunks_stolen\": {}, \"chunks_split\": {}}}"
+                    ),
+                    t,
+                    secs,
+                    out.stats.balls_processed as f64 / secs,
+                    out.stats.chunks_processed,
+                    out.stats.chunks_stolen,
+                    out.stats.chunks_split
+                )
+            })
+            .collect();
+        let speedup_2t = scaled[0].0 / scaled[1].0;
+        let speedup_4t = scaled[0].0 / scaled[2].0;
+        let speedup_8t = scaled[0].0 / scaled[3].0;
+        eprintln!(
+            "{name} scaling (cores={measured_cores}): 1t {:.3} ms, 2t {:.3} ms ({speedup_2t:.2}x), 4t {:.3} ms ({speedup_4t:.2}x), 8t {:.3} ms ({speedup_8t:.2}x)",
+            scaled[0].0 * 1e3,
+            scaled[1].0 * 1e3,
+            scaled[2].0 * 1e3,
+            scaled[3].0 * 1e3
+        );
         eprintln!(
             "{name} |V|={}: fresh {:.3} ms, scratch {:.3} ms, warm {:.3} ms — ball reuse {speedup:.2}x ({:.0}% reused), refine warm {warm_speedup:.2}x ({:.0}% warm, seeded ratio {warm_seeded:.3})",
             data.node_count(),
@@ -627,6 +679,9 @@ fn main() {
                 "\"speedup_vs_fresh\": {:.3}}},\n",
                 "     \"refine_warm\": {{\"warm_fraction\": {:.4}, ",
                 "\"speedup_vs_scratch\": {:.3}, \"seeded_ratio\": {:.4}}},\n",
+                "     \"scaling\": {{\"measured_cores\": {}, \"speedup_2t\": {:.3}, ",
+                "\"speedup_4t\": {:.3}, \"speedup_8t\": {:.3},\n",
+                "      \"points\": [{}]}},\n",
                 "     \"configs\": [\n",
                 "      {{\"name\": \"engine/match\", \"seconds_per_run\": {:.6}, ",
                 "\"balls_built\": {}, \"balls_reused\": {}, ",
@@ -647,6 +702,11 @@ fn main() {
             warm_frac,
             warm_speedup,
             warm_seeded,
+            measured_cores,
+            speedup_2t,
+            speedup_4t,
+            speedup_8t,
+            scaling_points.join(", "),
             incr_secs,
             incr_out.stats.balls_built,
             incr_out.stats.balls_reused,

@@ -160,6 +160,36 @@ impl<'g> BallForest<'g> {
         }
     }
 
+    /// Severs the slide chain: wipes the current ball and every piece of adaptive
+    /// back-off state so the next [`BallForest::advance`] rebuilds from scratch, exactly
+    /// as a freshly constructed forest would — without reallocating the `|V|`-sized
+    /// distance array. The chunk scheduler calls this at every chunk boundary (a stolen
+    /// chunk's first center is not adjacent to the previous one), which is what makes
+    /// per-ball behaviour a function of chunk content alone, independent of which worker
+    /// runs the chunk. The cumulative `built_fresh`/`reused` counters are preserved;
+    /// they are harvested once per worker.
+    pub fn reset_chain(&mut self) {
+        for v in self.members.drain(..) {
+            self.dist[v.index()] = UNREACHABLE;
+        }
+        self.center = None;
+        self.degenerate_streak = 0;
+        self.fresh_penalty = 0;
+        self.backoff = BACKOFF_START;
+        self.last_move = BallMove::Rebuilt;
+        self.entered.clear();
+        self.left.clear();
+    }
+
+    /// Whether the adaptive back-off is currently engaged: recent slides degenerated
+    /// (cost ≥ a fresh build) and the forest is rebuilding every ball. This is the chunk
+    /// scheduler's re-split eligibility signal — a degraded chunk has no slide chain
+    /// left to protect, so halving it costs nothing and lets an idle worker share the
+    /// load. Deterministic for a given center sequence.
+    pub fn degraded(&self) -> bool {
+        self.fresh_penalty > 0 || self.backoff > BACKOFF_START
+    }
+
     /// The ball radius.
     #[inline]
     pub fn radius(&self) -> usize {

@@ -1,25 +1,71 @@
 //! Scoped-thread parallel driver shared by the matching engine and the distributed runtime.
 //!
 //! The environment has no external crates (no rayon), so fan-out is built on
-//! `std::thread::scope`: a fixed worker pool is spawned per call, each worker produces one
+//! `std::thread::scope`: a worker pool is spawned per call, each worker produces one
 //! result, and results are returned **in worker order** so callers can merge
-//! deterministically (the engine stripes ball centers over workers and re-sorts subgraphs
-//! by center id; the distributed runtime gives each site its own worker).
+//! deterministically.
+//!
+//! Work distribution is chunked: [`chunk_plan`] cuts an index range into
+//! locality-contiguous chunks whose boundaries depend only on the range length (never on
+//! the thread count), and [`StealScheduler`] deals those chunks to per-worker deques from
+//! which idle workers steal *whole chunks*. Contiguity within a chunk is what the
+//! sliding-ball engine needs — only consecutive centers let a
+//! [`crate::ball::BallForest`] reuse the previous ball and a
+//! [`crate::warm::WarmMatcher`] carry its converged relation — so stealing moves the
+//! unit that keeps both intact. Because the chunk boundaries are thread-count
+//! independent, every per-chunk decision (including re-splits driven by forest state) is
+//! a function of the input alone, which is how `MatchOutput` stays bit-identical across
+//! thread counts.
 
+use std::any::Any;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
 use std::thread;
 
-/// Number of worker threads the machine supports.
+/// Number of worker threads the machine supports. The `SSIM_THREADS` environment
+/// variable overrides the probe (CI uses it to force a multi-thread pool on any runner);
+/// unparsable or zero values fall back to the probe.
 pub fn available_threads() -> usize {
+    if let Ok(s) = std::env::var("SSIM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Clamps a requested thread count to the number of work items, so no worker is spawned
+/// just to find its queue empty (with `threads > items`, trailing workers would pay
+/// spawn-and-join overhead for nothing). Always at least 1.
+pub fn effective_workers(threads: usize, items: usize) -> usize {
+    threads.clamp(1, items.max(1))
+}
+
+/// Best-effort extraction of the human-readable message from a panic payload
+/// (`panic!("…")` carries `String` or `&'static str`; anything else is opaque).
+pub fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 /// Runs `worker(0), …, worker(threads - 1)` on scoped threads and returns their results in
 /// worker order. With `threads <= 1` the single worker runs inline on the caller's thread.
 ///
 /// # Panics
-/// Propagates a panic of any worker.
+/// Propagates the first (in worker order) worker panic, re-raised with the worker index
+/// and the original payload's message so failures in the parallel suites are
+/// attributable. Workers that annotate their own panics (see the engine's chunk loop)
+/// compose: the final message carries worker, chunk, and center.
 pub fn par_workers<T, F>(threads: usize, worker: F) -> Vec<T>
 where
     T: Send,
@@ -36,7 +82,13 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
+            .enumerate()
+            .map(|(t, h)| match h.join() {
+                Ok(v) => v,
+                Err(payload) => {
+                    panic!("parallel worker {t} panicked: {}", panic_message(&*payload))
+                }
+            })
             .collect()
     })
 }
@@ -44,25 +96,113 @@ where
 /// The indices of `0..len` assigned to worker `t` of `threads` under striped assignment.
 ///
 /// Striping (worker `t` takes `t, t + threads, t + 2·threads, …`) balances workloads whose
-/// cost varies smoothly along the index range, such as ball sizes along node ids.
+/// cost varies smoothly along the index range. The chunk scheduler has replaced it in the
+/// engine's fan-out; it remains the right shape for index-addressed side arrays.
 pub fn stripe(len: usize, threads: usize, t: usize) -> impl Iterator<Item = usize> {
     (t..len).step_by(threads.max(1))
 }
 
 /// The contiguous slice of `0..len` assigned to worker `t` of `threads`, balanced to
-/// within one element.
-///
-/// Contiguity is what the sliding-ball engine needs: worker `t` walks a locality-ordered
-/// center sequence, and only *consecutive* centers let its [`crate::ball::BallForest`]
-/// reuse the previous ball. Striping would interleave the workers and destroy every
-/// adjacency, so the incremental strategy trades stripe's smooth load balance for reuse.
-pub fn contiguous(len: usize, threads: usize, t: usize) -> std::ops::Range<usize> {
+/// within one element. Workers beyond `len` receive empty ranges — callers that spawn
+/// one thread per slice should clamp with [`effective_workers`] first.
+pub fn contiguous(len: usize, threads: usize, t: usize) -> Range<usize> {
     let threads = threads.max(1);
     let base = len / threads;
     let extra = len % threads;
     let start = t * base + t.min(extra);
     let end = start + base + usize::from(t < extra);
     start.min(len)..end.min(len)
+}
+
+/// Smallest chunk the planner emits (and the floor below which a degraded chunk is not
+/// re-split further): big enough that a slide chain can amortise its first fresh build.
+pub const MIN_CHUNK: usize = 16;
+/// Largest chunk the planner emits: small enough that stealing can rebalance a skewed
+/// corpus even at low thread counts.
+pub const MAX_CHUNK: usize = 256;
+/// Target chunks-per-input divisor: ~64 chunks for large inputs keeps steal granularity
+/// fine without drowning small inputs in per-chunk forest resets.
+const CHUNK_DIVISOR: usize = 64;
+
+/// Cuts `0..len` into locality-contiguous chunks of ~`len / 64` consecutive indices
+/// (clamped to `[MIN_CHUNK, MAX_CHUNK]`), balanced to within one element.
+///
+/// The plan depends only on `len` — **never** on the thread count — so every consumer
+/// sees the same chunk boundaries whether it runs sequentially or on any pool size.
+/// That invariance is what keeps per-chunk state resets (and therefore `MatchStats`)
+/// bit-identical across thread counts.
+pub fn chunk_plan(len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let target = (len / CHUNK_DIVISOR).clamp(MIN_CHUNK, MAX_CHUNK);
+    let chunks = len.div_ceil(target);
+    (0..chunks).map(|c| contiguous(len, chunks, c)).collect()
+}
+
+/// Work-stealing deques of whole work items (the engine's items are chunk ranges).
+///
+/// Each worker owns a deque seeded with a contiguous block of the item list (so worker
+/// `t`'s initial items are the same ones [`contiguous`] would have handed it). A worker
+/// drains its own deque from the front; when empty it steals from the *back* of the
+/// longest other deque — the back is the victim's coldest work, so the victim keeps the
+/// items adjacent to its active slide chain. Items pushed mid-run (chunk re-splits) are
+/// stealable like any other.
+///
+/// The scheduler only hands out *which* items run *where*; item content never depends on
+/// scheduling, so results stay deterministic however the steals fall.
+pub struct StealScheduler<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealScheduler<T> {
+    /// Deals `items` to `workers` deques in contiguous blocks, in order.
+    pub fn new(workers: usize, items: Vec<T>) -> Self {
+        let workers = workers.max(1);
+        let len = items.len();
+        let mut queues: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let mut iter = items.into_iter();
+        for (t, queue) in queues.iter_mut().enumerate() {
+            for _ in contiguous(len, workers, t) {
+                queue.push_back(iter.next().expect("contiguous blocks cover the items"));
+            }
+        }
+        StealScheduler {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Appends an item to `worker`'s own deque (used for chunk re-splits); it runs after
+    /// the worker's current items unless stolen first.
+    pub fn push(&self, worker: usize, item: T) {
+        self.queues[worker].lock().unwrap().push_back(item);
+    }
+
+    /// The next item for `worker`: its own deque's front, else one stolen from the back
+    /// of the longest other deque. Returns the item and whether it was stolen; `None`
+    /// once every deque is empty.
+    pub fn next(&self, worker: usize) -> Option<(T, bool)> {
+        if let Some(item) = self.queues[worker].lock().unwrap().pop_front() {
+            return Some((item, false));
+        }
+        loop {
+            let mut victim: Option<(usize, usize)> = None;
+            for (v, queue) in self.queues.iter().enumerate() {
+                if v == worker {
+                    continue;
+                }
+                let len = queue.lock().unwrap().len();
+                if len > 0 && victim.is_none_or(|(_, best)| len > best) {
+                    victim = Some((v, len));
+                }
+            }
+            let (v, _) = victim?;
+            // The victim may have drained between the scan and the steal; rescan.
+            if let Some(item) = self.queues[v].lock().unwrap().pop_back() {
+                return Some((item, true));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +261,91 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "parallel worker panicked")]
+    fn effective_workers_clamps_to_items() {
+        // The bugfix this pins: `threads > items` used to spawn workers with empty
+        // ranges; the clamp keeps every spawned worker busy.
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(4, 100), 4);
+        assert_eq!(effective_workers(0, 5), 1);
+        assert_eq!(effective_workers(8, 0), 1);
+        assert_eq!(effective_workers(1, 1), 1);
+    }
+
+    #[test]
+    fn chunk_plan_is_an_exact_partition() {
+        for len in [0, 1, 15, 16, 17, 100, 1024, 3000, 16_384, 100_000] {
+            let plan = chunk_plan(len);
+            let mut all: Vec<usize> = plan.iter().flat_map(|r| r.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..len).collect::<Vec<_>>(), "len={len}");
+            for chunk in &plan {
+                assert!(!chunk.is_empty(), "empty chunk in plan for len={len}");
+                assert!(
+                    chunk.len() <= MAX_CHUNK + 1,
+                    "oversized chunk {chunk:?} for len={len}"
+                );
+            }
+        }
+        // Small inputs are one chunk; the plan never depends on any thread count.
+        assert_eq!(chunk_plan(10), vec![0..10]);
+        assert!(chunk_plan(0).is_empty());
+    }
+
+    #[test]
+    fn scheduler_hands_out_every_item_exactly_once() {
+        let items: Vec<usize> = (0..97).collect();
+        let scheduler = StealScheduler::new(4, items);
+        let counts: Vec<Mutex<Vec<usize>>> = (0..4).map(|_| Mutex::new(Vec::new())).collect();
+        let stolen = AtomicUsize::new(0);
+        par_workers(4, |t| {
+            while let Some((item, was_stolen)) = scheduler.next(t) {
+                counts[t].lock().unwrap().push(item);
+                if was_stolen {
+                    stolen.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        let mut all: Vec<usize> = counts
+            .iter()
+            .flat_map(|c| c.lock().unwrap().clone())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduler_steals_from_a_loaded_victim() {
+        // Worker 0 owns everything; worker 1 must steal to make progress.
+        let scheduler = StealScheduler::new(1, vec![1, 2, 3]);
+        let scheduler = StealScheduler {
+            queues: scheduler
+                .queues
+                .into_iter()
+                .chain(std::iter::once(Mutex::new(VecDeque::new())))
+                .collect(),
+        };
+        let (item, stolen) = scheduler.next(1).expect("steal succeeds");
+        assert!(stolen);
+        assert_eq!(item, 3, "steals come from the victim's back (coldest work)");
+        let (item, stolen) = scheduler.next(0).expect("own front");
+        assert!(!stolen);
+        assert_eq!(item, 1);
+    }
+
+    #[test]
+    fn pushed_items_are_scheduled() {
+        let scheduler = StealScheduler::new(2, vec![10, 20]);
+        scheduler.push(0, 30);
+        let mut seen = Vec::new();
+        while let Some(next) = scheduler.next(0) {
+            seen.push(next);
+        }
+        // Own deque in push order first, then the lone drain-everything steal.
+        assert_eq!(seen, vec![(10, false), (30, false), (20, true)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker 1 panicked: boom")]
     fn worker_panics_propagate() {
         let _ = par_workers(2, |t| {
             if t == 1 {

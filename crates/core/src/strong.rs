@@ -30,10 +30,15 @@
 //!   maintained match graph across the slide ([`crate::warm`]), re-verifying only the
 //!   membership delta instead of refining from scratch ([`RefineSeed::FromScratch`] is
 //!   the oracle),
-//! * **parallel ball processing** (`parallel`) — ball centers are fanned out over scoped
-//!   worker threads ([`crate::parallel`]): striped for fresh balls, contiguous locality
-//!   ranges for sliding balls; subgraphs are re-sorted by center id and stats merged by
-//!   summation, so the output is identical to the sequential run,
+//! * **parallel ball processing** (`parallel`) — the center order is cut into
+//!   locality-contiguous chunks ([`crate::parallel::chunk_plan`], a function of the
+//!   center count alone) and fanned out over scoped worker threads through a
+//!   work-stealing scheduler ([`crate::parallel::StealScheduler`]): each worker keeps
+//!   its ball forest and warm carry intact *within* a chunk, resets them at every chunk
+//!   boundary, and idle workers steal whole chunks; subgraphs are re-sorted by center id
+//!   and stats merged by summation, so the output — including every counter except the
+//!   scheduling-dependent `chunks_stolen` — is bit-identical to the sequential run at
+//!   any thread count,
 //! * **match-graph ball substrate** ([`BallSubstrate::MatchGraph`]) — with `dual_filter`
 //!   on, the matched-node set is extracted once as a dense renumbered subgraph `Gm`
 //!   ([`ssim_graph::ExtractedSubgraph`]) and the entire ball pipeline — locality order,
@@ -47,7 +52,9 @@ use crate::dual_filter::refine_projected;
 use crate::incremental::{PreparedGlobal, UpdatePlan};
 use crate::match_graph::{extract_max_perfect_subgraph, PerfectSubgraph};
 use crate::minimize::minimize_pattern;
-use crate::parallel::{available_threads, contiguous, par_workers, stripe};
+use crate::parallel::{
+    available_threads, chunk_plan, effective_workers, panic_message, par_workers, StealScheduler,
+};
 use crate::pruning::prune_by_connectivity;
 use crate::relation::MatchRelation;
 use crate::simulation::{initial_candidates, RefineSeed, RefineStrategy};
@@ -55,9 +62,11 @@ use crate::warm::WarmMatcher;
 use ssim_graph::{
     Ball, BallScratch, BitSet, CompactBall, ExtractedSubgraph, Graph, NodeId, Pattern,
 };
+use std::cell::Cell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Configuration of the strong-simulation matcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,6 +259,18 @@ pub struct MatchStats {
     pub gm_nodes: usize,
     /// Edges of the extracted match graph `Gm` (same validity rule as `gm_nodes`).
     pub gm_edges: usize,
+    /// Chunks of the center order executed by the fan-out: the
+    /// [`crate::parallel::chunk_plan`] chunks plus any re-splits. Both the plan and the
+    /// re-split decisions are functions of the input alone, so this is identical at
+    /// every thread count (including the sequential run).
+    pub chunks_processed: usize,
+    /// Chunks executed by a worker other than the one they were dealt to. **The one
+    /// scheduling-dependent counter**: it varies with thread count and steal timing, so
+    /// the equivalence suites exclude it from their bit-identity comparisons.
+    pub chunks_stolen: usize,
+    /// Chunks halved mid-run because their slide chain had degenerated to fresh
+    /// rebuilds ([`crate::ball::BallForest::degraded`]), making the remainder stealable.
+    pub chunks_split: usize,
     /// Perfect subgraphs found (before deduplication).
     pub perfect_subgraphs: usize,
     /// `(original, minimised)` pattern sizes when query minimization ran.
@@ -385,6 +406,9 @@ struct WorkerResult {
     balls_warm_started: usize,
     seeded_pairs: usize,
     match_graphs_reused: usize,
+    chunks_processed: usize,
+    chunks_stolen: usize,
+    chunks_split: usize,
 }
 
 /// Runs strong simulation of `pattern` over `data` with the given configuration.
@@ -594,118 +618,174 @@ fn match_impl(
         centers
     };
 
-    // Fan the per-ball work out over worker threads. Fresh-ball workers take striped
-    // positions `t, t + T, …`, which balances ball sizes along the id range; sliding-ball
-    // workers take one contiguous range of the locality order each, because only
-    // consecutive centers let a worker's forest reuse its ball. Below the cutoff, thread
-    // spawn/join costs more than the matching itself, so small inputs run inline even
-    // when `parallel` is requested — unless an explicit `thread_limit` asks for real
-    // fan-out.
+    // Fan the per-ball work out over worker threads. The center order is cut into
+    // locality-contiguous chunks whose boundaries depend only on the center count, each
+    // worker is dealt a contiguous block of chunks, and idle workers steal whole chunks
+    // — never single centers — so a worker's forest slide chain and warm carry stay
+    // intact within a chunk and are reset at every chunk boundary. Because both the
+    // chunk plan and the re-split decisions below are functions of the input alone, the
+    // per-ball work (and every stat except `chunks_stolen`) is bit-identical at any
+    // thread count. Below the cutoff, thread spawn/join costs more than the matching
+    // itself, so small inputs run inline even when `parallel` is requested — unless an
+    // explicit `thread_limit` asks for real fan-out.
     const PARALLEL_CUTOFF: usize = 128;
+    // A chunk whose forest has degraded to rebuild-every-ball is checked every
+    // `RESPLIT_CHECK` centers and halved while at least `RESPLIT_MIN` centers remain:
+    // with no slide chain left to protect, the remainder might as well be stealable.
+    const RESPLIT_CHECK: usize = 8;
+    const RESPLIT_MIN: usize = 16;
     let threads = match (config.parallel, config.thread_limit) {
         (false, _) => 1,
-        (true, Some(n)) => n.clamp(1, centers.len().max(1)),
-        (true, None) if centers.len() >= PARALLEL_CUTOFF => {
-            available_threads().min(centers.len()).max(1)
-        }
+        (true, Some(n)) => n.max(1),
+        (true, None) if centers.len() >= PARALLEL_CUTOFF => available_threads(),
         (true, None) => 1,
     };
     let use_warm = use_forest && config.refine_seed == RefineSeed::WarmStart;
+    let plan = chunk_plan(centers.len());
+    let workers = effective_workers(threads, plan.len());
+    let scheduler = StealScheduler::new(workers, plan);
     let worker = |t: usize| -> WorkerResult {
         let mut result = WorkerResult::default();
         let mut scratch = BallScratch::new();
         let mut forest = use_forest.then(|| BallForest::new(match_data, radius));
         let mut warm = use_warm.then(|| WarmMatcher::new(effective_pattern));
-        let indices: Box<dyn Iterator<Item = usize>> = if use_forest {
-            Box::new(contiguous(centers.len(), threads, t))
-        } else {
-            Box::new(stripe(centers.len(), threads, t))
-        };
-        for i in indices {
-            let center = centers[i];
-            let (subgraph, removed) = if let Some(forest) = forest.as_mut() {
-                forest.advance(center);
-                let ball = forest.compact(&mut scratch);
-                // Warm-starting rides slides; rebuilt balls take the byte-identical
-                // scratch path (`WarmMatcher::wants` invalidates the carry, and the
-                // next slide re-seeds the chain from its own scratch refinement).
-                let ball_move = forest.last_move();
-                let use_warm_ball = warm.as_mut().is_some_and(|w| w.wants(ball_move));
-                let out = if use_warm_ball {
-                    let warm = warm.as_mut().expect("gate implies matcher");
-                    warm.match_ball(
-                        effective_pattern,
-                        match_data,
-                        &ball,
-                        ball_move,
-                        forest.entered(),
-                        forest.left(),
-                        local_relation,
-                        config.connectivity_pruning,
-                        config.refine_strategy,
-                    )
-                } else {
-                    let (subgraph, removed, seeded) = match_prepared_ball(
-                        effective_pattern,
-                        match_data,
-                        &ball,
-                        config,
-                        local_relation,
-                    );
-                    result.seeded_pairs += seeded;
-                    (subgraph, removed)
-                };
-                ball.recycle(&mut scratch);
-                out
-            } else if config.compact_balls {
-                result.balls_built += 1;
-                let (subgraph, removed, seeded) = match_ball_compact(
-                    effective_pattern,
-                    match_data,
-                    center,
-                    radius,
-                    config,
-                    local_relation,
-                    &mut scratch,
-                );
-                result.seeded_pairs += seeded;
-                (subgraph, removed)
-            } else {
-                result.balls_built += 1;
-                let (subgraph, removed, seeded) = match_ball_legacy(
-                    effective_pattern,
-                    match_data,
-                    center,
-                    radius,
-                    config,
-                    local_relation,
-                );
-                result.seeded_pairs += seeded;
-                (subgraph, removed)
-            };
-            if removed > 0 {
-                result.balls_with_invalid_matches += 1;
-                result.filter_removed_pairs += removed;
+        while let Some((chunk, stolen)) = scheduler.next(t) {
+            result.chunks_processed += 1;
+            result.chunks_stolen += usize::from(stolen);
+            // A chunk boundary severs the slide and carry chains: the previous chunk's
+            // last center is not adjacent to this chunk's first, and resetting here
+            // makes per-ball behaviour a function of chunk content alone — independent
+            // of which worker runs the chunk or what it ran before.
+            if let Some(forest) = forest.as_mut() {
+                forest.reset_chain();
             }
-            if let Some(mut subgraph) = subgraph {
-                // Cross the id-translation boundary: everything above spoke substrate
-                // ids; emitted subgraphs speak the caller's data-graph ids.
-                if let Some((sub, _)) = gm {
-                    subgraph = translate_to_outer(subgraph, sub);
-                }
-                // Express the relation in terms of the caller's pattern nodes when the
-                // matcher ran on the minimised pattern.
-                if config.minimize_query {
-                    let mut expanded = Vec::with_capacity(subgraph.relation.len());
-                    for (class_node, data_node) in &subgraph.relation {
-                        for &original in &class_members[class_node.index()] {
-                            expanded.push((original, *data_node));
-                        }
+            if let Some(warm) = warm.as_mut() {
+                warm.reset_chain();
+            }
+            let current = Cell::new(None::<NodeId>);
+            let bounds = chunk.clone();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let mut pos = chunk.start;
+                let mut end = chunk.end;
+                while pos < end {
+                    let i = pos;
+                    let center = centers[i];
+                    current.set(Some(center));
+                    let (subgraph, removed) = if let Some(forest) = forest.as_mut() {
+                        forest.advance(center);
+                        let ball = forest.compact(&mut scratch);
+                        // Warm-starting rides slides; rebuilt balls take the byte-identical
+                        // scratch path (`WarmMatcher::wants` invalidates the carry, and the
+                        // next slide re-seeds the chain from its own scratch refinement).
+                        let ball_move = forest.last_move();
+                        let use_warm_ball = warm.as_mut().is_some_and(|w| w.wants(ball_move));
+                        let out = if use_warm_ball {
+                            let warm = warm.as_mut().expect("gate implies matcher");
+                            warm.match_ball(
+                                effective_pattern,
+                                match_data,
+                                &ball,
+                                ball_move,
+                                forest.entered(),
+                                forest.left(),
+                                local_relation,
+                                config.connectivity_pruning,
+                                config.refine_strategy,
+                            )
+                        } else {
+                            let (subgraph, removed, seeded) = match_prepared_ball(
+                                effective_pattern,
+                                match_data,
+                                &ball,
+                                config,
+                                local_relation,
+                            );
+                            result.seeded_pairs += seeded;
+                            (subgraph, removed)
+                        };
+                        ball.recycle(&mut scratch);
+                        out
+                    } else if config.compact_balls {
+                        result.balls_built += 1;
+                        let (subgraph, removed, seeded) = match_ball_compact(
+                            effective_pattern,
+                            match_data,
+                            center,
+                            radius,
+                            config,
+                            local_relation,
+                            &mut scratch,
+                        );
+                        result.seeded_pairs += seeded;
+                        (subgraph, removed)
+                    } else {
+                        result.balls_built += 1;
+                        let (subgraph, removed, seeded) = match_ball_legacy(
+                            effective_pattern,
+                            match_data,
+                            center,
+                            radius,
+                            config,
+                            local_relation,
+                        );
+                        result.seeded_pairs += seeded;
+                        (subgraph, removed)
+                    };
+                    if removed > 0 {
+                        result.balls_with_invalid_matches += 1;
+                        result.filter_removed_pairs += removed;
                     }
-                    expanded.sort_unstable();
-                    subgraph.relation = expanded;
+                    if let Some(mut subgraph) = subgraph {
+                        // Cross the id-translation boundary: everything above spoke substrate
+                        // ids; emitted subgraphs speak the caller's data-graph ids.
+                        if let Some((sub, _)) = gm {
+                            subgraph = translate_to_outer(subgraph, sub);
+                        }
+                        // Express the relation in terms of the caller's pattern nodes when the
+                        // matcher ran on the minimised pattern.
+                        if config.minimize_query {
+                            let mut expanded = Vec::with_capacity(subgraph.relation.len());
+                            for (class_node, data_node) in &subgraph.relation {
+                                for &original in &class_members[class_node.index()] {
+                                    expanded.push((original, *data_node));
+                                }
+                            }
+                            expanded.sort_unstable();
+                            subgraph.relation = expanded;
+                        }
+                        result.subgraphs.push(subgraph);
+                    }
+                    pos += 1;
+                    // Re-split a degraded chunk: when the forest's back-off has engaged
+                    // (every recent slide degenerated to a fresh rebuild), the rest of
+                    // the chunk has no chain worth protecting, so hand the far half
+                    // back to the scheduler for anyone idle to steal. The trigger
+                    // depends only on the chunk's own content, keeping the executed
+                    // chunk set — and `chunks_processed`/`chunks_split` — identical at
+                    // every thread count.
+                    if (pos - chunk.start) % RESPLIT_CHECK == 0
+                        && end - pos >= RESPLIT_MIN
+                        && forest.as_ref().is_some_and(|f| f.degraded())
+                    {
+                        let mid = pos + (end - pos) / 2;
+                        scheduler.push(t, mid..end);
+                        result.chunks_split += 1;
+                        end = mid;
+                    }
                 }
-                result.subgraphs.push(subgraph);
+            }));
+            if let Err(payload) = caught {
+                // Re-raise with the fan-out position so a failure in the parallel
+                // suites names the chunk and center that died, not just "a worker".
+                panic!(
+                    "worker {t} panicked in chunk {}..{} at center {}: {}",
+                    bounds.start,
+                    bounds.end,
+                    current
+                        .get()
+                        .map_or_else(|| "?".to_string(), |c| c.to_string()),
+                    panic_message(&*payload)
+                );
             }
         }
         // The forest is the single source of truth for the built/reused split, the warm
@@ -721,7 +801,7 @@ fn match_impl(
         }
         result
     };
-    let results = par_workers(threads, worker);
+    let results = par_workers(workers, worker);
 
     // Deterministic merge: stats are sums; subgraphs are re-sorted by their ball center
     // (each center yields at most one subgraph, so the order is total).
@@ -734,6 +814,9 @@ fn match_impl(
         stats.balls_warm_started += r.balls_warm_started;
         stats.seeded_pairs += r.seeded_pairs;
         stats.match_graphs_reused += r.match_graphs_reused;
+        stats.chunks_processed += r.chunks_processed;
+        stats.chunks_stolen += r.chunks_stolen;
+        stats.chunks_split += r.chunks_split;
         subgraphs.extend(r.subgraphs);
     }
     subgraphs.sort_by_key(|s| s.center);
@@ -1368,5 +1451,68 @@ mod tests {
             assert_eq!(a.center, b.center);
             assert_eq!(a.nodes, b.nodes);
         }
+    }
+
+    /// One dense community (a clique, every slide degenerate) amid a long cheap chain.
+    /// Under the old static contiguous split this community pinned one worker for the
+    /// whole run; the re-split path must detect the degraded forest, halve the
+    /// community's chunks, and still produce the oracle result with the same
+    /// deterministic chunk accounting at every thread count.
+    fn clique_and_chain() -> (Pattern, Graph) {
+        let clique = 64u32;
+        let total = 2048u32;
+        let mut labels = vec![Label(2); clique as usize];
+        for i in clique..total {
+            labels.push(Label(i % 2));
+        }
+        let mut edges = Vec::new();
+        for i in 0..clique {
+            for j in 0..clique {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        for i in clique..total - 1 {
+            edges.push((i, i + 1));
+        }
+        let data = Graph::from_edges(labels, &edges).unwrap();
+        let pattern = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        (pattern, data)
+    }
+
+    #[test]
+    fn degraded_chunks_resplit_and_stay_exact() {
+        let (pattern, data) = clique_and_chain();
+        let oracle = strong_simulation(
+            &pattern,
+            &data,
+            &MatchConfig::basic()
+                .sequential()
+                .with_ball_strategy(BallStrategy::FreshBfs)
+                .with_refine_seed(RefineSeed::FromScratch),
+        );
+        let mut chunk_counts = Vec::new();
+        for threads in [1usize, 4] {
+            let out = strong_simulation(
+                &pattern,
+                &data,
+                &MatchConfig::basic().with_thread_limit(threads),
+            );
+            assert_eq!(out.subgraphs.len(), oracle.subgraphs.len());
+            for (a, b) in out.subgraphs.iter().zip(&oracle.subgraphs) {
+                assert_eq!(a.center, b.center);
+                assert_eq!(a.nodes, b.nodes);
+                assert_eq!(a.relation, b.relation);
+            }
+            assert!(
+                out.stats.chunks_split > 0,
+                "dense community never triggered a re-split (threads={threads})"
+            );
+            chunk_counts.push((out.stats.chunks_processed, out.stats.chunks_split));
+        }
+        // The re-split decisions depend on chunk content alone, so the chunk accounting
+        // (everything but `chunks_stolen`) is identical at every thread count.
+        assert_eq!(chunk_counts[0], chunk_counts[1]);
     }
 }

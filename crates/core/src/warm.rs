@@ -267,6 +267,22 @@ impl WarmMatcher {
         }
     }
 
+    /// Severs the carry chain and resets the flood back-off to its fresh-matcher state,
+    /// exactly as a newly constructed matcher would start — while keeping the allocated
+    /// relation buffers and the cumulative [`WarmStats`]. The chunk scheduler calls this
+    /// at every chunk boundary so warm-start decisions are a function of chunk content
+    /// alone, independent of which worker runs the chunk.
+    pub fn reset_chain(&mut self) {
+        if let Some(carry) = self.carry.take() {
+            if let Some(relation) = carry.relation {
+                self.spare = Some(relation);
+            }
+        }
+        self.carry_fresh = false;
+        self.flood_penalty = 0;
+        self.flood_backoff = BAIL_BACKOFF_START;
+    }
+
     /// The members (local → global) and converged relation carried from the last
     /// processed ball — the exact per-node candidate bitsets the next ball warm-starts
     /// from (`None` relation = the exact empty fixpoint). Exposed for the differential

@@ -1,17 +1,24 @@
 //! The simulated coordinator/site runtime.
 //!
-//! One worker per site evaluates the balls centred at the site's own nodes and reports a
-//! partial result `Θi` plus traffic counters back to the coordinator; the coordinator
-//! assembles the union. Every ball is evaluated exactly once (at the site owning its
-//! center), so the union equals the centralized result — the property the tests verify.
+//! Each site's balls (the balls centred at the site's own nodes) are evaluated in
+//! locality-contiguous chunks and reported as partial results `Θi` plus traffic counters
+//! back to the coordinator; the coordinator assembles the union. Every ball is evaluated
+//! exactly once (charged to the site owning its center), so the union equals the
+//! centralized result — the property the tests verify.
 //!
-//! The fan-out reuses the matching engine's parallel driver
-//! ([`ssim_core::parallel::par_workers`]) and each site matches its balls with the same
-//! ball-local compact engine ([`ssim_core::strong::match_compact_ball`]) the centralized
-//! `Match` runs, so engine improvements land on both runtimes at once. Each site also
-//! keeps one sliding [`BallForest`] over its locality-ordered centers, so balls of
-//! adjacent same-site centers are repaired incrementally instead of rebuilt — a ball is
-//! charged to exactly one site, either as built or as reused, never both.
+//! The fan-out reuses the matching engine's work-stealing chunk scheduler
+//! ([`ssim_core::parallel::StealScheduler`]): each site's center list is cut into
+//! chunks ([`ssim_core::parallel::chunk_plan`]), the site-ordered chunk list is dealt to
+//! one worker per site, and a worker whose sites ran dry steals whole chunks from loaded
+//! sites — a slow site overlaps with fast ones instead of barriering the run on the
+//! largest fragment. Each site matches its balls with the same ball-local compact engine
+//! ([`ssim_core::strong::match_compact_ball`]) the centralized `Match` runs, so engine
+//! improvements land on both runtimes at once. A worker slides one [`BallForest`] within
+//! each chunk and resets it at chunk boundaries, so per-ball behaviour (and every
+//! counter except `chunks_stolen`) is independent of how the steals fall — a ball is
+//! charged to exactly one site, either as built or as reused, never both. Chunks are
+//! never re-split here: site chunk lists are already fragment-sized, and the per-site
+//! attribution of `balls_per_site` is simplest when chunk boundaries are fixed.
 
 use crate::partition::{GraphPartition, PartitionStrategy};
 use ssim_core::ball::{locality_center_order, BallForest, BallSubstrate};
@@ -19,12 +26,15 @@ use ssim_core::dual::dual_simulation_with;
 use ssim_core::incremental::{PreparedGlobal, UpdatePlan};
 use ssim_core::match_graph::PerfectSubgraph;
 use ssim_core::minimize::minimize_pattern;
-use ssim_core::parallel::par_workers;
+use ssim_core::parallel::{
+    chunk_plan, effective_workers, panic_message, par_workers, StealScheduler,
+};
 use ssim_core::relation::MatchRelation;
 use ssim_core::simulation::{RefineSeed, RefineStrategy};
 use ssim_core::strong::{match_compact_ball, match_compact_ball_filtered, translate_to_outer};
 use ssim_core::warm::WarmMatcher;
 use ssim_graph::{BallScratch, BitSet, ExtractedSubgraph, Graph, NodeId, Pattern};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Configuration of a distributed run.
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +118,14 @@ pub struct TrafficStats {
     pub dirty_balls: usize,
     /// Centers whose cached (or trivially absent) result was reused untouched.
     pub clean_balls: usize,
+    /// Locality-contiguous chunks of site center lists executed by the fan-out. The
+    /// per-site chunk plans depend only on the site center counts, so this is identical
+    /// at every worker count.
+    pub chunks_processed: usize,
+    /// Chunks executed by a worker other than the one they were dealt to — cross-site
+    /// load balancing in action. The one scheduling-dependent counter; excluded from
+    /// the consistency suites' comparisons.
+    pub chunks_stolen: usize,
     /// Number of balls evaluated by each site.
     pub balls_per_site: Vec<usize>,
 }
@@ -226,9 +244,17 @@ impl DistData<'_> {
     }
 }
 
-/// Partial result produced by one site.
-struct SiteReport {
+/// One unit of schedulable site work: a contiguous slice of `site`'s locality-ordered
+/// center list. Chunk boundaries depend only on the site center counts, never on the
+/// worker count or steal timing.
+struct SiteChunk {
     site: usize,
+    range: std::ops::Range<usize>,
+}
+
+/// Partial result produced by one fan-out worker, possibly spanning chunks of several
+/// sites (its own plus stolen ones); per-site attribution survives in `balls_per_site`.
+struct WorkerReport {
     subgraphs: Vec<PerfectSubgraph>,
     border_balls: usize,
     shipped_balls: usize,
@@ -238,7 +264,28 @@ struct SiteReport {
     reused_balls: usize,
     warm_started_balls: usize,
     warm_seeded_pairs: usize,
-    balls: usize,
+    chunks_processed: usize,
+    chunks_stolen: usize,
+    balls_per_site: Vec<usize>,
+}
+
+impl WorkerReport {
+    fn new(sites: usize) -> Self {
+        WorkerReport {
+            subgraphs: Vec::new(),
+            border_balls: 0,
+            shipped_balls: 0,
+            shipped_nodes: 0,
+            shipped_edges: 0,
+            built_balls: 0,
+            reused_balls: 0,
+            warm_started_balls: 0,
+            warm_seeded_pairs: 0,
+            chunks_processed: 0,
+            chunks_stolen: 0,
+            balls_per_site: vec![0; sites],
+        }
+    }
 }
 
 /// Runs strong simulation of `pattern` over `data` distributed across
@@ -440,21 +487,70 @@ fn distributed_impl(
         site_centers[partition.site_of(owner)].push(center);
     }
 
-    // Coordinator step 2: every site evaluates its own balls; one worker per site, via the
-    // engine's shared parallel driver. Results come back in site order.
+    // Coordinator step 2: the sites' balls are evaluated in locality-contiguous chunks
+    // through the engine's work-stealing scheduler — one worker per site (clamped to
+    // the chunk count), each dealt its own site's chunks first, idle workers stealing
+    // whole chunks from loaded sites so a skewed fragment no longer barriers the run.
     let site_centers = &site_centers;
-    let reports: Vec<SiteReport> = par_workers(partition.sites(), |site| {
-        evaluate_site(
-            site,
-            &effective_pattern,
-            radius,
-            match_data,
-            gm.map(|(sub, _)| sub),
-            local_relation,
-            &partition,
-            &site_centers[site],
-            config.refine_seed,
-        )
+    let mut site_chunks: Vec<SiteChunk> = Vec::new();
+    for (site, centers) in site_centers.iter().enumerate() {
+        for range in chunk_plan(centers.len()) {
+            site_chunks.push(SiteChunk { site, range });
+        }
+    }
+    let workers = effective_workers(partition.sites(), site_chunks.len());
+    let scheduler = StealScheduler::new(workers, site_chunks);
+    let sites = partition.sites();
+    let reports: Vec<WorkerReport> = par_workers(workers, |t| {
+        let mut report = WorkerReport::new(sites);
+        let mut scratch = BallScratch::new();
+        let mut forest = BallForest::new(match_data, radius);
+        let mut warm = (config.refine_seed == RefineSeed::WarmStart)
+            .then(|| WarmMatcher::new(&effective_pattern));
+        while let Some((chunk, stolen)) = scheduler.next(t) {
+            report.chunks_processed += 1;
+            report.chunks_stolen += usize::from(stolen);
+            // Chunk boundaries sever the slide and carry chains (a stolen chunk's first
+            // center belongs to another site entirely), keeping per-ball behaviour a
+            // function of chunk content alone.
+            forest.reset_chain();
+            if let Some(warm) = warm.as_mut() {
+                warm.reset_chain();
+            }
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                evaluate_chunk(
+                    chunk.site,
+                    &effective_pattern,
+                    match_data,
+                    gm.map(|(sub, _)| sub),
+                    local_relation,
+                    &partition,
+                    &site_centers[chunk.site][chunk.range.clone()],
+                    &mut forest,
+                    &mut warm,
+                    &mut scratch,
+                    &mut report,
+                )
+            }));
+            if let Err(payload) = caught {
+                panic!(
+                    "worker {t} panicked in site {} chunk {}..{}: {}",
+                    chunk.site,
+                    chunk.range.start,
+                    chunk.range.end,
+                    panic_message(&*payload)
+                );
+            }
+        }
+        // The forest is the single source of truth for the built/reused split, the warm
+        // matcher for the seeding split; both accumulate across this worker's chunks.
+        report.built_balls = forest.built_fresh;
+        report.reused_balls = forest.reused;
+        if let Some(warm) = &warm {
+            report.warm_started_balls = warm.stats.warm_balls;
+            report.warm_seeded_pairs = warm.stats.seeded_pairs;
+        }
+        report
     });
 
     // Assemble the union, deterministically ordered by ball center.
@@ -478,7 +574,11 @@ fn distributed_impl(
         traffic.warm_started_balls += report.warm_started_balls;
         traffic.warm_seeded_pairs += report.warm_seeded_pairs;
         traffic.result_subgraphs += report.subgraphs.len();
-        traffic.balls_per_site[report.site] = report.balls;
+        traffic.chunks_processed += report.chunks_processed;
+        traffic.chunks_stolen += report.chunks_stolen;
+        for (site, balls) in report.balls_per_site.iter().enumerate() {
+            traffic.balls_per_site[site] += balls;
+        }
         subgraphs.extend(report.subgraphs);
     }
     subgraphs.sort_by_key(|s| s.center);
@@ -489,52 +589,39 @@ fn distributed_impl(
     }
 }
 
-/// Site worker: evaluate every ball whose center is owned by `site`. `centers` is the
-/// site's slice of the coordinator's locality order, in `data`'s id space — which is the
-/// coordinator's `Gm` slice when `gm` is present (`data` is then the extracted graph, and
-/// ownership/traffic lookups translate through it).
+/// Evaluates one chunk of `site`'s balls with the calling worker's sliding state.
+/// `centers` is the chunk's slice of the site's locality order, in `data`'s id space —
+/// which is the coordinator's `Gm` slice when `gm` is present (`data` is then the
+/// extracted graph, and ownership/traffic lookups translate through it). A center is
+/// owned by exactly one site and appears in exactly one chunk, so each ball is evaluated
+/// — and charged as built or reused — exactly once across the whole run. The forest and
+/// warm matcher arrive freshly reset; within the chunk they slide/carry between the
+/// locality-adjacent centers.
 #[allow(clippy::too_many_arguments)]
-fn evaluate_site(
+fn evaluate_chunk(
     site: usize,
     pattern: &Pattern,
-    radius: usize,
     data: &Graph,
     gm: Option<&ExtractedSubgraph>,
     global_relation: Option<&MatchRelation>,
     partition: &GraphPartition,
     centers: &[NodeId],
-    refine_seed: RefineSeed,
-) -> SiteReport {
-    let mut report = SiteReport {
-        site,
-        subgraphs: Vec::new(),
-        border_balls: 0,
-        shipped_balls: 0,
-        shipped_nodes: 0,
-        shipped_edges: 0,
-        built_balls: 0,
-        reused_balls: 0,
-        warm_started_balls: 0,
-        warm_seeded_pairs: 0,
-        balls: 0,
-    };
-    let mut scratch = BallScratch::new();
-    // A center is owned by exactly one site, so each ball is evaluated — and charged as
-    // built or reused — exactly once across the whole run. The warm matcher carries the
-    // site's previous converged relation between its locality-adjacent balls.
-    let mut forest = BallForest::new(data, radius);
-    let mut warm = (refine_seed == RefineSeed::WarmStart).then(|| WarmMatcher::new(pattern));
+    forest: &mut BallForest<'_>,
+    warm: &mut Option<WarmMatcher>,
+    scratch: &mut BallScratch,
+    report: &mut WorkerReport,
+) {
     // Ownership and the border metric live on the *original* graph's ids.
     let outer_of = |v: NodeId| gm.map_or(v, |sub| sub.outer_of(v));
     for &center in centers {
-        report.balls += 1;
+        report.balls_per_site[site] += 1;
         // Border centers: a substrate neighbour stored on a different site. On the
         // match-graph substrate this is `Gm` adjacency — only edges a ball could ship.
         if partition.is_border_node_translated(data, center, outer_of) {
             report.border_balls += 1;
         }
         forest.advance(center);
-        let ball = forest.compact(&mut scratch);
+        let ball = forest.compact(scratch);
         // Traffic accounting: every ball member stored on a different site would have to be
         // shipped to this site, together with its incident ball edges. On the match-graph
         // substrate the members and edges *are* `Gm`'s — exactly the data a site would
@@ -589,17 +676,8 @@ fn evaluate_site(
                 None => subgraph,
             });
         }
-        ball.recycle(&mut scratch);
+        ball.recycle(scratch);
     }
-    // The forest is the single source of truth for the built/reused split, the warm
-    // matcher for the seeding split.
-    report.built_balls = forest.built_fresh;
-    report.reused_balls = forest.reused;
-    if let Some(warm) = &warm {
-        report.warm_started_balls = warm.stats.warm_balls;
-        report.warm_seeded_pairs = warm.stats.seeded_pairs;
-    }
-    report
 }
 
 #[cfg(test)]

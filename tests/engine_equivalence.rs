@@ -4,14 +4,22 @@
 //! refinement vs the seed's naive fixpoint, ball-local compact indexing vs `|V|`-sized
 //! relations, and parallel vs sequential ball processing. Each property pits the fast path
 //! against its seed-compatible oracle on random graph/pattern pairs.
+//!
+//! The parallel layer's contract is the strongest: the work-stealing chunk scheduler must
+//! keep `MatchOutput` — subgraphs *and* every stat except the scheduling-dependent
+//! `chunks_stolen` — bit-identical across thread counts on every oracle axis, and the
+//! partition helpers it is built from must cover `0..len` exactly for any `(len, threads)`.
 
 use proptest::prelude::*;
 use ssim_core::dual::dual_simulation_with;
+use ssim_core::parallel::{chunk_plan, contiguous, stripe};
 use ssim_core::simulation::graph_simulation_with;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
-use ssim_core::RefineStrategy;
+use ssim_core::{
+    BallStrategy, BallSubstrate, IncrementalMatcher, RefineSeed, RefineStrategy, UpdatePlan,
+};
 use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
-use ssim_graph::{Graph, Label, Pattern};
+use ssim_graph::{Graph, GraphDelta, Label, NodeId, Pattern};
 
 /// Strategy: a random data graph with `n ∈ [3, 28]` nodes, up to `3n` random edges and
 /// labels drawn from a 4-symbol alphabet.
@@ -135,4 +143,146 @@ proptest! {
             assert_same_output(&compact, &seed, "fast engine vs seed engine")?;
         }
     }
+}
+
+/// Asserts two match outputs are bit-identical: identical subgraph sets and identical
+/// stats up to `chunks_stolen`, the one counter that depends on steal timing.
+fn assert_bit_identical(a: &MatchOutput, b: &MatchOutput, context: &str) -> Result<(), String> {
+    prop_assert_eq!(a.subgraphs.len(), b.subgraphs.len());
+    for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
+        prop_assert!(
+            x.center == y.center,
+            "{context}: centers {} vs {}",
+            x.center,
+            y.center
+        );
+        prop_assert_eq!(&x.nodes, &y.nodes);
+        prop_assert_eq!(&x.edges, &y.edges);
+        prop_assert_eq!(&x.relation, &y.relation);
+        prop_assert!(x.radius == y.radius, "{context}: radii differ");
+    }
+    let mut sa = a.stats.clone();
+    let mut sb = b.stats.clone();
+    sa.chunks_stolen = 0;
+    sb.chunks_stolen = 0;
+    prop_assert!(sa == sb, "{context}: stats differ: {sa:?} vs {sb:?}");
+    Ok(())
+}
+
+/// One configuration per oracle axis (both poles where they differ from the bases):
+/// `RefineStrategy`, `BallStrategy`, `RefineSeed` and `BallSubstrate` on top of the
+/// plain and fully optimised bases. The fifth axis (`UpdatePlan`) only acts through the
+/// incremental session and is covered by `updated_output_is_bit_identical_across_threads`.
+fn axis_configs() -> Vec<MatchConfig> {
+    vec![
+        MatchConfig::basic(),
+        MatchConfig::optimized(),
+        MatchConfig::basic().with_refine_strategy(RefineStrategy::NaiveFixpoint),
+        MatchConfig::basic().with_ball_strategy(BallStrategy::FreshBfs),
+        MatchConfig::basic().with_refine_seed(RefineSeed::FromScratch),
+        MatchConfig::optimized().with_ball_substrate(BallSubstrate::FullGraph),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `stripe`, `contiguous` and `chunk_plan` are exact partitions of `0..len` for
+    /// arbitrary `(len, threads)` — no index dropped, none duplicated. The chunk plan
+    /// additionally never emits an empty chunk (the scheduler's items are all real work).
+    #[test]
+    fn partition_helpers_cover_the_range_exactly(len in 0usize..4096, threads in 1usize..17) {
+        let expected: Vec<usize> = (0..len).collect();
+        let mut striped: Vec<usize> =
+            (0..threads).flat_map(|t| stripe(len, threads, t)).collect();
+        striped.sort_unstable();
+        prop_assert!(striped == expected, "stripe gaps at len={len} threads={threads}");
+        let contig: Vec<usize> =
+            (0..threads).flat_map(|t| contiguous(len, threads, t)).collect();
+        prop_assert!(contig == expected, "contiguous gaps at len={len} threads={threads}");
+        let plan = chunk_plan(len);
+        for chunk in &plan {
+            prop_assert!(!chunk.is_empty(), "empty chunk for len={}", len);
+        }
+        let chunked: Vec<usize> = plan.iter().flat_map(|r| r.clone()).collect();
+        prop_assert!(chunked == expected, "chunk_plan gaps at len={len}");
+    }
+
+    /// `MatchOutput` is bit-identical across thread counts 1/2/4/8 on every oracle axis,
+    /// and the sequential engine agrees too: the chunk plan and the per-chunk state
+    /// resets are functions of the input alone, so only steal attribution may vary.
+    #[test]
+    fn output_is_bit_identical_across_thread_counts(data in data_graph(), q in pattern()) {
+        for base in axis_configs() {
+            let reference = strong_simulation(&q, &data, &base.with_thread_limit(1));
+            for threads in [2usize, 4, 8] {
+                let out = strong_simulation(&q, &data, &base.with_thread_limit(threads));
+                assert_bit_identical(&out, &reference, "thread-count bit-identity")?;
+            }
+            let sequential = strong_simulation(&q, &data, &base.sequential());
+            assert_bit_identical(&sequential, &reference, "sequential vs one worker")?;
+        }
+    }
+
+    /// The fifth oracle axis (`UpdatePlan`): incremental sessions inherit the chunk
+    /// scheduler through the prepared entry points, so the post-update output is
+    /// bit-identical across thread counts for both the incremental plan and the
+    /// recompute oracle.
+    #[test]
+    fn updated_output_is_bit_identical_across_threads(
+        data in data_graph(),
+        q in pattern(),
+        picks in proptest::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let delta = random_delta(&data, &picks);
+        for plan in [UpdatePlan::Incremental, UpdatePlan::Recompute] {
+            let base = MatchConfig::optimized().with_update_plan(plan);
+            let mut reference =
+                IncrementalMatcher::new(&q, data.clone(), base.with_thread_limit(1));
+            reference.apply(&delta).expect("delta validates");
+            for threads in [2usize, 4, 8] {
+                let mut session =
+                    IncrementalMatcher::new(&q, data.clone(), base.with_thread_limit(threads));
+                session.apply(&delta).expect("delta validates");
+                assert_bit_identical(
+                    session.output(),
+                    reference.output(),
+                    "post-update thread-count bit-identity",
+                )?;
+            }
+        }
+    }
+}
+
+/// Builds a valid random delta against `graph` from raw generator words, mirroring the
+/// incremental suite's helper: odd words delete an existing edge, even words insert an
+/// absent one; conflicting picks are skipped so the delta always validates.
+fn random_delta(graph: &Graph, picks: &[u64]) -> GraphDelta {
+    let n = graph.node_count() as u64;
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    let mut delta = GraphDelta::new();
+    let mut mentioned: Vec<(NodeId, NodeId)> = Vec::new();
+    for &pick in picks {
+        if n == 0 {
+            break;
+        }
+        if pick % 2 == 1 {
+            if edges.is_empty() {
+                continue;
+            }
+            let (s, t) = edges[((pick / 2) % edges.len() as u64) as usize];
+            if !mentioned.contains(&(s, t)) {
+                mentioned.push((s, t));
+                delta.delete_edge_labeled(s, t, graph.label(s), graph.label(t));
+            }
+        } else {
+            let v = pick / 2;
+            let (s, t) = (NodeId((v % n) as u32), NodeId(((v / n) % n) as u32));
+            if !graph.has_edge(s, t) && !mentioned.contains(&(s, t)) {
+                mentioned.push((s, t));
+                delta.insert_edge(s, t);
+            }
+        }
+    }
+    delta
 }
