@@ -29,7 +29,11 @@
 //! (`update-overlap-chain-*`, `update-selective-labels-*` at 1 % / 5 % edge churn)
 //! stress the incremental matcher: each `incremental_update` blob records the
 //! dirty-ball fraction and the speedup of `UpdatePlan::Incremental` over the
-//! `UpdatePlan::Recompute` oracle across a six-delta stream, and each carries an
+//! `UpdatePlan::Recompute` oracle across a six-delta stream. A `repeated-labels` row
+//! (equal-label community corpus) prices the sixth oracle axis: its `repetition` blob
+//! records the `Distinct`/`Equal` witness-closure overhead over `Free` and the naive
+//! per-ball oracle's cost over the integrated path, on the one workload shape where
+//! the closure has real work. Each update row carries an
 //! `overlay_apply` blob comparing the versioned substrate's `OverlayGraph::apply_delta`
 //! (O(patches), amortised over any compactions) against the flat `Graph::apply_delta`
 //! full-rebuild baseline. Two batched rows (`update-*-batched`, 5 % churn in
@@ -43,6 +47,7 @@
 use ssim_bench::{workload, BenchWorkload, BENCH_NODES, BENCH_PATTERN_NODES};
 use ssim_core::ball::{BallStrategy, BallSubstrate};
 use ssim_core::incremental::{IncrementalMatcher, UpdatePlan};
+use ssim_core::repetition::{RepetitionMode, RepetitionSemantics};
 use ssim_core::simulation::RefineSeed;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
 use ssim_experiments::workloads::DatasetKind;
@@ -373,6 +378,54 @@ fn overlap_cluster() -> (&'static str, ssim_graph::Graph, ssim_graph::Pattern) {
     ("overlap-cluster", data, pattern)
 }
 
+/// Equal-label community corpus for the repetition-semantics row: star-shaped
+/// communities whose hub and members all carry label 0 (bidirectional spokes), chained
+/// by label-1 bridges. Every radius-2 ball is dense in repeated-label candidates —
+/// exactly the shape where the `Distinct`/`Equal` witness closure has real work — while
+/// the per-ball candidate products stay far under the witness budget, so no ball bails.
+fn repeated_labels() -> (&'static str, ssim_graph::Graph, ssim_graph::Pattern) {
+    use ssim_graph::{Graph, Label, Pattern};
+    let communities = 48u32;
+    let members = 12u32;
+    let mut labels = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for c in 0..communities {
+        let hub = labels.len() as u32;
+        labels.push(Label(0));
+        for _ in 0..members {
+            let m = labels.len() as u32;
+            labels.push(Label(0));
+            edges.push((hub, m));
+            edges.push((m, hub));
+        }
+        if c + 1 < communities {
+            let bridge = labels.len() as u32;
+            labels.push(Label(1));
+            edges.push((hub, bridge));
+            edges.push((bridge, hub + members + 2));
+        }
+    }
+    // Fold-loop components: a self-looped label-0 node feeding a label-1 sink. Dual
+    // simulation keeps the loop node for both label-0 pattern nodes, but the only
+    // witness maps them to the *same* node — so `Distinct` filters the pair away while
+    // `Equal` (which wants exactly that collapse) keeps it. These give the closure
+    // genuine removals and the `Free`/`Distinct`/`Equal` outputs three distinct values.
+    for _ in 0..8 {
+        let a = labels.len() as u32;
+        labels.push(Label(0));
+        let c = labels.len() as u32;
+        labels.push(Label(1));
+        edges.push((a, a));
+        edges.push((a, c));
+    }
+    let data = Graph::from_edges(labels, &edges).unwrap();
+    // Both endpoints of the 2-path sit on the repeated label: the closure must find a
+    // witness with two *distinct* (resp. one shared) label-0 nodes in every ball.
+    let pattern =
+        Pattern::from_edges(vec![Label(0), Label(0), Label(1)], &[(0, 1), (1, 2)]).unwrap();
+    ("repeated-labels", data, pattern)
+}
+
 fn main() {
     // `cargo test` may execute bench targets in test mode; only benchmark under
     // `cargo bench`.
@@ -381,7 +434,7 @@ fn main() {
     }
     let runs = 9usize;
     let threads = ssim_core::parallel::available_threads();
-    let configs: [(&'static str, MatchConfig); 7] = [
+    let configs: [(&'static str, MatchConfig); 8] = [
         ("seed/match", MatchConfig::seed_reference()),
         (
             "seed/match_plus",
@@ -405,6 +458,10 @@ fn main() {
         (
             "engine/match_plus_fullballs",
             MatchConfig::optimized().with_ball_substrate(BallSubstrate::FullGraph),
+        ),
+        (
+            "engine/match_plus_distinct",
+            MatchConfig::optimized().with_repetition(RepetitionSemantics::Distinct),
         ),
     ];
 
@@ -449,6 +506,10 @@ fn main() {
         // configuration building its balls inside the extracted Gm.
         let gm_speedup = results[6].seconds / results[3].seconds;
         let gm_frac = gm_fraction(results[3].gm_nodes, w.data.node_count());
+        // Repetition axis on standard rows: the workload patterns are label-distinct,
+        // so the `Distinct` closure is a gated no-op and this ratio prices the gate
+        // itself (the per-ball repeated-label check) — the ≤1.5x standard-row claim.
+        let repetition_overhead = results[7].seconds / results[3].seconds;
         for r in &results {
             eprintln!(
                 "  {:<22} {:>10.4} ms/run  {:>12.0} balls/s  {:>12.0} nodes/s  ({} subgraphs)",
@@ -474,6 +535,7 @@ fn main() {
             "  gm substrate: Gm holds {:.0}% of |V|, {gm_speedup:.2}x vs full-graph balls",
             gm_frac * 100.0
         );
+        eprintln!("  repetition: Distinct overhead {repetition_overhead:.2}x vs Match+ (gated)");
         let config_json: Vec<String> = results
             .iter()
             .map(|r| {
@@ -511,6 +573,7 @@ fn main() {
                 "\"speedup_vs_scratch\": {:.3}, \"seeded_ratio\": {:.4}}},\n",
                 "     \"gm_substrate\": {{\"gm_fraction\": {:.4}, ",
                 "\"speedup_vs_full\": {:.3}}},\n",
+                "     \"repetition\": {{\"distinct_overhead_vs_free\": {:.3}}},\n",
                 "     \"configs\": [\n{}\n    ]}}"
             ),
             json_escape(dataset.name()),
@@ -528,6 +591,7 @@ fn main() {
             refine_warm_seeded,
             gm_frac,
             gm_speedup,
+            repetition_overhead,
             config_json.join(",\n")
         ));
     }
@@ -784,6 +848,96 @@ fn main() {
             full_out.stats.balls_built,
             full_out.stats.balls_reused,
             full_out.subgraphs.len()
+        ));
+    }
+
+    // Repetition semantics: the sixth oracle axis on its worst-case-friendly corpus.
+    // `Free` is the axis-less baseline; `Distinct`/`Equal` pay the per-ball witness
+    // closure (integrated path), and the naive per-ball oracle bounds the closure's
+    // engine integration win. On label-distinct rows the axis is a gated no-op — the
+    // overhead ratios here are the price on the one workload shape that actually pays.
+    {
+        let (name, data, pattern) = repeated_labels();
+        let free_cfg = MatchConfig::basic();
+        let distinct_cfg = MatchConfig::basic().with_repetition(RepetitionSemantics::Distinct);
+        let equal_cfg = MatchConfig::basic().with_repetition(RepetitionSemantics::Equal);
+        let naive_cfg = MatchConfig::basic()
+            .with_repetition(RepetitionSemantics::Distinct)
+            .with_repetition_mode(RepetitionMode::NaiveOracle);
+        let mut timed = time_configs(
+            &pattern,
+            &data,
+            &[&free_cfg, &distinct_cfg, &equal_cfg, &naive_cfg],
+            runs,
+        );
+        let (naive_secs, naive_out) = timed.pop().expect("naive timing");
+        let (equal_secs, equal_out) = timed.pop().expect("equal timing");
+        let (distinct_secs, distinct_out) = timed.pop().expect("distinct timing");
+        let (free_secs, free_out) = timed.pop().expect("free timing");
+        assert_eq!(
+            distinct_out.subgraphs, naive_out.subgraphs,
+            "integrated and naive repetition paths diverged"
+        );
+        assert_eq!(
+            distinct_out.stats.repetition_bailed_balls, 0,
+            "repeated-labels corpus must stay within the witness budget"
+        );
+        assert!(
+            distinct_out.stats.repetition_filtered_pairs > 0
+                || distinct_out.subgraphs == free_out.subgraphs,
+            "closure ran but neither filtered nor matched"
+        );
+        let distinct_overhead = distinct_secs / free_secs;
+        let equal_overhead = equal_secs / free_secs;
+        let naive_vs_integrated = naive_secs / distinct_secs;
+        eprintln!(
+            "{name} |V|={}: free {:.3} ms, distinct {:.3} ms ({distinct_overhead:.2}x), equal {:.3} ms ({equal_overhead:.2}x), naive oracle {naive_vs_integrated:.2}x vs integrated ({} filtered pairs, {} subgraphs)",
+            data.node_count(),
+            free_secs * 1e3,
+            distinct_secs * 1e3,
+            equal_secs * 1e3,
+            distinct_out.stats.repetition_filtered_pairs,
+            distinct_out.subgraphs.len()
+        );
+        dataset_blobs.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"nodes\": {}, \"edges\": {}, ",
+                "\"pattern_nodes\": {}, \"pattern_diameter\": {},\n",
+                "     \"repetition\": {{\"distinct_overhead_vs_free\": {:.3}, ",
+                "\"equal_overhead_vs_free\": {:.3}, ",
+                "\"naive_vs_integrated\": {:.3},\n",
+                "      \"filtered_pairs_distinct\": {}, \"filtered_pairs_equal\": {}, ",
+                "\"bailed_balls\": {}}},\n",
+                "     \"configs\": [\n",
+                "      {{\"name\": \"engine/match_free\", \"seconds_per_run\": {:.6}, ",
+                "\"subgraphs\": {}}},\n",
+                "      {{\"name\": \"engine/match_distinct\", \"seconds_per_run\": {:.6}, ",
+                "\"subgraphs\": {}}},\n",
+                "      {{\"name\": \"engine/match_equal\", \"seconds_per_run\": {:.6}, ",
+                "\"subgraphs\": {}}},\n",
+                "      {{\"name\": \"engine/match_distinct_naive\", \"seconds_per_run\": {:.6}, ",
+                "\"subgraphs\": {}}}\n",
+                "    ]}}"
+            ),
+            json_escape(name),
+            data.node_count(),
+            data.edge_count(),
+            pattern.node_count(),
+            pattern.diameter(),
+            distinct_overhead,
+            equal_overhead,
+            naive_vs_integrated,
+            distinct_out.stats.repetition_filtered_pairs,
+            equal_out.stats.repetition_filtered_pairs,
+            distinct_out.stats.repetition_bailed_balls,
+            free_secs,
+            free_out.subgraphs.len(),
+            distinct_secs,
+            distinct_out.subgraphs.len(),
+            equal_secs,
+            equal_out.subgraphs.len(),
+            naive_secs,
+            naive_out.subgraphs.len()
         ));
     }
 

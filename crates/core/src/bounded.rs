@@ -21,7 +21,9 @@ pub enum Bound {
 }
 
 impl Bound {
-    fn admits(self, distance: u32) -> bool {
+    /// Whether a path of exactly `distance` edges satisfies this bound. Zero-length
+    /// paths never do — a bounded edge always demands at least one hop.
+    pub fn admits(self, distance: u32) -> bool {
         match self {
             Bound::Hops(k) => distance >= 1 && distance <= k,
             Bound::Unbounded => distance >= 1,
@@ -161,6 +163,11 @@ fn has_bounded_successor(
                     return true;
                 }
                 queue.push_back(y);
+            } else if y == v && bound.admits(dx + 1) && relation.contains(target, v) {
+                // The start sits in `dist` at 0, which is never admissible, so a cycle
+                // closing back on `v` must be caught here: `dx` is the true shortest
+                // distance to `x`, so `dx + 1` witnesses a positive-length path v → v.
+                return true;
             }
         }
     }
@@ -257,6 +264,33 @@ mod tests {
             "A4 only reaches the dead-end B5"
         );
         assert!(!relation.contains(NodeId(1), NodeId(5)));
+    }
+
+    #[test]
+    fn cycle_back_to_the_start_counts() {
+        // A self-loop is a length-1 path from a node to itself; the BFS must not let the
+        // start's distance-0 entry mask it. With bound 1 this must coincide with graph
+        // simulation, which admits the self-loop directly.
+        let pattern = BoundedPattern::new(
+            vec![Label(0), Label(0)],
+            vec![(NodeId(0), NodeId(1), Bound::Hops(1))],
+        );
+        let looped = chain(&[0], &[(0, 0)]);
+        assert!(bounded_simulates(&pattern, &looped));
+        // The same applies to longer cycles when the start is the only candidate.
+        let two_cycle = chain(&[0, 1], &[(0, 1), (1, 0)]);
+        let via_cycle = BoundedPattern::new(
+            vec![Label(0), Label(0)],
+            vec![(NodeId(0), NodeId(1), Bound::Hops(2))],
+        );
+        assert!(bounded_simulates(&via_cycle, &two_cycle));
+        assert!(!bounded_simulates(
+            &BoundedPattern::new(
+                vec![Label(0), Label(0)],
+                vec![(NodeId(0), NodeId(1), Bound::Hops(1))],
+            ),
+            &two_cycle
+        ));
     }
 
     #[test]

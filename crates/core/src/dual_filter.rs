@@ -109,7 +109,7 @@ pub(crate) fn refine_suspects<V: AdjView>(
 }
 
 /// Returns `true` when the pair `(u, v)` has both child and parent support inside the view.
-fn pair_supported<V: AdjView>(
+pub(crate) fn pair_supported<V: AdjView>(
     pattern: &Pattern,
     view: &V,
     relation: &MatchRelation,

@@ -62,6 +62,7 @@ pub mod minimize;
 pub mod parallel;
 pub mod pruning;
 pub mod relation;
+pub mod repetition;
 pub mod simulation;
 pub mod strong;
 pub mod topology;
@@ -73,6 +74,10 @@ pub use incremental::{IncrementalMatcher, PreparedGlobal, UpdatePlan, UpdateStat
 pub use match_graph::{MatchGraph, PerfectSubgraph};
 pub use minimize::minimize_pattern;
 pub use relation::MatchRelation;
+pub use repetition::{
+    enforce_repetition, has_repeated_labels, RepetitionMode, RepetitionOutcome,
+    RepetitionSemantics, REPETITION_BUDGET,
+};
 pub use simulation::{
     graph_simulation, graph_simulation_with, simulates, RefineSeed, RefineStrategy,
 };

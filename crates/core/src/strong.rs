@@ -57,6 +57,9 @@ use crate::parallel::{
 };
 use crate::pruning::prune_by_connectivity;
 use crate::relation::MatchRelation;
+use crate::repetition::{
+    enforce_repetition, RepetitionMode, RepetitionOutcome, RepetitionSemantics,
+};
 use crate::simulation::{initial_candidates, RefineSeed, RefineStrategy};
 use crate::warm::WarmMatcher;
 use ssim_graph::{
@@ -112,6 +115,16 @@ pub struct MatchConfig {
     /// or recompute the whole match from scratch (the equivalence oracle). One-shot
     /// [`strong_simulation`] calls ignore the axis — there is no cached state to update.
     pub update_plan: UpdatePlan,
+    /// How equal-labelled pattern nodes may be realised by data nodes — the sixth oracle
+    /// axis. [`RepetitionSemantics::Free`] is the paper's behaviour (and the seed
+    /// reference); `Distinct`/`Equal` run the per-ball repetition closure of
+    /// [`crate::repetition`] after refinement converges (subject to its budget/bail
+    /// contract).
+    pub repetition: RepetitionSemantics,
+    /// Which implementation enforces a non-`Free` repetition semantics: the integrated
+    /// marked witness search (the default) or the naive per-pair oracle (the
+    /// equivalence oracle). Ignored under [`RepetitionSemantics::Free`].
+    pub repetition_mode: RepetitionMode,
 }
 
 impl Default for MatchConfig {
@@ -132,6 +145,8 @@ impl Default for MatchConfig {
             refine_seed: RefineSeed::WarmStart,
             ball_substrate: BallSubstrate::MatchGraph,
             update_plan: UpdatePlan::Incremental,
+            repetition: RepetitionSemantics::Free,
+            repetition_mode: RepetitionMode::Integrated,
         }
     }
 }
@@ -222,6 +237,18 @@ impl MatchConfig {
         self.update_plan = plan;
         self
     }
+
+    /// Selects how equal-labelled pattern nodes may be realised by data nodes.
+    pub fn with_repetition(mut self, semantics: RepetitionSemantics) -> Self {
+        self.repetition = semantics;
+        self
+    }
+
+    /// Selects which implementation enforces a non-`Free` repetition semantics.
+    pub fn with_repetition_mode(mut self, mode: RepetitionMode) -> Self {
+        self.repetition_mode = mode;
+        self
+    }
 }
 
 /// Counters describing the work performed by a strong-simulation run.
@@ -271,6 +298,17 @@ pub struct MatchStats {
     /// Chunks halved mid-run because their slide chain had degenerated to fresh
     /// rebuilds ([`crate::ball::BallForest::degraded`]), making the remainder stealable.
     pub chunks_split: usize,
+    /// Pairs removed by the per-ball repetition closure, witness filter plus cascade
+    /// ([`RepetitionSemantics::Distinct`]/[`RepetitionSemantics::Equal`] only). Identical
+    /// between the integrated path and the naive oracle at any fixed configuration (the
+    /// modes remove the same pair set per closure iteration); like `seeded_pairs` it may
+    /// differ across engine shapes, which skip the closure on balls they never evaluate.
+    pub repetition_filtered_pairs: usize,
+    /// Balls whose repetition enforcement was skipped because the witness-search budget
+    /// precondition failed (see [`crate::repetition::REPETITION_BUDGET`]): those balls
+    /// behave as under [`RepetitionSemantics::Free`]. The bail decision reads only
+    /// candidate-set sizes of the converged relation, so it is mode-independent.
+    pub repetition_bailed_balls: usize,
     /// Perfect subgraphs found (before deduplication).
     pub perfect_subgraphs: usize,
     /// `(original, minimised)` pattern sizes when query minimization ran.
@@ -406,9 +444,19 @@ struct WorkerResult {
     balls_warm_started: usize,
     seeded_pairs: usize,
     match_graphs_reused: usize,
+    repetition_filtered_pairs: usize,
+    repetition_bailed_balls: usize,
     chunks_processed: usize,
     chunks_stolen: usize,
     chunks_split: usize,
+}
+
+impl WorkerResult {
+    /// Folds one ball's repetition-closure outcome into the worker's counters.
+    fn record_repetition(&mut self, outcome: RepetitionOutcome) {
+        self.repetition_filtered_pairs += outcome.removed_pairs;
+        self.repetition_bailed_balls += usize::from(outcome.bailed);
+    }
 }
 
 /// Runs strong simulation of `pattern` over `data` with the given configuration.
@@ -691,9 +739,11 @@ fn match_impl(
                                 local_relation,
                                 config.connectivity_pruning,
                                 config.refine_strategy,
+                                config.repetition,
+                                config.repetition_mode,
                             )
                         } else {
-                            let (subgraph, removed, seeded) = match_prepared_ball(
+                            let (subgraph, removed, seeded, repetition) = match_prepared_ball(
                                 effective_pattern,
                                 match_data,
                                 &ball,
@@ -701,13 +751,14 @@ fn match_impl(
                                 local_relation,
                             );
                             result.seeded_pairs += seeded;
+                            result.record_repetition(repetition);
                             (subgraph, removed)
                         };
                         ball.recycle(&mut scratch);
                         out
                     } else if config.compact_balls {
                         result.balls_built += 1;
-                        let (subgraph, removed, seeded) = match_ball_compact(
+                        let (subgraph, removed, seeded, repetition) = match_ball_compact(
                             effective_pattern,
                             match_data,
                             center,
@@ -717,10 +768,11 @@ fn match_impl(
                             &mut scratch,
                         );
                         result.seeded_pairs += seeded;
+                        result.record_repetition(repetition);
                         (subgraph, removed)
                     } else {
                         result.balls_built += 1;
-                        let (subgraph, removed, seeded) = match_ball_legacy(
+                        let (subgraph, removed, seeded, repetition) = match_ball_legacy(
                             effective_pattern,
                             match_data,
                             center,
@@ -729,6 +781,7 @@ fn match_impl(
                             local_relation,
                         );
                         result.seeded_pairs += seeded;
+                        result.record_repetition(repetition);
                         (subgraph, removed)
                     };
                     if removed > 0 {
@@ -798,6 +851,8 @@ fn match_impl(
             result.balls_warm_started += warm.stats.warm_balls;
             result.seeded_pairs += warm.stats.seeded_pairs;
             result.match_graphs_reused += warm.stats.match_graphs_reused;
+            result.repetition_filtered_pairs += warm.stats.repetition_filtered_pairs;
+            result.repetition_bailed_balls += warm.stats.repetition_bailed_balls;
         }
         result
     };
@@ -814,6 +869,8 @@ fn match_impl(
         stats.balls_warm_started += r.balls_warm_started;
         stats.seeded_pairs += r.seeded_pairs;
         stats.match_graphs_reused += r.match_graphs_reused;
+        stats.repetition_filtered_pairs += r.repetition_filtered_pairs;
+        stats.repetition_bailed_balls += r.repetition_bailed_balls;
         stats.chunks_processed += r.chunks_processed;
         stats.chunks_stolen += r.chunks_stolen;
         stats.chunks_split += r.chunks_split;
@@ -849,7 +906,7 @@ fn match_ball_compact(
     config: &MatchConfig,
     global_relation: Option<&MatchRelation>,
     scratch: &mut BallScratch,
-) -> (Option<PerfectSubgraph>, usize, usize) {
+) -> (Option<PerfectSubgraph>, usize, usize, RepetitionOutcome) {
     let ball = CompactBall::build(data, center, radius, scratch);
     let result = match_prepared_ball(pattern, data, &ball, config, global_relation);
     ball.recycle(scratch);
@@ -867,7 +924,7 @@ fn match_prepared_ball(
     ball: &CompactBall,
     config: &MatchConfig,
     global_relation: Option<&MatchRelation>,
-) -> (Option<PerfectSubgraph>, usize, usize) {
+) -> (Option<PerfectSubgraph>, usize, usize, RepetitionOutcome) {
     let view = ball.view(data);
 
     // Starting relation (ball-local ids): either the projected global relation or fresh
@@ -882,7 +939,7 @@ fn match_prepared_ball(
         match prune_by_connectivity(pattern, &view, ball.center(), &start) {
             Some(pruned) => pruned,
             // Center cannot match: no perfect subgraph in this ball.
-            None => return (None, 0, 0),
+            None => return (None, 0, 0, RepetitionOutcome::default()),
         }
     } else {
         start
@@ -897,11 +954,25 @@ fn match_prepared_ball(
     } else {
         refine_dual_with(pattern, &view, start, config.refine_strategy)
     };
+    // The repetition closure runs between refinement convergence and extraction; a
+    // closure that empties some candidate set turns the ball into a non-match exactly
+    // like an emptied refinement would.
+    let mut repetition = RepetitionOutcome::default();
+    let relation = relation.and_then(|mut relation| {
+        repetition = enforce_repetition(
+            pattern,
+            &view,
+            &mut relation,
+            config.repetition,
+            config.repetition_mode,
+        );
+        relation.is_total().then_some(relation)
+    });
     let result = relation.and_then(|relation| {
         extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
             .map(|s| translate_subgraph(s, ball))
     });
-    (result, removed, seeded)
+    (result, removed, seeded, repetition)
 }
 
 /// Translates a perfect subgraph expressed in ball-local ids back to global ids.
@@ -967,7 +1038,7 @@ fn match_ball_legacy(
     radius: usize,
     config: &MatchConfig,
     global_relation: Option<&MatchRelation>,
-) -> (Option<PerfectSubgraph>, usize, usize) {
+) -> (Option<PerfectSubgraph>, usize, usize, RepetitionOutcome) {
     let ball = Ball::new(data, center, radius);
     let view = ball.view(data);
     let start = match global_relation {
@@ -977,7 +1048,7 @@ fn match_ball_legacy(
     let start = if config.connectivity_pruning {
         match prune_by_connectivity(pattern, &view, center, &start) {
             Some(pruned) => pruned,
-            None => return (None, 0, 0),
+            None => return (None, 0, 0, RepetitionOutcome::default()),
         }
     } else {
         start
@@ -995,13 +1066,27 @@ fn match_ball_legacy(
     } else {
         refine_dual_with(pattern, &view, start, config.refine_strategy)
     };
-    let Some(relation) = relation else {
-        return (None, removed, seeded);
+    let Some(mut relation) = relation else {
+        return (None, removed, seeded, RepetitionOutcome::default());
     };
+    // Same position as on the compact path: closure after convergence, before
+    // extraction. The witness filter works on id *sets*, so the `|V|`-sized relation
+    // over the membership-filtered view removes the same pairs the compact path does.
+    let repetition = enforce_repetition(
+        pattern,
+        &view,
+        &mut relation,
+        config.repetition,
+        config.repetition_mode,
+    );
+    if !relation.is_total() {
+        return (None, removed, seeded, repetition);
+    }
     (
         extract_max_perfect_subgraph(pattern, &view, &relation, center, radius),
         removed,
         seeded,
+        repetition,
     )
 }
 
@@ -1012,11 +1097,40 @@ pub fn match_compact_ball(
     ball: &CompactBall,
     data: &Graph,
 ) -> Option<PerfectSubgraph> {
+    match_compact_ball_with(
+        pattern,
+        ball,
+        data,
+        RepetitionSemantics::Free,
+        RepetitionMode::Integrated,
+    )
+    .0
+}
+
+/// [`match_compact_ball`] with an explicit repetition semantics — the distributed
+/// runtime's per-site emission path. Returns the closure outcome alongside the subgraph
+/// so callers can account bails and removals.
+pub fn match_compact_ball_with(
+    pattern: &Pattern,
+    ball: &CompactBall,
+    data: &Graph,
+    repetition: RepetitionSemantics,
+    repetition_mode: RepetitionMode,
+) -> (Option<PerfectSubgraph>, RepetitionOutcome) {
     let view = ball.view(data);
     let start = initial_candidates(pattern, &view);
-    let relation = refine_dual_with(pattern, &view, start, RefineStrategy::Worklist)?;
-    extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
-        .map(|s| translate_subgraph(s, ball))
+    let Some(mut relation) = refine_dual_with(pattern, &view, start, RefineStrategy::Worklist)
+    else {
+        return (None, RepetitionOutcome::default());
+    };
+    let outcome = enforce_repetition(pattern, &view, &mut relation, repetition, repetition_mode);
+    if !relation.is_total() {
+        return (None, outcome);
+    }
+    let subgraph =
+        extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
+            .map(|s| translate_subgraph(s, ball));
+    (subgraph, outcome)
 }
 
 /// [`match_compact_ball`] under the dual filter: the per-ball start is the projection of
@@ -1028,11 +1142,39 @@ pub fn match_compact_ball_filtered(
     data: &Graph,
     global_relation: &MatchRelation,
 ) -> Option<PerfectSubgraph> {
+    match_compact_ball_filtered_with(
+        pattern,
+        ball,
+        data,
+        global_relation,
+        RepetitionSemantics::Free,
+        RepetitionMode::Integrated,
+    )
+    .0
+}
+
+/// [`match_compact_ball_filtered`] with an explicit repetition semantics.
+pub fn match_compact_ball_filtered_with(
+    pattern: &Pattern,
+    ball: &CompactBall,
+    data: &Graph,
+    global_relation: &MatchRelation,
+    repetition: RepetitionSemantics,
+    repetition_mode: RepetitionMode,
+) -> (Option<PerfectSubgraph>, RepetitionOutcome) {
     let view = ball.view(data);
     let start = global_relation.project_compact(ball);
-    let relation = refine_projected(pattern, &view, ball.border(), start, None)?;
-    extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
-        .map(|s| translate_subgraph(s, ball))
+    let Some(mut relation) = refine_projected(pattern, &view, ball.border(), start, None) else {
+        return (None, RepetitionOutcome::default());
+    };
+    let outcome = enforce_repetition(pattern, &view, &mut relation, repetition, repetition_mode);
+    if !relation.is_total() {
+        return (None, outcome);
+    }
+    let subgraph =
+        extract_max_perfect_subgraph(pattern, &view, &relation, ball.center(), ball.radius())
+            .map(|s| translate_subgraph(s, ball));
+    (subgraph, outcome)
 }
 
 /// Returns `true` when `Q ≺LD G`, i.e. some ball of `G` contains a perfect subgraph.

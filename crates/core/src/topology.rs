@@ -7,6 +7,7 @@
 
 use crate::match_graph::MatchGraph;
 use crate::relation::MatchRelation;
+use crate::repetition::RepetitionSemantics;
 use crate::strong::MatchOutput;
 use ssim_graph::cycles::{
     has_directed_cycle, has_label_distinct_undirected_cycle, has_undirected_cycle,
@@ -83,27 +84,50 @@ pub fn directed_cycles_preserved(
 ///   re-traverse the edge it arrived by, and a closed walk without immediate edge
 ///   reversal always contains a simple undirected cycle.
 ///
-/// When the pattern's only undirected cycles are undirected-only *and* repeat a label,
-/// the guarantee genuinely fails — the walk folds. The minimal shape: a diamond
-/// `a → b, a → c, b → d, c → d` with `l(b) = l(c)` is dual-simulated by the path
-/// `x → y → z` via `a↦x, b↦y, c↦y, d↦z` (that relation is even the *maximum* one on
-/// the path), and a path has no undirected cycle. The nightly generator found exactly
-/// this fold at case 301; `tests/invariants_proptest.rs` pins it as a named regression.
-pub fn undirected_cycle_guarantee_applies(pattern: &Pattern) -> bool {
-    has_directed_cycle(pattern.graph()) || has_label_distinct_undirected_cycle(pattern.graph())
+/// Under [`RepetitionSemantics::Free`] (and [`RepetitionSemantics::Equal`], which folds
+/// equal-labelled nodes onto one data node *by design*), a pattern whose only undirected
+/// cycles are undirected-only *and* repeat a label genuinely loses the guarantee — the
+/// walk folds. The minimal shape: a diamond `a → b, a → c, b → d, c → d` with
+/// `l(b) = l(c)` is dual-simulated by the path `x → y → z` via `a↦x, b↦y, c↦y, d↦z`
+/// (that relation is even the *maximum* one on the path), and a path has no undirected
+/// cycle. The nightly generator found exactly this fold at case 301;
+/// `tests/invariants_proptest.rs` pins it as a named regression.
+///
+/// [`RepetitionSemantics::Distinct`] closes exactly that hole: every surviving pair has
+/// a full homomorphism witness that is injective on each equal-label class, so any two
+/// distinct nodes of a simple undirected pattern cycle take distinct images (same label
+/// ⇒ same class ⇒ forced distinct; different labels ⇒ distinct anyway). The witness
+/// image is then an undirected cycle of match-graph edges, connected to the witnessed
+/// pair — so under `Distinct` *any* undirected pattern cycle is pinned and the guarantee
+/// extends to every cyclic pattern. This reading applies to relations produced by a
+/// `Distinct` run whose repetition closure actually ran (no budget bail —
+/// `MatchStats::repetition_bailed_balls == 0`).
+pub fn undirected_cycle_guarantee_applies(
+    pattern: &Pattern,
+    semantics: RepetitionSemantics,
+) -> bool {
+    has_directed_cycle(pattern.graph())
+        || match semantics {
+            RepetitionSemantics::Distinct => has_undirected_cycle(pattern.graph()),
+            RepetitionSemantics::Free | RepetitionSemantics::Equal => {
+                has_label_distinct_undirected_cycle(pattern.graph())
+            }
+        }
 }
 
-/// Criterion (4b): if the pattern has an undirected cycle that dual simulation can
-/// actually pin — see [`undirected_cycle_guarantee_applies`] — the match graph has an
-/// undirected cycle (Theorem 3). Patterns whose only undirected cycles fold (repeated
-/// labels, no directed cycle) satisfy the criterion trivially: no guarantee exists to
-/// check.
+/// Criterion (4b): if the pattern has an undirected cycle that the matching semantics
+/// can actually pin — see [`undirected_cycle_guarantee_applies`] — the match graph has
+/// an undirected cycle (Theorem 3). Patterns whose only undirected cycles fold under
+/// the given semantics satisfy the criterion trivially: no guarantee exists to check.
+/// `relation` must come from a run under `semantics` (with no repetition-budget bail)
+/// for a non-`Free` reading to be sound.
 pub fn undirected_cycles_preserved(
     pattern: &Pattern,
     data: &Graph,
     relation: &MatchRelation,
+    semantics: RepetitionSemantics,
 ) -> bool {
-    if !undirected_cycle_guarantee_applies(pattern) {
+    if !undirected_cycle_guarantee_applies(pattern, semantics) {
         return true;
     }
     let view = GraphView::full(data);
@@ -146,8 +170,21 @@ pub struct TopologyReport {
 }
 
 impl TopologyReport {
-    /// Evaluates all criteria for a strong-simulation output.
+    /// Evaluates all criteria for a strong-simulation output under the default
+    /// [`RepetitionSemantics::Free`] reading of the undirected-cycle guarantee.
     pub fn evaluate(pattern: &Pattern, data: &Graph, output: &MatchOutput) -> Self {
+        Self::evaluate_under(pattern, data, output, RepetitionSemantics::Free)
+    }
+
+    /// Evaluates all criteria for an output produced under the given repetition
+    /// semantics — under [`RepetitionSemantics::Distinct`] the undirected-cycle
+    /// criterion is checked for *every* cyclic pattern, not only label-distinct ones.
+    pub fn evaluate_under(
+        pattern: &Pattern,
+        data: &Graph,
+        output: &MatchOutput,
+        semantics: RepetitionSemantics,
+    ) -> Self {
         // Reconstruct a relation per perfect subgraph and check the per-pair criteria.
         let mut children = true;
         let mut parents = true;
@@ -161,7 +198,7 @@ impl TopologyReport {
             children &= children_preserved(pattern, data, &relation);
             parents &= parents_preserved(pattern, data, &relation);
             directed &= directed_cycles_preserved(pattern, data, &relation);
-            undirected &= undirected_cycles_preserved(pattern, data, &relation);
+            undirected &= undirected_cycles_preserved(pattern, data, &relation, semantics);
         }
         TopologyReport {
             children,
@@ -260,7 +297,12 @@ mod tests {
         assert!(children_preserved(&pattern, &data, &dual));
         assert!(parents_preserved(&pattern, &data, &dual));
         assert!(directed_cycles_preserved(&pattern, &data, &dual));
-        assert!(undirected_cycles_preserved(&pattern, &data, &dual));
+        assert!(undirected_cycles_preserved(
+            &pattern,
+            &data,
+            &dual,
+            RepetitionSemantics::Free
+        ));
     }
 
     #[test]
@@ -289,7 +331,12 @@ mod tests {
         let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
         let relation = dual_simulation(&pattern, &data).unwrap();
         assert!(directed_cycles_preserved(&pattern, &data, &relation));
-        assert!(undirected_cycles_preserved(&pattern, &data, &relation));
+        assert!(undirected_cycles_preserved(
+            &pattern,
+            &data,
+            &relation,
+            RepetitionSemantics::Free
+        ));
     }
 
     #[test]
@@ -303,7 +350,20 @@ mod tests {
         )
         .unwrap();
         assert!(ssim_graph::cycles::has_undirected_cycle(pattern.graph()));
-        assert!(!undirected_cycle_guarantee_applies(&pattern));
+        assert!(!undirected_cycle_guarantee_applies(
+            &pattern,
+            RepetitionSemantics::Free
+        ));
+        // Equal folds the class onto one node by design — same reading as Free —
+        // while Distinct pins the cycle without relabelling anything.
+        assert!(!undirected_cycle_guarantee_applies(
+            &pattern,
+            RepetitionSemantics::Equal
+        ));
+        assert!(undirected_cycle_guarantee_applies(
+            &pattern,
+            RepetitionSemantics::Distinct
+        ));
         // Path data x -> y -> z: the maximum dual-simulation relation folds the
         // diamond onto it, and the match graph (the path itself) has no undirected
         // cycle — the criterion must hold trivially rather than report a violation.
@@ -315,7 +375,12 @@ mod tests {
             vec![(0, 0), (1, 1), (2, 1), (3, 2)],
             "the maximum relation maps both same-labelled pattern nodes to y"
         );
-        assert!(undirected_cycles_preserved(&pattern, &path, &dual));
+        assert!(undirected_cycles_preserved(
+            &pattern,
+            &path,
+            &dual,
+            RepetitionSemantics::Free
+        ));
         // Un-folding the labels restores the guarantee — and path data then (rightly)
         // no longer dual-simulates the pattern at all.
         let unfolded = Pattern::from_edges(
@@ -323,27 +388,49 @@ mod tests {
             &[(0, 1), (0, 2), (1, 3), (2, 3)],
         )
         .unwrap();
-        assert!(undirected_cycle_guarantee_applies(&unfolded));
+        assert!(undirected_cycle_guarantee_applies(
+            &unfolded,
+            RepetitionSemantics::Free
+        ));
     }
 
     #[test]
     fn guarantee_applies_to_directed_and_label_distinct_cycles() {
-        // Anti-parallel pair (directed cycle) with a repeated label: guaranteed.
+        // Anti-parallel pair (directed cycle) with a repeated label: guaranteed under
+        // every semantics — the directed clause does not depend on labels.
         let anti = Pattern::from_edges(vec![Label(0), Label(0)], &[(0, 1), (1, 0)]).unwrap();
-        assert!(undirected_cycle_guarantee_applies(&anti));
+        for semantics in [
+            RepetitionSemantics::Free,
+            RepetitionSemantics::Distinct,
+            RepetitionSemantics::Equal,
+        ] {
+            assert!(undirected_cycle_guarantee_applies(&anti, semantics));
+        }
         // Self-loop: guaranteed.
         let looped = Pattern::from_edges(vec![Label(0)], &[(0, 0)]).unwrap();
-        assert!(undirected_cycle_guarantee_applies(&looped));
+        assert!(undirected_cycle_guarantee_applies(
+            &looped,
+            RepetitionSemantics::Free
+        ));
         // Label-distinct undirected triangle without any directed cycle: guaranteed.
         let tri = Pattern::from_edges(
             vec![Label(0), Label(1), Label(2)],
             &[(0, 1), (0, 2), (1, 2)],
         )
         .unwrap();
-        assert!(undirected_cycle_guarantee_applies(&tri));
-        // Acyclic pattern: nothing to guarantee.
+        assert!(undirected_cycle_guarantee_applies(
+            &tri,
+            RepetitionSemantics::Free
+        ));
+        // Acyclic pattern: nothing to guarantee, under any semantics.
         let chain = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
-        assert!(!undirected_cycle_guarantee_applies(&chain));
+        for semantics in [
+            RepetitionSemantics::Free,
+            RepetitionSemantics::Distinct,
+            RepetitionSemantics::Equal,
+        ] {
+            assert!(!undirected_cycle_guarantee_applies(&chain, semantics));
+        }
     }
 
     #[test]

@@ -69,6 +69,7 @@ use crate::dual_filter::refine_projected;
 use crate::match_graph::{extract_max_perfect_subgraph, MatchGraph, PerfectSubgraph};
 use crate::pruning::prune_by_connectivity;
 use crate::relation::MatchRelation;
+use crate::repetition::{enforce_repetition, RepetitionMode, RepetitionSemantics};
 use crate::simulation::{count_capped, initial_candidates, RefineStrategy};
 use crate::strong::translate_subgraph;
 use ssim_graph::{AdjView, CompactBall, Graph, Label, NodeId, Pattern};
@@ -113,6 +114,14 @@ pub struct WarmStats {
     pub bailed_balls: usize,
     /// Balls whose match graph was updated incrementally instead of rebuilt.
     pub match_graphs_reused: usize,
+    /// Pairs removed by the per-ball repetition closure (non-`Free` semantics only).
+    /// The closure runs on a clone of the converged relation at the output stage — the
+    /// carry keeps the plain dual fixpoint, on which the warm-start exactness argument
+    /// rests — so these counters mirror the scratch pipeline's per-ball outcomes.
+    pub repetition_filtered_pairs: usize,
+    /// Balls whose repetition enforcement bailed on the witness-search budget
+    /// precondition (see [`crate::repetition::REPETITION_BUDGET`]).
+    pub repetition_bailed_balls: usize,
 }
 
 /// The state carried from the previous ball.
@@ -321,6 +330,8 @@ impl WarmMatcher {
         global_relation: Option<&MatchRelation>,
         connectivity_pruning: bool,
         refine_strategy: RefineStrategy,
+        repetition: RepetitionSemantics,
+        repetition_mode: RepetitionMode,
     ) -> (Option<PerfectSubgraph>, usize) {
         let view = ball.view(data);
         let n = ball.node_count();
@@ -419,8 +430,23 @@ impl WarmMatcher {
         let mut match_graph = None;
         if let Some(rel) = relation.as_ref().filter(|r| r.is_total()) {
             if connectivity_pruning {
+                // Non-`Free` semantics close the pruned-and-re-refined relation, exactly
+                // where the scratch pipeline runs the closure (between convergence and
+                // extraction); the pruning-free carry below is untouched by it.
+                let mut repetition_stats = (0usize, 0usize);
                 result = prune_by_connectivity(pattern, &view, ball.center(), rel)
                     .and_then(|pruned| refine_dual_with(pattern, &view, pruned, refine_strategy))
+                    .and_then(|mut final_rel| {
+                        let outcome = enforce_repetition(
+                            pattern,
+                            &view,
+                            &mut final_rel,
+                            repetition,
+                            repetition_mode,
+                        );
+                        repetition_stats = (outcome.removed_pairs, usize::from(outcome.bailed));
+                        final_rel.is_total().then_some(final_rel)
+                    })
                     .and_then(|final_rel| {
                         extract_max_perfect_subgraph(
                             pattern,
@@ -431,12 +457,49 @@ impl WarmMatcher {
                         )
                     })
                     .map(|s| translate_subgraph(s, ball));
+                self.stats.repetition_filtered_pairs += repetition_stats.0;
+                self.stats.repetition_bailed_balls += repetition_stats.1;
             } else if pattern.nodes().any(|u| rel.contains(u, ball.center())) {
                 // Only extracting balls build (and carry) a match graph — an unmatched
                 // center extracts nothing, exactly like the scratch pipeline, which
                 // bails before building the graph.
                 let mg = self.build_match_graph(pattern, data, ball, rel, warm);
-                result = extract_component(&mg, ball, rel);
+                // The repetition closure runs on a *clone* of the converged relation:
+                // the carry (and the match graph it maintains) must stay the plain dual
+                // fixpoint the warm-start exactness argument is built on. A closure
+                // that changed nothing leaves the match-graph extraction path — proven
+                // bit-identical to the scratch extraction — in charge.
+                let closed = (repetition != RepetitionSemantics::Free
+                    && crate::repetition::has_repeated_labels(pattern))
+                .then(|| {
+                    let mut closed = rel.clone();
+                    let outcome = enforce_repetition(
+                        pattern,
+                        &view,
+                        &mut closed,
+                        repetition,
+                        repetition_mode,
+                    );
+                    self.stats.repetition_filtered_pairs += outcome.removed_pairs;
+                    self.stats.repetition_bailed_balls += usize::from(outcome.bailed);
+                    (closed, outcome.changed)
+                });
+                result = match closed {
+                    Some((closed, true)) => closed
+                        .is_total()
+                        .then(|| {
+                            extract_max_perfect_subgraph(
+                                pattern,
+                                &view,
+                                &closed,
+                                ball.center(),
+                                ball.radius(),
+                            )
+                        })
+                        .flatten()
+                        .map(|s| translate_subgraph(s, ball)),
+                    _ => extract_component(&mg, ball, rel),
+                };
                 match_graph = Some(mg);
             }
         }

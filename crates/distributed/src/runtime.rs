@@ -30,8 +30,11 @@ use ssim_core::parallel::{
     chunk_plan, effective_workers, panic_message, par_workers, StealScheduler,
 };
 use ssim_core::relation::MatchRelation;
+use ssim_core::repetition::{RepetitionMode, RepetitionSemantics};
 use ssim_core::simulation::{RefineSeed, RefineStrategy};
-use ssim_core::strong::{match_compact_ball, match_compact_ball_filtered, translate_to_outer};
+use ssim_core::strong::{
+    match_compact_ball_filtered_with, match_compact_ball_with, translate_to_outer,
+};
 use ssim_core::warm::WarmMatcher;
 use ssim_graph::{BallScratch, BitSet, ExtractedSubgraph, Graph, NodeId, Pattern};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -63,6 +66,14 @@ pub struct DistributedConfig {
     /// default) or a full recompute (the equivalence oracle). One-shot
     /// [`distributed_strong_simulation`] calls ignore the axis.
     pub update_plan: UpdatePlan,
+    /// How equal-labelled pattern nodes may be realised by data nodes — the distributed
+    /// mirror of `MatchConfig::repetition`. Sites run the per-ball repetition closure
+    /// locally before emitting, so the union equals the centralized result under every
+    /// semantics.
+    pub repetition: RepetitionSemantics,
+    /// Which implementation enforces a non-`Free` repetition semantics at the sites
+    /// (the integrated closure or the naive per-pair oracle).
+    pub repetition_mode: RepetitionMode,
 }
 
 impl Default for DistributedConfig {
@@ -75,6 +86,8 @@ impl Default for DistributedConfig {
             dual_filter: false,
             ball_substrate: BallSubstrate::MatchGraph,
             update_plan: UpdatePlan::Incremental,
+            repetition: RepetitionSemantics::Free,
+            repetition_mode: RepetitionMode::Integrated,
         }
     }
 }
@@ -530,6 +543,8 @@ fn distributed_impl(
                     &mut warm,
                     &mut scratch,
                     &mut report,
+                    config.repetition,
+                    config.repetition_mode,
                 )
             }));
             if let Err(payload) = caught {
@@ -610,6 +625,8 @@ fn evaluate_chunk(
     warm: &mut Option<WarmMatcher>,
     scratch: &mut BallScratch,
     report: &mut WorkerReport,
+    repetition: RepetitionSemantics,
+    repetition_mode: RepetitionMode,
 ) {
     // Ownership and the border metric live on the *original* graph's ids.
     let outer_of = |v: NodeId| gm.map_or(v, |sub| sub.outer_of(v));
@@ -661,12 +678,22 @@ fn evaluate_chunk(
                 global_relation,
                 false,
                 RefineStrategy::Worklist,
+                repetition,
+                repetition_mode,
             )
             .0
         } else if let Some(global) = global_relation {
-            match_compact_ball_filtered(pattern, &ball, data, global)
+            match_compact_ball_filtered_with(
+                pattern,
+                &ball,
+                data,
+                global,
+                repetition,
+                repetition_mode,
+            )
+            .0
         } else {
-            match_compact_ball(pattern, &ball, data)
+            match_compact_ball_with(pattern, &ball, data, repetition, repetition_mode).0
         };
         if let Some(subgraph) = subgraph {
             // The id-translation boundary: sites speak substrate ids, reports speak the

@@ -12,49 +12,13 @@
 //!   [`BallStrategy::Incremental`] and [`BallStrategy::FreshBfs`], sequential and
 //!   parallel, plain `Match` and `Match+`.
 
+mod common;
+
+use common::{center_sequence, data_graph, pattern};
 use proptest::prelude::*;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
-use ssim_core::{locality_center_order, BallForest, BallStrategy, RefineSeed};
-use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
-use ssim_graph::{Ball, BallScratch, Graph, Label, NodeId, Pattern};
-
-/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
-/// labels drawn from a 4-symbol alphabet.
-fn data_graph() -> impl Strategy<Value = Graph> {
-    (3usize..24).prop_flat_map(|n| {
-        let labels = proptest::collection::vec(0u32..4, n);
-        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
-        (labels, edges).prop_map(|(labels, edges)| {
-            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
-                .expect("endpoints are in range by construction")
-        })
-    })
-}
-
-/// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
-fn pattern() -> impl Strategy<Value = Pattern> {
-    (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
-        random_pattern(&PatternGenConfig {
-            nodes,
-            alpha,
-            labels: 4,
-            seed,
-        })
-    })
-}
-
-/// A center sequence for a graph: one locality-ordered sweep (maximising slides) followed
-/// by random jumps (maximising rebuild/slide boundary crossings).
-fn center_sequence(graph: &Graph, jumps: &[usize]) -> Vec<NodeId> {
-    let all: Vec<NodeId> = graph.nodes().collect();
-    let mut seq = locality_center_order(graph, &all);
-    seq.extend(
-        jumps
-            .iter()
-            .map(|&j| NodeId((j % graph.node_count()) as u32)),
-    );
-    seq
-}
+use ssim_core::{BallForest, BallStrategy, RefineSeed};
+use ssim_graph::{Ball, BallScratch, Graph, NodeId};
 
 /// Asserts the forest's current ball equals the fresh-BFS oracle for `center`, members,
 /// distances and compact-ball border included.

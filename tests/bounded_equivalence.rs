@@ -1,0 +1,237 @@
+//! Differential coverage for bounded simulation ([`ssim_core::bounded`]).
+//!
+//! The engine's `bounded_simulation` evaluates the child condition with a per-query BFS
+//! that stops at the first admissible witness. The oracle here is deliberately dumber:
+//! it *enumerates* directed walks outward from each candidate, one length at a time, up
+//! to the edge's bound (or `n` steps for `Unbounded` — a shortest directed path never
+//! needs more), and re-scans every pair from scratch until nothing changes. Both
+//! compute the maximum bounded-simulation relation, so on every small graph the
+//! relations must agree pair for pair — and where every bound is `Hops(1)`, both must
+//! collapse to plain graph simulation.
+
+mod common;
+
+use proptest::prelude::*;
+use ssim_core::bounded::{bounded_simulation, Bound, BoundedPattern};
+use ssim_core::graph_simulation;
+use ssim_core::relation::MatchRelation;
+use ssim_graph::{Graph, Label, NodeId};
+
+/// Naive bounded-path-enumeration oracle: the maximum relation via while-changed
+/// rescans, with walk enumeration instead of BFS for the reachability test.
+fn oracle_bounded_simulation(pattern: &BoundedPattern, data: &Graph) -> Option<MatchRelation> {
+    let mut relation = MatchRelation::empty(pattern.node_count(), data.node_count());
+    for u in pattern.nodes() {
+        for &v in data.nodes_with_label(pattern.label(u)) {
+            relation.insert(u, v);
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(u, u_child, bound) in pattern.edges() {
+            let doomed: Vec<NodeId> = relation
+                .candidates(u)
+                .iter()
+                .map(NodeId::from_index)
+                .filter(|&v| !walk_hits_candidate(data, v, bound, &relation, u_child))
+                .collect();
+            for v in doomed {
+                relation.remove(u, v);
+                changed = true;
+            }
+        }
+    }
+    relation.is_total().then_some(relation)
+}
+
+/// Enumerates the frontier of directed walks from `v`, one step at a time, and reports
+/// whether any admissible length reaches a candidate of `target`. A shortest directed
+/// path has at most `n - 1` edges, so `n` steps saturate `Unbounded`.
+fn walk_hits_candidate(
+    data: &Graph,
+    v: NodeId,
+    bound: Bound,
+    relation: &MatchRelation,
+    target: NodeId,
+) -> bool {
+    let limit = match bound {
+        Bound::Hops(k) => k.min(data.node_count() as u32),
+        Bound::Unbounded => data.node_count() as u32,
+    };
+    let mut frontier = vec![false; data.node_count()];
+    frontier[v.index()] = true;
+    for step in 1..=limit {
+        let mut next = vec![false; data.node_count()];
+        for x in (0..data.node_count()).filter(|&x| frontier[x]) {
+            for y in data.out_neighbors(NodeId::from_index(x)) {
+                next[y.index()] = true;
+            }
+        }
+        if bound.admits(step)
+            && next
+                .iter()
+                .enumerate()
+                .any(|(y, &hit)| hit && relation.contains(target, NodeId::from_index(y)))
+        {
+            return true;
+        }
+        if next.iter().all(|&hit| !hit) {
+            return false;
+        }
+        frontier = next;
+    }
+    false
+}
+
+/// Strategy: a random bounded pattern — 2..5 nodes over a 4-symbol alphabet, each edge
+/// carrying `Hops(1..=3)` or `Unbounded`.
+fn bounded_pattern() -> impl Strategy<Value = BoundedPattern> {
+    (2usize..5).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0u32..4), 0..(2 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            BoundedPattern::new(
+                labels.into_iter().map(Label).collect(),
+                edges
+                    .into_iter()
+                    .map(|(s, t, b)| {
+                        let bound = if b == 0 {
+                            Bound::Unbounded
+                        } else {
+                            Bound::Hops(b)
+                        };
+                        (NodeId(s), NodeId(t), bound)
+                    })
+                    .collect(),
+            )
+        })
+    })
+}
+
+fn sorted_pairs(relation: &Option<MatchRelation>) -> Option<Vec<(u32, u32)>> {
+    relation.as_ref().map(MatchRelation::to_sorted_pairs)
+}
+
+proptest! {
+    /// The headline property: BFS-based engine and walk-enumeration oracle compute the
+    /// same maximum bounded-simulation relation on every small graph.
+    #[test]
+    fn engine_agrees_with_walk_enumeration_oracle(
+        data in common::data_graph(),
+        q in bounded_pattern(),
+    ) {
+        let engine = bounded_simulation(&q, &data);
+        let oracle = oracle_bounded_simulation(&q, &data);
+        prop_assert_eq!(sorted_pairs(&engine), sorted_pairs(&oracle));
+    }
+
+    /// With every bound at `Hops(1)`, bounded simulation *is* graph simulation — for
+    /// both implementations.
+    #[test]
+    fn hop_one_collapses_to_graph_simulation(
+        data in common::data_graph(),
+        q in common::pattern(),
+    ) {
+        let bounded = BoundedPattern::from_pattern(&q);
+        let plain = graph_simulation(&q, &data);
+        prop_assert_eq!(
+            sorted_pairs(&bounded_simulation(&bounded, &data)),
+            sorted_pairs(&plain)
+        );
+        prop_assert_eq!(
+            sorted_pairs(&oracle_bounded_simulation(&bounded, &data)),
+            sorted_pairs(&plain)
+        );
+    }
+
+    /// Relaxing a bound never shrinks the relation: every pair admitted under
+    /// `Hops(k)` survives under `Hops(k + 1)` and under `Unbounded`.
+    #[test]
+    fn looser_bounds_are_monotone(
+        data in common::data_graph(),
+        q in bounded_pattern(),
+    ) {
+        let relax = |q: &BoundedPattern, f: &dyn Fn(Bound) -> Bound| {
+            BoundedPattern::new(
+                q.nodes().map(|u| q.label(u)).collect(),
+                q.edges().iter().map(|&(s, t, b)| (s, t, f(b))).collect(),
+            )
+        };
+        let tight = bounded_simulation(&q, &data);
+        for looser in [
+            relax(&q, &|b| match b {
+                Bound::Hops(k) => Bound::Hops(k + 1),
+                Bound::Unbounded => Bound::Unbounded,
+            }),
+            relax(&q, &|_| Bound::Unbounded),
+        ] {
+            let wide = bounded_simulation(&looser, &data);
+            if let Some(tight) = &tight {
+                let wide = wide.as_ref();
+                prop_assert!(wide.is_some(), "loosening bounds lost the match");
+                for (u, v) in tight.to_sorted_pairs() {
+                    prop_assert!(
+                        wide.unwrap().contains(NodeId(u), NodeId(v)),
+                        "pair ({u}, {v}) lost under a looser bound"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The oracle's walk semantics and the engine's shortest-distance semantics only agree
+/// because a walk of admitted length exists iff the *distance* is admitted for interval
+/// bounds `[1, k]`; this pins the subtle case — a 2-cycle realising odd *and* even walk
+/// lengths — on both implementations.
+#[test]
+fn two_cycle_realises_every_positive_length() {
+    let data = Graph::from_edges(vec![Label(0), Label(1)], &[(0, 1), (1, 0)]).unwrap();
+    for k in 1..5 {
+        let q = BoundedPattern::new(
+            vec![Label(0), Label(1)],
+            vec![(NodeId(0), NodeId(1), Bound::Hops(k))],
+        );
+        let engine = bounded_simulation(&q, &data).expect("cycle always admits");
+        let oracle = oracle_bounded_simulation(&q, &data).expect("cycle always admits");
+        assert_eq!(
+            engine.to_sorted_pairs(),
+            oracle.to_sorted_pairs(),
+            "k = {k}"
+        );
+    }
+}
+
+/// Cascaded removals: a dead-end intermediate must drag down its only upstream
+/// candidate, identically in both implementations.
+#[test]
+fn cascade_agrees_on_dead_end_branch() {
+    let q = BoundedPattern::new(
+        vec![Label(0), Label(1), Label(2)],
+        vec![
+            (NodeId(0), NodeId(1), Bound::Hops(2)),
+            (NodeId(1), NodeId(2), Bound::Unbounded),
+        ],
+    );
+    // A0 -> x -> B2 -> ... -> C4 ; A5 -> B6 (B6 reaches no C).
+    let data = Graph::from_edges(
+        vec![
+            Label(0),
+            Label(9),
+            Label(1),
+            Label(9),
+            Label(2),
+            Label(0),
+            Label(1),
+        ],
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6)],
+    )
+    .unwrap();
+    let engine = bounded_simulation(&q, &data).expect("main branch matches");
+    let oracle = oracle_bounded_simulation(&q, &data).expect("main branch matches");
+    assert_eq!(engine.to_sorted_pairs(), oracle.to_sorted_pairs());
+    assert!(!engine.contains(NodeId(0), NodeId(5)));
+    assert!(!engine.contains(NodeId(1), NodeId(6)));
+}

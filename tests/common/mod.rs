@@ -1,0 +1,274 @@
+//! Shared generators, assertion helpers and the six-axis oracle-matrix driver for the
+//! workspace equivalence suites.
+//!
+//! Every `tests/*_equivalence.rs` suite used to carry its own copy of the edge-soup
+//! data-graph strategy, the connected-pattern strategy, the raw-word delta builder and
+//! the locality center sequence; they live here once now, parameterised where the
+//! suites' ranges differed. The matrix driver below is the sixth axis's differential
+//! harness: it decodes a *random point* of the full oracle matrix
+//! (`RefineStrategy` × `BallStrategy` × `RefineSeed` × `BallSubstrate` × `UpdatePlan` ×
+//! `RepetitionSemantics`) from raw generator words and pits the integrated repetition
+//! path against the naive per-ball oracle at that point — sequential, parallel and
+//! distributed, before and after a `GraphDelta`.
+
+// Each integration test compiles this module separately and uses its own subset.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use ssim_core::incremental::IncrementalMatcher;
+use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
+use ssim_core::{
+    locality_center_order, BallStrategy, BallSubstrate, RefineSeed, RefineStrategy, RepetitionMode,
+    RepetitionSemantics, UpdatePlan,
+};
+use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
+use ssim_distributed::{
+    distributed_strong_simulation, DistributedConfig, IncrementalDistributed, PartitionStrategy,
+};
+use ssim_graph::{Graph, GraphDelta, Label, NodeId, Pattern};
+
+/// Strategy: a random data graph with `n ∈ [3, max_nodes)` nodes, up to `3n` random
+/// edges and labels drawn from a `labels`-symbol alphabet — the edge-soup generator
+/// shared by every equivalence suite.
+pub fn data_graph_sized(max_nodes: usize, labels: u32) -> impl Strategy<Value = Graph> {
+    (3usize..max_nodes).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0u32..labels, n);
+        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
+        (labels, edges).prop_map(|(labels, edges)| {
+            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
+                .expect("endpoints are in range by construction")
+        })
+    })
+}
+
+/// The suites' default data-graph strategy: `n ∈ [3, 24)` over a 4-symbol alphabet.
+pub fn data_graph() -> impl Strategy<Value = Graph> {
+    data_graph_sized(24, 4)
+}
+
+/// Strategy: a random connected pattern with `2..max_nodes` nodes over a
+/// `labels`-symbol alphabet.
+pub fn pattern_sized(max_nodes: usize, labels: usize) -> impl Strategy<Value = Pattern> {
+    (2usize..max_nodes, any::<u64>(), 1.05f64..1.4).prop_map(move |(nodes, seed, alpha)| {
+        random_pattern(&PatternGenConfig {
+            nodes,
+            alpha,
+            labels,
+            seed,
+        })
+    })
+}
+
+/// The suites' default pattern strategy: 2–5 nodes over a 4-symbol alphabet. Small
+/// alphabet + small patterns make repeated labels frequent, which is exactly what the
+/// repetition axis needs exercised.
+pub fn pattern() -> impl Strategy<Value = Pattern> {
+    pattern_sized(6, 4)
+}
+
+/// Builds a valid random delta against `graph` from raw generator words: odd words try
+/// to delete an existing edge, even words try to insert an absent one; ops that would
+/// conflict with an earlier pick are skipped, so the result always validates.
+pub fn random_delta(graph: &Graph, picks: &[u64]) -> GraphDelta {
+    let n = graph.node_count() as u64;
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    let mut delta = GraphDelta::new();
+    let mut mentioned: Vec<(NodeId, NodeId)> = Vec::new();
+    for &pick in picks {
+        if n == 0 {
+            break;
+        }
+        if pick % 2 == 1 {
+            if edges.is_empty() {
+                continue;
+            }
+            let (s, t) = edges[((pick / 2) % edges.len() as u64) as usize];
+            if !mentioned.contains(&(s, t)) {
+                mentioned.push((s, t));
+                delta.delete_edge_labeled(s, t, graph.label(s), graph.label(t));
+            }
+        } else {
+            let v = pick / 2;
+            let (s, t) = (NodeId((v % n) as u32), NodeId(((v / n) % n) as u32));
+            if !graph.has_edge(s, t) && !mentioned.contains(&(s, t)) {
+                mentioned.push((s, t));
+                delta.insert_edge(s, t);
+            }
+        }
+    }
+    delta
+}
+
+/// A center sequence for a graph: one locality-ordered sweep (maximising slides)
+/// followed by random jumps (maximising rebuild/slide boundary crossings).
+pub fn center_sequence(graph: &Graph, jumps: &[usize]) -> Vec<NodeId> {
+    let all: Vec<NodeId> = graph.nodes().collect();
+    let mut seq = locality_center_order(graph, &all);
+    seq.extend(
+        jumps
+            .iter()
+            .map(|&j| NodeId((j % graph.node_count()) as u32)),
+    );
+    seq
+}
+
+/// Asserts two match outputs are bit-identical: identical subgraph sets and identical
+/// stats up to `chunks_stolen`, the one counter that depends on steal timing.
+pub fn assert_bit_identical(a: &MatchOutput, b: &MatchOutput, context: &str) -> Result<(), String> {
+    prop_assert!(
+        a.subgraphs.len() == b.subgraphs.len(),
+        "{context}: {} vs {} subgraphs",
+        a.subgraphs.len(),
+        b.subgraphs.len()
+    );
+    for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
+        prop_assert!(x == y, "{context}: subgraph {:?} != {:?}", x, y);
+    }
+    let mut sa = a.stats.clone();
+    let mut sb = b.stats.clone();
+    sa.chunks_stolen = 0;
+    sb.chunks_stolen = 0;
+    prop_assert!(sa == sb, "{context}: stats differ: {sa:?} vs {sb:?}");
+    Ok(())
+}
+
+/// Decodes one point of the five *shape* axes from a raw generator word: refine
+/// strategy, ball strategy, refine seed, ball substrate (with the dual filter it rides
+/// on) and thread count. The sixth axis (repetition) and the update plan are supplied
+/// by the caller — the matrix driver runs both repetition modes at the decoded point.
+pub fn matrix_config(bits: u64) -> MatchConfig {
+    let mut config = if bits & 1 == 0 {
+        MatchConfig::basic()
+    } else {
+        MatchConfig::optimized()
+    };
+    if bits & 2 != 0 {
+        config = config.with_refine_strategy(RefineStrategy::NaiveFixpoint);
+    }
+    if bits & 4 != 0 {
+        config = config.with_ball_strategy(BallStrategy::FreshBfs);
+    }
+    if bits & 8 != 0 {
+        config = config.with_refine_seed(RefineSeed::FromScratch);
+    }
+    if bits & 16 != 0 {
+        config = config.with_ball_substrate(BallSubstrate::FullGraph);
+    }
+    match (bits >> 5) & 3 {
+        0 => config.sequential(),
+        1 => config.with_thread_limit(2),
+        _ => config.with_thread_limit(4),
+    }
+}
+
+/// Decodes the repetition semantics pole from a raw generator word, biased towards the
+/// two non-`Free` poles (the axis under test; `Free` keeps a presence as the
+/// no-op/regression pole).
+pub fn matrix_semantics(bits: u64) -> RepetitionSemantics {
+    match bits % 4 {
+        0 => RepetitionSemantics::Free,
+        1 | 2 => RepetitionSemantics::Distinct,
+        _ => RepetitionSemantics::Equal,
+    }
+}
+
+/// The sixth axis's differential harness at one sampled matrix point: the integrated
+/// repetition path and the naive per-ball oracle must produce bit-identical
+/// `MatchOutput`s — one-shot and through an incremental session across `delta` — and
+/// bit-identical distributed subgraph sets. `Free` points double as a regression check
+/// (both modes must equal the axis-less output bit for bit).
+pub fn check_matrix_point(
+    q: &Pattern,
+    data: &Graph,
+    delta: &GraphDelta,
+    shape_bits: u64,
+    semantics: RepetitionSemantics,
+    sites: usize,
+) -> Result<(), String> {
+    let base = matrix_config(shape_bits).with_repetition(semantics);
+    let integrated = base.with_repetition_mode(RepetitionMode::Integrated);
+    let naive = base.with_repetition_mode(RepetitionMode::NaiveOracle);
+    let context = format!("shape bits {shape_bits:#b}, {semantics:?}, {sites} sites");
+
+    // One-shot (pre-delta).
+    let a = strong_simulation(q, data, &integrated);
+    let b = strong_simulation(q, data, &naive);
+    assert_bit_identical(&a, &b, &format!("{context}: one-shot"))?;
+
+    // Incremental session across the delta, both update plans.
+    for plan in [UpdatePlan::Incremental, UpdatePlan::Recompute] {
+        let mut ia = IncrementalMatcher::new(q, data.clone(), integrated.with_update_plan(plan));
+        let mut ib = IncrementalMatcher::new(q, data.clone(), naive.with_update_plan(plan));
+        assert_bit_identical(
+            ia.output(),
+            ib.output(),
+            &format!("{context}: {plan:?} pre-delta"),
+        )?;
+        ia.apply(delta).expect("delta validates");
+        ib.apply(delta).expect("delta validates");
+        assert_bit_identical(
+            ia.output(),
+            ib.output(),
+            &format!("{context}: {plan:?} post-delta"),
+        )?;
+    }
+
+    // Distributed runtime: identical subgraph sets and traffic (minus steal timing).
+    let dist = DistributedConfig {
+        sites,
+        strategy: if shape_bits & 64 != 0 {
+            PartitionStrategy::Hash
+        } else {
+            PartitionStrategy::Range
+        },
+        refine_seed: if shape_bits & 8 != 0 {
+            RefineSeed::FromScratch
+        } else {
+            RefineSeed::WarmStart
+        },
+        dual_filter: shape_bits & 1 != 0,
+        ball_substrate: if shape_bits & 16 != 0 {
+            BallSubstrate::FullGraph
+        } else {
+            BallSubstrate::MatchGraph
+        },
+        repetition: semantics,
+        ..DistributedConfig::default()
+    };
+    let da = distributed_strong_simulation(q, data, &dist);
+    let db = distributed_strong_simulation(
+        q,
+        data,
+        &DistributedConfig {
+            repetition_mode: RepetitionMode::NaiveOracle,
+            ..dist
+        },
+    );
+    prop_assert!(
+        da.subgraphs == db.subgraphs,
+        "{context}: distributed subgraphs differ"
+    );
+    let mut ta = da.traffic.clone();
+    let mut tb = db.traffic.clone();
+    ta.chunks_stolen = 0;
+    tb.chunks_stolen = 0;
+    prop_assert!(ta == tb, "{context}: distributed traffic differs");
+
+    // Distributed incremental session across the same delta.
+    let mut dia = IncrementalDistributed::new(q, data.clone(), dist);
+    let mut dib = IncrementalDistributed::new(
+        q,
+        data.clone(),
+        DistributedConfig {
+            repetition_mode: RepetitionMode::NaiveOracle,
+            ..dist
+        },
+    );
+    dia.apply(delta).expect("delta validates");
+    dib.apply(delta).expect("delta validates");
+    prop_assert!(
+        dia.output().subgraphs == dib.output().subgraphs,
+        "{context}: distributed post-delta subgraphs differ"
+    );
+    Ok(())
+}

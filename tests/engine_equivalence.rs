@@ -10,6 +10,9 @@
 //! `chunks_stolen` — bit-identical across thread counts on every oracle axis, and the
 //! partition helpers it is built from must cover `0..len` exactly for any `(len, threads)`.
 
+mod common;
+
+use common::{assert_bit_identical, random_delta};
 use proptest::prelude::*;
 use ssim_core::dual::dual_simulation_with;
 use ssim_core::parallel::{chunk_plan, contiguous, stripe};
@@ -18,32 +21,16 @@ use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
 use ssim_core::{
     BallStrategy, BallSubstrate, IncrementalMatcher, RefineSeed, RefineStrategy, UpdatePlan,
 };
-use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
-use ssim_graph::{Graph, GraphDelta, Label, NodeId, Pattern};
+use ssim_graph::{Graph, Pattern};
 
-/// Strategy: a random data graph with `n ∈ [3, 28]` nodes, up to `3n` random edges and
-/// labels drawn from a 4-symbol alphabet.
+/// This suite stretches the shared generators a little wider than the default ranges:
+/// `n ∈ [3, 28)` data nodes and 2–6 pattern nodes.
 fn data_graph() -> impl Strategy<Value = Graph> {
-    (3usize..28).prop_flat_map(|n| {
-        let labels = proptest::collection::vec(0u32..4, n);
-        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
-        (labels, edges).prop_map(|(labels, edges)| {
-            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
-                .expect("endpoints are in range by construction")
-        })
-    })
+    common::data_graph_sized(28, 4)
 }
 
-/// Strategy: a random connected pattern with 2–6 nodes over the same 4-symbol alphabet.
 fn pattern() -> impl Strategy<Value = Pattern> {
-    (2usize..7, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
-        random_pattern(&PatternGenConfig {
-            nodes,
-            alpha,
-            labels: 4,
-            seed,
-        })
-    })
+    common::pattern_sized(7, 4)
 }
 
 /// Asserts two match outputs carry identical subgraph sets (centers, nodes, edges and
@@ -145,30 +132,6 @@ proptest! {
     }
 }
 
-/// Asserts two match outputs are bit-identical: identical subgraph sets and identical
-/// stats up to `chunks_stolen`, the one counter that depends on steal timing.
-fn assert_bit_identical(a: &MatchOutput, b: &MatchOutput, context: &str) -> Result<(), String> {
-    prop_assert_eq!(a.subgraphs.len(), b.subgraphs.len());
-    for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
-        prop_assert!(
-            x.center == y.center,
-            "{context}: centers {} vs {}",
-            x.center,
-            y.center
-        );
-        prop_assert_eq!(&x.nodes, &y.nodes);
-        prop_assert_eq!(&x.edges, &y.edges);
-        prop_assert_eq!(&x.relation, &y.relation);
-        prop_assert!(x.radius == y.radius, "{context}: radii differ");
-    }
-    let mut sa = a.stats.clone();
-    let mut sb = b.stats.clone();
-    sa.chunks_stolen = 0;
-    sb.chunks_stolen = 0;
-    prop_assert!(sa == sb, "{context}: stats differ: {sa:?} vs {sb:?}");
-    Ok(())
-}
-
 /// One configuration per oracle axis (both poles where they differ from the bases):
 /// `RefineStrategy`, `BallStrategy`, `RefineSeed` and `BallSubstrate` on top of the
 /// plain and fully optimised bases. The fifth axis (`UpdatePlan`) only acts through the
@@ -252,37 +215,4 @@ proptest! {
             }
         }
     }
-}
-
-/// Builds a valid random delta against `graph` from raw generator words, mirroring the
-/// incremental suite's helper: odd words delete an existing edge, even words insert an
-/// absent one; conflicting picks are skipped so the delta always validates.
-fn random_delta(graph: &Graph, picks: &[u64]) -> GraphDelta {
-    let n = graph.node_count() as u64;
-    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
-    let mut delta = GraphDelta::new();
-    let mut mentioned: Vec<(NodeId, NodeId)> = Vec::new();
-    for &pick in picks {
-        if n == 0 {
-            break;
-        }
-        if pick % 2 == 1 {
-            if edges.is_empty() {
-                continue;
-            }
-            let (s, t) = edges[((pick / 2) % edges.len() as u64) as usize];
-            if !mentioned.contains(&(s, t)) {
-                mentioned.push((s, t));
-                delta.delete_edge_labeled(s, t, graph.label(s), graph.label(t));
-            }
-        } else {
-            let v = pick / 2;
-            let (s, t) = (NodeId((v % n) as u32), NodeId(((v / n) % n) as u32));
-            if !graph.has_edge(s, t) && !mentioned.contains(&(s, t)) {
-                mentioned.push((s, t));
-                delta.insert_edge(s, t);
-            }
-        }
-    }
-    delta
 }

@@ -36,40 +36,17 @@
 //! everywhere, which the deterministic tests pin; a boundary regression documents the
 //! minimal violating shape so future sessions don't mistake the semantics for a bug.
 
+mod common;
+
+use common::{data_graph, pattern};
 use proptest::prelude::*;
 use ssim_core::dual::dual_simulation;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
 use ssim_core::{BallStrategy, BallSubstrate, RefineSeed, RefineStrategy};
-use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
 use ssim_distributed::{distributed_strong_simulation, DistributedConfig, PartitionStrategy};
 use ssim_graph::{
     Ball, BallScratch, BitSet, CompactBall, ExtractedSubgraph, Graph, Label, NodeId, Pattern,
 };
-
-/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
-/// labels drawn from a 4-symbol alphabet.
-fn data_graph() -> impl Strategy<Value = Graph> {
-    (3usize..24).prop_flat_map(|n| {
-        let labels = proptest::collection::vec(0u32..4, n);
-        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
-        (labels, edges).prop_map(|(labels, edges)| {
-            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
-                .expect("endpoints are in range by construction")
-        })
-    })
-}
-
-/// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
-fn pattern() -> impl Strategy<Value = Pattern> {
-    (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
-        random_pattern(&PatternGenConfig {
-            nodes,
-            alpha,
-            labels: 4,
-            seed,
-        })
-    })
-}
 
 /// Returns `true` when every node of `subgraph` lies within `Gm`-distance `radius` of
 /// its center — the provable bit-identity criterion (see the module docs).

@@ -24,74 +24,18 @@
 //! `ExtractedSubgraph` boundary shapes (empty, all-matched, single-node, emptied-by-
 //! delta `Gm`) behave.
 
+mod common;
+
+use common::{data_graph, pattern, random_delta};
 use proptest::prelude::*;
 use ssim_core::ball::{BallStrategy, BallSubstrate};
 use ssim_core::incremental::{global_fixpoint, update_global_fixpoint, IncrementalMatcher};
 use ssim_core::simulation::{RefineSeed, RefineStrategy};
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
 use ssim_core::UpdatePlan;
-use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
 use ssim_distributed::{DistributedConfig, IncrementalDistributed, PartitionStrategy};
 use ssim_experiments::workloads::{experiment_pattern, DatasetKind};
 use ssim_graph::{Graph, GraphDelta, Label, NodeId, Pattern};
-
-/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
-/// labels drawn from a 4-symbol alphabet (the edge-soup generator of the other suites).
-fn data_graph() -> impl Strategy<Value = Graph> {
-    (3usize..24).prop_flat_map(|n| {
-        let labels = proptest::collection::vec(0u32..4, n);
-        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
-        (labels, edges).prop_map(|(labels, edges)| {
-            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
-                .expect("endpoints are in range by construction")
-        })
-    })
-}
-
-/// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
-fn pattern() -> impl Strategy<Value = Pattern> {
-    (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
-        random_pattern(&PatternGenConfig {
-            nodes,
-            alpha,
-            labels: 4,
-            seed,
-        })
-    })
-}
-
-/// Builds a valid random delta against `graph` from raw generator words: odd words try
-/// to delete an existing edge, even words try to insert an absent one; ops that would
-/// conflict with an earlier pick are skipped, so the result always validates.
-fn random_delta(graph: &Graph, picks: &[u64]) -> GraphDelta {
-    let n = graph.node_count() as u64;
-    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
-    let mut delta = GraphDelta::new();
-    let mut mentioned: Vec<(NodeId, NodeId)> = Vec::new();
-    for &pick in picks {
-        if n == 0 {
-            break;
-        }
-        if pick % 2 == 1 {
-            if edges.is_empty() {
-                continue;
-            }
-            let (s, t) = edges[((pick / 2) % edges.len() as u64) as usize];
-            if !mentioned.contains(&(s, t)) {
-                mentioned.push((s, t));
-                delta.delete_edge_labeled(s, t, graph.label(s), graph.label(t));
-            }
-        } else {
-            let v = pick / 2;
-            let (s, t) = (NodeId((v % n) as u32), NodeId(((v / n) % n) as u32));
-            if !graph.has_edge(s, t) && !mentioned.contains(&(s, t)) {
-                mentioned.push((s, t));
-                delta.insert_edge(s, t);
-            }
-        }
-    }
-    delta
-}
 
 /// Asserts two match outputs agree on every subgraph bit. Work stats are excluded by
 /// design: the incremental plan processes only dirty balls, so the ball counters differ

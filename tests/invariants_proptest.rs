@@ -5,6 +5,9 @@
 //! the formal results of Section 3 plus the correctness statements behind the Section 4.2
 //! optimisations.
 
+mod common;
+
+use common::{data_graph, pattern};
 use proptest::prelude::*;
 use ssim_core::dual::{dual_simulation, is_valid_dual_simulation};
 use ssim_core::match_graph::MatchGraph;
@@ -13,34 +16,9 @@ use ssim_core::simulation::{graph_simulation, is_valid_simulation};
 use ssim_core::strong::{strong_simulation, MatchConfig};
 use ssim_core::topology::undirected_cycle_guarantee_applies;
 use ssim_core::topology::TopologyReport;
-use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
+use ssim_core::RepetitionSemantics;
 use ssim_experiments::workloads::{experiment_pattern, DatasetKind};
 use ssim_graph::{metrics, Graph, GraphView, Label, NodeId, Pattern};
-
-/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
-/// labels drawn from a 4-symbol alphabet.
-fn data_graph() -> impl Strategy<Value = Graph> {
-    (3usize..24).prop_flat_map(|n| {
-        let labels = proptest::collection::vec(0u32..4, n);
-        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
-        (labels, edges).prop_map(|(labels, edges)| {
-            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
-                .expect("endpoints are in range by construction")
-        })
-    })
-}
-
-/// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
-fn pattern() -> impl Strategy<Value = Pattern> {
-    (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
-        random_pattern(&PatternGenConfig {
-            nodes,
-            alpha,
-            labels: 4,
-            seed,
-        })
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -169,7 +147,7 @@ proptest! {
     /// is exactly the fold case pinned by `case_301_repeated_label_cycle_folds`.
     #[test]
     fn guaranteed_cycles_always_appear_in_subgraphs(data in data_graph(), q in pattern()) {
-        if undirected_cycle_guarantee_applies(&q) {
+        if undirected_cycle_guarantee_applies(&q, RepetitionSemantics::Free) {
             let output = strong_simulation(&q, &data, &MatchConfig::basic());
             for s in &output.subgraphs {
                 let (sub, _) = data.subgraph_with_edges(&s.nodes, &s.edges);
@@ -178,6 +156,29 @@ proptest! {
                     "guaranteed cycle missing from subgraph centred at {}",
                     s.center
                 );
+            }
+        }
+    }
+
+    /// The positive counterpart closed by the sixth oracle axis: under
+    /// `RepetitionSemantics::Distinct` the undirected-cycle guarantee extends to *every*
+    /// cyclic pattern — repeated labels included — because the repetition closure only
+    /// keeps pairs with a class-injective homomorphism witness. Runs where the closure
+    /// bailed on its budget fall back to `Free` per contract and are excluded.
+    #[test]
+    fn distinct_semantics_pins_repeated_label_cycles(data in data_graph(), q in pattern()) {
+        if undirected_cycle_guarantee_applies(&q, RepetitionSemantics::Distinct) {
+            let config = MatchConfig::basic().with_repetition(RepetitionSemantics::Distinct);
+            let output = strong_simulation(&q, &data, &config);
+            if output.stats.repetition_bailed_balls == 0 {
+                for s in &output.subgraphs {
+                    let (sub, _) = data.subgraph_with_edges(&s.nodes, &s.edges);
+                    prop_assert!(
+                        ssim_graph::cycles::has_undirected_cycle(&sub),
+                        "Distinct-guaranteed cycle missing from subgraph centred at {}",
+                        s.center
+                    );
+                }
             }
         }
     }
@@ -262,7 +263,10 @@ fn case_301_repeated_label_cycle_folds() {
     // pattern has no directed cycle: Theorem 3's guarantee does not apply.
     assert!(ssim_graph::cycles::has_undirected_cycle(q.graph()));
     assert!(!ssim_graph::cycles::has_directed_cycle(q.graph()));
-    assert!(!undirected_cycle_guarantee_applies(&q));
+    assert!(!undirected_cycle_guarantee_applies(
+        &q,
+        RepetitionSemantics::Free
+    ));
     // The fold is real: the engine finds subgraphs whose relation maps both u0 and u4
     // to data node 3, and the subgraphs are trees (star around node 3, no cycle).
     let output = strong_simulation(&q, &data, &MatchConfig::basic());
@@ -279,5 +283,110 @@ fn case_301_repeated_label_cycle_folds() {
     // The tightened criterion accepts the fold: every Table 2 column holds.
     let report = TopologyReport::evaluate(&q, &data, &output);
     assert!(report.undirected_cycles, "fold must not trip the criterion");
+    assert!(report.all_preserved(), "{report:?}");
+}
+
+/// The case-301 boundary, closed: on data holding both a *foldable* star realisation of
+/// the repeated-label cycle and a *genuine* (node-distinct) one, `Free` still folds —
+/// the star component matches with a cycle-free subgraph — while
+/// `RepetitionSemantics::Distinct` discards the fold and keeps exactly the matches that
+/// realise the cycle with distinct data nodes, reinstating the Theorem 3 guarantee the
+/// `Free` semantics provably loses.
+#[test]
+fn case_301_repeated_label_cycle_preserved_under_distinct() {
+    // The case-301 pattern shape: one undirected cycle u0-u1-u4-u2 with l(u0) = l(u4),
+    // no directed cycle.
+    let q = Pattern::from_edges(
+        vec![Label(0), Label(1), Label(3), Label(2), Label(0)],
+        &[(0, 1), (0, 3), (2, 0), (2, 4), (4, 1)],
+    )
+    .unwrap();
+    assert!(undirected_cycle_guarantee_applies(
+        &q,
+        RepetitionSemantics::Distinct
+    ));
+    // Component A (nodes 0-3): the minimal fold — both label-0 pattern nodes land on
+    // data node 0, so the matched star has no cycle. Component B (nodes 4-8): a
+    // node-distinct copy of the pattern itself, whose cycle survives injectively.
+    let data = Graph::from_edges(
+        vec![
+            Label(0), // 0: the fold target (u0 and u4 both map here under Free)
+            Label(1), // 1
+            Label(3), // 2
+            Label(2), // 3
+            Label(0), // 4: genuine u0
+            Label(1), // 5: genuine u1
+            Label(3), // 6: genuine u2
+            Label(2), // 7: genuine u3
+            Label(0), // 8: genuine u4
+        ],
+        &[
+            // fold component: x2 -> x0 -> {x1, x3}
+            (2, 0),
+            (0, 1),
+            (0, 3),
+            // genuine component: the pattern's own edge set shifted by 4
+            (4, 5),
+            (4, 7),
+            (6, 4),
+            (6, 8),
+            (8, 5),
+        ],
+    )
+    .unwrap();
+
+    // Under Free both components match, and the fold component's subgraph is cycle-free
+    // — the boundary as documented since PR 5.
+    let free = strong_simulation(&q, &data, &MatchConfig::basic());
+    assert!(free.is_match());
+    let folded: Vec<_> = free
+        .subgraphs
+        .iter()
+        .filter(|s| s.nodes.contains(&NodeId(0)))
+        .collect();
+    assert!(
+        !folded.is_empty(),
+        "the fold component must match under Free"
+    );
+    for s in &folded {
+        assert!(s.relation.contains(&(NodeId(0), NodeId(0))));
+        assert!(s.relation.contains(&(NodeId(4), NodeId(0))));
+        let (sub, _) = data.subgraph_with_edges(&s.nodes, &s.edges);
+        assert!(!ssim_graph::cycles::has_undirected_cycle(&sub));
+    }
+
+    // Under Distinct the fold is rejected — no subgraph touches the star component —
+    // and every surviving match realises the cycle with distinct data nodes.
+    let distinct = strong_simulation(
+        &q,
+        &data,
+        &MatchConfig::basic().with_repetition(RepetitionSemantics::Distinct),
+    );
+    assert_eq!(distinct.stats.repetition_bailed_balls, 0);
+    assert!(distinct.is_match(), "the genuine cycle must still match");
+    for s in &distinct.subgraphs {
+        assert!(
+            !s.nodes.contains(&NodeId(0)),
+            "Distinct must discard the folded star"
+        );
+        // u0 and u4 are realised by distinct data nodes in every surviving relation.
+        let u0: Vec<_> = s.relation.iter().filter(|(u, _)| *u == NodeId(0)).collect();
+        let u4: Vec<_> = s.relation.iter().filter(|(u, _)| *u == NodeId(4)).collect();
+        assert!(!u0.is_empty() && !u4.is_empty());
+        for (_, v0) in &u0 {
+            for (_, v4) in &u4 {
+                assert_ne!(v0, v4, "equal-label class folded under Distinct");
+            }
+        }
+        let (sub, _) = data.subgraph_with_edges(&s.nodes, &s.edges);
+        assert!(
+            ssim_graph::cycles::has_undirected_cycle(&sub),
+            "Distinct subgraph centred at {} lost the cycle",
+            s.center
+        );
+    }
+    // The semantics-aware Table 2 report accepts the Distinct output in full.
+    let report =
+        TopologyReport::evaluate_under(&q, &data, &distinct, RepetitionSemantics::Distinct);
     assert!(report.all_preserved(), "{report:?}");
 }

@@ -29,6 +29,9 @@
 //! label-pin validation must reject mismatches against the *merged* state while leaving
 //! the overlay (and its epoch) untouched.
 
+mod common;
+
+use common::{data_graph, random_delta};
 use proptest::prelude::*;
 use ssim_core::incremental::IncrementalMatcher;
 use ssim_core::strong::{strong_simulation, MatchConfig};
@@ -38,53 +41,6 @@ use ssim_experiments::workloads::{experiment_pattern, DatasetKind};
 use ssim_graph::{
     CompactionPolicy, Graph, GraphDelta, GraphError, Label, NodeId, OverlayGraph, VersionedGraph,
 };
-
-/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
-/// labels drawn from a 4-symbol alphabet (the edge-soup generator of the other suites).
-fn data_graph() -> impl Strategy<Value = Graph> {
-    (3usize..24).prop_flat_map(|n| {
-        let labels = proptest::collection::vec(0u32..4, n);
-        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
-        (labels, edges).prop_map(|(labels, edges)| {
-            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
-                .expect("endpoints are in range by construction")
-        })
-    })
-}
-
-/// Builds a valid random delta against the merged `graph` view from raw generator
-/// words: odd words try to delete an existing edge, even words try to insert an absent
-/// one; ops that would conflict with an earlier pick are skipped, so the result always
-/// validates.
-fn random_delta(graph: &Graph, picks: &[u64]) -> GraphDelta {
-    let n = graph.node_count() as u64;
-    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
-    let mut delta = GraphDelta::new();
-    let mut mentioned: Vec<(NodeId, NodeId)> = Vec::new();
-    for &pick in picks {
-        if n == 0 {
-            break;
-        }
-        if pick % 2 == 1 {
-            if edges.is_empty() {
-                continue;
-            }
-            let (s, t) = edges[((pick / 2) % edges.len() as u64) as usize];
-            if !mentioned.contains(&(s, t)) {
-                mentioned.push((s, t));
-                delta.delete_edge_labeled(s, t, graph.label(s), graph.label(t));
-            }
-        } else {
-            let v = pick / 2;
-            let (s, t) = (NodeId((v % n) as u32), NodeId(((v / n) % n) as u32));
-            if !graph.has_edge(s, t) && !mentioned.contains(&(s, t)) {
-                mentioned.push((s, t));
-                delta.insert_edge(s, t);
-            }
-        }
-    }
-    delta
-}
 
 /// Asserts the overlay's merged view is bit-identical to `flat` through every accessor
 /// the engine uses: counts, labels, sorted adjacency both ways, degrees, `has_edge`,

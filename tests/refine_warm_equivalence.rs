@@ -18,52 +18,18 @@
 //! against differently sized starts) is excluded from the comparison by design; the
 //! three-axis oracle matrix is documented in the README.
 
+mod common;
+
+use common::{center_sequence, data_graph, pattern};
 use proptest::prelude::*;
 use ssim_core::dual::{dual_simulation, refine_dual_with};
 use ssim_core::simulation::initial_candidates;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
-use ssim_core::{locality_center_order, BallForest, RefineSeed, RefineStrategy, WarmMatcher};
-use ssim_datasets::patterns::{random_pattern, PatternGenConfig};
+use ssim_core::{
+    BallForest, RefineSeed, RefineStrategy, RepetitionMode, RepetitionSemantics, WarmMatcher,
+};
 use ssim_distributed::{distributed_strong_simulation, DistributedConfig, PartitionStrategy};
-use ssim_graph::{BallScratch, Graph, Label, NodeId, Pattern};
-
-/// Strategy: a random data graph with `n ∈ [3, 24]` nodes, up to `3n` random edges and
-/// labels drawn from a 4-symbol alphabet.
-fn data_graph() -> impl Strategy<Value = Graph> {
-    (3usize..24).prop_flat_map(|n| {
-        let labels = proptest::collection::vec(0u32..4, n);
-        let edges = proptest::collection::vec((0u32..n as u32, 0u32..n as u32), 0..(3 * n));
-        (labels, edges).prop_map(|(labels, edges)| {
-            Graph::from_edges(labels.into_iter().map(Label).collect(), &edges)
-                .expect("endpoints are in range by construction")
-        })
-    })
-}
-
-/// Strategy: a random connected pattern with 2–5 nodes over the same 4-symbol alphabet.
-fn pattern() -> impl Strategy<Value = Pattern> {
-    (2usize..6, any::<u64>(), 1.05f64..1.4).prop_map(|(nodes, seed, alpha)| {
-        random_pattern(&PatternGenConfig {
-            nodes,
-            alpha,
-            labels: 4,
-            seed,
-        })
-    })
-}
-
-/// A center sequence: one locality sweep (maximising slides and warm chains) followed by
-/// random jumps (maximising rebuilds, membership diffs and degenerate-delta bailouts).
-fn center_sequence(graph: &Graph, jumps: &[usize]) -> Vec<NodeId> {
-    let all: Vec<NodeId> = graph.nodes().collect();
-    let mut seq = locality_center_order(graph, &all);
-    seq.extend(
-        jumps
-            .iter()
-            .map(|&j| NodeId((j % graph.node_count()) as u32)),
-    );
-    seq
-}
+use ssim_graph::{BallScratch, Graph, Label, Pattern};
 
 /// Asserts two match outputs agree on every subgraph bit and every seed-independent
 /// stat. The ball strategy is identical on both sides, so the built/reused split must
@@ -136,6 +102,8 @@ proptest! {
                     global_base,
                     false,
                     RefineStrategy::Worklist,
+                    RepetitionSemantics::Free,
+                    RepetitionMode::Integrated,
                 );
                 if !warm.carry_is_fresh() {
                     // Inside a bail back-off window the matcher legitimately leaves the
