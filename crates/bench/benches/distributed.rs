@@ -37,7 +37,12 @@ fn bench_distributed(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("distributed_{name}"), format!("sites={sites}")),
                 &config,
-                |b, config| b.iter(|| distributed_strong_simulation(&pattern, &data, config)),
+                |b, config| {
+                    b.iter(|| {
+                        distributed_strong_simulation(&pattern, &data, config)
+                            .expect("valid distributed config")
+                    })
+                },
             );
         }
     }

@@ -38,7 +38,10 @@
 //! (O(patches), amortised over any compactions) against the flat `Graph::apply_delta`
 //! full-rebuild baseline. Two batched rows (`update-*-batched`, 5 % churn in
 //! three-delta batches through `apply_batch`) measure the overlay's net-delta folding:
-//! one maintenance pass per batch instead of one per delta.
+//! one maintenance pass per batch instead of one per delta. Each overlap row also
+//! carries a `fault_overhead` blob pricing the distributed supervision loop when idle:
+//! the recovery-enabled runtime with nothing scripted against the fast fan-out, which
+//! CI's bench-smoke gates at ≤ 5 % overhead.
 //!
 //! For each configuration the JSON records mean seconds per run, processed balls per
 //! second and data nodes per second, plus the speedup of the fast engine over the seed
@@ -50,6 +53,7 @@ use ssim_core::incremental::{IncrementalMatcher, UpdatePlan};
 use ssim_core::repetition::{RepetitionMode, RepetitionSemantics};
 use ssim_core::simulation::RefineSeed;
 use ssim_core::strong::{strong_simulation, MatchConfig, MatchOutput};
+use ssim_distributed::{distributed_strong_simulation, DistributedConfig, RecoveryPolicy};
 use ssim_experiments::workloads::DatasetKind;
 use ssim_graph::GraphDelta;
 use std::time::Instant;
@@ -735,6 +739,51 @@ fn main() {
             fraction * 100.0,
             warm_frac * 100.0
         );
+        // Fault-tolerance pricing: the supervised distributed runtime (recovery
+        // configured, nothing scripted) against the fast fan-out (recovery disabled)
+        // on the same row. Supervision must be close to free when no faults fire;
+        // bench-smoke gates `overhead` at 1.05.
+        let fast_dist = DistributedConfig {
+            sites: 4,
+            minimize_query: false,
+            ..DistributedConfig::default()
+        };
+        let supervised_dist = DistributedConfig {
+            recovery: Some(RecoveryPolicy::default()),
+            ..fast_dist
+        };
+        let warm_fast = distributed_strong_simulation(&pattern, &data, &fast_dist)
+            .expect("valid distributed config");
+        let warm_supervised = distributed_strong_simulation(&pattern, &data, &supervised_dist)
+            .expect("valid distributed config");
+        assert_eq!(
+            warm_fast.subgraphs, warm_supervised.subgraphs,
+            "idle supervision changed the distributed output"
+        );
+        let mut fast_dist_times = Vec::with_capacity(runs);
+        let mut supervised_dist_times = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let t = Instant::now();
+            let out = distributed_strong_simulation(&pattern, &data, &fast_dist)
+                .expect("valid distributed config");
+            fast_dist_times.push(t.elapsed().as_secs_f64());
+            assert_eq!(out.subgraphs.len(), warm_fast.subgraphs.len());
+            let t = Instant::now();
+            let out = distributed_strong_simulation(&pattern, &data, &supervised_dist)
+                .expect("valid distributed config");
+            supervised_dist_times.push(t.elapsed().as_secs_f64());
+            assert_eq!(out.subgraphs.len(), warm_fast.subgraphs.len());
+        }
+        fast_dist_times.sort_by(f64::total_cmp);
+        supervised_dist_times.sort_by(f64::total_cmp);
+        let fast_dist_secs = fast_dist_times[fast_dist_times.len() / 2];
+        let supervised_dist_secs = supervised_dist_times[supervised_dist_times.len() / 2];
+        let fault_overhead = supervised_dist_secs / fast_dist_secs;
+        eprintln!(
+            "{name} fault tolerance: fast fan-out {:.3} ms, idle supervision {:.3} ms ({fault_overhead:.3}x)",
+            fast_dist_secs * 1e3,
+            supervised_dist_secs * 1e3
+        );
         dataset_blobs.push(format!(
             concat!(
                 "    {{\"dataset\": \"{}\", \"nodes\": {}, \"edges\": {}, ",
@@ -743,6 +792,8 @@ fn main() {
                 "\"speedup_vs_fresh\": {:.3}}},\n",
                 "     \"refine_warm\": {{\"warm_fraction\": {:.4}, ",
                 "\"speedup_vs_scratch\": {:.3}, \"seeded_ratio\": {:.4}}},\n",
+                "     \"fault_overhead\": {{\"fast_secs\": {:.6}, ",
+                "\"supervised_secs\": {:.6}, \"overhead\": {:.4}}},\n",
                 "     \"scaling\": {{\"measured_cores\": {}, \"speedup_2t\": {:.3}, ",
                 "\"speedup_4t\": {:.3}, \"speedup_8t\": {:.3},\n",
                 "      \"points\": [{}]}},\n",
@@ -766,6 +817,9 @@ fn main() {
             warm_frac,
             warm_speedup,
             warm_seeded,
+            fast_dist_secs,
+            supervised_dist_secs,
+            fault_overhead,
             measured_cores,
             speedup_2t,
             speedup_4t,

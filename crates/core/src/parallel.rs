@@ -20,8 +20,19 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::thread;
+
+/// Locks a scheduler deque, recovering from poisoning. A worker panicking while holding
+/// a deque guard poisons the `Mutex`, but the protected state is a plain `VecDeque` —
+/// every push/pop leaves it valid, so the poison flag carries no information here. Other
+/// workers (and the supervised recovery path, which outlives contained panics) keep
+/// scheduling instead of cascading the panic pool-wide.
+fn lock_deque<T>(queue: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Number of worker threads the machine supports. The `SSIM_THREADS` environment
 /// variable overrides the probe (CI uses it to force a multi-thread pool on any runner);
@@ -175,14 +186,15 @@ impl<T> StealScheduler<T> {
     /// Appends an item to `worker`'s own deque (used for chunk re-splits); it runs after
     /// the worker's current items unless stolen first.
     pub fn push(&self, worker: usize, item: T) {
-        self.queues[worker].lock().unwrap().push_back(item);
+        lock_deque(&self.queues[worker]).push_back(item);
     }
 
     /// The next item for `worker`: its own deque's front, else one stolen from the back
     /// of the longest other deque. Returns the item and whether it was stolen; `None`
-    /// once every deque is empty.
+    /// once every deque is empty. Poisoned deques (a worker died mid-lock) are recovered,
+    /// not propagated — see [`lock_deque`].
     pub fn next(&self, worker: usize) -> Option<(T, bool)> {
-        if let Some(item) = self.queues[worker].lock().unwrap().pop_front() {
+        if let Some(item) = lock_deque(&self.queues[worker]).pop_front() {
             return Some((item, false));
         }
         loop {
@@ -191,14 +203,14 @@ impl<T> StealScheduler<T> {
                 if v == worker {
                     continue;
                 }
-                let len = queue.lock().unwrap().len();
+                let len = lock_deque(queue).len();
                 if len > 0 && victim.is_none_or(|(_, best)| len > best) {
                     victim = Some((v, len));
                 }
             }
             let (v, _) = victim?;
             // The victim may have drained between the scan and the steal; rescan.
-            if let Some(item) = self.queues[v].lock().unwrap().pop_back() {
+            if let Some(item) = lock_deque(&self.queues[v]).pop_back() {
                 return Some((item, true));
             }
         }
@@ -342,6 +354,31 @@ mod tests {
         }
         // Own deque in push order first, then the lone drain-everything steal.
         assert_eq!(seen, vec![(10, false), (30, false), (20, true)]);
+    }
+
+    #[test]
+    fn scheduler_survives_a_poisoned_deque() {
+        // A worker panicking while holding a deque guard poisons the Mutex; the
+        // scheduler must recover the guard (the VecDeque is always valid) so the
+        // surviving workers — and the fault-recovery supervision loop — keep draining.
+        let scheduler = StealScheduler::new(2, vec![1, 2, 3, 4]);
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = scheduler.queues[0].lock().unwrap();
+            panic!("die while holding the deque");
+        }));
+        assert!(poison.is_err());
+        assert!(scheduler.queues[0].is_poisoned());
+        // Owner pops, pushes and steals all still work on the poisoned deque.
+        assert_eq!(scheduler.next(0), Some((1, false)));
+        scheduler.push(0, 5);
+        let mut drained = Vec::new();
+        for worker in [1, 1, 1, 0] {
+            drained.push(scheduler.next(worker).expect("items remain").0);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, vec![2, 3, 4, 5]);
+        assert_eq!(scheduler.next(0), None);
+        assert_eq!(scheduler.next(1), None);
     }
 
     #[test]

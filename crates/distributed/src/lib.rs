@@ -15,15 +15,26 @@
 //! channels ([`runtime`]); the algorithm and its traffic accounting are exactly what a real
 //! deployment would execute, which is all the paper's data-locality claim needs (see the
 //! substitution table in DESIGN.md).
+//!
+//! The runtime is fault-tolerant: the [`fault`] module scripts deterministic site
+//! crashes, chunk panics, dropped results and slow-site delays, and a
+//! [`fault::RecoveryPolicy`] on the configuration routes the fan-out through a
+//! supervising coordinator that retries, reassigns and — when a chunk is lost past the
+//! budget — degrades the output with exact coverage accounting instead of panicking.
+//! Coordinator-path failures are typed ([`DistError`]) rather than panics.
 
+pub mod error;
+pub mod fault;
 pub mod incremental;
 pub mod partition;
 pub mod runtime;
 
+pub use error::DistError;
+pub use fault::{FaultAction, FaultPlan, RecoveryPolicy, RecoveryStats};
 pub use incremental::IncrementalDistributed;
 pub use partition::{GraphPartition, PartitionStrategy};
 pub use runtime::{
-    distributed_strong_simulation, distributed_with_prepared, distributed_with_prepared_cached,
-    distributed_with_prepared_counted, CoordinatorCache, DistributedConfig, DistributedOutput,
-    TrafficStats,
+    distributed_strong_simulation, distributed_with_faults, distributed_with_prepared,
+    distributed_with_prepared_cached, distributed_with_prepared_counted, CoordinatorCache,
+    DistributedConfig, DistributedOutput, TrafficStats,
 };

@@ -5,6 +5,7 @@
 //! strategies are provided so the experiments can show how fragmentation quality affects the
 //! shipped-data bound.
 
+use crate::error::DistError;
 use ssim_graph::{Graph, NodeId};
 
 /// Strategy used to assign nodes to fragments.
@@ -50,6 +51,24 @@ impl GraphPartition {
             }
         };
         GraphPartition { site_of, sites }
+    }
+
+    /// [`GraphPartition::from_node_count`] with the degenerate shapes rejected as typed
+    /// errors instead of a panic (`sites == 0`) or a silent mostly-empty partition
+    /// (`sites > n`). The runtime validates configurations through this; the panicking
+    /// constructor remains for low-level callers that have already checked.
+    pub fn try_from_node_count(
+        n: usize,
+        sites: usize,
+        strategy: PartitionStrategy,
+    ) -> Result<Self, DistError> {
+        if sites == 0 {
+            return Err(DistError::NoSites);
+        }
+        if sites > n {
+            return Err(DistError::MoreSitesThanNodes { sites, nodes: n });
+        }
+        Ok(Self::from_node_count(n, sites, strategy))
     }
 
     /// Number of sites.
@@ -175,5 +194,21 @@ mod tests {
     fn zero_sites_panics() {
         let g = chain(3);
         let _ = GraphPartition::new(&g, 0, PartitionStrategy::Hash);
+    }
+
+    #[test]
+    fn try_constructor_rejects_degenerate_shapes() {
+        assert_eq!(
+            GraphPartition::try_from_node_count(3, 0, PartitionStrategy::Hash).unwrap_err(),
+            DistError::NoSites
+        );
+        assert_eq!(
+            GraphPartition::try_from_node_count(3, 8, PartitionStrategy::Range).unwrap_err(),
+            DistError::MoreSitesThanNodes { sites: 8, nodes: 3 }
+        );
+        let p = GraphPartition::try_from_node_count(10, 3, PartitionStrategy::Range)
+            .expect("valid shape");
+        assert_eq!(p.sites(), 3);
+        assert_eq!(p.fragment_sizes().iter().sum::<usize>(), 10);
     }
 }

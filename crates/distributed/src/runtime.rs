@@ -19,7 +19,29 @@
 //! charged to exactly one site, either as built or as reused, never both. Chunks are
 //! never re-split here: site chunk lists are already fragment-sized, and the per-site
 //! attribution of `balls_per_site` is simplest when chunk boundaries are fixed.
+//!
+//! # Fault tolerance
+//!
+//! With [`DistributedConfig::recovery`] set, the fan-out runs under a coordinator
+//! **supervision loop** instead of the zero-overhead fast path. The loop advances in
+//! rounds: every round executes the still-pending chunks (each attempt wrapped in its
+//! own `catch_unwind`), then processes the outcomes deterministically in chunk-id order.
+//! A failed attempt — a contained panic, a dropped result message, a scripted delay at
+//! or past the policy timeout — is retried with exponential virtual-tick backoff until
+//! [`RecoveryPolicy::chunk_retries`] is exhausted; a site scripted to crash has its
+//! unfinished chunks reassigned to surviving sites before the round executes (crashes
+//! never consume retries). Because per-chunk `reset_chain` makes every chunk's rows and
+//! counters a pure function of chunk content, replayed and reassigned chunks are
+//! bit-safe: a recoverable run's output is bit-identical to the fault-free run, with the
+//! recovery trace confined to [`TrafficStats::recovery`]. Chunks lost past the budget
+//! degrade the output instead of failing it (under
+//! [`RecoveryPolicy::allow_degraded`]): their centers are reported in
+//! [`DistributedOutput::lost_centers`] and the coverage arithmetic
+//! `covered_balls + lost_balls == |V|` stays exact — the distributed mirror of the
+//! repetition budget/bail contract.
 
+use crate::error::DistError;
+use crate::fault::{FaultAction, FaultPlan, RecoveryPolicy, RecoveryStats};
 use crate::partition::{GraphPartition, PartitionStrategy};
 use ssim_core::ball::{locality_center_order, BallForest, BallSubstrate};
 use ssim_core::dual::dual_simulation_with;
@@ -74,6 +96,12 @@ pub struct DistributedConfig {
     /// Which implementation enforces a non-`Free` repetition semantics at the sites
     /// (the integrated closure or the naive per-pair oracle).
     pub repetition_mode: RepetitionMode,
+    /// `None` (the default) runs the zero-overhead fast path, where a worker panic
+    /// propagates and aborts the run as before. `Some(policy)` routes the fan-out
+    /// through the coordinator supervision loop: chunk failures are contained and
+    /// retried, crashed sites' chunks are reassigned, and chunks lost past the budget
+    /// degrade the output with exact coverage accounting instead of panicking.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for DistributedConfig {
@@ -88,7 +116,29 @@ impl Default for DistributedConfig {
             update_plan: UpdatePlan::Incremental,
             repetition: RepetitionSemantics::Free,
             repetition_mode: RepetitionMode::Integrated,
+            recovery: None,
         }
+    }
+}
+
+impl DistributedConfig {
+    /// Validates the configuration against a concrete data graph size. Every entry
+    /// point runs this up front, so misconfigurations surface as typed errors before
+    /// any site work starts (the runtime used to clamp or panic instead).
+    pub fn validate(&self, nodes: usize) -> Result<(), DistError> {
+        if self.sites == 0 {
+            return Err(DistError::NoSites);
+        }
+        if self.sites > nodes {
+            return Err(DistError::MoreSitesThanNodes {
+                sites: self.sites,
+                nodes,
+            });
+        }
+        if let Some(policy) = &self.recovery {
+            policy.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -131,15 +181,30 @@ pub struct TrafficStats {
     pub dirty_balls: usize,
     /// Centers whose cached (or trivially absent) result was reused untouched.
     pub clean_balls: usize,
-    /// Locality-contiguous chunks of site center lists executed by the fan-out. The
-    /// per-site chunk plans depend only on the site center counts, so this is identical
-    /// at every worker count.
+    /// Locality-contiguous chunks of site center lists whose results reached the
+    /// coordinator. The per-site chunk plans depend only on the site center counts, so
+    /// this is identical at every worker count; on a supervised run each chunk counts
+    /// once however many attempts it took (failed attempts are accounted in
+    /// [`TrafficStats::recovery`]), and lost chunks do not count.
     pub chunks_processed: usize,
     /// Chunks executed by a worker other than the one they were dealt to — cross-site
     /// load balancing in action. The one scheduling-dependent counter; excluded from
     /// the consistency suites' comparisons.
     pub chunks_stolen: usize,
-    /// Number of balls evaluated by each site.
+    /// Ball centers whose evaluation completed or was skipped/clean — everything except
+    /// the lost ones. `covered_balls + lost_balls == |V|` always (the coverage
+    /// contract); a fully successful run covers every node.
+    pub covered_balls: usize,
+    /// Ball centers whose evaluation was lost past the retry budget (the members of
+    /// [`DistributedOutput::lost_centers`]). Zero on the fast path.
+    pub lost_balls: usize,
+    /// Recovery-event counters from the supervision loop; all zero on the fast path and
+    /// on a fault-free supervised run. Deterministic given the input and the fault plan
+    /// (rounds are barriers), unlike `chunks_stolen`.
+    pub recovery: RecoveryStats,
+    /// Number of balls evaluated by each site. Reassigned chunks stay charged to the
+    /// site owning their centers, so a recoverable run's attribution matches the
+    /// fault-free run.
     pub balls_per_site: Vec<usize>,
 }
 
@@ -152,6 +217,12 @@ pub struct DistributedOutput {
     pub traffic: TrafficStats,
     /// The partition that was used.
     pub partition: GraphPartition,
+    /// Ball centers (in the caller's data-graph ids, ascending) whose evaluation was
+    /// lost past the recovery budget — empty on any fully successful run. Each lost
+    /// center's ball may or may not have matched; the surviving
+    /// [`DistributedOutput::subgraphs`] are exactly the fault-free result minus rows
+    /// centred at these nodes.
+    pub lost_centers: Vec<NodeId>,
 }
 
 impl DistributedOutput {
@@ -246,27 +317,29 @@ impl DistData<'_> {
     }
 
     #[inline]
-    fn flat(&self) -> &Graph {
+    fn flat(&self) -> Result<&Graph, DistError> {
         match self {
-            DistData::Flat(g) => g,
-            DistData::CountOnly(_) => panic!(
-                "this coordinator path traverses the flat data graph; \
-                 the counted entry point only serves prepared match-graph-substrate runs"
-            ),
+            DistData::Flat(g) => Ok(g),
+            DistData::CountOnly(_) => Err(DistError::FlatGraphRequired),
         }
     }
 }
 
 /// One unit of schedulable site work: a contiguous slice of `site`'s locality-ordered
-/// center list. Chunk boundaries depend only on the site center counts, never on the
-/// worker count or steal timing.
+/// center list. `index` is the chunk's ordinal within the site's plan — together
+/// `(site, index)` is the chunk's stable identity, the coordinate fault plans key on.
+/// Chunk boundaries depend only on the site center counts, never on the worker count or
+/// steal timing.
 struct SiteChunk {
     site: usize,
+    index: usize,
     range: std::ops::Range<usize>,
 }
 
 /// Partial result produced by one fan-out worker, possibly spanning chunks of several
 /// sites (its own plus stolen ones); per-site attribution survives in `balls_per_site`.
+/// The supervised path produces one report per *successful chunk attempt* instead — the
+/// merge only ever sums reports, so both granularities feed it unchanged.
 struct WorkerReport {
     subgraphs: Vec<PerfectSubgraph>,
     border_balls: usize,
@@ -307,8 +380,32 @@ pub fn distributed_strong_simulation(
     pattern: &Pattern,
     data: &Graph,
     config: &DistributedConfig,
-) -> DistributedOutput {
+) -> Result<DistributedOutput, DistError> {
     distributed_with_prepared(pattern, data, config, None, None)
+}
+
+/// [`distributed_strong_simulation`] under a scripted [`FaultPlan`]: site crashes,
+/// chunk panics, dropped results and slow-site delays fire at their scripted
+/// `(site, chunk, round)` points and are handled by the supervision loop. A non-empty
+/// plan requires [`DistributedConfig::recovery`] to be set — scripted faults without a
+/// recovery policy would abort the run, which is exactly what the fault plane exists to
+/// prevent ([`DistError::FaultPlanNeedsRecovery`]).
+pub fn distributed_with_faults(
+    pattern: &Pattern,
+    data: &Graph,
+    config: &DistributedConfig,
+    faults: &FaultPlan,
+) -> Result<DistributedOutput, DistError> {
+    let mut cache = CoordinatorCache::new();
+    distributed_impl(
+        pattern,
+        DistData::Flat(data),
+        config,
+        None,
+        None,
+        &mut cache,
+        Some(faults),
+    )
 }
 
 /// [`distributed_strong_simulation`] with the incremental driver's hooks, mirroring
@@ -322,7 +419,7 @@ pub fn distributed_with_prepared(
     config: &DistributedConfig,
     prepared: Option<PreparedGlobal<'_>>,
     dirty: Option<&BitSet>,
-) -> DistributedOutput {
+) -> Result<DistributedOutput, DistError> {
     let mut cache = CoordinatorCache::new();
     distributed_impl(
         pattern,
@@ -331,12 +428,14 @@ pub fn distributed_with_prepared(
         prepared,
         dirty,
         &mut cache,
+        None,
     )
 }
 
-/// [`distributed_with_prepared`] with a [`CoordinatorCache`] carried across calls, so
+/// [`distributed_with_prepared`] with a [`CoordinatorCache`] carried across calls (so
 /// repeated applies against the same node count reuse the partition and the substrate
-/// locality order instead of rebuilding both per delta.
+/// locality order instead of rebuilding both per delta) and an optional fault plan for
+/// chaos-testing the incremental path.
 pub fn distributed_with_prepared_cached(
     pattern: &Pattern,
     data: &Graph,
@@ -344,7 +443,8 @@ pub fn distributed_with_prepared_cached(
     prepared: Option<PreparedGlobal<'_>>,
     dirty: Option<&BitSet>,
     cache: &mut CoordinatorCache,
-) -> DistributedOutput {
+    faults: Option<&FaultPlan>,
+) -> Result<DistributedOutput, DistError> {
     distributed_impl(
         pattern,
         DistData::Flat(data),
@@ -352,6 +452,7 @@ pub fn distributed_with_prepared_cached(
         prepared,
         dirty,
         cache,
+        faults,
     )
 }
 
@@ -361,9 +462,10 @@ pub fn distributed_with_prepared_cached(
 /// data node count (partitions are id-based) — which lets the incremental driver serve
 /// straight from its overlay without materialising a CSR per update.
 ///
-/// # Panics
-/// Panics when the configuration would traverse raw data adjacency (`dual_filter` off,
-/// or a total relation on the full-graph oracle substrate).
+/// Fails with [`DistError::FlatGraphRequired`] when the configuration would traverse
+/// raw data adjacency (`dual_filter` off, or a total relation on the full-graph oracle
+/// substrate) and with [`DistError::PreparedStateMissingGm`] when the prepared state
+/// lacks the extraction the match-graph substrate needs.
 pub fn distributed_with_prepared_counted(
     pattern: &Pattern,
     data_node_count: usize,
@@ -371,17 +473,23 @@ pub fn distributed_with_prepared_counted(
     prepared: PreparedGlobal<'_>,
     dirty: Option<&BitSet>,
     cache: &mut CoordinatorCache,
-) -> DistributedOutput {
+    faults: Option<&FaultPlan>,
+) -> Result<DistributedOutput, DistError> {
     distributed_impl(
         pattern,
         DistData::CountOnly(data_node_count),
         config,
-        Some(prepared),
+        prepared.into(),
         dirty,
         cache,
+        faults,
     )
 }
 
+/// The public-path gate in front of [`distributed_core`]: a non-empty fault plan
+/// without a recovery policy is rejected up front, so no public entry point can panic
+/// on a scripted fault. (The core itself accepts the combination — the propagation
+/// regression test uses it to drive the fast path's abort behaviour directly.)
 fn distributed_impl(
     pattern: &Pattern,
     data: DistData<'_>,
@@ -389,7 +497,37 @@ fn distributed_impl(
     prepared: Option<PreparedGlobal<'_>>,
     dirty: Option<&BitSet>,
     cache: &mut CoordinatorCache,
-) -> DistributedOutput {
+    faults: Option<&FaultPlan>,
+) -> Result<DistributedOutput, DistError> {
+    if faults.is_some_and(|plan| !plan.is_empty()) && config.recovery.is_none() {
+        return Err(DistError::FaultPlanNeedsRecovery);
+    }
+    distributed_core(pattern, data, config, prepared, dirty, cache, faults)
+}
+
+/// Everything the fan-out paths need from the coordinator preamble, bundled so the fast
+/// and supervised paths share one signature.
+struct FanoutCtx<'a> {
+    pattern: &'a Pattern,
+    match_data: &'a Graph,
+    gm: Option<&'a ExtractedSubgraph>,
+    relation: Option<&'a MatchRelation>,
+    partition: &'a GraphPartition,
+    site_centers: &'a [Vec<NodeId>],
+    radius: usize,
+    config: &'a DistributedConfig,
+}
+
+fn distributed_core(
+    pattern: &Pattern,
+    data: DistData<'_>,
+    config: &DistributedConfig,
+    prepared: Option<PreparedGlobal<'_>>,
+    dirty: Option<&BitSet>,
+    cache: &mut CoordinatorCache,
+    faults: Option<&FaultPlan>,
+) -> Result<DistributedOutput, DistError> {
+    config.validate(data.node_count())?;
     let partition = cache.partition(data.node_count(), config);
 
     // Coordinator step 1: optionally minimise the query, then "broadcast" it. The ball
@@ -412,20 +550,22 @@ fn distributed_impl(
                 skipped_balls: node_count,
                 dirty_balls,
                 clean_balls: node_count - dirty_balls,
+                covered_balls: node_count,
                 balls_per_site: vec![0; partition.sites()],
                 ..Default::default()
             },
             partition,
+            lost_centers: Vec::new(),
         }
     };
     let computed_global: Option<MatchRelation> = match (config.dual_filter, prepared) {
         (true, None) => {
-            match dual_simulation_with(&effective_pattern, data.flat(), RefineStrategy::Worklist) {
+            match dual_simulation_with(&effective_pattern, data.flat()?, RefineStrategy::Worklist) {
                 Some(rel) => Some(rel),
                 None => {
                     // No ball anywhere can match: skip every center at the coordinator.
                     let dirty_balls = dirty.map_or(data.node_count(), BitSet::len);
-                    return empty_output(partition, dirty_balls);
+                    return Ok(empty_output(partition, dirty_balls));
                 }
             }
         }
@@ -437,7 +577,7 @@ fn distributed_impl(
                 if !p.relation.is_total() {
                     // The maintained fixpoint is empty: no ball anywhere can match.
                     let dirty_balls = dirty.map_or(data.node_count(), BitSet::len);
-                    return empty_output(partition, dirty_balls);
+                    return Ok(empty_output(partition, dirty_balls));
                 }
                 Some(p.relation)
             }
@@ -449,13 +589,13 @@ fn distributed_impl(
     let extracted: Option<(ExtractedSubgraph, MatchRelation)> = match (global_relation, prepared) {
         (Some(global), None) if config.ball_substrate == BallSubstrate::MatchGraph => {
             let mut matched = BitSet::new(0);
-            Some(global.extract_matched_subgraph(data.flat(), &mut matched))
+            Some(global.extract_matched_subgraph(data.flat()?, &mut matched))
         }
         _ => None,
     };
     let gm: Option<(&ExtractedSubgraph, &MatchRelation)> = match (global_relation, prepared) {
         (Some(_), Some(p)) if config.ball_substrate == BallSubstrate::MatchGraph => {
-            Some(p.gm.expect("prepared state must carry Gm on the match-graph substrate"))
+            Some(p.gm.ok_or(DistError::PreparedStateMissingGm)?)
         }
         (Some(_), None) if config.ball_substrate == BallSubstrate::MatchGraph => {
             extracted.as_ref().map(|(sub, inner)| (sub, inner))
@@ -464,7 +604,7 @@ fn distributed_impl(
     };
     let (match_data, local_relation): (&Graph, Option<&MatchRelation>) = match gm {
         Some((sub, inner)) => (sub.graph(), Some(inner)),
-        None => (data.flat(), global_relation),
+        None => (data.flat()?, global_relation),
     };
 
     // One locality order over the whole substrate, split by owner (the site owning the
@@ -475,12 +615,12 @@ fn distributed_impl(
         (Some((sub, _)), _) => sub.graph().nodes().collect(),
         (None, Some(global)) => {
             let matched = global.matched_data_nodes();
-            data.flat()
+            data.flat()?
                 .nodes()
                 .filter(|c| matched.contains(c.index()))
                 .collect()
         }
-        (None, None) => data.flat().nodes().collect(),
+        (None, None) => data.flat()?.nodes().collect(),
     };
     let skipped_balls = data.node_count() - centers.len();
     // Incremental updates route only the dirty centers to their owning sites.
@@ -504,69 +644,41 @@ fn distributed_impl(
     // through the engine's work-stealing scheduler — one worker per site (clamped to
     // the chunk count), each dealt its own site's chunks first, idle workers stealing
     // whole chunks from loaded sites so a skewed fragment no longer barriers the run.
-    let site_centers = &site_centers;
     let mut site_chunks: Vec<SiteChunk> = Vec::new();
     for (site, centers) in site_centers.iter().enumerate() {
-        for range in chunk_plan(centers.len()) {
-            site_chunks.push(SiteChunk { site, range });
+        for (index, range) in chunk_plan(centers.len()).into_iter().enumerate() {
+            site_chunks.push(SiteChunk { site, index, range });
         }
     }
-    let workers = effective_workers(partition.sites(), site_chunks.len());
-    let scheduler = StealScheduler::new(workers, site_chunks);
-    let sites = partition.sites();
-    let reports: Vec<WorkerReport> = par_workers(workers, |t| {
-        let mut report = WorkerReport::new(sites);
-        let mut scratch = BallScratch::new();
-        let mut forest = BallForest::new(match_data, radius);
-        let mut warm = (config.refine_seed == RefineSeed::WarmStart)
-            .then(|| WarmMatcher::new(&effective_pattern));
-        while let Some((chunk, stolen)) = scheduler.next(t) {
-            report.chunks_processed += 1;
-            report.chunks_stolen += usize::from(stolen);
-            // Chunk boundaries sever the slide and carry chains (a stolen chunk's first
-            // center belongs to another site entirely), keeping per-ball behaviour a
-            // function of chunk content alone.
-            forest.reset_chain();
-            if let Some(warm) = warm.as_mut() {
-                warm.reset_chain();
-            }
-            let caught = catch_unwind(AssertUnwindSafe(|| {
-                evaluate_chunk(
-                    chunk.site,
-                    &effective_pattern,
-                    match_data,
-                    gm.map(|(sub, _)| sub),
-                    local_relation,
-                    &partition,
-                    &site_centers[chunk.site][chunk.range.clone()],
-                    &mut forest,
-                    &mut warm,
-                    &mut scratch,
-                    &mut report,
-                    config.repetition,
-                    config.repetition_mode,
-                )
-            }));
-            if let Err(payload) = caught {
-                panic!(
-                    "worker {t} panicked in site {} chunk {}..{}: {}",
-                    chunk.site,
-                    chunk.range.start,
-                    chunk.range.end,
-                    panic_message(&*payload)
-                );
-            }
+    let ctx = FanoutCtx {
+        pattern: &effective_pattern,
+        match_data,
+        gm: gm.map(|(sub, _)| sub),
+        relation: local_relation,
+        partition: &partition,
+        site_centers: &site_centers,
+        radius,
+        config,
+    };
+    let (reports, recovery, lost_centers) = match &config.recovery {
+        Some(policy) => {
+            let empty_plan = FaultPlan::none();
+            run_supervised(&ctx, site_chunks, policy, faults.unwrap_or(&empty_plan))
         }
-        // The forest is the single source of truth for the built/reused split, the warm
-        // matcher for the seeding split; both accumulate across this worker's chunks.
-        report.built_balls = forest.built_fresh;
-        report.reused_balls = forest.reused;
-        if let Some(warm) = &warm {
-            report.warm_started_balls = warm.stats.warm_balls;
-            report.warm_seeded_pairs = warm.stats.seeded_pairs;
+        None => (
+            run_fast(&ctx, site_chunks, faults),
+            RecoveryStats::default(),
+            Vec::new(),
+        ),
+    };
+    if let Some(policy) = &config.recovery {
+        if !policy.allow_degraded && !lost_centers.is_empty() {
+            return Err(DistError::CoverageLost {
+                lost_balls: lost_centers.len(),
+                covered_balls: data.node_count() - lost_centers.len(),
+            });
         }
-        report
-    });
+    }
 
     // Assemble the union, deterministically ordered by ball center.
     let dirty_balls = dirty.map_or(data.node_count(), BitSet::len);
@@ -575,6 +687,9 @@ fn distributed_impl(
         skipped_balls,
         dirty_balls,
         clean_balls: data.node_count() - dirty_balls,
+        covered_balls: data.node_count() - lost_centers.len(),
+        lost_balls: lost_centers.len(),
+        recovery,
         balls_per_site: vec![0; partition.sites()],
         ..Default::default()
     };
@@ -597,11 +712,334 @@ fn distributed_impl(
         subgraphs.extend(report.subgraphs);
     }
     subgraphs.sort_by_key(|s| s.center);
-    DistributedOutput {
+    Ok(DistributedOutput {
         subgraphs,
         traffic,
         partition,
+        lost_centers,
+    })
+}
+
+/// The zero-overhead fan-out: one long-lived report per worker, panics re-raised with
+/// site/chunk coordinates (aborting the run — the behaviour every pre-recovery release
+/// had, preserved verbatim for `recovery: None`). The `faults` seam only scripts
+/// round-0 panics and is reachable solely through [`distributed_core`] — public entry
+/// points reject fault plans without a recovery policy.
+fn run_fast(
+    ctx: &FanoutCtx<'_>,
+    site_chunks: Vec<SiteChunk>,
+    faults: Option<&FaultPlan>,
+) -> Vec<WorkerReport> {
+    let workers = effective_workers(ctx.partition.sites(), site_chunks.len());
+    let scheduler = StealScheduler::new(workers, site_chunks);
+    let sites = ctx.partition.sites();
+    par_workers(workers, |t| {
+        let mut report = WorkerReport::new(sites);
+        let mut scratch = BallScratch::new();
+        let mut forest = BallForest::new(ctx.match_data, ctx.radius);
+        let mut warm = (ctx.config.refine_seed == RefineSeed::WarmStart)
+            .then(|| WarmMatcher::new(ctx.pattern));
+        while let Some((chunk, stolen)) = scheduler.next(t) {
+            report.chunks_processed += 1;
+            report.chunks_stolen += usize::from(stolen);
+            // Chunk boundaries sever the slide and carry chains (a stolen chunk's first
+            // center belongs to another site entirely), keeping per-ball behaviour a
+            // function of chunk content alone.
+            forest.reset_chain();
+            if let Some(warm) = warm.as_mut() {
+                warm.reset_chain();
+            }
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                if faults.and_then(|plan| plan.action_at(chunk.site, chunk.index, 0))
+                    == Some(FaultAction::Panic)
+                {
+                    panic!("injected fault: scripted worker panic");
+                }
+                evaluate_chunk(
+                    chunk.site,
+                    ctx.pattern,
+                    ctx.match_data,
+                    ctx.gm,
+                    ctx.relation,
+                    ctx.partition,
+                    &ctx.site_centers[chunk.site][chunk.range.clone()],
+                    &mut forest,
+                    &mut warm,
+                    &mut scratch,
+                    &mut report,
+                    ctx.config.repetition,
+                    ctx.config.repetition_mode,
+                )
+            }));
+            if let Err(payload) = caught {
+                panic!(
+                    "worker {t} panicked in site {} chunk {}..{}: {}",
+                    chunk.site,
+                    chunk.range.start,
+                    chunk.range.end,
+                    panic_message(&*payload)
+                );
+            }
+        }
+        // The forest is the single source of truth for the built/reused split, the warm
+        // matcher for the seeding split; both accumulate across this worker's chunks.
+        report.built_balls = forest.built_fresh;
+        report.reused_balls = forest.reused;
+        if let Some(warm) = &warm {
+            report.warm_started_balls = warm.stats.warm_balls;
+            report.warm_seeded_pairs = warm.stats.seeded_pairs;
+        }
+        report
+    })
+}
+
+/// A chunk the supervision loop still owes a result for.
+struct PendingChunk {
+    /// Owning site — the chunk's identity, stable across reassignment.
+    site: usize,
+    /// Ordinal within the owning site's chunk plan.
+    index: usize,
+    range: std::ops::Range<usize>,
+    /// Failed attempts so far; past `chunk_retries` the chunk is lost.
+    failures: usize,
+    /// Site currently responsible for executing it (≠ `site` after a reassignment).
+    assigned: usize,
+}
+
+/// One chunk execution dispatched within a supervision round.
+struct RoundItem {
+    /// Position in the round's `pending` list.
+    slot: usize,
+    site: usize,
+    index: usize,
+    range: std::ops::Range<usize>,
+}
+
+/// What one chunk attempt produced.
+enum AttemptOutcome {
+    /// Evaluation completed and the result message arrived (possibly `delay` virtual
+    /// ticks late, below the timeout).
+    Success { report: WorkerReport, delay: u64 },
+    /// The worker panicked (scripted or genuine) and the supervisor contained it.
+    Panicked,
+    /// Evaluation completed but the result message was lost in transit.
+    Dropped,
+    /// The scripted delay reached the policy timeout.
+    TimedOut,
+}
+
+/// The supervised fan-out: rounds are barriers, every attempt is individually
+/// contained, and all failure handling happens at the coordinator in chunk-id order —
+/// which makes every recovery counter a deterministic function of the input and the
+/// fault plan (only `chunks_stolen` remains schedule-dependent). Returns the successful
+/// per-chunk reports, the recovery trace and the lost centers (outer ids, ascending).
+fn run_supervised(
+    ctx: &FanoutCtx<'_>,
+    site_chunks: Vec<SiteChunk>,
+    policy: &RecoveryPolicy,
+    plan: &FaultPlan,
+) -> (Vec<WorkerReport>, RecoveryStats, Vec<NodeId>) {
+    let sites = ctx.partition.sites();
+    let mut stats = RecoveryStats::default();
+    let mut dead = vec![false; sites];
+    let mut pending: Vec<PendingChunk> = site_chunks
+        .into_iter()
+        .map(|c| PendingChunk {
+            site: c.site,
+            index: c.index,
+            range: c.range,
+            failures: 0,
+            assigned: c.site,
+        })
+        .collect();
+    let mut done: Vec<WorkerReport> = Vec::new();
+    let mut lost: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    let mut round = 0usize;
+    while !pending.is_empty() {
+        // Crashes scheduled at or before this round take effect at its start: the dead
+        // site's unfinished chunks move to survivors (round-robin, in chunk order)
+        // before anything executes, so a crash never consumes a chunk's retries.
+        // Results shipped in earlier rounds already live at the coordinator.
+        for (site, when) in plan.crashes() {
+            if when <= round && site < sites && !dead[site] {
+                dead[site] = true;
+                stats.site_crashes += 1;
+            }
+        }
+        let survivors: Vec<usize> = (0..sites).filter(|&s| !dead[s]).collect();
+        if survivors.is_empty() {
+            // Nobody left to reassign to: every pending chunk is lost.
+            stats.chunks_lost += pending.len();
+            lost.extend(pending.drain(..).map(|c| (c.site, c.range)));
+            break;
+        }
+        let mut rr = 0usize;
+        for chunk in &mut pending {
+            if dead[chunk.assigned] {
+                chunk.assigned = survivors[rr % survivors.len()];
+                rr += 1;
+                stats.chunks_reassigned += 1;
+            }
+        }
+
+        // Execute this round's attempts through the steal scheduler, ordered by
+        // assigned site so each live site's worker is dealt its own chunks first.
+        let mut order: Vec<usize> = (0..pending.len()).collect();
+        order.sort_by_key(|&i| (pending[i].assigned, pending[i].site, pending[i].index));
+        let items: Vec<RoundItem> = order
+            .iter()
+            .map(|&i| RoundItem {
+                slot: i,
+                site: pending[i].site,
+                index: pending[i].index,
+                range: pending[i].range.clone(),
+            })
+            .collect();
+        let workers = effective_workers(survivors.len(), items.len());
+        let scheduler = StealScheduler::new(workers, items);
+        let outcomes: Vec<Vec<(usize, AttemptOutcome)>> = par_workers(workers, |t| {
+            let mut out: Vec<(usize, AttemptOutcome)> = Vec::new();
+            let mut scratch = BallScratch::new();
+            let mut forest = BallForest::new(ctx.match_data, ctx.radius);
+            let mut warm = (ctx.config.refine_seed == RefineSeed::WarmStart)
+                .then(|| WarmMatcher::new(ctx.pattern));
+            while let Some((item, stolen)) = scheduler.next(t) {
+                let scripted = plan.action_at(item.site, item.index, round);
+                let outcome = if scripted == Some(FaultAction::Panic) {
+                    // The scripted panic unwinds through the same containment a genuine
+                    // one would; the sliding state is untouched (nothing ran).
+                    let unwound = catch_unwind(AssertUnwindSafe(|| {
+                        panic!("injected fault: scripted worker panic");
+                    }));
+                    debug_assert!(unwound.is_err());
+                    AttemptOutcome::Panicked
+                } else {
+                    let mut report = WorkerReport::new(sites);
+                    report.chunks_processed = 1;
+                    report.chunks_stolen = usize::from(stolen);
+                    forest.reset_chain();
+                    if let Some(warm) = warm.as_mut() {
+                        warm.reset_chain();
+                    }
+                    // Per-attempt counter snapshots: the forest and warm matcher
+                    // accumulate across this worker's attempts, so each chunk's share
+                    // is the delta — discarded wholesale when the attempt fails.
+                    let built0 = forest.built_fresh;
+                    let reused0 = forest.reused;
+                    let warm0 = warm
+                        .as_ref()
+                        .map(|w| (w.stats.warm_balls, w.stats.seeded_pairs));
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        evaluate_chunk(
+                            item.site,
+                            ctx.pattern,
+                            ctx.match_data,
+                            ctx.gm,
+                            ctx.relation,
+                            ctx.partition,
+                            &ctx.site_centers[item.site][item.range.clone()],
+                            &mut forest,
+                            &mut warm,
+                            &mut scratch,
+                            &mut report,
+                            ctx.config.repetition,
+                            ctx.config.repetition_mode,
+                        )
+                    }));
+                    match caught {
+                        Err(_) => {
+                            // A mid-chunk unwind may leave the sliding state without
+                            // its invariants; replace it wholesale so later attempts
+                            // on this worker start from known-good state.
+                            forest = BallForest::new(ctx.match_data, ctx.radius);
+                            warm = (ctx.config.refine_seed == RefineSeed::WarmStart)
+                                .then(|| WarmMatcher::new(ctx.pattern));
+                            scratch = BallScratch::new();
+                            AttemptOutcome::Panicked
+                        }
+                        Ok(()) => {
+                            report.built_balls = forest.built_fresh - built0;
+                            report.reused_balls = forest.reused - reused0;
+                            if let (Some(warm), Some((wb0, sp0))) = (warm.as_ref(), warm0) {
+                                report.warm_started_balls = warm.stats.warm_balls - wb0;
+                                report.warm_seeded_pairs = warm.stats.seeded_pairs - sp0;
+                            }
+                            match scripted {
+                                Some(FaultAction::DropResult) => AttemptOutcome::Dropped,
+                                Some(FaultAction::Delay(t)) if t >= policy.chunk_timeout_ticks => {
+                                    AttemptOutcome::TimedOut
+                                }
+                                Some(FaultAction::Delay(t)) => {
+                                    AttemptOutcome::Success { report, delay: t }
+                                }
+                                _ => AttemptOutcome::Success { report, delay: 0 },
+                            }
+                        }
+                    }
+                };
+                out.push((item.slot, outcome));
+            }
+            out
+        });
+
+        // Coordinator processing, deterministically in chunk-id order regardless of
+        // which worker ran what.
+        let mut flat: Vec<(usize, AttemptOutcome)> = outcomes.into_iter().flatten().collect();
+        flat.sort_by_key(|&(slot, _)| (pending[slot].site, pending[slot].index));
+        let mut finished = vec![false; pending.len()];
+        for (slot, outcome) in flat {
+            let failed = match outcome {
+                AttemptOutcome::Success { report, delay } => {
+                    stats.delay_ticks += delay;
+                    done.push(report);
+                    finished[slot] = true;
+                    false
+                }
+                AttemptOutcome::Panicked => {
+                    stats.panics_contained += 1;
+                    true
+                }
+                AttemptOutcome::Dropped => {
+                    stats.results_dropped += 1;
+                    true
+                }
+                AttemptOutcome::TimedOut => {
+                    stats.chunk_timeouts += 1;
+                    true
+                }
+            };
+            if failed {
+                let chunk = &mut pending[slot];
+                chunk.failures += 1;
+                if chunk.failures > policy.chunk_retries {
+                    stats.chunks_lost += 1;
+                    finished[slot] = true;
+                    lost.push((chunk.site, chunk.range.clone()));
+                } else {
+                    stats.chunk_retries += 1;
+                    stats.backoff_ticks +=
+                        policy.backoff_ticks << (chunk.failures - 1).min(32) as u32;
+                }
+            }
+        }
+        let mut keep = finished.iter().map(|&f| !f);
+        pending.retain(|_| keep.next().expect("one flag per chunk"));
+        if pending.is_empty() {
+            break;
+        }
+        round += 1;
+        stats.retry_rounds += 1;
     }
+
+    // Lost chunks' centers, translated to the caller's id space and sorted.
+    let outer_of = |v: NodeId| ctx.gm.map_or(v, |sub| sub.outer_of(v));
+    let mut lost_centers: Vec<NodeId> = lost
+        .into_iter()
+        .flat_map(|(site, range)| ctx.site_centers[site][range].iter().copied())
+        .map(outer_of)
+        .collect();
+    lost_centers.sort_unstable();
+    (done, stats, lost_centers)
 }
 
 /// Evaluates one chunk of `site`'s balls with the calling worker's sliding state.
@@ -727,13 +1165,18 @@ mod tests {
                     minimize_query: false,
                     ..DistributedConfig::default()
                 };
-                let out = distributed_strong_simulation(&fig.pattern, &fig.data, &config);
+                let out = distributed_strong_simulation(&fig.pattern, &fig.data, &config)
+                    .expect("valid configuration");
                 assert_eq!(
                     central.matched_nodes(),
                     out.matched_nodes(),
                     "sites={sites} strategy={strategy:?}"
                 );
                 assert_eq!(central.subgraphs.len(), out.subgraphs.len());
+                // Full coverage on a fault-free run.
+                assert_eq!(out.traffic.covered_balls, fig.data.node_count());
+                assert_eq!(out.traffic.lost_balls, 0);
+                assert!(out.lost_centers.is_empty());
             }
         }
     }
@@ -757,7 +1200,8 @@ mod tests {
                 minimize_query: true,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid configuration");
         assert_eq!(central.matched_nodes(), out.matched_nodes());
         assert_eq!(central.subgraphs.len(), out.subgraphs.len());
     }
@@ -774,7 +1218,8 @@ mod tests {
                 minimize_query: false,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid configuration");
         assert_eq!(out.traffic.shipped_balls, 0);
         assert_eq!(out.traffic.shipped_nodes, 0);
         assert_eq!(out.traffic.border_balls, 0);
@@ -799,7 +1244,8 @@ mod tests {
                 minimize_query: false,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid configuration");
         // Shipped balls can never exceed the total number of balls, and every shipped ball
         // ships at most the whole graph.
         let total_balls: usize = out.traffic.balls_per_site.iter().sum();
@@ -829,7 +1275,8 @@ mod tests {
                         minimize_query: false,
                         ..DistributedConfig::default()
                     },
-                );
+                )
+                .expect("valid configuration");
                 let total: usize = out.traffic.balls_per_site.iter().sum();
                 assert_eq!(total, data.node_count());
                 // Every ball is charged exactly once: built or reused, at one site.
@@ -852,7 +1299,8 @@ mod tests {
                 minimize_query: false,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid configuration");
         assert!(
             range.traffic.reused_balls > 0,
             "range partition never slides"
@@ -876,7 +1324,8 @@ mod tests {
                     minimize_query: false,
                     ..DistributedConfig::default()
                 };
-                let warm = distributed_strong_simulation(&pattern, &data, &base);
+                let warm = distributed_strong_simulation(&pattern, &data, &base)
+                    .expect("valid configuration");
                 let scratch = distributed_strong_simulation(
                     &pattern,
                     &data,
@@ -884,7 +1333,8 @@ mod tests {
                         refine_seed: RefineSeed::FromScratch,
                         ..base
                     },
-                );
+                )
+                .expect("valid configuration");
                 assert_eq!(
                     warm.subgraphs.len(),
                     scratch.subgraphs.len(),
@@ -928,7 +1378,8 @@ mod tests {
                 minimize_query: false,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid configuration");
         assert!(
             warm.traffic.warm_started_balls > 0,
             "range-partitioned chain never warm-started a ball"
@@ -969,7 +1420,8 @@ mod tests {
                             ball_substrate: substrate,
                             ..DistributedConfig::default()
                         },
-                    );
+                    )
+                    .expect("valid configuration");
                     let ctx = format!("substrate={substrate:?} sites={sites} {strategy:?}");
                     assert_eq!(central.subgraphs.len(), out.subgraphs.len(), "{ctx}");
                     for (a, b) in central.subgraphs.iter().zip(&out.subgraphs) {
@@ -1007,7 +1459,8 @@ mod tests {
                 minimize_query: false,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid configuration");
         assert_eq!(unfiltered.traffic.considered_balls, data.node_count());
         assert_eq!(unfiltered.traffic.skipped_balls, 0);
     }
@@ -1035,11 +1488,15 @@ mod tests {
                 dual_filter: true,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid configuration");
         assert!(out.subgraphs.is_empty());
         assert_eq!(out.traffic.considered_balls, data.node_count());
         assert_eq!(out.traffic.skipped_balls, data.node_count());
         assert_eq!(out.traffic.balls_per_site, vec![0, 0, 0]);
+        // The short-circuit path still reports full coverage.
+        assert_eq!(out.traffic.covered_balls, data.node_count());
+        assert_eq!(out.traffic.lost_balls, 0);
     }
 
     #[test]
@@ -1064,7 +1521,8 @@ mod tests {
                 minimize_query: false,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid configuration");
         let range = distributed_strong_simulation(
             &pattern,
             &data,
@@ -1074,7 +1532,8 @@ mod tests {
                 minimize_query: false,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid configuration");
         assert_eq!(hash.matched_nodes(), range.matched_nodes());
         assert!(
             range.traffic.shipped_nodes < hash.traffic.shipped_nodes,
@@ -1082,5 +1541,319 @@ mod tests {
             range.traffic.shipped_nodes,
             hash.traffic.shipped_nodes
         );
+    }
+
+    // --- Fault tolerance ---------------------------------------------------------
+
+    fn small_case() -> (Pattern, Graph) {
+        let data = synthetic(&SyntheticConfig {
+            nodes: 120,
+            alpha: 1.15,
+            labels: 8,
+            seed: 7,
+        });
+        let pattern = extract_pattern(&data, 3, 5).expect("pattern extraction succeeds");
+        (pattern, data)
+    }
+
+    /// Zeroes the counters a fault plan or steal timing is allowed to perturb.
+    fn normalized(t: &TrafficStats) -> TrafficStats {
+        TrafficStats {
+            chunks_stolen: 0,
+            recovery: RecoveryStats::default(),
+            ..t.clone()
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_setups() {
+        let (pattern, data) = small_case();
+        let zero_sites = DistributedConfig {
+            sites: 0,
+            ..DistributedConfig::default()
+        };
+        assert_eq!(
+            distributed_strong_simulation(&pattern, &data, &zero_sites).unwrap_err(),
+            DistError::NoSites
+        );
+        let too_many = DistributedConfig {
+            sites: data.node_count() + 1,
+            ..DistributedConfig::default()
+        };
+        assert_eq!(
+            distributed_strong_simulation(&pattern, &data, &too_many).unwrap_err(),
+            DistError::MoreSitesThanNodes {
+                sites: data.node_count() + 1,
+                nodes: data.node_count()
+            }
+        );
+        let useless = DistributedConfig {
+            recovery: Some(RecoveryPolicy {
+                chunk_retries: 0,
+                allow_degraded: false,
+                ..RecoveryPolicy::default()
+            }),
+            ..DistributedConfig::default()
+        };
+        assert_eq!(
+            distributed_strong_simulation(&pattern, &data, &useless).unwrap_err(),
+            DistError::UselessRecoveryPolicy
+        );
+        // A scripted fault without a recovery policy is rejected, not executed.
+        let mut plan = FaultPlan::none();
+        plan.panic_chunk(0, 0, 0);
+        assert_eq!(
+            distributed_with_faults(&pattern, &data, &DistributedConfig::default(), &plan)
+                .unwrap_err(),
+            DistError::FaultPlanNeedsRecovery
+        );
+    }
+
+    #[test]
+    fn counted_entry_without_gm_returns_typed_errors() {
+        let (pattern, data) = small_case();
+        let relation = dual_simulation_with(&pattern, &data, RefineStrategy::Worklist)
+            .expect("extracted pattern matches its own graph");
+        let mut cache = CoordinatorCache::new();
+        // Without the dual filter the counted path must traverse the flat graph.
+        let flat_needed = DistributedConfig {
+            dual_filter: false,
+            ..DistributedConfig::default()
+        };
+        let err = distributed_with_prepared_counted(
+            &pattern,
+            data.node_count(),
+            &flat_needed,
+            PreparedGlobal {
+                relation: &relation,
+                gm: None,
+            },
+            None,
+            &mut cache,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, DistError::FlatGraphRequired);
+        // The match-graph substrate requires the prepared Gm extraction.
+        let gm_needed = DistributedConfig {
+            dual_filter: true,
+            ball_substrate: BallSubstrate::MatchGraph,
+            ..DistributedConfig::default()
+        };
+        let err = distributed_with_prepared_counted(
+            &pattern,
+            data.node_count(),
+            &gm_needed,
+            PreparedGlobal {
+                relation: &relation,
+                gm: None,
+            },
+            None,
+            &mut cache,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, DistError::PreparedStateMissingGm);
+    }
+
+    #[test]
+    fn scripted_panic_propagates_without_recovery() {
+        // The pre-recovery abort behaviour, pinned: on the fast path a worker panic
+        // re-raises with site/chunk coordinates. Driven through the private core — the
+        // public entry points refuse fault plans without a recovery policy.
+        let (pattern, data) = small_case();
+        let mut plan = FaultPlan::none();
+        plan.panic_chunk(0, 0, 0);
+        let config = DistributedConfig {
+            sites: 2,
+            minimize_query: false,
+            ..DistributedConfig::default()
+        };
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut cache = CoordinatorCache::new();
+            distributed_core(
+                &pattern,
+                DistData::Flat(&data),
+                &config,
+                None,
+                None,
+                &mut cache,
+                Some(&plan),
+            )
+        }));
+        let payload = caught.expect_err("the scripted panic must abort the fast path");
+        let message = panic_message(&*payload).to_string();
+        assert!(
+            message.contains("panicked in site 0 chunk"),
+            "unexpected panic message: {message}"
+        );
+        assert!(message.contains("injected fault"), "{message}");
+    }
+
+    #[test]
+    fn contained_panic_completes_bit_identical() {
+        // The containment twin: the same injected panic, with a recovery policy on,
+        // completes and the output is bit-identical to the fault-free run.
+        let (pattern, data) = small_case();
+        let mut plan = FaultPlan::none();
+        plan.panic_chunk(0, 0, 0);
+        let base = DistributedConfig {
+            sites: 2,
+            minimize_query: false,
+            ..DistributedConfig::default()
+        };
+        let fault_free = distributed_strong_simulation(&pattern, &data, &base).unwrap();
+        let supervised = DistributedConfig {
+            recovery: Some(RecoveryPolicy::default()),
+            ..base
+        };
+        let recovered = distributed_with_faults(&pattern, &data, &supervised, &plan).unwrap();
+        assert_eq!(fault_free.subgraphs, recovered.subgraphs);
+        assert_eq!(
+            normalized(&fault_free.traffic),
+            normalized(&recovered.traffic)
+        );
+        assert!(recovered.lost_centers.is_empty());
+        // The recovery trace records exactly the one contained panic and its retry.
+        let rec = &recovered.traffic.recovery;
+        assert_eq!(rec.panics_contained, 1);
+        assert_eq!(rec.chunk_retries, 1);
+        assert_eq!(rec.retry_rounds, 1);
+        assert_eq!(rec.chunks_lost, 0);
+        assert_eq!(rec.site_crashes, 0);
+    }
+
+    #[test]
+    fn crash_reassigns_chunks_without_losing_results() {
+        let (pattern, data) = small_case();
+        let base = DistributedConfig {
+            sites: 3,
+            minimize_query: false,
+            ..DistributedConfig::default()
+        };
+        let fault_free = distributed_strong_simulation(&pattern, &data, &base).unwrap();
+        let mut plan = FaultPlan::none();
+        plan.crash_site(1, 0);
+        let supervised = DistributedConfig {
+            recovery: Some(RecoveryPolicy::default()),
+            ..base
+        };
+        let recovered = distributed_with_faults(&pattern, &data, &supervised, &plan).unwrap();
+        assert_eq!(fault_free.subgraphs, recovered.subgraphs);
+        assert_eq!(
+            normalized(&fault_free.traffic),
+            normalized(&recovered.traffic)
+        );
+        let rec = &recovered.traffic.recovery;
+        assert_eq!(rec.site_crashes, 1);
+        assert!(rec.chunks_reassigned > 0, "the dead site owned chunks");
+        assert_eq!(rec.chunks_lost, 0);
+        // Reassigned chunks stay charged to the owning site's ledger.
+        assert_eq!(
+            recovered.traffic.balls_per_site,
+            fault_free.traffic.balls_per_site
+        );
+    }
+
+    #[test]
+    fn unrecoverable_loss_degrades_with_exact_coverage() {
+        let (pattern, data) = small_case();
+        let base = DistributedConfig {
+            sites: 2,
+            minimize_query: false,
+            ..DistributedConfig::default()
+        };
+        let fault_free = distributed_strong_simulation(&pattern, &data, &base).unwrap();
+        // Site 0's first chunk panics on every attempt within the budget: lost.
+        let policy = RecoveryPolicy::default();
+        let mut plan = FaultPlan::none();
+        for round in 0..=policy.chunk_retries {
+            plan.panic_chunk(0, 0, round);
+        }
+        let supervised = DistributedConfig {
+            recovery: Some(policy),
+            ..base
+        };
+        let degraded = distributed_with_faults(&pattern, &data, &supervised, &plan).unwrap();
+        assert!(!degraded.lost_centers.is_empty());
+        assert_eq!(
+            degraded.traffic.covered_balls + degraded.traffic.lost_balls,
+            data.node_count()
+        );
+        assert_eq!(degraded.traffic.lost_balls, degraded.lost_centers.len());
+        assert_eq!(degraded.traffic.recovery.chunks_lost, 1);
+        // Surviving subgraphs are exactly the fault-free rows minus the lost centers.
+        let lost: std::collections::BTreeSet<NodeId> =
+            degraded.lost_centers.iter().copied().collect();
+        let expected: Vec<_> = fault_free
+            .subgraphs
+            .iter()
+            .filter(|s| !lost.contains(&s.center))
+            .cloned()
+            .collect();
+        assert_eq!(degraded.subgraphs, expected);
+        // The same schedule under a fail-fast policy is a typed error, not a panic.
+        let strict = DistributedConfig {
+            recovery: Some(RecoveryPolicy {
+                allow_degraded: false,
+                ..policy
+            }),
+            ..base
+        };
+        let err = distributed_with_faults(&pattern, &data, &strict, &plan).unwrap_err();
+        assert!(matches!(err, DistError::CoverageLost { .. }));
+    }
+
+    #[test]
+    fn all_sites_crashing_loses_every_ball() {
+        let (pattern, data) = small_case();
+        let base = DistributedConfig {
+            sites: 3,
+            minimize_query: false,
+            recovery: Some(RecoveryPolicy::default()),
+            ..DistributedConfig::default()
+        };
+        let mut plan = FaultPlan::none();
+        for site in 0..3 {
+            plan.crash_site(site, 0);
+        }
+        let out = distributed_with_faults(&pattern, &data, &base, &plan).unwrap();
+        assert!(out.subgraphs.is_empty());
+        assert_eq!(out.traffic.lost_balls, data.node_count());
+        assert_eq!(out.traffic.covered_balls, 0);
+        assert_eq!(out.lost_centers.len(), data.node_count());
+        assert_eq!(out.traffic.recovery.site_crashes, 3);
+    }
+
+    #[test]
+    fn fault_free_supervised_run_matches_fast_path() {
+        // The supervision loop with nothing scripted must be a bit-identical drop-in —
+        // the property the fault_overhead bench also depends on.
+        let (pattern, data) = small_case();
+        for dual_filter in [false, true] {
+            let base = DistributedConfig {
+                sites: 3,
+                minimize_query: false,
+                dual_filter,
+                ..DistributedConfig::default()
+            };
+            let fast = distributed_strong_simulation(&pattern, &data, &base).unwrap();
+            let supervised = distributed_strong_simulation(
+                &pattern,
+                &data,
+                &DistributedConfig {
+                    recovery: Some(RecoveryPolicy::default()),
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(fast.subgraphs, supervised.subgraphs, "dual={dual_filter}");
+            assert_eq!(
+                normalized(&fast.traffic),
+                normalized(&supervised.traffic),
+                "dual={dual_filter}"
+            );
+            assert_eq!(supervised.traffic.recovery, RecoveryStats::default());
+        }
     }
 }

@@ -45,7 +45,8 @@ pub fn traffic_vs_sites(dataset: DatasetKind, scale: &ExperimentScale) -> Vec<Di
                     minimize_query: false,
                     ..DistributedConfig::default()
                 },
-            );
+            )
+            .expect("experiment sweeps use valid site counts");
             let seconds = start.elapsed().as_secs_f64();
             rows.push(DistributedRow {
                 sites,

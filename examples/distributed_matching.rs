@@ -47,7 +47,8 @@ fn main() {
                     minimize_query: true,
                     ..DistributedConfig::default()
                 },
-            );
+            )
+            .expect("valid distributed config");
             let correct = out.matched_nodes() == centralized.matched_nodes();
             println!(
                 "{:>6} {:>8} {:>14} {:>14} {:>14} {:>10}",

@@ -235,7 +235,7 @@ pub fn check_matrix_point(
         repetition: semantics,
         ..DistributedConfig::default()
     };
-    let da = distributed_strong_simulation(q, data, &dist);
+    let da = distributed_strong_simulation(q, data, &dist).expect("valid distributed config");
     let db = distributed_strong_simulation(
         q,
         data,
@@ -243,7 +243,8 @@ pub fn check_matrix_point(
             repetition_mode: RepetitionMode::NaiveOracle,
             ..dist
         },
-    );
+    )
+    .expect("valid distributed config");
     prop_assert!(
         da.subgraphs == db.subgraphs,
         "{context}: distributed subgraphs differ"
@@ -255,7 +256,8 @@ pub fn check_matrix_point(
     prop_assert!(ta == tb, "{context}: distributed traffic differs");
 
     // Distributed incremental session across the same delta.
-    let mut dia = IncrementalDistributed::new(q, data.clone(), dist);
+    let mut dia =
+        IncrementalDistributed::new(q, data.clone(), dist).expect("valid distributed config");
     let mut dib = IncrementalDistributed::new(
         q,
         data.clone(),
@@ -263,7 +265,8 @@ pub fn check_matrix_point(
             repetition_mode: RepetitionMode::NaiveOracle,
             ..dist
         },
-    );
+    )
+    .expect("valid distributed config");
     dia.apply(delta).expect("delta validates");
     dib.apply(delta).expect("delta validates");
     prop_assert!(

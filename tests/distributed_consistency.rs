@@ -28,7 +28,8 @@ fn distributed_matches_centralized_across_sites_and_strategies() {
                         minimize_query,
                         ..DistributedConfig::default()
                     },
-                );
+                )
+                .expect("valid distributed config");
                 assert_eq!(
                     central.matched_nodes(),
                     out.matched_nodes(),
@@ -62,7 +63,8 @@ fn distributed_matches_centralized_on_generated_workloads() {
                 minimize_query: true,
                 ..DistributedConfig::default()
             },
-        );
+        )
+        .expect("valid distributed config");
         assert_eq!(central.matched_nodes(), out.matched_nodes(), "seed={seed}");
     }
 }
@@ -80,7 +82,8 @@ fn traffic_accounting_is_consistent() {
             minimize_query: false,
             ..DistributedConfig::default()
         },
-    );
+    )
+    .expect("valid distributed config");
     // Every node is the center of exactly one ball, evaluated at its home site.
     assert_eq!(
         out.traffic.balls_per_site.iter().sum::<usize>(),

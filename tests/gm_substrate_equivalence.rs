@@ -371,6 +371,9 @@ proptest! {
         };
         let gm_sub = ExtractedSubgraph::induced(&data, &global.matched_data_nodes());
         let radius = q.diameter();
+        // The config layer rejects sites > |V| now; the strategy may draw more sites
+        // than the smallest graphs have nodes.
+        let sites = sites.min(data.node_count());
         for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range] {
             let base = DistributedConfig {
                 sites,
@@ -379,7 +382,8 @@ proptest! {
                 dual_filter: true,
                 ..DistributedConfig::default()
             };
-            let gm = distributed_strong_simulation(&q, &data, &base);
+            let gm = distributed_strong_simulation(&q, &data, &base)
+                .expect("valid distributed config");
             let full = distributed_strong_simulation(
                 &q,
                 &data,
@@ -387,7 +391,8 @@ proptest! {
                     ball_substrate: BallSubstrate::FullGraph,
                     ..base
                 },
-            );
+            )
+            .expect("valid distributed config");
             assert_substrate_subgraphs(
                 &gm.subgraphs,
                 &full.subgraphs,

@@ -220,12 +220,14 @@ proptest! {
                 ball_substrate: substrate,
                 ..DistributedConfig::default()
             };
-            let mut inc = IncrementalDistributed::new(&q, data.clone(), base);
+            let mut inc = IncrementalDistributed::new(&q, data.clone(), base)
+                .expect("valid distributed config");
             let mut oracle = IncrementalDistributed::new(
                 &q,
                 data.clone(),
                 DistributedConfig { update_plan: UpdatePlan::Recompute, ..base },
-            );
+            )
+            .expect("valid distributed config");
             for (i, picks) in stream.iter().enumerate() {
                 let delta = random_delta(&inc.data(), picks);
                 inc.apply(&delta).expect("delta validates");

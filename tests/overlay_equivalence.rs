@@ -271,12 +271,14 @@ proptest! {
             minimize_query: false,
             ..DistributedConfig::default()
         };
-        let mut inc = IncrementalDistributed::new(&q, data.clone(), base);
+        let mut inc = IncrementalDistributed::new(&q, data.clone(), base)
+            .expect("valid distributed config");
         let mut oracle = IncrementalDistributed::new(
             &q,
             data.clone(),
             DistributedConfig { update_plan: UpdatePlan::Recompute, ..base },
-        );
+        )
+        .expect("valid distributed config");
         let mut flat = data;
         for picks in &stream {
             let delta = random_delta(&flat, picks);

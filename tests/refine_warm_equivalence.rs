@@ -203,6 +203,9 @@ proptest! {
         q in pattern(),
         sites in 1usize..5,
     ) {
+        // The config layer rejects sites > |V| now; the strategy may draw more sites
+        // than the smallest graphs have nodes.
+        let sites = sites.min(data.node_count());
         for strategy in [PartitionStrategy::Hash, PartitionStrategy::Range] {
             let base = DistributedConfig {
                 sites,
@@ -210,7 +213,8 @@ proptest! {
                 minimize_query: false,
                 ..DistributedConfig::default()
             };
-            let warm = distributed_strong_simulation(&q, &data, &base);
+            let warm = distributed_strong_simulation(&q, &data, &base)
+                .expect("valid distributed config");
             let scratch = distributed_strong_simulation(
                 &q,
                 &data,
@@ -218,7 +222,8 @@ proptest! {
                     refine_seed: RefineSeed::FromScratch,
                     ..base
                 },
-            );
+            )
+            .expect("valid distributed config");
             prop_assert_eq!(warm.subgraphs.len(), scratch.subgraphs.len());
             for (a, b) in warm.subgraphs.iter().zip(&scratch.subgraphs) {
                 prop_assert!(a.center == b.center, "distributed centers differ");
