@@ -1207,6 +1207,127 @@ fn main() {
         }
     }
 
+    // ── Standing queries: shared-substrate service vs independent sessions ──────
+    // Six overlapping-label-signature patterns stand over one mutating chain. The
+    // service applies each delta once — one edge-ball sweep pair, one shared dirty-
+    // region extraction fanned out to all six patterns — where the independent
+    // baseline runs six private `IncrementalMatcher` sessions, each paying its own
+    // substrate, sweeps and extraction. The `standing_query` blob records
+    // patterns×updates/sec and the shared-over-independent ratio (CI gates ≥ 1.2×).
+    {
+        use ssim_core::service::QueryService;
+        use ssim_experiments::workloads::standing_query_workload;
+
+        let (data, patterns) = standing_query_workload(3000);
+        let config = MatchConfig::basic();
+        let updates = 6usize;
+        let churn_edges = ((data.edge_count() as f64 * 0.005).ceil() as usize).max(1);
+        let stream = delta_stream(&data, churn_edges, updates, 0x5eed_0002);
+
+        // Correctness gate + warm-up: the service must track the independent sessions
+        // bit for bit through the whole stream before anything is timed.
+        {
+            let mut service = QueryService::new(data.clone());
+            let ids: Vec<_> = patterns
+                .iter()
+                .map(|q| service.register(q, config))
+                .collect();
+            let mut sessions: Vec<IncrementalMatcher> = patterns
+                .iter()
+                .map(|q| IncrementalMatcher::new(q, data.clone(), config))
+                .collect();
+            for delta in &stream {
+                service.apply(delta).expect("stream validates");
+                for (id, session) in ids.iter().zip(sessions.iter_mut()) {
+                    session.apply(delta).expect("stream validates");
+                    assert_eq!(
+                        service.output(*id).unwrap(),
+                        session.output(),
+                        "service diverged from its independent session"
+                    );
+                }
+            }
+        }
+
+        // Construction is untimed on both sides — standing queries register once and
+        // live for many updates; the applies are the serving cost.
+        let stream_runs = 5usize;
+        let mut shared_times = Vec::with_capacity(stream_runs);
+        let mut independent_times = Vec::with_capacity(stream_runs);
+        let mut sweep_radii = 0usize;
+        let mut sweep_consumers = 0usize;
+        let mut substrate_builds = 0usize;
+        let mut substrate_reuses = 0usize;
+        for _ in 0..stream_runs {
+            let mut service = QueryService::new(data.clone());
+            for q in &patterns {
+                service.register(q, config);
+            }
+            let start = Instant::now();
+            for delta in &stream {
+                let update = service.apply(delta).expect("stream validates");
+                sweep_radii = update.sharing.edge_sweep_radii;
+                sweep_consumers = update.sharing.edge_sweep_consumers;
+                substrate_builds = update.sharing.substrate_builds;
+                substrate_reuses = update.sharing.substrate_reuses;
+            }
+            shared_times.push(start.elapsed().as_secs_f64());
+
+            let mut sessions: Vec<IncrementalMatcher> = patterns
+                .iter()
+                .map(|q| IncrementalMatcher::new(q, data.clone(), config))
+                .collect();
+            let start = Instant::now();
+            for delta in &stream {
+                for session in sessions.iter_mut() {
+                    session.apply(delta).expect("stream validates");
+                }
+            }
+            independent_times.push(start.elapsed().as_secs_f64());
+        }
+        shared_times.sort_by(f64::total_cmp);
+        independent_times.sort_by(f64::total_cmp);
+        let shared_secs = shared_times[shared_times.len() / 2];
+        let independent_secs = independent_times[independent_times.len() / 2];
+        let ratio = independent_secs / shared_secs;
+        let pattern_updates_per_sec = (patterns.len() * updates) as f64 / shared_secs;
+        eprintln!(
+            "standing-query |V|={}: {} patterns x {updates} updates — independent {:.3} ms, shared {:.3} ms, {ratio:.2}x ({pattern_updates_per_sec:.0} pattern-updates/s; sweeps {sweep_radii} radius for {sweep_consumers} consumers, cache {substrate_reuses} reuses / {substrate_builds} builds)",
+            data.node_count(),
+            patterns.len(),
+            independent_secs * 1e3,
+            shared_secs * 1e3
+        );
+        dataset_blobs.push(format!(
+            concat!(
+                "    {{\"dataset\": \"standing-query-chain\", \"nodes\": {}, \"edges\": {}, ",
+                "\"pattern_nodes\": 3, \"pattern_diameter\": 2,\n",
+                "     \"standing_query\": {{\"patterns\": {}, \"updates\": {}, ",
+                "\"churn_edges\": {}, \"pattern_updates_per_sec\": {:.1}, ",
+                "\"shared_over_independent\": {:.3}, \"edge_sweep_radii\": {}, ",
+                "\"edge_sweep_consumers\": {}, \"substrate_reuses\": {}, ",
+                "\"substrate_builds\": {}}},\n",
+                "     \"configs\": [\n",
+                "      {{\"name\": \"service/standing_query_shared\", \"seconds_per_stream\": {:.6}}},\n",
+                "      {{\"name\": \"service/standing_query_independent\", \"seconds_per_stream\": {:.6}}}\n",
+                "    ]}}"
+            ),
+            data.node_count(),
+            data.edge_count(),
+            patterns.len(),
+            updates,
+            churn_edges,
+            pattern_updates_per_sec,
+            ratio,
+            sweep_radii,
+            sweep_consumers,
+            substrate_reuses,
+            substrate_builds,
+            shared_secs,
+            independent_secs
+        ));
+    }
+
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"match_engine\",\n  \"bench_nodes\": {},\n",

@@ -292,14 +292,25 @@ pub struct DeltaEffect {
     pub epoch: GraphEpoch,
 }
 
-/// The maintained substrate shared by the centralized and distributed incremental
-/// drivers: the current graph (as a layered [`OverlayGraph`] — deltas land as per-node
-/// patches in `O(patches)` instead of an `O(|V|+|E|)` CSR rebuild), the exact global
-/// fixpoint (under `dual_filter`), its matched-node set and the cached `Gm` extraction.
+/// The per-pattern half of a maintained incremental session: everything a standing
+/// query carries *except* the data graph — the effective pattern, its localisation
+/// parameters, the exact global fixpoint (under `dual_filter`), the matched-node set
+/// and the cached `Gm` extraction.
 ///
-/// [`IncrementalState::advance`] moves the whole bundle across one delta and returns
-/// the dirty-center set; the drivers then re-run only those centers and splice.
-pub struct IncrementalState {
+/// Splitting this off the substrate is what makes multi-pattern serving possible: a
+/// [`crate::service::QueryService`] holds **one** shared [`OverlayGraph`] and one
+/// `PatternState` per registered query, applies each delta to the substrate once, and
+/// moves every pattern across it via [`PatternState::advance_applied`] — handing the
+/// substrate-only edge-ball sweeps in pre-computed, so they are paid once per radius
+/// instead of once per pattern. A single-pattern [`IncrementalState`] is exactly the
+/// `{substrate, pattern}` pair.
+///
+/// `Clone` is deliberate: the state is a pure, deterministic function of its
+/// construction inputs over the current graph, so a clone is bit-identical to
+/// recomputing — which lets a registry reuse the fixpoint of an already-registered
+/// identical query instead of paying it again.
+#[derive(Clone)]
+pub struct PatternState {
     /// The effective pattern: minimised when the configuration minimises queries.
     pub effective: Pattern,
     /// Ball radius (the *original* pattern's diameter unless overridden — Lemma 3).
@@ -310,11 +321,7 @@ pub struct IncrementalState {
     pub substrate: BallSubstrate,
     /// Refinement engine used for scratch fixpoints.
     pub refine_strategy: RefineStrategy,
-    /// The current data graph (post all applied deltas), as a versioned overlay: the
-    /// base flat CSR plus per-node sorted insert/tombstone patches, compacted back to
-    /// flat when the patch mass crosses the policy threshold.
-    pub data: OverlayGraph,
-    /// Exact global fixpoint over [`Self::data`] (`dual_filter` only).
+    /// Exact global fixpoint over the shared data graph (`dual_filter` only).
     pub fixpoint: Option<MatchRelation>,
     /// Matched-node set of the fixpoint, in data-graph ids.
     pub matched: BitSet,
@@ -323,13 +330,28 @@ pub struct IncrementalState {
     pub gm_cache: Option<(ExtractedSubgraph, MatchRelation)>,
 }
 
-impl IncrementalState {
-    /// Builds the state for a fresh graph: computes the global fixpoint and the `Gm`
-    /// extraction the configuration calls for.
+/// What one (already-applied) delta did to a [`PatternState`] — the pattern-local
+/// subset of [`DeltaEffect`], without the substrate bookkeeping.
+pub struct PatternEffect {
+    /// See [`DeltaEffect::dirty`].
+    pub dirty: BitSet,
+    /// See [`FixpointUpdate::pairs_gained`] (0 without `dual_filter`).
+    pub pairs_gained: usize,
+    /// See [`FixpointUpdate::pairs_lost`] (0 without `dual_filter`).
+    pub pairs_lost: usize,
+    /// See [`FixpointUpdate::recomputed`].
+    pub relation_recomputed: bool,
+    /// See [`DeltaEffect::gm_reextracted`].
+    pub gm_reextracted: bool,
+}
+
+impl PatternState {
+    /// Builds the pattern state against the current `data`: computes the global
+    /// fixpoint and the `Gm` extraction the configuration calls for.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         pattern: &Pattern,
-        data: Graph,
+        data: &OverlayGraph,
         minimize: bool,
         radius_override: Option<usize>,
         dual_filter: bool,
@@ -346,22 +368,21 @@ impl IncrementalState {
                 radius_override.unwrap_or(pattern.diameter()),
             )
         };
-        let mut state = IncrementalState {
+        let mut state = PatternState {
             effective,
             radius,
             dual_filter,
             substrate,
             refine_strategy,
             matched: BitSet::new(data.node_count()),
-            data: OverlayGraph::new(data),
             fixpoint: None,
             gm_cache: None,
         };
         if dual_filter {
-            let fix = global_fixpoint(&state.effective, &state.data, refine_strategy);
+            let fix = global_fixpoint(&state.effective, data, refine_strategy);
             fix.matched_data_nodes_into(&mut state.matched);
             if state.substrate == BallSubstrate::MatchGraph && fix.is_total() {
-                let sub = ExtractedSubgraph::induced(&state.data, &state.matched);
+                let sub = ExtractedSubgraph::induced(data, &state.matched);
                 let inner = fix.renumber_through(&sub);
                 state.gm_cache = Some((sub, inner));
             }
@@ -379,40 +400,42 @@ impl IncrementalState {
         })
     }
 
-    /// Moves the state across one delta and reports the dirty centers.
+    /// Whether this pattern's dirty sweep runs over the raw data graph (and therefore
+    /// consumes the shared pre/post edge-ball sweeps), as opposed to sweeping its own
+    /// cached `Gm` extractions. The data-graph sweeps depend only on `(graph, delta
+    /// edges, radius)`, so every pattern for which this returns `true` shares them at
+    /// equal radius.
+    pub fn sweeps_data_edges(&self) -> bool {
+        !(self.dual_filter && self.substrate == BallSubstrate::MatchGraph)
+    }
+
+    /// Moves the pattern state across a delta that has **already landed** on `data`,
+    /// and reports the pattern's dirty centers.
     ///
-    /// The delta lands on the overlay in `O(patches)` — validation runs against the
-    /// merged state, the per-node patch arrays absorb the edits, and the epoch advances;
-    /// a flat CSR is rebuilt only when the overlay's compaction threshold trips.
-    pub fn advance(&mut self, delta: &GraphDelta) -> Result<DeltaEffect, GraphError> {
-        let n = self.data.node_count();
+    /// `pre_edge_dirty` / `post_edge_dirty` are the substrate-only halves of the dirty
+    /// sweep — [`mark_edge_ball_centers`] over the *deleted* edges on the pre-update
+    /// graph and over the *inserted* edges on the post-update graph, both at
+    /// [`PatternState::radius`]. They are inputs (rather than computed here) so a
+    /// multi-pattern caller can compute them once per distinct radius and fan them out;
+    /// they are ignored when [`PatternState::sweeps_data_edges`] is `false` (the `Gm`
+    /// path sweeps its own extractions). [`IncrementalState::advance`] shows the
+    /// single-pattern composition.
+    pub fn advance_applied(
+        &mut self,
+        data: &OverlayGraph,
+        delta: &GraphDelta,
+        pre_edge_dirty: &BitSet,
+        post_edge_dirty: &BitSet,
+    ) -> PatternEffect {
+        let n = data.node_count();
         let mut touched = BitSet::new(n);
         let use_gm = self.dual_filter && self.substrate == BallSubstrate::MatchGraph;
-
-        // The non-Gm dirty sweep walks the *pre-update* substrate too — but only the
-        // *deleted* edges matter there: an edge's effects (its presence in a ball, and
-        // any ball-membership shift riding a path through it) exist on the side of the
-        // update where the edge does, so deletions localise in the pre-update graph and
-        // insertions in the post-update one. Per edge, exactly the centers holding both
-        // endpoints within `dQ` are dirtied — the balls that contain the edge. Sweeping
-        // the old side before the patches land costs bounded walks and no snapshot. The
-        // Gm path sweeps the cached old extraction instead.
-        let mut pre_dirty = BitSet::new(n);
-        if !use_gm {
-            let deleted: Vec<(NodeId, NodeId)> = delta.deleted_edges().collect();
-            mark_edge_ball_centers(&self.data, &deleted, self.radius, &mut pre_dirty);
-        }
-        let compactions_before = self.data.compactions();
-        // Validates against the merged state first; the whole bundle is untouched on error.
-        self.data.apply_delta(delta)?;
-        let mut effect = DeltaEffect {
+        let mut effect = PatternEffect {
             dirty: BitSet::new(n),
             pairs_gained: 0,
             pairs_lost: 0,
             relation_recomputed: false,
             gm_reextracted: false,
-            compacted: self.data.compactions() > compactions_before,
-            epoch: self.data.epoch(),
         };
 
         let old_matched = std::mem::replace(&mut self.matched, BitSet::new(n));
@@ -425,7 +448,7 @@ impl IncrementalState {
                 .expect("dual-filter state carries a fixpoint");
             let up = update_global_fixpoint(
                 &self.effective,
-                &self.data,
+                data,
                 delta,
                 &old_fix,
                 self.refine_strategy,
@@ -454,7 +477,7 @@ impl IncrementalState {
                         .expect("reuse implies a cached extraction")
                 } else {
                     effect.gm_reextracted = true;
-                    ExtractedSubgraph::induced(&self.data, &self.matched)
+                    ExtractedSubgraph::induced(data, &self.matched)
                 };
                 let inner = fix.renumber_through(&sub);
                 self.gm_cache = Some((sub, inner));
@@ -508,19 +531,126 @@ impl IncrementalState {
                 );
             }
         } else {
-            effect.dirty.union_with(&pre_dirty);
-            let inserted: Vec<(NodeId, NodeId)> = delta.inserted_edges().collect();
-            mark_edge_ball_centers(&self.data, &inserted, self.radius, &mut effect.dirty);
+            effect.dirty.union_with(pre_edge_dirty);
+            effect.dirty.union_with(post_edge_dirty);
             if !touched.is_empty() {
                 mark_within_distance(
-                    &self.data,
+                    data,
                     touched.iter().map(NodeId::from_index),
                     self.radius,
                     &mut effect.dirty,
                 );
             }
         }
-        Ok(effect)
+        effect
+    }
+}
+
+/// The maintained substrate shared by the centralized and distributed incremental
+/// drivers: the current graph (as a layered [`OverlayGraph`] — deltas land as per-node
+/// patches in `O(patches)` instead of an `O(|V|+|E|)` CSR rebuild) plus the per-pattern
+/// half ([`PatternState`]: the exact global fixpoint under `dual_filter`, its
+/// matched-node set and the cached `Gm` extraction).
+///
+/// [`IncrementalState::advance`] moves the whole bundle across one delta and returns
+/// the dirty-center set; the drivers then re-run only those centers and splice.
+pub struct IncrementalState {
+    /// The current data graph (post all applied deltas), as a versioned overlay: the
+    /// base flat CSR plus per-node sorted insert/tombstone patches, compacted back to
+    /// flat when the patch mass crosses the policy threshold.
+    pub data: OverlayGraph,
+    /// The per-pattern maintained state over [`Self::data`].
+    pub pattern: PatternState,
+}
+
+impl IncrementalState {
+    /// Builds the state for a fresh graph: computes the global fixpoint and the `Gm`
+    /// extraction the configuration calls for.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pattern: &Pattern,
+        data: Graph,
+        minimize: bool,
+        radius_override: Option<usize>,
+        dual_filter: bool,
+        substrate: BallSubstrate,
+        refine_strategy: RefineStrategy,
+    ) -> Self {
+        let data = OverlayGraph::new(data);
+        let pattern = PatternState::new(
+            pattern,
+            &data,
+            minimize,
+            radius_override,
+            dual_filter,
+            substrate,
+            refine_strategy,
+        );
+        IncrementalState { data, pattern }
+    }
+
+    /// The maintained state in the form [`match_with_prepared`] consumes; `None` when no
+    /// fixpoint is maintained (configurations without `dual_filter`).
+    pub fn prepared(&self) -> Option<PreparedGlobal<'_>> {
+        self.pattern.prepared()
+    }
+
+    /// Moves the state across one delta and reports the dirty centers.
+    ///
+    /// The delta lands on the overlay in `O(patches)` — validation runs against the
+    /// merged state, the per-node patch arrays absorb the edits, and the epoch advances;
+    /// a flat CSR is rebuilt only when the overlay's compaction threshold trips. The
+    /// substrate-only edge-ball sweeps run here (pre-update side before the patches
+    /// land, post-update side after), then [`PatternState::advance_applied`] does the
+    /// pattern-local half — the exact composition a multi-pattern service performs with
+    /// the sweeps shared across patterns.
+    pub fn advance(&mut self, delta: &GraphDelta) -> Result<DeltaEffect, GraphError> {
+        let n = self.data.node_count();
+
+        // The non-Gm dirty sweep walks the *pre-update* substrate too — but only the
+        // *deleted* edges matter there: an edge's effects (its presence in a ball, and
+        // any ball-membership shift riding a path through it) exist on the side of the
+        // update where the edge does, so deletions localise in the pre-update graph and
+        // insertions in the post-update one. Per edge, exactly the centers holding both
+        // endpoints within `dQ` are dirtied — the balls that contain the edge. Sweeping
+        // the old side before the patches land costs bounded walks and no snapshot. The
+        // Gm path sweeps the cached old extraction instead.
+        let mut pre_edge_dirty = BitSet::new(n);
+        if self.pattern.sweeps_data_edges() {
+            let deleted: Vec<(NodeId, NodeId)> = delta.deleted_edges().collect();
+            mark_edge_ball_centers(
+                &self.data,
+                &deleted,
+                self.pattern.radius,
+                &mut pre_edge_dirty,
+            );
+        }
+        let compactions_before = self.data.compactions();
+        // Validates against the merged state first; the whole bundle is untouched on error.
+        self.data.apply_delta(delta)?;
+        let mut post_edge_dirty = BitSet::new(n);
+        if self.pattern.sweeps_data_edges() {
+            let inserted: Vec<(NodeId, NodeId)> = delta.inserted_edges().collect();
+            mark_edge_ball_centers(
+                &self.data,
+                &inserted,
+                self.pattern.radius,
+                &mut post_edge_dirty,
+            );
+        }
+
+        let eff =
+            self.pattern
+                .advance_applied(&self.data, delta, &pre_edge_dirty, &post_edge_dirty);
+        Ok(DeltaEffect {
+            dirty: eff.dirty,
+            pairs_gained: eff.pairs_gained,
+            pairs_lost: eff.pairs_lost,
+            relation_recomputed: eff.relation_recomputed,
+            gm_reextracted: eff.gm_reextracted,
+            compacted: self.data.compactions() > compactions_before,
+            epoch: self.data.epoch(),
+        })
     }
 }
 
@@ -866,7 +996,105 @@ impl IncrementalMatcher {
 /// pass. Chosen well above the densest committed bench row (`update-overlap-chain-5pct`
 /// invalidates ~0.64 of the balls and still wins incrementally) so the bail only fires
 /// on genuinely global deltas.
-const DIRTY_BAIL_FRACTION: f64 = 0.85;
+pub(crate) const DIRTY_BAIL_FRACTION: f64 = 0.85;
+
+/// Per-apply memo of the pure, pattern-independent data representations
+/// [`run_pattern_pass`] builds: the flat materialisation of the overlay and the dirty-
+/// region extraction. Both are functions of `(graph, radius, dirty set)` alone, so a
+/// multi-pattern caller passing one cache across its per-pattern passes shares them
+/// bit-identically — the pass consumes the same *value* it would have built itself.
+///
+/// The cache is only valid for one substrate version: drop it (or build a fresh one)
+/// after every delta application.
+#[derive(Default)]
+pub struct SubstrateCache {
+    /// The overlay merged flat, shared by every pass that needs a whole-graph CSR.
+    flat: Option<Graph>,
+    /// One entry per distinct `(radius, dirty)` request this apply; registered queries
+    /// are few, so a linear scan beats any keyed structure.
+    regions: Vec<RegionEntry>,
+    /// Times a memoised value was served instead of rebuilt (flat + region combined).
+    reuses: usize,
+    /// Times a value was built into the cache (flat + region combined).
+    builds: usize,
+}
+
+/// A memoised dirty-region extraction: the region decision for one `(radius, dirty)`
+/// pair. `extraction: None` records that the region grew past the half-graph threshold
+/// and the pass fell back to the flat path — a decision worth memoising too, since it
+/// cost the region BFS to make.
+struct RegionEntry {
+    radius: usize,
+    dirty: BitSet,
+    extraction: Option<(ExtractedSubgraph, BitSet)>,
+}
+
+impl SubstrateCache {
+    /// An empty cache for one substrate version.
+    pub fn new() -> Self {
+        SubstrateCache::default()
+    }
+
+    /// `(reuses, builds)` of memoised representations so far.
+    pub fn counters(&self) -> (usize, usize) {
+        (self.reuses, self.builds)
+    }
+
+    /// The flat materialisation of `data`, built on first request.
+    fn flat(&mut self, data: &OverlayGraph) -> &Graph {
+        if self.flat.is_none() {
+            self.builds += 1;
+            self.flat = Some(data.to_graph());
+        } else {
+            self.reuses += 1;
+        }
+        self.flat.as_ref().expect("just ensured")
+    }
+
+    /// Ensures the region entry for `(radius, dirty)` exists and returns its index.
+    fn ensure_region(&mut self, data: &OverlayGraph, radius: usize, dirty: &BitSet) -> usize {
+        if let Some(i) = self
+            .regions
+            .iter()
+            .position(|e| e.radius == radius && &e.dirty == dirty)
+        {
+            self.reuses += 1;
+            return i;
+        }
+        self.builds += 1;
+        let n = data.node_count();
+        let mut region = BitSet::new(n);
+        mark_within_distance(
+            data,
+            dirty.iter().map(NodeId::from_index),
+            radius,
+            &mut region,
+        );
+        // Region extraction only pays while the untouched remainder is large: past
+        // half the graph, building, indexing and translating an almost-full induced
+        // copy costs more than the bulk `to_graph` merge (patched nodes re-merge,
+        // untouched nodes memcpy) plus a dirty-restricted full-graph pass.
+        let extraction = if region.len() * 2 > n {
+            None
+        } else {
+            let sub = ExtractedSubgraph::induced(data, &region);
+            let mut dirty_inner = BitSet::new(sub.node_count());
+            for c in dirty.iter() {
+                let inner = sub
+                    .inner_of(NodeId::from_index(c))
+                    .expect("dirty centers are within distance 0 of themselves");
+                dirty_inner.insert(inner.index());
+            }
+            Some((sub, dirty_inner))
+        };
+        self.regions.push(RegionEntry {
+            radius,
+            dirty: dirty.clone(),
+            extraction,
+        });
+        self.regions.len() - 1
+    }
+}
 
 /// One restricted (or full) pass of the ball pipeline against the maintained state,
 /// choosing the cheapest data representation the configuration admits:
@@ -893,65 +1121,65 @@ fn run_pass(
     run_cfg: &MatchConfig,
     dirty: Option<&BitSet>,
 ) -> MatchOutput {
-    let n = state.data.node_count();
-    match state.prepared() {
-        Some(p) if p.gm.is_some() || !p.relation.is_total() => {
-            match_with_prepared_counted(pattern, n, run_cfg, p, dirty)
+    run_pattern_pass(pattern, &state.data, &state.pattern, run_cfg, dirty, None)
+}
+
+/// [`run_pass`] over split substrate/pattern state, with an optional shared
+/// [`SubstrateCache`]. With a cache, the flat materialisation and the dirty-region
+/// extraction are memoised across calls against the same substrate version; without
+/// one, a throwaway cache reproduces the single-pattern behaviour exactly. Because the
+/// memoised values are pure functions of `(graph, radius, dirty)`, a cached pass
+/// returns output **and stats** bit-identical to an uncached one.
+pub(crate) fn run_pattern_pass(
+    pattern: &Pattern,
+    data: &OverlayGraph,
+    ps: &PatternState,
+    run_cfg: &MatchConfig,
+    dirty: Option<&BitSet>,
+    cache: Option<&mut SubstrateCache>,
+) -> MatchOutput {
+    let n = data.node_count();
+    let mut local = SubstrateCache::new();
+    let cache = match cache {
+        Some(c) => c,
+        None => &mut local,
+    };
+    if let Some(p) = ps.prepared() {
+        if p.gm.is_some() || !p.relation.is_total() {
+            return match_with_prepared_counted(pattern, n, run_cfg, p, dirty);
         }
-        Some(p) => {
-            let flat = state.data.to_graph();
-            match_with_prepared(pattern, &flat, run_cfg, Some(p), dirty)
-        }
-        None => match dirty {
-            Some(dirty) => {
-                // The region only grows from the dirty set; past half the graph the
-                // extraction loses to the bulk merge, so skip even the region sweep.
-                if dirty.len() * 2 > n {
-                    let flat = state.data.to_graph();
-                    return match_with_prepared(pattern, &flat, run_cfg, None, Some(dirty));
-                }
-                let mut region = BitSet::new(n);
-                mark_within_distance(
-                    &state.data,
-                    dirty.iter().map(NodeId::from_index),
-                    state.radius,
-                    &mut region,
-                );
-                // Region extraction only pays while the untouched remainder is large:
-                // past half the graph, building, indexing and translating an almost-
-                // full induced copy costs more than the bulk `to_graph` merge (patched
-                // nodes re-merge, untouched nodes memcpy) plus a dirty-restricted
-                // full-graph pass.
-                if region.len() * 2 > n {
-                    let flat = state.data.to_graph();
-                    return match_with_prepared(pattern, &flat, run_cfg, None, Some(dirty));
-                }
-                let sub = ExtractedSubgraph::induced(&state.data, &region);
-                let mut dirty_inner = BitSet::new(sub.node_count());
-                for c in dirty.iter() {
-                    let inner = sub
-                        .inner_of(NodeId::from_index(c))
-                        .expect("dirty centers are within distance 0 of themselves");
-                    dirty_inner.insert(inner.index());
-                }
-                let out =
-                    match_with_prepared(pattern, sub.graph(), run_cfg, None, Some(&dirty_inner));
-                // The extraction's id map is monotone, so translated rows keep their
-                // ascending-center order and splice directly.
-                MatchOutput {
-                    subgraphs: out
-                        .subgraphs
-                        .into_iter()
-                        .map(|row| translate_to_outer(row, &sub))
-                        .collect(),
-                    stats: out.stats,
-                }
-            }
-            None => {
-                let flat = state.data.to_graph();
-                match_with_prepared(pattern, &flat, run_cfg, None, None)
-            }
-        },
+        let flat = cache.flat(data);
+        return match_with_prepared(pattern, flat, run_cfg, Some(p), dirty);
+    }
+    let Some(dirty) = dirty else {
+        let flat = cache.flat(data);
+        return match_with_prepared(pattern, flat, run_cfg, None, None);
+    };
+    // The region only grows from the dirty set; past half the graph the
+    // extraction loses to the bulk merge, so skip even the region sweep.
+    if dirty.len() * 2 > n {
+        let flat = cache.flat(data);
+        return match_with_prepared(pattern, flat, run_cfg, None, Some(dirty));
+    }
+    let entry = cache.ensure_region(data, ps.radius, dirty);
+    if cache.regions[entry].extraction.is_none() {
+        let flat = cache.flat(data);
+        return match_with_prepared(pattern, flat, run_cfg, None, Some(dirty));
+    }
+    let (sub, dirty_inner) = cache.regions[entry]
+        .extraction
+        .as_ref()
+        .expect("checked above");
+    let out = match_with_prepared(pattern, sub.graph(), run_cfg, None, Some(dirty_inner));
+    // The extraction's id map is monotone, so translated rows keep their
+    // ascending-center order and splice directly.
+    MatchOutput {
+        subgraphs: out
+            .subgraphs
+            .into_iter()
+            .map(|row| translate_to_outer(row, sub))
+            .collect(),
+        stats: out.stats,
     }
 }
 
@@ -960,7 +1188,7 @@ fn run_pass(
 /// cross-row operation: a dirty center's new row can legitimise or shadow a clean
 /// center's cached one, so it can never be cached per row). Clones only the kept rows,
 /// so the per-update cost tracks the output size, not the cache size.
-fn deduped_copy(rows: &[PerfectSubgraph]) -> Vec<PerfectSubgraph> {
+pub(crate) fn deduped_copy(rows: &[PerfectSubgraph]) -> Vec<PerfectSubgraph> {
     distinct_indices(rows)
         .into_iter()
         .map(|i| rows[i].clone())
@@ -970,14 +1198,30 @@ fn deduped_copy(rows: &[PerfectSubgraph]) -> Vec<PerfectSubgraph> {
 /// Describes the session's current state in the stats carried by the cached output
 /// (work counters keep describing the most recent — restricted — run).
 fn refreshed_stats(
-    mut stats: MatchStats,
+    stats: MatchStats,
     state: &IncrementalState,
     subgraph_count: usize,
 ) -> MatchStats {
+    refreshed_pattern_stats(
+        stats,
+        &state.pattern,
+        state.data.node_count(),
+        subgraph_count,
+    )
+}
+
+/// [`refreshed_stats`] over split substrate/pattern state, for callers (the query
+/// service) that do not hold an [`IncrementalState`].
+pub(crate) fn refreshed_pattern_stats(
+    mut stats: MatchStats,
+    ps: &PatternState,
+    node_count: usize,
+    subgraph_count: usize,
+) -> MatchStats {
     stats.perfect_subgraphs = subgraph_count;
-    stats.radius = state.radius;
-    stats.balls_considered = state.data.node_count();
-    if let Some((sub, _)) = &state.gm_cache {
+    stats.radius = ps.radius;
+    stats.balls_considered = node_count;
+    if let Some((sub, _)) = &ps.gm_cache {
         stats.gm_nodes = sub.node_count();
         stats.gm_edges = sub.edge_count();
     }

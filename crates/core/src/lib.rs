@@ -63,6 +63,7 @@ pub mod parallel;
 pub mod pruning;
 pub mod relation;
 pub mod repetition;
+pub mod service;
 pub mod simulation;
 pub mod strong;
 pub mod topology;
@@ -77,6 +78,9 @@ pub use relation::MatchRelation;
 pub use repetition::{
     enforce_repetition, has_repeated_labels, RepetitionMode, RepetitionOutcome,
     RepetitionSemantics, REPETITION_BUDGET,
+};
+pub use service::{
+    BuilderError, PatternBuilder, QueryId, QueryService, QueryUpdate, ServiceUpdate, SharingStats,
 };
 pub use simulation::{
     graph_simulation, graph_simulation_with, simulates, RefineSeed, RefineStrategy,

@@ -34,16 +34,33 @@ fn lock_deque<T>(queue: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Hard ceiling on the `SSIM_THREADS` override. Worker pools are spawned per call, so a
+/// runaway override (`SSIM_THREADS=1000000`) would pay a million thread spawns *per
+/// parallel section* — far past any machine's core count and enough to exhaust process
+/// limits. 512 comfortably covers every real runner while keeping a typo survivable.
+pub const MAX_THREAD_OVERRIDE: usize = 512;
+
+/// Parses an `SSIM_THREADS` override value: trimmed, base-10, zero and garbage rejected
+/// (fall back to the probe), anything above [`MAX_THREAD_OVERRIDE`] clamped down to it.
+/// Split out from [`available_threads`] so the policy is unit-testable without mutating
+/// process-global environment state under a concurrent test harness.
+pub fn thread_override(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n.min(MAX_THREAD_OVERRIDE)),
+        _ => None,
+    }
+}
+
 /// Number of worker threads the machine supports. The `SSIM_THREADS` environment
 /// variable overrides the probe (CI uses it to force a multi-thread pool on any runner);
-/// unparsable or zero values fall back to the probe.
+/// unparsable or zero values fall back to the probe, and overrides are clamped to
+/// [`MAX_THREAD_OVERRIDE`].
 pub fn available_threads() -> usize {
-    if let Ok(s) = std::env::var("SSIM_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    if let Some(n) = std::env::var("SSIM_THREADS")
+        .ok()
+        .and_then(|s| thread_override(&s))
+    {
+        return n;
     }
     thread::available_parallelism()
         .map(|n| n.get())
@@ -379,6 +396,31 @@ mod tests {
         assert_eq!(drained, vec![2, 3, 4, 5]);
         assert_eq!(scheduler.next(0), None);
         assert_eq!(scheduler.next(1), None);
+    }
+
+    #[test]
+    fn thread_override_parses_and_clamps() {
+        assert_eq!(thread_override("4"), Some(4));
+        assert_eq!(
+            thread_override(" 8 "),
+            Some(8),
+            "surrounding whitespace trimmed"
+        );
+        assert_eq!(thread_override("512"), Some(MAX_THREAD_OVERRIDE));
+        assert_eq!(
+            thread_override("513"),
+            Some(MAX_THREAD_OVERRIDE),
+            "one past the bound clamps down"
+        );
+        assert_eq!(
+            thread_override("1000000"),
+            Some(MAX_THREAD_OVERRIDE),
+            "a runaway override must not spawn a million threads"
+        );
+        assert_eq!(thread_override("0"), None, "zero falls back to the probe");
+        assert_eq!(thread_override("garbage"), None);
+        assert_eq!(thread_override(""), None);
+        assert_eq!(thread_override("-3"), None);
     }
 
     #[test]

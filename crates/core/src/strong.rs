@@ -319,7 +319,7 @@ pub struct MatchStats {
 
 /// The result of a strong-simulation run: the set `Θ` of maximum perfect subgraphs plus the
 /// work statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatchOutput {
     /// Maximum perfect subgraphs, in ascending order of their ball centers.
     pub subgraphs: Vec<PerfectSubgraph>,

@@ -163,6 +163,46 @@ impl IncrementalDistributed {
         self.apply_inner(delta, Some(faults))
     }
 
+    /// Applies a batch of deltas as **one** maintenance step, mirroring
+    /// [`ssim_core::incremental::IncrementalMatcher::apply_batch`]: on the incremental
+    /// plan the stream is staged on a cheap overlay clone to validate its
+    /// order-sensitive legality up front, folded into its net delta
+    /// ([`GraphDelta::then`]) and fed through a single apply — one dirty sweep, one
+    /// routed fan-out. The recompute oracle applies the stream sequentially and re-runs
+    /// one full pass on the final graph. A mid-stream validation error leaves the
+    /// session untouched.
+    pub fn apply_batch(&mut self, deltas: &[GraphDelta]) -> Result<&DistributedOutput, DistError> {
+        let [first, rest @ ..] = deltas else {
+            return Ok(&self.output);
+        };
+        if rest.is_empty() {
+            return self.apply(first);
+        }
+        match &mut self.plan {
+            PlanState::Recompute { data } => {
+                let mut new_data = data.apply_delta(first).map_err(DistError::from)?;
+                for d in rest {
+                    new_data = new_data.apply_delta(d).map_err(DistError::from)?;
+                }
+                self.output =
+                    distributed_strong_simulation(&self.pattern, &new_data, &self.config)?;
+                *data = new_data;
+                Ok(&self.output)
+            }
+            PlanState::Incremental { state, .. } => {
+                let mut staged = state.data.clone();
+                for d in deltas {
+                    staged.apply_delta(d).map_err(DistError::from)?;
+                }
+                let mut net = first.clone();
+                for d in rest {
+                    net = net.then(d);
+                }
+                self.apply_inner(&net, None)
+            }
+        }
+    }
+
     fn apply_inner(
         &mut self,
         delta: &GraphDelta,

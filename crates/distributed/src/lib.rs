@@ -28,6 +28,7 @@ pub mod fault;
 pub mod incremental;
 pub mod partition;
 pub mod runtime;
+pub mod service;
 
 pub use error::DistError;
 pub use fault::{FaultAction, FaultPlan, RecoveryPolicy, RecoveryStats};
@@ -38,3 +39,4 @@ pub use runtime::{
     distributed_with_prepared_cached, distributed_with_prepared_counted, CoordinatorCache,
     DistributedConfig, DistributedOutput, TrafficStats,
 };
+pub use service::{DistServiceUpdate, DistributedQueryService};

@@ -1856,4 +1856,93 @@ mod tests {
             assert_eq!(supervised.traffic.recovery, RecoveryStats::default());
         }
     }
+
+    /// Twin boundary tests for the `Delay(t)` vs `chunk_timeout_ticks` contract:
+    /// `t >= timeout` is a timeout **failure** (retried, no delay absorbed), while
+    /// `t == timeout - 1` is the largest benign slow-site delay (absorbed in full,
+    /// nothing retried). Pinning both sides keeps the `>=` from regressing to `>`.
+    #[test]
+    fn delay_exactly_at_the_timeout_is_a_timeout_failure() {
+        let data = synthetic(&SyntheticConfig {
+            nodes: 120,
+            alpha: 1.15,
+            labels: 8,
+            seed: 17,
+        });
+        let pattern = extract_pattern(&data, 3, 5).expect("pattern extraction succeeds");
+        let policy = RecoveryPolicy::default();
+        let config = DistributedConfig {
+            sites: 3,
+            strategy: PartitionStrategy::Range,
+            minimize_query: false,
+            recovery: Some(policy),
+            ..DistributedConfig::default()
+        };
+        let clean =
+            distributed_strong_simulation(&pattern, &data, &config).expect("valid configuration");
+        let mut plan = FaultPlan::none();
+        plan.delay_chunk(0, 0, 0, policy.chunk_timeout_ticks);
+        let out =
+            distributed_with_faults(&pattern, &data, &config, &plan).expect("recoverable plan");
+        let recovery = &out.traffic.recovery;
+        assert_eq!(
+            recovery.chunk_timeouts, 1,
+            "t == timeout must count as a timeout"
+        );
+        assert_eq!(
+            recovery.delay_ticks, 0,
+            "a timed-out attempt's delay is not absorbed as slow-site time"
+        );
+        assert_eq!(
+            recovery.chunk_retries, 1,
+            "the failed chunk is retried once"
+        );
+        assert!(
+            out.lost_centers.is_empty(),
+            "one failure is within the budget"
+        );
+        assert_eq!(
+            out.subgraphs, clean.subgraphs,
+            "the retry restores bit-identity"
+        );
+    }
+
+    #[test]
+    fn delay_one_tick_below_the_timeout_is_benign() {
+        let data = synthetic(&SyntheticConfig {
+            nodes: 120,
+            alpha: 1.15,
+            labels: 8,
+            seed: 17,
+        });
+        let pattern = extract_pattern(&data, 3, 5).expect("pattern extraction succeeds");
+        let policy = RecoveryPolicy::default();
+        let config = DistributedConfig {
+            sites: 3,
+            strategy: PartitionStrategy::Range,
+            minimize_query: false,
+            recovery: Some(policy),
+            ..DistributedConfig::default()
+        };
+        let clean =
+            distributed_strong_simulation(&pattern, &data, &config).expect("valid configuration");
+        let mut plan = FaultPlan::none();
+        plan.delay_chunk(0, 0, 0, policy.chunk_timeout_ticks - 1);
+        let out =
+            distributed_with_faults(&pattern, &data, &config, &plan).expect("recoverable plan");
+        let recovery = &out.traffic.recovery;
+        assert_eq!(
+            recovery.chunk_timeouts, 0,
+            "t == timeout - 1 must not time out"
+        );
+        assert_eq!(
+            recovery.delay_ticks,
+            policy.chunk_timeout_ticks - 1,
+            "the sub-timeout delay is absorbed in full"
+        );
+        assert_eq!(recovery.chunk_retries, 0);
+        assert_eq!(recovery.retry_rounds, 0);
+        assert!(out.lost_centers.is_empty());
+        assert_eq!(out.subgraphs, clean.subgraphs);
+    }
 }

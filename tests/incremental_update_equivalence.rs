@@ -274,6 +274,93 @@ proptest! {
         }
     }
 
+    /// Batch parity: `apply_batch` over a delta stream equals the same deltas applied
+    /// one by one — identical rows and identical final graph — across both update plans
+    /// (splice path included via dedup), sequential and distributed. Plus the
+    /// contractual edges: an empty batch is a no-op and a single-delta batch equals
+    /// `apply`.
+    #[test]
+    fn apply_batch_equals_sequential_applies(
+        seed in any::<u64>(),
+        nodes in 24usize..56,
+        kind in 0usize..3,
+        pattern_nodes in 2usize..5,
+        stream in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 1..6), 2..4),
+    ) {
+        let kind = DatasetKind::all()[kind];
+        let data = kind.generate(nodes, seed);
+        let q = experiment_pattern(&data, pattern_nodes, seed ^ 0x9e3779b97f4a7c15);
+        // Build the stream against the evolving graph, so every delta validates at its
+        // position (and only there — later deltas may touch edges earlier ones made).
+        let mut deltas = Vec::new();
+        let mut evolved = data.clone();
+        for picks in &stream {
+            let delta = random_delta(&evolved, picks);
+            evolved = evolved.apply_delta(&delta).expect("random_delta validates");
+            deltas.push(delta);
+        }
+        for (name, config) in [
+            ("basic", MatchConfig::basic()),
+            ("optimized", MatchConfig::optimized()),
+            ("dedup", MatchConfig::optimized().with_deduplication()),
+        ] {
+            for plan in [UpdatePlan::Incremental, UpdatePlan::Recompute] {
+                let cfg = config.with_update_plan(plan);
+                let mut batch = IncrementalMatcher::new(&q, data.clone(), cfg);
+                let mut seq = IncrementalMatcher::new(&q, data.clone(), cfg);
+                for d in &deltas {
+                    seq.apply(d).expect("delta validates in sequence");
+                }
+                batch.apply_batch(&deltas).expect("staged stream validates");
+                let ctx = format!("{name} {plan:?}");
+                assert_same_rows(batch.output(), seq.output(), &format!("{ctx}: batch"))?;
+                prop_assert!(batch.data() == seq.data(), "{ctx}: final graphs differ");
+                // Empty batch: a no-op that touches nothing.
+                let before = batch.output().clone();
+                batch.apply_batch(&[]).expect("empty batch");
+                assert_same_rows(&before, batch.output(), &format!("{ctx}: empty batch"))?;
+                // Single-delta batch == plain apply, bit for bit including stats.
+                let mut via_batch = IncrementalMatcher::new(&q, data.clone(), cfg);
+                let mut via_apply = IncrementalMatcher::new(&q, data.clone(), cfg);
+                via_batch.apply_batch(&deltas[..1]).expect("delta validates");
+                via_apply.apply(&deltas[0]).expect("delta validates");
+                common::assert_bit_identical(
+                    via_batch.output(),
+                    via_apply.output(),
+                    &format!("{ctx}: single-delta batch"),
+                )?;
+                prop_assert!(
+                    via_batch.last_update() == via_apply.last_update(),
+                    "{ctx}: single-delta batch update stats differ"
+                );
+            }
+        }
+        // Distributed: same parity through the coordinator, both plans.
+        for plan in [UpdatePlan::Incremental, UpdatePlan::Recompute] {
+            let cfg = DistributedConfig {
+                sites: 3,
+                strategy: PartitionStrategy::Range,
+                minimize_query: false,
+                update_plan: plan,
+                ..DistributedConfig::default()
+            };
+            let mut batch = IncrementalDistributed::new(&q, data.clone(), cfg)
+                .expect("valid distributed config");
+            let mut seq = IncrementalDistributed::new(&q, data.clone(), cfg)
+                .expect("valid distributed config");
+            for d in &deltas {
+                seq.apply(d).expect("delta validates in sequence");
+            }
+            batch.apply_batch(&deltas).expect("staged stream validates");
+            prop_assert!(
+                batch.output().subgraphs == seq.output().subgraphs,
+                "distributed {plan:?}: batch rows diverged"
+            );
+            prop_assert!(batch.data() == seq.data(), "distributed {plan:?}: graphs differ");
+        }
+    }
+
     /// Delete-then-reinsert round-trips: applying a deletion batch and then its inverse
     /// restores the graph and the output bit-for-bit.
     #[test]
@@ -297,6 +384,115 @@ proptest! {
             inc.apply(&delta.inverse()).expect("inverse validates");
             prop_assert!(inc.data() == data, "graph round-trips");
             assert_same_rows(&before, inc.output(), "delete-then-reinsert")?;
+        }
+    }
+}
+
+/// Regression coverage for label-pin validation across `apply_batch`'s then-fold:
+/// `apply_batch` folds the stream into one net delta, so a pin that is only meaningful
+/// against an *intermediate* state (its edge appears earlier in the same batch) never
+/// reaches `GraphDelta::validate` against the initial graph — the staged sequential
+/// pre-validation is what keeps batch semantics identical to sequential `apply`.
+mod apply_batch_label_pins {
+    use super::*;
+
+    fn fixture() -> (Pattern, Graph) {
+        let q = Pattern::from_edges(vec![Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let data =
+            Graph::from_edges(vec![Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
+        (q, data)
+    }
+
+    /// A pinned deletion of an edge that only exists mid-batch (inserted by the
+    /// previous delta): invalid against the initial graph, valid at its position.
+    /// Batch and sequential must agree on rows and final graph.
+    #[test]
+    fn pin_valid_only_at_an_intermediate_state_matches_sequential() {
+        let (q, data) = fixture();
+        let mut d1 = GraphDelta::new();
+        d1.insert_edge(NodeId(2), NodeId(0));
+        let mut d2 = GraphDelta::new();
+        d2.delete_edge_labeled(NodeId(2), NodeId(0), Label(2), Label(0));
+        // Sanity: the net effect cancels, and d2 alone is invalid at the start.
+        assert!(data.clone().apply_delta(&d2).is_err());
+        for plan in [UpdatePlan::Incremental, UpdatePlan::Recompute] {
+            for config in [MatchConfig::basic(), MatchConfig::optimized()] {
+                let cfg = config.with_update_plan(plan);
+                let mut batch = IncrementalMatcher::new(&q, data.clone(), cfg);
+                let mut seq = IncrementalMatcher::new(&q, data.clone(), cfg);
+                seq.apply(&d1).unwrap();
+                seq.apply(&d2).unwrap();
+                batch
+                    .apply_batch(&[d1.clone(), d2.clone()])
+                    .expect("the staged stream validates at every position");
+                assert_eq!(batch.data(), seq.data(), "{plan:?}: final graphs");
+                assert_eq!(batch.data(), data, "the batch nets out to a no-op");
+                assert_eq!(
+                    batch.output().subgraphs,
+                    seq.output().subgraphs,
+                    "{plan:?}: rows"
+                );
+            }
+        }
+    }
+
+    /// The mirror stream: a pinned deletion first, then reinsertion of the same edge.
+    /// The fold cancels the pair; sequential pays two applies. Rows and graphs agree.
+    #[test]
+    fn pinned_delete_then_reinsert_folds_to_a_no_op() {
+        let (q, data) = fixture();
+        let mut d1 = GraphDelta::new();
+        d1.delete_edge_labeled(NodeId(0), NodeId(1), Label(0), Label(1));
+        let mut d2 = GraphDelta::new();
+        d2.insert_edge(NodeId(0), NodeId(1));
+        for plan in [UpdatePlan::Incremental, UpdatePlan::Recompute] {
+            let cfg = MatchConfig::optimized().with_update_plan(plan);
+            let mut batch = IncrementalMatcher::new(&q, data.clone(), cfg);
+            let mut seq = IncrementalMatcher::new(&q, data.clone(), cfg);
+            let before = batch.output().clone();
+            seq.apply(&d1).unwrap();
+            seq.apply(&d2).unwrap();
+            batch.apply_batch(&[d1.clone(), d2.clone()]).unwrap();
+            assert_eq!(batch.data(), seq.data(), "{plan:?}: final graphs");
+            assert_eq!(batch.output().subgraphs, seq.output().subgraphs, "{plan:?}");
+            assert_eq!(
+                batch.output().subgraphs,
+                before.subgraphs,
+                "{plan:?}: net no-op restores the original rows"
+            );
+        }
+    }
+
+    /// A mid-stream pin that is wrong at its own position must reject the whole batch
+    /// up front and leave the session untouched — graph, rows and update accounting.
+    #[test]
+    fn mid_stream_invalid_pin_rejects_the_whole_batch() {
+        let (q, data) = fixture();
+        let mut d1 = GraphDelta::new();
+        d1.insert_edge(NodeId(2), NodeId(0));
+        let mut bad = GraphDelta::new();
+        // The edge exists after d1, but the target-label pin is wrong everywhere.
+        bad.delete_edge_labeled(NodeId(2), NodeId(0), Label(2), Label(5));
+        for plan in [UpdatePlan::Incremental, UpdatePlan::Recompute] {
+            let cfg = MatchConfig::optimized().with_update_plan(plan);
+            let mut m = IncrementalMatcher::new(&q, data.clone(), cfg);
+            let before = m.output().clone();
+            let stats_before = m.last_update().clone();
+            assert!(
+                m.apply_batch(&[d1.clone(), bad.clone()]).is_err(),
+                "{plan:?}: the wrong pin must fail staging"
+            );
+            assert_eq!(m.data(), data, "{plan:?}: graph untouched");
+            assert_eq!(
+                m.output().subgraphs,
+                before.subgraphs,
+                "{plan:?}: rows untouched"
+            );
+            assert_eq!(
+                m.last_update(),
+                &stats_before,
+                "{plan:?}: accounting untouched"
+            );
         }
     }
 }
